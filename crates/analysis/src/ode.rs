@@ -1,0 +1,166 @@
+//! The rumor-spreading differential equations (paper §1.4).
+//!
+//! With `s`, `i`, `r` the susceptible/infective/removed fractions
+//! (`s + i + r = 1`) and the feedback-coin removal rule, §1.4 models rumor
+//! spreading as
+//!
+//! ```text
+//! ds/dt = -s·i
+//! di/dt = +s·i - (1/k)(1-s)·i
+//! ```
+//!
+//! Eliminating `t` gives the closed form
+//! `i(s) = ((k+1)/k)(1-s) + (1/k)·ln s`, whose zero is the epidemic's
+//! final residue.
+
+/// The §1.4 rumor ODE system for loss parameter `k`.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_analysis::RumorOde;
+/// let ode = RumorOde::new(1);
+/// // §1.4: "at k = 1 this formula suggests that 20% will miss the rumor".
+/// let s_final = ode.final_residue();
+/// assert!((s_final - 0.20).abs() < 0.01);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RumorOde {
+    k: u32,
+}
+
+/// One point on an integrated trajectory.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OdePoint {
+    /// Time (in units where one contact per individual per unit time).
+    pub t: f64,
+    /// Susceptible fraction.
+    pub s: f64,
+    /// Infective fraction.
+    pub i: f64,
+}
+
+impl RumorOde {
+    /// Creates the system for a given `k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k == 0`.
+    pub fn new(k: u32) -> Self {
+        assert!(k >= 1, "k must be positive");
+        RumorOde { k }
+    }
+
+    /// The closed-form phase curve `i(s)` with the initial condition
+    /// `i(1-ε) = ε`, `ε → 0`.
+    pub fn i_of_s(&self, s: f64) -> f64 {
+        let k = f64::from(self.k);
+        (k + 1.0) / k * (1.0 - s) + s.ln() / k
+    }
+
+    /// The residue: the zero of [`RumorOde::i_of_s`] in `(0, 1)`, i.e. the
+    /// solution of `s = e^{-(k+1)(1-s)}` (§1.4). Solved by bisection.
+    pub fn final_residue(&self) -> f64 {
+        // i(s) > 0 on (s*, 1) and < 0 on (0, s*): bisect on i's sign.
+        let mut lo = 1e-12; // i(lo) < 0
+        let mut hi = 1.0 - 1e-12; // i(hi) ~ 0+ from inside the epidemic
+        debug_assert!(self.i_of_s(lo) < 0.0);
+        for _ in 0..200 {
+            let mid = 0.5 * (lo + hi);
+            if self.i_of_s(mid) < 0.0 {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        0.5 * (lo + hi)
+    }
+
+    /// Integrates the system with classic RK4 from `(s, i) = (1-eps, eps)`
+    /// until the infective fraction falls below `eps/10` (or `t_max`),
+    /// returning the sampled trajectory.
+    pub fn integrate(&self, eps: f64, dt: f64, t_max: f64) -> Vec<OdePoint> {
+        assert!(eps > 0.0 && eps < 1.0 && dt > 0.0);
+        let k = f64::from(self.k);
+        let deriv = |s: f64, i: f64| -> (f64, f64) {
+            let ds = -s * i;
+            let di = s * i - (1.0 - s) * i / k;
+            (ds, di)
+        };
+        let mut s = 1.0 - eps;
+        let mut i = eps;
+        let mut t = 0.0;
+        let mut out = vec![OdePoint { t, s, i }];
+        while i > eps / 10.0 && t < t_max {
+            let (k1s, k1i) = deriv(s, i);
+            let (k2s, k2i) = deriv(s + 0.5 * dt * k1s, i + 0.5 * dt * k1i);
+            let (k3s, k3i) = deriv(s + 0.5 * dt * k2s, i + 0.5 * dt * k2i);
+            let (k4s, k4i) = deriv(s + dt * k3s, i + dt * k3i);
+            s += dt / 6.0 * (k1s + 2.0 * k2s + 2.0 * k3s + k4s);
+            i += dt / 6.0 * (k1i + 2.0 * k2i + 2.0 * k3i + k4i);
+            i = i.max(0.0);
+            s = s.clamp(0.0, 1.0);
+            t += dt;
+            out.push(OdePoint { t, s, i });
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_quoted_residues() {
+        // §1.4: 20% at k = 1, 6% at k = 2.
+        assert!((RumorOde::new(1).final_residue() - 0.2032).abs() < 1e-3);
+        assert!((RumorOde::new(2).final_residue() - 0.0595).abs() < 1e-3);
+    }
+
+    #[test]
+    fn residue_decreases_exponentially_in_k() {
+        let r: Vec<f64> = (1..=6).map(|k| RumorOde::new(k).final_residue()).collect();
+        for w in r.windows(2) {
+            assert!(w[1] < w[0] * 0.5, "{w:?}");
+        }
+    }
+
+    #[test]
+    fn residue_satisfies_fixed_point_equation() {
+        for k in 1..=8 {
+            let s = RumorOde::new(k).final_residue();
+            let rhs = (-(f64::from(k) + 1.0) * (1.0 - s)).exp();
+            assert!((s - rhs).abs() < 1e-9, "k={k}: {s} vs {rhs}");
+        }
+    }
+
+    #[test]
+    fn integration_matches_closed_form_residue() {
+        for k in 1..=4 {
+            let ode = RumorOde::new(k);
+            let traj = ode.integrate(1e-6, 0.01, 500.0);
+            let s_end = traj.last().unwrap().s;
+            let s_closed = ode.final_residue();
+            assert!(
+                (s_end - s_closed).abs() < 0.01,
+                "k={k}: integrated {s_end} vs closed {s_closed}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_curve_respects_initial_condition() {
+        let ode = RumorOde::new(3);
+        // i(1) = 0 by construction (epsilon -> 0 limit).
+        assert!(ode.i_of_s(1.0).abs() < 1e-12);
+        // The curve has a positive interior maximum.
+        assert!(ode.i_of_s(0.5) > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        RumorOde::new(0);
+    }
+}

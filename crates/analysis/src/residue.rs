@@ -1,0 +1,141 @@
+//! Residue laws (paper §1.4).
+//!
+//! All push variants share the fundamental trade-off `s = e^{-m}` between
+//! residue `s` and per-site traffic `m`; §1.4 derives two refinements for
+//! connection-limited operation:
+//!
+//! * push with connection limit 1: `s = e^{-λm}` with `λ = 1/(1-e^{-1})` —
+//!   push gets *better*;
+//! * pull with connection-failure probability `δ`: `s = δ^m = e^{-λm}` with
+//!   `λ = -ln δ` — pull gets *worse*.
+
+/// The residue predicted by the §1.4 counter/coin analysis: the solution of
+/// `s = e^{-(k+1)(1-s)}` in `(0, 1)`.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_analysis::residue_for_counter;
+/// assert!((residue_for_counter(1) - 0.20).abs() < 0.01); // "20% will miss"
+/// assert!((residue_for_counter(2) - 0.06).abs() < 0.01); // "only 6%"
+/// ```
+///
+/// # Panics
+///
+/// Panics if `k == 0`.
+pub fn residue_for_counter(k: u32) -> f64 {
+    crate::ode::RumorOde::new(k).final_residue()
+}
+
+/// The fundamental push relationship `s = e^{-m}` (§1.4): the chance a
+/// site misses all `n·m` uniformly addressed updates.
+pub fn residue_from_traffic(m: f64) -> f64 {
+    (-m).exp()
+}
+
+/// Push with connection limit 1 (§1.4): `s = e^{-λm}`, `λ = 1/(1-e^{-1})`.
+/// Rejected connections shorten useless contacts, so push *improves*.
+pub fn push_connection_limited_residue(m: f64) -> f64 {
+    let lambda = 1.0 / (1.0 - (-1.0f64).exp());
+    (-lambda * m).exp()
+}
+
+/// Pull with per-cycle connection-failure probability `delta` (§1.4):
+/// `s = δ^m`. Pull's advantage collapses once connections can fail.
+///
+/// # Panics
+///
+/// Panics unless `0 < delta < 1`.
+pub fn pull_connection_limited_residue(m: f64, delta: f64) -> f64 {
+    assert!(delta > 0.0 && delta < 1.0, "delta must be in (0, 1)");
+    delta.powf(m)
+}
+
+/// The probability that a site has exactly `j` inbound connections in a
+/// cycle under uniform random selection: `e^{-1}/j!` (§1.4's Poisson(1)
+/// approximation, used to argue that modest connection limits suffice).
+pub fn inbound_connection_probability(j: u32) -> f64 {
+    let mut fact = 1.0;
+    for x in 1..=j {
+        fact *= f64::from(x);
+    }
+    (-1.0f64).exp() / fact
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn push_residue_law_is_monotone() {
+        assert!(residue_from_traffic(1.0) > residue_from_traffic(2.0));
+        assert!((residue_from_traffic(0.0) - 1.0).abs() < 1e-12);
+        // Table 1 cross-check: k=5 has m = 6.7 and s = 0.0012; e^-6.7 ≈ 0.0012.
+        assert!((residue_from_traffic(6.7) - 0.0012).abs() < 3e-4);
+    }
+
+    #[test]
+    fn connection_limited_push_beats_unlimited() {
+        for m in [1.0, 2.0, 4.0] {
+            assert!(push_connection_limited_residue(m) < residue_from_traffic(m));
+        }
+    }
+
+    #[test]
+    fn lambda_matches_paper_value() {
+        // λ = 1/(1-e^-1) ≈ 1.582.
+        let s = push_connection_limited_residue(1.0);
+        assert!((s.ln() + 1.0 / (1.0 - (-1.0f64).exp())).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pull_with_failures_decays_like_delta_power() {
+        let s = pull_connection_limited_residue(3.0, 0.1);
+        assert!((s - 1e-3).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "delta")]
+    fn pull_rejects_invalid_delta() {
+        pull_connection_limited_residue(1.0, 1.5);
+    }
+
+    #[test]
+    fn inbound_connections_are_poisson_one() {
+        // Σ_j e^-1/j! = 1.
+        let total: f64 = (0..20).map(inbound_connection_probability).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        // P(j=0) = P(j=1) = e^-1.
+        assert!(
+            (inbound_connection_probability(0) - inbound_connection_probability(1)).abs() < 1e-12
+        );
+    }
+}
+
+/// Worst-case mail volume of the original Clearinghouse *remail* step
+/// (§0.1): when anti-entropy finds disagreement, the value was re-mailed
+/// to all `n` sites — so a domain stored at `n` sites with widespread
+/// disagreement generates up to `n²` messages per night. The paper: "for
+/// a domain stored at 300 sites, 90,000 mail messages might be introduced
+/// each night".
+///
+/// # Example
+///
+/// ```
+/// use epidemic_analysis::residue::remail_worst_case;
+/// assert_eq!(remail_worst_case(300), 90_000);
+/// ```
+pub fn remail_worst_case(n: u64) -> u64 {
+    n * n
+}
+
+#[cfg(test)]
+mod remail_tests {
+    use super::*;
+
+    #[test]
+    fn paper_headline_number() {
+        assert_eq!(remail_worst_case(300), 90_000);
+        assert_eq!(remail_worst_case(0), 0);
+    }
+}

@@ -1,0 +1,151 @@
+//! Criterion benches that regenerate the paper's tables and figures.
+//!
+//! Each bench first prints the table at reduced trial counts (so `cargo
+//! bench` output contains the paper-shaped rows), then times a single
+//! representative trial. Full-fidelity runs live in the `repro` binary.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use epidemic_bench::figures;
+use epidemic_bench::tables::{
+    print_mixing, print_spatial, table1, table2, table3, table45, PAPER_TABLE1, PAPER_TABLE2,
+    PAPER_TABLE3,
+};
+use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+use epidemic_net::topologies::{cin, CinConfig};
+use epidemic_net::Spatial;
+use epidemic_sim::mixing::RumorEpidemic;
+use epidemic_sim::spatial_ae::AntiEntropySim;
+
+const N: usize = 1000;
+const TRIALS: u64 = 30;
+const SPATIAL_TRIALS: u64 = 30;
+
+fn bench_table1(c: &mut Criterion) {
+    print_mixing(
+        "Table 1: push, feedback, counter, n=1000",
+        &table1(N, TRIALS),
+        &PAPER_TABLE1,
+    );
+    let driver = RumorEpidemic::new(RumorConfig::new(
+        Direction::Push,
+        Feedback::Feedback,
+        Removal::Counter { k: 3 },
+    ));
+    c.bench_function("table1/one_trial_k3", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(driver.run(N, seed))
+        })
+    });
+}
+
+fn bench_table2(c: &mut Criterion) {
+    print_mixing(
+        "Table 2: push, blind, coin, n=1000",
+        &table2(N, TRIALS),
+        &PAPER_TABLE2,
+    );
+    let driver = RumorEpidemic::new(RumorConfig::new(
+        Direction::Push,
+        Feedback::Blind,
+        Removal::Coin { k: 3 },
+    ));
+    c.bench_function("table2/one_trial_k3", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(driver.run(N, seed))
+        })
+    });
+}
+
+fn bench_table3(c: &mut Criterion) {
+    print_mixing(
+        "Table 3: pull, feedback, counter, n=1000",
+        &table3(N, TRIALS),
+        &PAPER_TABLE3,
+    );
+    let driver = RumorEpidemic::new(RumorConfig::new(
+        Direction::Pull,
+        Feedback::Feedback,
+        Removal::Counter { k: 2 },
+    ));
+    c.bench_function("table3/one_trial_k2", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(driver.run(N, seed))
+        })
+    });
+}
+
+fn bench_table4(c: &mut Criterion) {
+    print_spatial(
+        "Table 4: push-pull anti-entropy on the synthetic CIN, no connection limit",
+        &table45(SPATIAL_TRIALS, None),
+    );
+    let net = cin(&CinConfig::default());
+    let sim = AntiEntropySim::new(&net.topology, Spatial::QsPower { a: 2.0 });
+    c.bench_function("table4/one_run_a2", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(seed, None))
+        })
+    });
+}
+
+fn bench_table5(c: &mut Criterion) {
+    print_spatial(
+        "Table 5: anti-entropy with connection limit 1, hunt limit 0",
+        &table45(SPATIAL_TRIALS, Some(1)),
+    );
+    let net = cin(&CinConfig::default());
+    let sim =
+        AntiEntropySim::new(&net.topology, Spatial::QsPower { a: 2.0 }).connection_limit(Some(1));
+    c.bench_function("table5/one_run_a2", |b| {
+        let mut seed = 0;
+        b.iter(|| {
+            seed += 1;
+            black_box(sim.run(seed, None))
+        })
+    });
+}
+
+fn bench_figures(c: &mut Criterion) {
+    figures::print_rumor_ode(N, TRIALS);
+    figures::print_residue_traffic(N, TRIALS);
+    figures::print_ae_convergence(10);
+    figures::print_line_traffic();
+    figures::print_figure1(100);
+    figures::print_figure2(100);
+    figures::print_death_certificates();
+    figures::print_dc_scaling(20);
+    figures::print_spatial_rumor(10, 20);
+    figures::print_ablation_counter_reset(N, TRIALS);
+    figures::print_ablation_hunting(N, TRIALS);
+    figures::print_ablation_comparison();
+    figures::print_ablation_redistribution(5);
+    figures::print_checksum_window();
+    figures::print_sir_curve(N, TRIALS);
+    figures::print_async_ablation(10);
+    figures::print_hierarchy(10);
+    figures::print_cin_steady(3);
+    figures::print_weighted_cin(5);
+    figures::print_churn(5);
+    figures::print_topology_robustness(5);
+    figures::print_pull_vs_push_rate(3);
+    c.bench_function("figures/rumor_ode_residue", |b| {
+        b.iter(|| black_box(epidemic_analysis::RumorOde::new(4).final_residue()))
+    });
+}
+
+criterion_group! {
+    name = tables;
+    config = Criterion::default().sample_size(10);
+    targets = bench_table1, bench_table2, bench_table3, bench_table4, bench_table5, bench_figures
+}
+criterion_main!(tables);

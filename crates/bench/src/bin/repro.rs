@@ -1,0 +1,139 @@
+//! `repro` — regenerates every table and figure of the paper at full
+//! trial counts.
+//!
+//! ```text
+//! cargo run -p epidemic-bench --release --bin repro -- all
+//! cargo run -p epidemic-bench --release --bin repro -- table1 table4
+//! ```
+
+use epidemic_bench::tables::{
+    print_mixing, print_spatial, table1, table2, table3, table45, PAPER_TABLE1, PAPER_TABLE2,
+    PAPER_TABLE3,
+};
+use epidemic_bench::figures;
+
+const N: usize = 1000;
+
+fn run(experiment: &str, mix_trials: u64, spatial_trials: u64) -> bool {
+    #[allow(non_snake_case)]
+    let MIX_TRIALS = mix_trials;
+    #[allow(non_snake_case)]
+    let SPATIAL_TRIALS = spatial_trials;
+    match experiment {
+        "table1" => print_mixing(
+            "Table 1: push, feedback, counter, n=1000",
+            &table1(N, MIX_TRIALS),
+            &PAPER_TABLE1,
+        ),
+        "table2" => print_mixing(
+            "Table 2: push, blind, coin, n=1000",
+            &table2(N, MIX_TRIALS),
+            &PAPER_TABLE2,
+        ),
+        "table3" => print_mixing(
+            "Table 3: pull, feedback, counter, n=1000 (footnote semantics)",
+            &table3(N, MIX_TRIALS),
+            &PAPER_TABLE3,
+        ),
+        "table4" => print_spatial(
+            "Table 4: push-pull anti-entropy on the synthetic CIN, no connection limit (paper: uniform 7.8/5.3/5.9/75.7/5.8/74.4 ... a=2.0 13.3/7.8/1.4/2.4/1.9/5.9)",
+            &table45(SPATIAL_TRIALS, None),
+        ),
+        "table5" => print_spatial(
+            "Table 5: as Table 4 with connection limit 1, hunt limit 0 (paper: uniform 11.0/7.0/3.7/47.5/5.8/75.2 ... a=2.0 24.6/14.1/0.7/0.9/1.9/4.8)",
+            &table45(SPATIAL_TRIALS, Some(1)),
+        ),
+        "fig-rumor-ode" => figures::print_rumor_ode(N, MIX_TRIALS),
+        "fig-residue-traffic" => figures::print_residue_traffic(N, MIX_TRIALS),
+        "fig-ae-convergence" => figures::print_ae_convergence(50),
+        "fig-line-traffic" => figures::print_line_traffic(),
+        "fig1-pathology" => figures::print_figure1(500),
+        "fig2-pathology" => figures::print_figure2(500),
+        "death-certs" => figures::print_death_certificates(),
+        "fig-dc-scaling" => figures::print_dc_scaling(200),
+        "fig-spatial-rumor" => figures::print_spatial_rumor(50, 100),
+        "fig-sir-curve" => figures::print_sir_curve(N, MIX_TRIALS),
+        "fig-checksum-window" => figures::print_checksum_window(),
+        "fig-async" => figures::print_async_ablation(50),
+        "fig-cin-steady" => figures::print_cin_steady(20),
+        "ablation-hierarchy" => figures::print_hierarchy(50),
+        "ablation-weighted-cin" => figures::print_weighted_cin(50),
+        "ablation-churn" => figures::print_churn(30),
+        "fig-topology-robustness" => figures::print_topology_robustness(40),
+        "fig-pull-vs-push-rate" => figures::print_pull_vs_push_rate(20),
+        "ablation-counter-reset" => figures::print_ablation_counter_reset(N, MIX_TRIALS),
+        "ablation-hunting" => figures::print_ablation_hunting(N, MIX_TRIALS),
+        "ablation-comparison" => figures::print_ablation_comparison(),
+        "ablation-redistribution" => figures::print_ablation_redistribution(20),
+        _ => return false,
+    }
+    true
+}
+
+const ALL: &[&str] = &[
+    "table1",
+    "table2",
+    "table3",
+    "table4",
+    "table5",
+    "fig-rumor-ode",
+    "fig-residue-traffic",
+    "fig-ae-convergence",
+    "fig-line-traffic",
+    "fig1-pathology",
+    "fig2-pathology",
+    "death-certs",
+    "fig-dc-scaling",
+    "fig-spatial-rumor",
+    "fig-sir-curve",
+    "fig-checksum-window",
+    "fig-async",
+    "fig-cin-steady",
+    "ablation-hierarchy",
+    "ablation-weighted-cin",
+    "ablation-churn",
+    "fig-topology-robustness",
+    "fig-pull-vs-push-rate",
+    "ablation-counter-reset",
+    "ablation-hunting",
+    "ablation-comparison",
+    "ablation-redistribution",
+];
+
+fn main() {
+    let mut args: Vec<String> = std::env::args().skip(1).collect();
+    let mut mix_trials: u64 = 100;
+    let mut spatial_trials: u64 = 250;
+    if let Some(pos) = args.iter().position(|a| a == "--trials") {
+        let value = args
+            .get(pos + 1)
+            .and_then(|v| v.parse().ok())
+            .unwrap_or_else(|| {
+                eprintln!("--trials needs a positive integer");
+                std::process::exit(2);
+            });
+        mix_trials = value;
+        spatial_trials = value;
+        args.drain(pos..=pos + 1);
+    }
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!(
+            "usage: repro [--trials N] <experiment>... | all\nexperiments: {}",
+            ALL.join(" ")
+        );
+        std::process::exit(2);
+    }
+    let list: Vec<&str> = if args.iter().any(|a| a == "all") {
+        ALL.to_vec()
+    } else {
+        args.iter().map(String::as_str).collect()
+    };
+    for experiment in list {
+        let start = std::time::Instant::now();
+        if !run(experiment, mix_trials, spatial_trials) {
+            eprintln!("unknown experiment: {experiment}\nknown: {}", ALL.join(" "));
+            std::process::exit(2);
+        }
+        eprintln!("[{experiment}: {:.1}s]", start.elapsed().as_secs_f64());
+    }
+}

@@ -1,0 +1,86 @@
+//! Experiment harness: regenerates every table and figure of Demers et
+//! al., *Epidemic Algorithms for Replicated Database Maintenance*.
+//!
+//! Each experiment is a plain function returning structured rows, so both
+//! the `repro` binary (full trial counts, prints the paper-shaped tables)
+//! and the criterion benches (timed single trials) share one
+//! implementation. See DESIGN.md for the experiment ↔ paper index and
+//! EXPERIMENTS.md for recorded results.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod figures;
+pub mod render;
+pub mod tables;
+
+/// Splits `trials` seeds across worker threads, accumulating per-seed
+/// results with `run` and folding them with `fold` into `init`.
+///
+/// Deterministic: the fold order is by seed, regardless of thread timing.
+pub fn parallel_trials<T, A>(
+    trials: u64,
+    run: impl Fn(u64) -> T + Sync,
+    init: A,
+    mut fold: impl FnMut(A, T) -> A,
+) -> A
+where
+    T: Send,
+{
+    let workers = std::thread::available_parallelism()
+        .map(|p| p.get())
+        .unwrap_or(4)
+        .min(trials.max(1) as usize);
+    let mut results: Vec<Option<T>> = Vec::with_capacity(trials as usize);
+    results.resize_with(trials as usize, || None);
+    let chunk = trials.div_ceil(workers as u64);
+    std::thread::scope(|scope| {
+        let run = &run;
+        let mut rest: &mut [Option<T>] = &mut results;
+        for w in 0..workers as u64 {
+            let lo = w * chunk;
+            let hi = ((w + 1) * chunk).min(trials);
+            if lo >= hi {
+                break;
+            }
+            let (mine, tail) = rest.split_at_mut((hi - lo) as usize);
+            rest = tail;
+            scope.spawn(move || {
+                for (offset, slot) in mine.iter_mut().enumerate() {
+                    *slot = Some(run(lo + offset as u64));
+                }
+            });
+        }
+    });
+    let mut acc = init;
+    for r in results.into_iter().flatten() {
+        acc = fold(acc, r);
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_trials_covers_every_seed_once() {
+        let sum = parallel_trials(100, |seed| seed, 0u64, |a, b| a + b);
+        assert_eq!(sum, 99 * 100 / 2);
+    }
+
+    #[test]
+    fn parallel_trials_is_deterministic() {
+        let collect = || parallel_trials(37, |s| s * s, Vec::new(), |mut v, x| {
+            v.push(x);
+            v
+        });
+        assert_eq!(collect(), collect());
+    }
+
+    #[test]
+    fn handles_zero_and_one_trials() {
+        assert_eq!(parallel_trials(0, |s| s, 7u64, |a, b| a + b), 7);
+        assert_eq!(parallel_trials(1, |s| s + 5, 0u64, |a, b| a + b), 5);
+    }
+}

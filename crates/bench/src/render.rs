@@ -1,0 +1,70 @@
+//! Plain-text table rendering for experiment output.
+
+/// Prints a fixed-width table with a title, header row and data rows.
+///
+/// # Example
+///
+/// ```
+/// epidemic_bench::render::print_table(
+///     "Demo",
+///     &["k", "residue"],
+///     &[vec!["1".into(), "0.18".into()]],
+/// );
+/// ```
+pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
+    println!("\n## {title}");
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::from("|");
+        for (i, c) in cells.iter().enumerate() {
+            s.push_str(&format!(" {:>width$} |", c, width = widths[i]));
+        }
+        s
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
+    println!("{}", line(&headers_owned));
+    let mut sep = String::from("|");
+    for w in &widths {
+        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+    }
+    println!("{sep}");
+    for row in rows {
+        println!("{}", line(row));
+    }
+}
+
+/// Formats a float with three significant-ish decimals, trimming noise.
+pub fn fmt(x: f64) -> String {
+    if x == 0.0 {
+        "0".to_string()
+    } else if x.abs() >= 100.0 {
+        format!("{x:.0}")
+    } else if x.abs() >= 1.0 {
+        format!("{x:.2}")
+    } else if x.abs() >= 0.001 {
+        format!("{x:.4}")
+    } else {
+        format!("{x:.2e}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fmt_scales_precision() {
+        assert_eq!(fmt(0.0), "0");
+        assert_eq!(fmt(123.4), "123");
+        assert_eq!(fmt(3.333), "3.33");
+        assert_eq!(fmt(0.0367), "0.0367");
+        assert_eq!(fmt(0.00012), "1.20e-4");
+    }
+}

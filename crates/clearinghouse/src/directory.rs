@@ -1,0 +1,139 @@
+//! Domain-to-server assignment (paper §0.1).
+//!
+//! "Each domain may be stored (replicated) on as few as one, or as many as
+//! all, of the Clearinghouse servers, of which there are several hundred."
+
+use std::collections::BTreeMap;
+
+use epidemic_db::SiteId;
+
+use crate::name::DomainId;
+
+/// The assignment of domains to the server sites that replicate them.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_clearinghouse::{Directory, DomainId};
+/// use epidemic_db::SiteId;
+///
+/// let mut dir = Directory::new();
+/// let d: DomainId = "PARC:Xerox".parse()?;
+/// dir.assign(d.clone(), vec![SiteId::new(0), SiteId::new(2)]);
+/// assert!(dir.stores(SiteId::new(2), &d));
+/// assert!(!dir.stores(SiteId::new(1), &d));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Directory {
+    holders: BTreeMap<DomainId, Vec<SiteId>>,
+}
+
+impl Directory {
+    /// Creates an empty directory.
+    pub fn new() -> Self {
+        Directory::default()
+    }
+
+    /// Assigns `domain` to be replicated at `sites` (replacing any prior
+    /// assignment). Duplicate sites are collapsed.
+    pub fn assign(&mut self, domain: DomainId, mut sites: Vec<SiteId>) {
+        sites.sort_unstable();
+        sites.dedup();
+        self.holders.insert(domain, sites);
+    }
+
+    /// Adds one replica site to an existing (or new) domain.
+    pub fn add_replica(&mut self, domain: &DomainId, site: SiteId) {
+        let sites = self.holders.entry(domain.clone()).or_default();
+        if let Err(pos) = sites.binary_search(&site) {
+            sites.insert(pos, site);
+        }
+    }
+
+    /// The sites replicating `domain` (empty if unknown).
+    pub fn holders(&self, domain: &DomainId) -> &[SiteId] {
+        self.holders.get(domain).map_or(&[], Vec::as_slice)
+    }
+
+    /// Whether `site` replicates `domain`.
+    pub fn stores(&self, site: SiteId, domain: &DomainId) -> bool {
+        self.holders(domain).binary_search(&site).is_ok()
+    }
+
+    /// All known domains, in order.
+    pub fn domains(&self) -> impl Iterator<Item = &DomainId> {
+        self.holders.keys()
+    }
+
+    /// The domains stored at `site`.
+    pub fn domains_at(&self, site: SiteId) -> Vec<DomainId> {
+        self.holders
+            .iter()
+            .filter(|(_, sites)| sites.binary_search(&site).is_ok())
+            .map(|(d, _)| d.clone())
+            .collect()
+    }
+
+    /// Number of known domains.
+    pub fn len(&self) -> usize {
+        self.holders.len()
+    }
+
+    /// Whether no domain is assigned.
+    pub fn is_empty(&self) -> bool {
+        self.holders.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn domain(s: &str) -> DomainId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn assign_and_query() {
+        let mut dir = Directory::new();
+        dir.assign(domain("PARC:Xerox"), vec![SiteId::new(2), SiteId::new(0)]);
+        assert_eq!(
+            dir.holders(&domain("PARC:Xerox")),
+            &[SiteId::new(0), SiteId::new(2)]
+        );
+        assert!(dir.stores(SiteId::new(0), &domain("PARC:Xerox")));
+        assert!(!dir.stores(SiteId::new(1), &domain("PARC:Xerox")));
+        assert_eq!(dir.holders(&domain("SDD:Xerox")), &[] as &[SiteId]);
+    }
+
+    #[test]
+    fn duplicates_collapse() {
+        let mut dir = Directory::new();
+        dir.assign(
+            domain("PARC:Xerox"),
+            vec![SiteId::new(1), SiteId::new(1), SiteId::new(1)],
+        );
+        assert_eq!(dir.holders(&domain("PARC:Xerox")).len(), 1);
+    }
+
+    #[test]
+    fn add_replica_keeps_sorted_unique() {
+        let mut dir = Directory::new();
+        dir.add_replica(&domain("D:O"), SiteId::new(5));
+        dir.add_replica(&domain("D:O"), SiteId::new(1));
+        dir.add_replica(&domain("D:O"), SiteId::new(5));
+        assert_eq!(dir.holders(&domain("D:O")), &[SiteId::new(1), SiteId::new(5)]);
+    }
+
+    #[test]
+    fn domains_at_site() {
+        let mut dir = Directory::new();
+        dir.assign(domain("A:X"), vec![SiteId::new(0), SiteId::new(1)]);
+        dir.assign(domain("B:X"), vec![SiteId::new(1)]);
+        assert_eq!(dir.domains_at(SiteId::new(1)).len(), 2);
+        assert_eq!(dir.domains_at(SiteId::new(0)).len(), 1);
+        assert_eq!(dir.domains_at(SiteId::new(9)).len(), 0);
+        assert_eq!(dir.len(), 2);
+    }
+}

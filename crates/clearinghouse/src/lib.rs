@@ -1,0 +1,61 @@
+//! A Clearinghouse-style name service built on the epidemic protocols —
+//! the application that motivated the paper (§0.1).
+//!
+//! "The Clearinghouse service maintains translations from three-level,
+//! hierarchical names to machine addresses, user identities, etc. The top
+//! two levels of the hierarchy partition the name space into a set of
+//! *domains*. Each domain may be stored (replicated) on as few as one, or
+//! as many as all, of the Clearinghouse servers."
+//!
+//! This crate provides:
+//!
+//! * [`Name`] — three-level names `local:domain:organization` and the
+//!   [`DomainId`]s they live in;
+//! * [`Directory`] — the assignment of domains to server sites;
+//! * [`Server`] — one Clearinghouse server holding a
+//!   [`Replica`](epidemic_core::Replica) per stored domain;
+//! * [`Clearinghouse`] — a fleet of servers with client operations routed
+//!   to domain holders and per-domain push-pull anti-entropy.
+//!
+//! # Example
+//!
+//! ```
+//! use epidemic_clearinghouse::{Clearinghouse, Directory, Name};
+//! use epidemic_db::SiteId;
+//! use rand::SeedableRng;
+//!
+//! let mut directory = Directory::new();
+//! let parc: Vec<SiteId> = (0..3).map(SiteId::new).collect();
+//! directory.assign("PARC:Xerox".parse()?, parc);
+//!
+//! let mut ch = Clearinghouse::new(4, directory);
+//! let mary: Name = "mary:PARC:Xerox".parse()?;
+//! ch.bind(&mary, "MV:2048#737".into())?;
+//!
+//! // Gossip until every replica of the domain agrees.
+//! let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+//! for _ in 0..8 {
+//!     ch.anti_entropy_cycle(&mut rng);
+//! }
+//! for server in 0..3u32 {
+//!     let hit = ch.lookup_at(SiteId::new(server), &mary)?;
+//!     assert_eq!(hit.and_then(|o| o.as_address().map(String::from)).as_deref(),
+//!                Some("MV:2048#737"));
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod directory;
+pub mod name;
+pub mod object;
+pub mod server;
+pub mod service;
+
+pub use directory::Directory;
+pub use name::{DomainId, Name, ParseNameError};
+pub use object::{resolve, Object, ResolveError};
+pub use server::Server;
+pub use service::{Clearinghouse, ServiceError};

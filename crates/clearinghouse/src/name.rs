@@ -1,0 +1,220 @@
+//! Three-level hierarchical names (paper §0.1).
+//!
+//! A Clearinghouse name has the form `local:domain:organization` — e.g.
+//! `mary:PARC:Xerox`. The top two levels form the [`DomainId`], the unit
+//! of replication.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A domain: the `domain:organization` pair that names one replicated
+/// partition of the name space.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_clearinghouse::DomainId;
+/// let d: DomainId = "PARC:Xerox".parse()?;
+/// assert_eq!(d.domain(), "PARC");
+/// assert_eq!(d.organization(), "Xerox");
+/// # Ok::<(), epidemic_clearinghouse::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct DomainId {
+    domain: String,
+    organization: String,
+}
+
+impl DomainId {
+    /// Creates a domain id from its two components.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if either component is empty or contains
+    /// the `:` separator.
+    pub fn new(
+        domain: impl Into<String>,
+        organization: impl Into<String>,
+    ) -> Result<Self, ParseNameError> {
+        let domain = domain.into();
+        let organization = organization.into();
+        validate_component(&domain)?;
+        validate_component(&organization)?;
+        Ok(DomainId {
+            domain,
+            organization,
+        })
+    }
+
+    /// The second-level (domain) component.
+    pub fn domain(&self) -> &str {
+        &self.domain
+    }
+
+    /// The top-level (organization) component.
+    pub fn organization(&self) -> &str {
+        &self.organization
+    }
+}
+
+impl fmt::Display for DomainId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.domain, self.organization)
+    }
+}
+
+impl FromStr for DomainId {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        match (parts.next(), parts.next(), parts.next()) {
+            (Some(d), Some(o), None) => DomainId::new(d, o),
+            _ => Err(ParseNameError::WrongArity),
+        }
+    }
+}
+
+/// A full three-level name `local:domain:organization`.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_clearinghouse::Name;
+/// let n: Name = "daisy:PARC:Xerox".parse()?;
+/// assert_eq!(n.local(), "daisy");
+/// assert_eq!(n.domain_id().to_string(), "PARC:Xerox");
+/// assert_eq!(n.to_string(), "daisy:PARC:Xerox");
+/// # Ok::<(), epidemic_clearinghouse::ParseNameError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Name {
+    local: String,
+    domain: DomainId,
+}
+
+impl Name {
+    /// Creates a name from its local component and domain.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseNameError`] if the local component is empty or
+    /// contains `:`.
+    pub fn new(local: impl Into<String>, domain: DomainId) -> Result<Self, ParseNameError> {
+        let local = local.into();
+        validate_component(&local)?;
+        Ok(Name { local, domain })
+    }
+
+    /// The local (third-level) component.
+    pub fn local(&self) -> &str {
+        &self.local
+    }
+
+    /// The domain this name lives in — the unit of replication.
+    pub fn domain_id(&self) -> &DomainId {
+        &self.domain
+    }
+}
+
+impl fmt::Display for Name {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.local, self.domain)
+    }
+}
+
+impl FromStr for Name {
+    type Err = ParseNameError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let mut parts = s.split(':');
+        match (parts.next(), parts.next(), parts.next(), parts.next()) {
+            (Some(l), Some(d), Some(o), None) => Name::new(l, DomainId::new(d, o)?),
+            _ => Err(ParseNameError::WrongArity),
+        }
+    }
+}
+
+/// Error parsing a [`Name`] or [`DomainId`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ParseNameError {
+    /// The wrong number of `:`-separated components.
+    WrongArity,
+    /// A component was empty.
+    EmptyComponent,
+}
+
+impl fmt::Display for ParseNameError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ParseNameError::WrongArity => {
+                write!(f, "expected colon-separated components (local:domain:organization)")
+            }
+            ParseNameError::EmptyComponent => write!(f, "name components must be non-empty"),
+        }
+    }
+}
+
+impl std::error::Error for ParseNameError {}
+
+fn validate_component(s: &str) -> Result<(), ParseNameError> {
+    if s.is_empty() {
+        Err(ParseNameError::EmptyComponent)
+    } else if s.contains(':') {
+        Err(ParseNameError::WrongArity)
+    } else {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_and_displays_round_trip() {
+        let n: Name = "mary:PARC:Xerox".parse().unwrap();
+        assert_eq!(n.local(), "mary");
+        assert_eq!(n.domain_id().domain(), "PARC");
+        assert_eq!(n.domain_id().organization(), "Xerox");
+        assert_eq!(n.to_string().parse::<Name>().unwrap(), n);
+    }
+
+    #[test]
+    fn rejects_wrong_arity() {
+        assert_eq!("mary:PARC".parse::<Name>(), Err(ParseNameError::WrongArity));
+        assert_eq!(
+            "a:b:c:d".parse::<Name>(),
+            Err(ParseNameError::WrongArity)
+        );
+        assert_eq!("onlyone".parse::<DomainId>(), Err(ParseNameError::WrongArity));
+    }
+
+    #[test]
+    fn rejects_empty_components() {
+        assert_eq!(
+            ":PARC:Xerox".parse::<Name>(),
+            Err(ParseNameError::EmptyComponent)
+        );
+        assert_eq!(
+            "mary::Xerox".parse::<Name>(),
+            Err(ParseNameError::EmptyComponent)
+        );
+    }
+
+    #[test]
+    fn domain_ordering_groups_names() {
+        let a: Name = "a:PARC:Xerox".parse().unwrap();
+        let b: Name = "b:PARC:Xerox".parse().unwrap();
+        let c: Name = "a:SDD:Xerox".parse().unwrap();
+        assert_eq!(a.domain_id(), b.domain_id());
+        assert_ne!(a.domain_id(), c.domain_id());
+        assert!(a < b);
+    }
+
+    #[test]
+    fn error_messages_are_lowercase_and_useful() {
+        let e = ParseNameError::EmptyComponent.to_string();
+        assert!(e.starts_with(char::is_lowercase));
+    }
+}

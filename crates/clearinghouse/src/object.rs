@@ -1,0 +1,212 @@
+//! Registered objects: what Clearinghouse names bind to.
+//!
+//! The Clearinghouse mapped names to "machine addresses, user identities,
+//! etc." [Op]. Three kinds of bindings cover its use:
+//!
+//! * [`Object::Address`] — a machine/network address (individuals,
+//!   printers, file services);
+//! * [`Object::Group`] — a set of member names (mail distribution lists,
+//!   access-control groups);
+//! * [`Object::Alias`] — another name, resolved recursively with loop
+//!   protection.
+//!
+//! Objects are opaque to the epidemic layer — a whole object is one
+//! last-writer-wins value, exactly as the paper treats database entries.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::name::Name;
+
+/// A value registered under a Clearinghouse name.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_clearinghouse::{Name, Object};
+/// let printer: Name = "daisy:PARC:Xerox".parse()?;
+/// let alias = Object::Alias(printer.clone());
+/// assert_eq!(alias.as_alias(), Some(&printer));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Object {
+    /// A network address string (e.g. `MV:2048#737`).
+    Address(String),
+    /// A set of member names (stored as full name strings for hashing
+    /// stability).
+    Group(BTreeSet<String>),
+    /// A pointer to another name.
+    Alias(Name),
+}
+
+impl Object {
+    /// Creates an address object.
+    pub fn address(addr: impl Into<String>) -> Self {
+        Object::Address(addr.into())
+    }
+
+    /// Creates a group from member names.
+    pub fn group<I: IntoIterator<Item = Name>>(members: I) -> Self {
+        Object::Group(members.into_iter().map(|n| n.to_string()).collect())
+    }
+
+    /// The address, if this is one.
+    pub fn as_address(&self) -> Option<&str> {
+        match self {
+            Object::Address(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// The alias target, if this is one.
+    pub fn as_alias(&self) -> Option<&Name> {
+        match self {
+            Object::Alias(n) => Some(n),
+            _ => None,
+        }
+    }
+
+    /// The group members, if this is one.
+    pub fn as_group(&self) -> Option<&BTreeSet<String>> {
+        match self {
+            Object::Group(g) => Some(g),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Object {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Object::Address(a) => write!(f, "address {a}"),
+            Object::Group(g) => write!(f, "group of {}", g.len()),
+            Object::Alias(n) => write!(f, "alias -> {n}"),
+        }
+    }
+}
+
+impl From<&str> for Object {
+    fn from(addr: &str) -> Self {
+        Object::Address(addr.to_string())
+    }
+}
+
+/// Error from alias resolution ([`resolve`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResolveError {
+    /// The chain exceeded the hop limit (a cycle, or absurd nesting).
+    AliasLoop(Name),
+    /// A name in the chain is unbound.
+    Unbound(Name),
+}
+
+impl fmt::Display for ResolveError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ResolveError::AliasLoop(n) => write!(f, "alias chain from {n} does not terminate"),
+            ResolveError::Unbound(n) => write!(f, "name {n} is not bound"),
+        }
+    }
+}
+
+impl std::error::Error for ResolveError {}
+
+/// Follows alias chains starting from `name` until a non-alias object is
+/// found, with a hop limit of `max_hops`.
+///
+/// `lookup` is the caller's view of the database (typically a closure over
+/// a server or the whole service).
+///
+/// # Errors
+///
+/// [`ResolveError::Unbound`] if any name in the chain has no object;
+/// [`ResolveError::AliasLoop`] if the chain exceeds `max_hops`.
+pub fn resolve<F>(name: &Name, mut lookup: F, max_hops: usize) -> Result<Object, ResolveError>
+where
+    F: FnMut(&Name) -> Option<Object>,
+{
+    let mut current = name.clone();
+    for _ in 0..=max_hops {
+        let object = lookup(&current).ok_or_else(|| ResolveError::Unbound(current.clone()))?;
+        match object {
+            Object::Alias(next) => current = next,
+            other => return Ok(other),
+        }
+    }
+    Err(ResolveError::AliasLoop(name.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn world(entries: &[(&str, Object)]) -> BTreeMap<Name, Object> {
+        entries
+            .iter()
+            .map(|(n, o)| (name(n), o.clone()))
+            .collect()
+    }
+
+    #[test]
+    fn address_round_trip() {
+        let o = Object::address("MV:2048#737");
+        assert_eq!(o.as_address(), Some("MV:2048#737"));
+        assert_eq!(o.as_alias(), None);
+        assert_eq!(o.to_string(), "address MV:2048#737");
+    }
+
+    #[test]
+    fn group_members_are_sorted_and_unique() {
+        let g = Object::group(vec![
+            name("b:D:O"),
+            name("a:D:O"),
+            name("b:D:O"),
+        ]);
+        let members = g.as_group().unwrap();
+        assert_eq!(
+            members.iter().cloned().collect::<Vec<_>>(),
+            ["a:D:O", "b:D:O"]
+        );
+    }
+
+    #[test]
+    fn resolve_follows_alias_chains() {
+        let db = world(&[
+            ("printer:D:O", Object::address("35-2200")),
+            ("lpr:D:O", Object::Alias(name("printer:D:O"))),
+            ("print:D:O", Object::Alias(name("lpr:D:O"))),
+        ]);
+        let got = resolve(&name("print:D:O"), |n| db.get(n).cloned(), 8).unwrap();
+        assert_eq!(got.as_address(), Some("35-2200"));
+    }
+
+    #[test]
+    fn resolve_detects_loops() {
+        let db = world(&[
+            ("a:D:O", Object::Alias(name("b:D:O"))),
+            ("b:D:O", Object::Alias(name("a:D:O"))),
+        ]);
+        let err = resolve(&name("a:D:O"), |n| db.get(n).cloned(), 8).unwrap_err();
+        assert_eq!(err, ResolveError::AliasLoop(name("a:D:O")));
+    }
+
+    #[test]
+    fn resolve_reports_the_unbound_link() {
+        let db = world(&[("a:D:O", Object::Alias(name("missing:D:O")))]);
+        let err = resolve(&name("a:D:O"), |n| db.get(n).cloned(), 8).unwrap_err();
+        assert_eq!(err, ResolveError::Unbound(name("missing:D:O")));
+    }
+
+    #[test]
+    fn zero_hop_budget_still_resolves_direct_bindings() {
+        let db = world(&[("a:D:O", Object::address("x"))]);
+        let got = resolve(&name("a:D:O"), |n| db.get(n).cloned(), 0).unwrap();
+        assert_eq!(got.as_address(), Some("x"));
+    }
+}

@@ -1,0 +1,191 @@
+//! One Clearinghouse server: a replica per stored domain.
+
+use std::collections::BTreeMap;
+
+use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeStats, Replica};
+use epidemic_db::{SiteId, Timestamp};
+
+use crate::name::{DomainId, Name};
+use crate::object::Object;
+
+/// A Clearinghouse server: holds one epidemic [`Replica`] for each domain
+/// assigned to it, keyed by the name's local component.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_clearinghouse::{DomainId, Name, Server};
+/// use epidemic_db::SiteId;
+///
+/// let parc: DomainId = "PARC:Xerox".parse()?;
+/// let mut s = Server::new(SiteId::new(0));
+/// s.host(parc.clone());
+/// let mary: Name = "mary:PARC:Xerox".parse()?;
+/// s.bind(&mary, "MV:2048#737".into());
+/// assert_eq!(s.lookup(&mary).and_then(|o| o.as_address()), Some("MV:2048#737"));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct Server {
+    site: SiteId,
+    domains: BTreeMap<DomainId, Replica<String, Object>>,
+}
+
+impl Server {
+    /// Creates a server at `site` hosting no domains yet.
+    pub fn new(site: SiteId) -> Self {
+        Server {
+            site,
+            domains: BTreeMap::new(),
+        }
+    }
+
+    /// This server's site id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// Starts hosting `domain` (empty replica). No-op if already hosted.
+    pub fn host(&mut self, domain: DomainId) {
+        self.domains
+            .entry(domain)
+            .or_insert_with(|| Replica::new(self.site));
+    }
+
+    /// Whether this server hosts `domain`.
+    pub fn hosts(&self, domain: &DomainId) -> bool {
+        self.domains.contains_key(domain)
+    }
+
+    /// The domains hosted here.
+    pub fn hosted_domains(&self) -> impl Iterator<Item = &DomainId> {
+        self.domains.keys()
+    }
+
+    /// The replica for `domain`, if hosted.
+    pub fn replica(&self, domain: &DomainId) -> Option<&Replica<String, Object>> {
+        self.domains.get(domain)
+    }
+
+    /// Mutable replica access, if hosted.
+    pub fn replica_mut(&mut self, domain: &DomainId) -> Option<&mut Replica<String, Object>> {
+        self.domains.get_mut(domain)
+    }
+
+    /// Binds `name` to `value` at this server. Returns the update's
+    /// timestamp, or `None` if the name's domain is not hosted here.
+    pub fn bind(&mut self, name: &Name, value: Object) -> Option<Timestamp> {
+        self.domains
+            .get_mut(name.domain_id())
+            .map(|r| r.client_update(name.local().to_string(), value))
+    }
+
+    /// Unbinds `name` (installs a death certificate). Returns the deletion
+    /// timestamp, or `None` if the domain is not hosted here.
+    pub fn unbind(&mut self, name: &Name) -> Option<Timestamp> {
+        self.domains
+            .get_mut(name.domain_id())
+            .map(|r| r.client_delete(&name.local().to_string()))
+    }
+
+    /// Looks `name` up in the local replica. `None` when the domain is not
+    /// hosted or the name is unbound.
+    pub fn lookup(&self, name: &Name) -> Option<&Object> {
+        self.domains
+            .get(name.domain_id())?
+            .db()
+            .get(&name.local().to_string())
+    }
+
+    /// Advances every hosted replica's clock to simulated time `time`.
+    pub fn advance_clock(&mut self, time: u64) {
+        for replica in self.domains.values_mut() {
+            replica.advance_clock(time);
+        }
+    }
+
+    /// Runs one push-pull anti-entropy exchange for `domain` between two
+    /// servers (both must host it).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either server does not host `domain`.
+    pub fn exchange_domain(a: &mut Server, b: &mut Server, domain: &DomainId) -> ExchangeStats {
+        let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let ra = a
+            .domains
+            .get_mut(domain)
+            .expect("initiator hosts the domain");
+        let rb = b.domains.get_mut(domain).expect("partner hosts the domain");
+        protocol.exchange(ra, rb)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn name(s: &str) -> Name {
+        s.parse().unwrap()
+    }
+
+    fn domain(s: &str) -> DomainId {
+        s.parse().unwrap()
+    }
+
+    #[test]
+    fn bind_and_lookup_in_hosted_domain() {
+        let mut s = Server::new(SiteId::new(0));
+        s.host(domain("PARC:Xerox"));
+        assert!(s.bind(&name("mary:PARC:Xerox"), "addr".into()).is_some());
+        assert_eq!(s.lookup(&name("mary:PARC:Xerox")), Some(&Object::address("addr")));
+    }
+
+    #[test]
+    fn operations_on_unhosted_domains_return_none() {
+        let mut s = Server::new(SiteId::new(0));
+        assert!(s.bind(&name("mary:PARC:Xerox"), "addr".into()).is_none());
+        assert!(s.unbind(&name("mary:PARC:Xerox")).is_none());
+        assert_eq!(s.lookup(&name("mary:PARC:Xerox")), None);
+        assert!(!s.hosts(&domain("PARC:Xerox")));
+    }
+
+    #[test]
+    fn unbind_leaves_death_certificate() {
+        let mut s = Server::new(SiteId::new(0));
+        s.host(domain("PARC:Xerox"));
+        s.bind(&name("mary:PARC:Xerox"), "addr".into());
+        s.unbind(&name("mary:PARC:Xerox"));
+        assert_eq!(s.lookup(&name("mary:PARC:Xerox")), None);
+        let replica = s.replica(&domain("PARC:Xerox")).unwrap();
+        assert_eq!(replica.db().dead_len(), 1);
+    }
+
+    #[test]
+    fn exchange_converges_a_domain() {
+        let d = domain("PARC:Xerox");
+        let mut a = Server::new(SiteId::new(0));
+        let mut b = Server::new(SiteId::new(1));
+        a.host(d.clone());
+        b.host(d.clone());
+        a.bind(&name("mary:PARC:Xerox"), "a1".into());
+        b.bind(&name("daisy:PARC:Xerox"), "b1".into());
+        let stats = Server::exchange_domain(&mut a, &mut b, &d);
+        assert_eq!(stats.total_sent(), 2);
+        assert_eq!(a.lookup(&name("daisy:PARC:Xerox")), Some(&Object::address("b1")));
+        assert_eq!(b.lookup(&name("mary:PARC:Xerox")), Some(&Object::address("a1")));
+    }
+
+    #[test]
+    fn domains_are_isolated() {
+        let mut s = Server::new(SiteId::new(0));
+        s.host(domain("A:X"));
+        s.host(domain("B:X"));
+        s.bind(&name("n:A:X"), "va".into());
+        // Same local name in a different domain is a different binding.
+        assert_eq!(s.lookup(&name("n:B:X")), None);
+        s.bind(&name("n:B:X"), "vb".into());
+        assert_eq!(s.lookup(&name("n:A:X")), Some(&Object::address("va")));
+        assert_eq!(s.lookup(&name("n:B:X")), Some(&Object::address("vb")));
+    }
+}

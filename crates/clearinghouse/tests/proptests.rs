@@ -1,0 +1,85 @@
+//! Property-based tests for the name service: parsing round-trips and
+//! domain-isolation invariants under random workloads.
+
+use epidemic_clearinghouse::{Clearinghouse, Directory, DomainId, Name, Object};
+use epidemic_db::SiteId;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn component() -> impl Strategy<Value = String> {
+    "[A-Za-z][A-Za-z0-9-]{0,8}".prop_map(|s| s)
+}
+
+proptest! {
+    /// Display/parse round-trips for arbitrary valid names.
+    #[test]
+    fn name_roundtrip(l in component(), d in component(), o in component()) {
+        let name = Name::new(l, DomainId::new(d, o).unwrap()).unwrap();
+        let reparsed: Name = name.to_string().parse().unwrap();
+        prop_assert_eq!(name, reparsed);
+    }
+
+    /// Binding random names in two disjoint domains and gossiping never
+    /// leaks entries across domains, and both domains converge.
+    #[test]
+    fn domains_stay_isolated(
+        names_a in prop::collection::vec(component(), 1..8),
+        names_b in prop::collection::vec(component(), 1..8),
+        seed in any::<u64>(),
+    ) {
+        let da: DomainId = "A:Org".parse().unwrap();
+        let db_: DomainId = "B:Org".parse().unwrap();
+        let mut dir = Directory::new();
+        dir.assign(da.clone(), vec![SiteId::new(0), SiteId::new(1), SiteId::new(2)]);
+        dir.assign(db_.clone(), vec![SiteId::new(2), SiteId::new(3)]);
+        let mut ch = Clearinghouse::new(4, dir);
+        for n in &names_a {
+            let name = Name::new(n.clone(), da.clone()).unwrap();
+            ch.bind(&name, Object::address(format!("a-{n}"))).unwrap();
+        }
+        for n in &names_b {
+            let name = Name::new(n.clone(), db_.clone()).unwrap();
+            ch.bind(&name, Object::address(format!("b-{n}"))).unwrap();
+        }
+        let mut rng = StdRng::seed_from_u64(seed);
+        for _ in 0..10 {
+            ch.anti_entropy_cycle(&mut rng);
+        }
+        prop_assert!(ch.domain_consistent(&da));
+        prop_assert!(ch.domain_consistent(&db_));
+        // Server 3 stores only B; it must know nothing from A.
+        let s3 = ch.server(SiteId::new(3)).unwrap();
+        prop_assert!(!s3.hosts(&da));
+        // Server 2 stores both and can answer for both.
+        for n in &names_a {
+            let name = Name::new(n.clone(), da.clone()).unwrap();
+            let got = ch.lookup_at(SiteId::new(2), &name).unwrap();
+            prop_assert_eq!(got, Some(Object::address(format!("a-{n}"))));
+        }
+    }
+
+    /// Re-binding a name always surfaces the newest value after gossip —
+    /// last-writer-wins at the service level.
+    #[test]
+    fn rebinding_is_last_writer_wins(values in prop::collection::vec(any::<u16>(), 1..6), seed in any::<u64>()) {
+        let d: DomainId = "D:Org".parse().unwrap();
+        let mut dir = Directory::new();
+        dir.assign(d.clone(), vec![SiteId::new(0), SiteId::new(1), SiteId::new(2)]);
+        let mut ch = Clearinghouse::new(3, dir);
+        let name = Name::new("obj", d.clone()).unwrap();
+        let mut rng = StdRng::seed_from_u64(seed);
+        for v in &values {
+            ch.bind(&name, Object::address(v.to_string())).unwrap();
+            ch.anti_entropy_cycle(&mut rng);
+        }
+        for _ in 0..6 {
+            ch.anti_entropy_cycle(&mut rng);
+        }
+        let expected = Object::address(values.last().unwrap().to_string());
+        for s in 0..3u32 {
+            let got = ch.lookup_at(SiteId::new(s), &name).unwrap();
+            prop_assert_eq!(got, Some(expected.clone()));
+        }
+    }
+}

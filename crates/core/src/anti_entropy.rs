@@ -1,0 +1,561 @@
+//! Anti-entropy: the simple epidemic (paper §1.3).
+//!
+//! "Every site regularly chooses another site at random and by exchanging
+//! database contents with it resolves any differences between the two."
+//! Anti-entropy is extremely reliable — a simple epidemic that infects the
+//! whole population with probability 1 — but examining entire databases is
+//! expensive, so §1.3 layers progressively cheaper comparison strategies on
+//! top: checksums, recent-update lists with a window `τ`, and *peel back*
+//! (exchange in reverse timestamp order until the checksums agree).
+
+use std::hash::Hash;
+
+use epidemic_db::store::OfferOutcome;
+use epidemic_db::{Entry, Timestamp};
+
+use crate::replica::Replica;
+use crate::Direction;
+
+/// The two one-way diffs computed by [`diff`]: entries to send `a → b`,
+/// entries to send `b → a`, and the number of entries scanned.
+pub(crate) type DiffResult<K, V> = (Vec<(K, Entry<V>)>, Vec<(K, Entry<V>)>, usize);
+
+/// How two databases are compared before updates flow (§1.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Comparison {
+    /// Compare complete databases every time — the basic, expensive form.
+    Full,
+    /// Exchange checksums first; compare full databases only on mismatch.
+    /// Effective only while updates distribute faster than they arrive.
+    Checksum,
+    /// Exchange *recent update lists* (entries younger than `tau`), apply
+    /// them, then compare checksums; fall back to a full comparison only if
+    /// the checksums still disagree.
+    RecentList {
+        /// Window `τ`: must exceed the expected update distribution time.
+        tau: u64,
+    },
+    /// *Peel back*: walk both databases in reverse timestamp order,
+    /// shipping entries until the checksums agree. Nearly ideal traffic,
+    /// at the price of the timestamp-inverted index. Inherently
+    /// bidirectional: the configured [`Direction`] is ignored.
+    PeelBack,
+}
+
+/// Traffic and work accounting for one anti-entropy conversation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExchangeStats {
+    /// Entries transmitted initiator → partner.
+    pub sent_ab: usize,
+    /// Entries transmitted partner → initiator.
+    pub sent_ba: usize,
+    /// Checksum values exchanged/compared.
+    pub checksum_exchanges: usize,
+    /// Whether a full database comparison was needed.
+    pub full_compare: bool,
+    /// Entries examined while diffing (work, not network traffic).
+    pub entries_scanned: usize,
+    /// Dormant death certificates awakened by obsolete incoming data.
+    pub awakened: usize,
+}
+
+impl ExchangeStats {
+    /// Whether any update had to be sent in either direction — the
+    /// "Update Traffic" event counted in Tables 4 and 5.
+    pub fn update_flowed(&self) -> bool {
+        self.sent_ab + self.sent_ba > 0
+    }
+
+    /// Total entries transmitted.
+    pub fn total_sent(&self) -> usize {
+        self.sent_ab + self.sent_ba
+    }
+}
+
+/// The anti-entropy protocol: a [`Direction`] plus a [`Comparison`].
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+/// use epidemic_db::SiteId;
+///
+/// let ae = AntiEntropy::new(Direction::Pull, Comparison::Full);
+/// let mut a = Replica::new(SiteId::new(0));
+/// let mut b = Replica::new(SiteId::new(1));
+/// b.client_update("k", 9);
+/// ae.exchange(&mut a, &mut b); // a pulls from b
+/// assert_eq!(a.db().get(&"k"), Some(&9));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AntiEntropy {
+    direction: Direction,
+    comparison: Comparison,
+}
+
+impl AntiEntropy {
+    /// Creates an anti-entropy protocol configuration.
+    pub const fn new(direction: Direction, comparison: Comparison) -> Self {
+        AntiEntropy {
+            direction,
+            comparison,
+        }
+    }
+
+    /// The configured transfer direction.
+    pub const fn direction(self) -> Direction {
+        self.direction
+    }
+
+    /// The configured comparison strategy.
+    pub const fn comparison(self) -> Comparison {
+        self.comparison
+    }
+
+    /// Performs `ResolveDifference[a, b]` (§1.3): one conversation between
+    /// the initiator `a` and partner `b`. Both replicas end up consistent
+    /// on every key a transfer direction allows.
+    pub fn exchange<K, V>(&self, a: &mut Replica<K, V>, b: &mut Replica<K, V>) -> ExchangeStats
+    where
+        K: Ord + Clone + Hash + Eq,
+        V: Clone + Hash + Eq,
+    {
+        let mut stats = ExchangeStats::default();
+        match self.comparison {
+            Comparison::Full => {
+                stats.full_compare = true;
+                full_resolve(self.direction, a, b, &mut stats);
+            }
+            Comparison::Checksum => {
+                stats.checksum_exchanges += 1;
+                if a.db().checksum() != b.db().checksum() {
+                    stats.full_compare = true;
+                    full_resolve(self.direction, a, b, &mut stats);
+                }
+            }
+            Comparison::RecentList { tau } => {
+                exchange_recent(self.direction, a, b, tau, &mut stats);
+                stats.checksum_exchanges += 1;
+                if a.db().checksum() != b.db().checksum() {
+                    stats.full_compare = true;
+                    full_resolve(self.direction, a, b, &mut stats);
+                }
+            }
+            Comparison::PeelBack => {
+                peel_back(a, b, &mut stats);
+            }
+        }
+        stats
+    }
+}
+
+/// Offers an entry quietly and accounts for awakened certificates.
+fn offer_counted<K, V>(
+    to: &mut Replica<K, V>,
+    key: K,
+    entry: Entry<V>,
+    stats: &mut ExchangeStats,
+) where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+{
+    if to.receive_quietly(key, entry) == OfferOutcome::AwakenedDormant {
+        stats.awakened += 1;
+    }
+}
+
+/// Computes the two one-way diffs between replicas: entries `a` holds
+/// strictly newer than `b` (or that `b` lacks), and vice versa. Returns the
+/// pair `(a_to_b, b_to_a)` plus the number of entries scanned.
+pub(crate) fn diff<K, V>(a: &Replica<K, V>, b: &Replica<K, V>) -> DiffResult<K, V>
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+{
+    let mut a_to_b: Vec<(K, Entry<V>)> = Vec::new();
+    let mut b_to_a: Vec<(K, Entry<V>)> = Vec::new();
+    let mut scanned = 0;
+    let mut ia = a.db().iter().peekable();
+    let mut ib = b.db().iter().peekable();
+    loop {
+        scanned += 1;
+        match (ia.peek(), ib.peek()) {
+            (None, None) => break,
+            (Some((ka, ea)), None) => {
+                a_to_b.push(((*ka).clone(), (*ea).clone()));
+                ia.next();
+            }
+            (None, Some((kb, eb))) => {
+                b_to_a.push(((*kb).clone(), (*eb).clone()));
+                ib.next();
+            }
+            (Some((ka, ea)), Some((kb, eb))) => {
+                use std::cmp::Ordering;
+                match ka.cmp(kb) {
+                    Ordering::Less => {
+                        a_to_b.push(((*ka).clone(), (*ea).clone()));
+                        ia.next();
+                    }
+                    Ordering::Greater => {
+                        b_to_a.push(((*kb).clone(), (*eb).clone()));
+                        ib.next();
+                    }
+                    Ordering::Equal => {
+                        if ea.timestamp() > eb.timestamp() {
+                            a_to_b.push(((*ka).clone(), (*ea).clone()));
+                        } else if eb.timestamp() > ea.timestamp() {
+                            b_to_a.push(((*kb).clone(), (*eb).clone()));
+                        }
+                        ia.next();
+                        ib.next();
+                    }
+                }
+            }
+        }
+    }
+    (a_to_b, b_to_a, scanned)
+}
+
+/// Complete database comparison and resolution (§1.3's basic algorithm).
+fn full_resolve<K, V>(
+    direction: Direction,
+    a: &mut Replica<K, V>,
+    b: &mut Replica<K, V>,
+    stats: &mut ExchangeStats,
+) where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+{
+    let (a_to_b, b_to_a, scanned) = diff(a, b);
+    stats.entries_scanned += scanned;
+    if direction.pushes() {
+        for (k, e) in a_to_b {
+            stats.sent_ab += 1;
+            offer_counted(b, k, e, stats);
+        }
+    }
+    if direction.pulls() {
+        for (k, e) in b_to_a {
+            stats.sent_ba += 1;
+            offer_counted(a, k, e, stats);
+        }
+    }
+}
+
+/// Exchanges recent-update lists (§1.3's refined checksum scheme).
+fn exchange_recent<K, V>(
+    direction: Direction,
+    a: &mut Replica<K, V>,
+    b: &mut Replica<K, V>,
+    tau: u64,
+    stats: &mut ExchangeStats,
+) where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+{
+    if direction.pushes() {
+        let list = a.db().recent_updates(a.local_time(), tau);
+        for (k, e) in list {
+            stats.sent_ab += 1;
+            offer_counted(b, k, e, stats);
+        }
+    }
+    if direction.pulls() {
+        let list = b.db().recent_updates(b.local_time(), tau);
+        for (k, e) in list {
+            stats.sent_ba += 1;
+            offer_counted(a, k, e, stats);
+        }
+    }
+}
+
+/// Peel back (§1.3): ship entries in reverse timestamp order until the
+/// checksums agree. Always bidirectional.
+fn peel_back<K, V>(a: &mut Replica<K, V>, b: &mut Replica<K, V>, stats: &mut ExchangeStats)
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+{
+    stats.checksum_exchanges += 1;
+    if a.db().checksum() == b.db().checksum() {
+        return;
+    }
+    // Snapshot both sides' (timestamp, key) indexes, newest first, and walk
+    // the merged order. Snapshots stay valid for the *sending* side because
+    // peel back only installs entries on the receiving side.
+    let av: Vec<(Timestamp, K)> = a
+        .db()
+        .newest_first()
+        .map(|(k, e)| (e.timestamp(), k.clone()))
+        .collect();
+    let bv: Vec<(Timestamp, K)> = b
+        .db()
+        .newest_first()
+        .map(|(k, e)| (e.timestamp(), k.clone()))
+        .collect();
+    let (mut i, mut j) = (0, 0);
+    while i < av.len() || j < bv.len() {
+        // Pick the globally newest unprocessed record.
+        let take_a = match (av.get(i), bv.get(j)) {
+            (Some(x), Some(y)) => x.0 >= y.0,
+            (Some(_), None) => true,
+            _ => false,
+        };
+        let key = if take_a {
+            let k = av[i].1.clone();
+            i += 1;
+            k
+        } else {
+            let k = bv[j].1.clone();
+            j += 1;
+            k
+        };
+        stats.entries_scanned += 1;
+        // Resolve this key against *current* state (an earlier transfer may
+        // have already reconciled it).
+        let ta = a.db().entry(&key).map(Entry::timestamp);
+        let tb = b.db().entry(&key).map(Entry::timestamp);
+        if ta > tb {
+            let entry = a.db().entry(&key).expect("ta is Some").clone();
+            stats.sent_ab += 1;
+            offer_counted(b, key, entry, stats);
+        } else if tb > ta {
+            let entry = b.db().entry(&key).expect("tb is Some").clone();
+            stats.sent_ba += 1;
+            offer_counted(a, key, entry, stats);
+        }
+        stats.checksum_exchanges += 1;
+        if a.db().checksum() == b.db().checksum() {
+            return;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_db::SiteId;
+
+    fn pair() -> (Replica<&'static str, u32>, Replica<&'static str, u32>) {
+        (Replica::new(SiteId::new(0)), Replica::new(SiteId::new(1)))
+    }
+
+    #[test]
+    fn push_pull_converges_disjoint_databases() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert_eq!(a.db(), b.db());
+        assert_eq!(stats.sent_ab, 1);
+        assert_eq!(stats.sent_ba, 1);
+        assert!(stats.update_flowed());
+    }
+
+    #[test]
+    fn push_only_moves_data_one_way() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        let ae = AntiEntropy::new(Direction::Push, Comparison::Full);
+        ae.exchange(&mut a, &mut b);
+        assert_eq!(b.db().get(&"x"), Some(&1));
+        assert_eq!(a.db().get(&"y"), None);
+    }
+
+    #[test]
+    fn pull_only_moves_data_the_other_way() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        let ae = AntiEntropy::new(Direction::Pull, Comparison::Full);
+        ae.exchange(&mut a, &mut b);
+        assert_eq!(a.db().get(&"y"), Some(&2));
+        assert_eq!(b.db().get(&"x"), None);
+    }
+
+    #[test]
+    fn newer_timestamp_wins_on_conflict() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        b.advance_clock(100);
+        b.client_update("k", 2);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        ae.exchange(&mut a, &mut b);
+        assert_eq!(a.db().get(&"k"), Some(&2));
+        assert_eq!(b.db().get(&"k"), Some(&2));
+    }
+
+    #[test]
+    fn checksum_short_circuits_identical_databases() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let ae_full = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        ae_full.exchange(&mut a, &mut b);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Checksum);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert_eq!(stats.checksum_exchanges, 1);
+        assert!(!stats.full_compare);
+        assert_eq!(stats.total_sent(), 0);
+    }
+
+    #[test]
+    fn checksum_falls_back_to_full_compare() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Checksum);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert!(stats.full_compare);
+        assert_eq!(a.db(), b.db());
+    }
+
+    #[test]
+    fn recent_list_avoids_full_compare_for_fresh_updates() {
+        let (mut a, mut b) = pair();
+        // Shared old state.
+        a.client_update("base", 0);
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+        // One fresh update at a, well within the window.
+        a.advance_clock(100);
+        b.advance_clock(100);
+        a.client_update("fresh", 1);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::RecentList { tau: 50 });
+        let stats = ae.exchange(&mut a, &mut b);
+        assert!(!stats.full_compare, "recent list should reconcile alone");
+        assert_eq!(b.db().get(&"fresh"), Some(&1));
+        assert_eq!(a.db(), b.db());
+    }
+
+    #[test]
+    fn recent_list_falls_back_when_window_too_small() {
+        let (mut a, mut b) = pair();
+        a.client_update("old", 1); // t = 1
+        a.advance_clock(1_000);
+        b.advance_clock(1_000);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::RecentList { tau: 5 });
+        let stats = ae.exchange(&mut a, &mut b);
+        assert!(stats.full_compare, "stale diff is beyond the window");
+        assert_eq!(a.db(), b.db());
+    }
+
+    #[test]
+    fn peel_back_converges_and_stops_early() {
+        let (mut a, mut b) = pair();
+        // Large shared prefix.
+        for i in 0..50u32 {
+            a.client_update(Box::leak(format!("k{i}").into_boxed_str()) as &'static str, i);
+        }
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+        // One fresh divergent update.
+        a.advance_clock(10_000);
+        b.advance_clock(10_000);
+        a.client_update("fresh", 99);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::PeelBack);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert_eq!(a.db(), b.db());
+        assert_eq!(stats.total_sent(), 1, "only the divergent entry ships");
+        assert!(stats.entries_scanned <= 3, "peel back stops near the top");
+    }
+
+    #[test]
+    fn peel_back_identical_databases_costs_one_checksum() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+        let stats =
+            AntiEntropy::new(Direction::PushPull, Comparison::PeelBack).exchange(&mut a, &mut b);
+        assert_eq!(stats.checksum_exchanges, 1);
+        assert_eq!(stats.total_sent(), 0);
+    }
+
+    #[test]
+    fn peel_back_handles_disjoint_databases() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        b.client_update("z", 3);
+        let stats =
+            AntiEntropy::new(Direction::PushPull, Comparison::PeelBack).exchange(&mut a, &mut b);
+        assert_eq!(a.db(), b.db());
+        assert_eq!(stats.total_sent(), 3);
+    }
+
+    #[test]
+    fn death_certificates_propagate_and_cancel() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+        a.client_delete(&"k");
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+        assert_eq!(b.db().get(&"k"), None);
+        assert!(b.db().entry(&"k").is_some_and(Entry::is_dead));
+    }
+
+    #[test]
+    fn deletion_without_certificate_would_resurrect() {
+        // Demonstrates §2's motivation: dropping an entry outright lets
+        // anti-entropy resurrect it.
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+        // "Delete" on a by garbage-collecting the entry with no certificate:
+        // simulate via a fresh replica holding nothing.
+        let mut naive = Replica::<&str, u32>::new(SiteId::new(2));
+        AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut naive, &mut b);
+        assert_eq!(naive.db().get(&"k"), Some(&1), "the item comes back");
+    }
+}
+
+#[cfg(test)]
+mod directional_tests {
+    use super::*;
+    use epidemic_db::SiteId;
+
+    fn pair() -> (Replica<&'static str, u32>, Replica<&'static str, u32>) {
+        (Replica::new(SiteId::new(0)), Replica::new(SiteId::new(1)))
+    }
+
+    #[test]
+    fn checksum_mode_respects_push_direction() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        let ae = AntiEntropy::new(Direction::Push, Comparison::Checksum);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert!(stats.full_compare);
+        assert_eq!(b.db().get(&"x"), Some(&1));
+        assert_eq!(a.db().get(&"y"), None, "push never pulls");
+    }
+
+    #[test]
+    fn recent_list_mode_respects_pull_direction() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        let ae = AntiEntropy::new(Direction::Pull, Comparison::RecentList { tau: 1_000 });
+        ae.exchange(&mut a, &mut b);
+        assert_eq!(a.db().get(&"y"), Some(&2));
+        assert_eq!(b.db().get(&"x"), None, "pull never pushes");
+    }
+
+    #[test]
+    fn one_way_exchanges_are_idempotent_per_direction() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        let push = AntiEntropy::new(Direction::Push, Comparison::Full);
+        let first = push.exchange(&mut a, &mut b);
+        let second = push.exchange(&mut a, &mut b);
+        assert_eq!(first.sent_ab, 1);
+        assert_eq!(second.sent_ab, 0, "nothing newer remains to send");
+    }
+
+    #[test]
+    fn accessors_expose_configuration() {
+        let ae = AntiEntropy::new(Direction::Pull, Comparison::PeelBack);
+        assert_eq!(ae.direction(), Direction::Pull);
+        assert_eq!(ae.comparison(), Comparison::PeelBack);
+        assert!(Direction::Pull.pulls() && !Direction::Pull.pushes());
+        assert!(Direction::PushPull.pulls() && Direction::PushPull.pushes());
+    }
+}

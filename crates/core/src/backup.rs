@@ -1,0 +1,216 @@
+//! Backing up a complex epidemic with anti-entropy (paper §1.5).
+//!
+//! Rumor mongering can fail: all copies of a rumor can go cold while some
+//! sites remain susceptible. Running anti-entropy infrequently eliminates
+//! that possibility. The interesting question is what to do when an
+//! anti-entropy exchange *discovers* a missing update:
+//!
+//! * [`Redistribution::None`] — just reconcile the pair and let
+//!   anti-entropy finish the job (the "conservative" response);
+//! * [`Redistribution::Rumor`] — make the discovered updates hot rumors
+//!   again at both participants, which is cheap even in the worst case;
+//! * [`Redistribution::Mail`] — re-mail them to everyone. The paper's
+//!   Clearinghouse originally did this and had to abandon it: if half the
+//!   sites miss an update, the next anti-entropy round generates `O(n²)`
+//!   mail messages.
+
+use std::hash::Hash;
+
+use epidemic_db::Entry;
+
+use crate::anti_entropy::{diff, ExchangeStats};
+use crate::replica::Replica;
+
+/// What to do with updates discovered missing during backup anti-entropy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Redistribution {
+    /// Reconcile the pair only.
+    None,
+    /// Re-ignite discovered updates as hot rumors at both participants.
+    Rumor,
+    /// Hand discovered updates back for re-mailing to all sites (the
+    /// caller mails them; see [`BackupOutcome::remail`]).
+    Mail,
+}
+
+/// Result of one backup anti-entropy exchange.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BackupOutcome<K, V> {
+    /// Ordinary exchange statistics.
+    pub stats: ExchangeStats,
+    /// Updates the caller should re-mail (only under
+    /// [`Redistribution::Mail`]).
+    pub remail: Vec<(K, Entry<V>)>,
+}
+
+/// Anti-entropy configured as the backup for a complex epidemic (§1.5).
+///
+/// The backup pass always compares full databases push-pull — it runs
+/// infrequently, and its purpose is certainty.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::{BackupAntiEntropy, Redistribution, Replica};
+/// use epidemic_db::SiteId;
+///
+/// let mut a = Replica::new(SiteId::new(0));
+/// let mut b = Replica::new(SiteId::new(1));
+/// a.client_update("k", 1);
+/// a.hot_mut().clear(); // the rumor died before reaching b
+///
+/// let backup = BackupAntiEntropy::new(Redistribution::Rumor);
+/// let outcome = backup.exchange(&mut a, &mut b);
+/// assert_eq!(outcome.stats.sent_ab, 1);
+/// // Both participants now treat the update as a hot rumor again.
+/// assert!(a.is_infective(&"k") && b.is_infective(&"k"));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BackupAntiEntropy {
+    redistribution: Redistribution,
+}
+
+impl BackupAntiEntropy {
+    /// Creates a backup pass with the given redistribution policy.
+    pub const fn new(redistribution: Redistribution) -> Self {
+        BackupAntiEntropy { redistribution }
+    }
+
+    /// The configured redistribution policy.
+    pub const fn redistribution(self) -> Redistribution {
+        self.redistribution
+    }
+
+    /// One push-pull full-database exchange with redistribution.
+    pub fn exchange<K, V>(
+        &self,
+        a: &mut Replica<K, V>,
+        b: &mut Replica<K, V>,
+    ) -> BackupOutcome<K, V>
+    where
+        K: Ord + Clone + Hash + Eq,
+        V: Clone + Hash + Eq,
+    {
+        let mut stats = ExchangeStats {
+            full_compare: true,
+            ..ExchangeStats::default()
+        };
+        let (a_to_b, b_to_a, scanned) = diff(a, b);
+        stats.entries_scanned = scanned;
+        let mut remail = Vec::new();
+
+        for (k, e) in a_to_b {
+            stats.sent_ab += 1;
+            self.apply_one(b, a, k, e, &mut remail, &mut stats);
+        }
+        for (k, e) in b_to_a {
+            stats.sent_ba += 1;
+            self.apply_one(a, b, k, e, &mut remail, &mut stats);
+        }
+        BackupOutcome { stats, remail }
+    }
+
+    /// Delivers one discovered update from `sender` to `receiver`, applying
+    /// the redistribution policy.
+    fn apply_one<K, V>(
+        &self,
+        receiver: &mut Replica<K, V>,
+        sender: &mut Replica<K, V>,
+        key: K,
+        entry: Entry<V>,
+        remail: &mut Vec<(K, Entry<V>)>,
+        stats: &mut ExchangeStats,
+    ) where
+        K: Ord + Clone + Hash + Eq,
+        V: Clone + Hash + Eq,
+    {
+        use epidemic_db::store::OfferOutcome;
+        let outcome = match self.redistribution {
+            Redistribution::None => receiver.receive_quietly(key.clone(), entry.clone()),
+            Redistribution::Rumor => {
+                // Re-ignite at both ends: the receiver just heard news, and
+                // the sender just learned its partner was missing it.
+                let outcome = receiver.receive_rumor(key.clone(), entry.clone());
+                if outcome.was_useful() {
+                    sender.hot_mut().insert(key.clone());
+                }
+                outcome
+            }
+            Redistribution::Mail => {
+                let outcome = receiver.receive_quietly(key.clone(), entry.clone());
+                if outcome.was_useful() {
+                    remail.push((key.clone(), entry));
+                }
+                outcome
+            }
+        };
+        if outcome == OfferOutcome::AwakenedDormant {
+            stats.awakened += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_db::SiteId;
+
+    fn cold_pair() -> (Replica<&'static str, u32>, Replica<&'static str, u32>) {
+        let mut a = Replica::new(SiteId::new(0));
+        let b = Replica::new(SiteId::new(1));
+        a.client_update("k", 1);
+        a.hot_mut().clear(); // rumor died at a before spreading
+        (a, b)
+    }
+
+    #[test]
+    fn conservative_backup_reconciles_without_reigniting() {
+        let (mut a, mut b) = cold_pair();
+        let outcome = BackupAntiEntropy::new(Redistribution::None).exchange(&mut a, &mut b);
+        assert_eq!(outcome.stats.sent_ab, 1);
+        assert_eq!(b.db().get(&"k"), Some(&1));
+        assert!(!a.is_infective(&"k") && !b.is_infective(&"k"));
+        assert!(outcome.remail.is_empty());
+    }
+
+    #[test]
+    fn rumor_redistribution_reignites_both_parties() {
+        let (mut a, mut b) = cold_pair();
+        let outcome = BackupAntiEntropy::new(Redistribution::Rumor).exchange(&mut a, &mut b);
+        assert!(outcome.remail.is_empty());
+        assert!(a.is_infective(&"k") && b.is_infective(&"k"));
+    }
+
+    #[test]
+    fn mail_redistribution_hands_back_updates() {
+        let (mut a, mut b) = cold_pair();
+        let outcome = BackupAntiEntropy::new(Redistribution::Mail).exchange(&mut a, &mut b);
+        assert_eq!(outcome.remail.len(), 1);
+        assert_eq!(outcome.remail[0].0, "k");
+        assert!(!b.is_infective(&"k"));
+    }
+
+    #[test]
+    fn redundant_exchange_redistributes_nothing() {
+        let (mut a, mut b) = cold_pair();
+        let backup = BackupAntiEntropy::new(Redistribution::Rumor);
+        backup.exchange(&mut a, &mut b);
+        a.hot_mut().clear();
+        b.hot_mut().clear();
+        let outcome = backup.exchange(&mut a, &mut b);
+        assert_eq!(outcome.stats.total_sent(), 0);
+        assert!(!a.is_infective(&"k") && !b.is_infective(&"k"));
+    }
+
+    #[test]
+    fn backup_flows_both_directions() {
+        let (mut a, mut b) = cold_pair();
+        b.client_update("j", 9);
+        b.hot_mut().clear();
+        let outcome = BackupAntiEntropy::new(Redistribution::Rumor).exchange(&mut a, &mut b);
+        assert_eq!(outcome.stats.sent_ab, 1);
+        assert_eq!(outcome.stats.sent_ba, 1);
+        assert!(a.is_infective(&"j") && b.is_infective(&"k"));
+        assert_eq!(a.db(), b.db());
+    }
+}

@@ -1,0 +1,263 @@
+//! A database site: replica store, local clock and rumor state.
+
+use std::hash::Hash;
+
+use epidemic_db::store::OfferOutcome;
+use epidemic_db::{
+    ApplyOutcome, Clock, Database, Entry, GcPolicy, GcStats, SimClock, SiteId, Timestamp,
+};
+
+use crate::hot::HotList;
+
+/// One site of the replicated database: the unit the epidemic protocols
+/// exchange between.
+///
+/// Bundles the [`Database`] with the site's local [`SimClock`] and its
+/// infective list ([`HotList`]). With respect to a given update a replica is
+/// *susceptible* (no entry), *infective* (entry present and hot) or
+/// *removed* (entry present, no longer hot) — the S/I/R states of §1.4.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::Replica;
+/// use epidemic_db::SiteId;
+///
+/// let mut r = Replica::new(SiteId::new(3));
+/// r.client_update("printer:daisy", "building-35");
+/// assert!(r.is_infective(&"printer:daisy"));
+/// assert_eq!(r.db().get(&"printer:daisy"), Some(&"building-35"));
+/// ```
+#[derive(Debug, Clone)]
+pub struct Replica<K, V> {
+    site: SiteId,
+    clock: SimClock,
+    db: Database<K, V>,
+    hot: HotList<K>,
+}
+
+impl<K, V> Replica<K, V>
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Hash,
+{
+    /// Creates an empty replica for `site`.
+    pub fn new(site: SiteId) -> Self {
+        Replica {
+            site,
+            clock: SimClock::new(site),
+            db: Database::new(),
+            hot: HotList::new(),
+        }
+    }
+
+    /// This replica's site id.
+    pub fn site(&self) -> SiteId {
+        self.site
+    }
+
+    /// The underlying store.
+    pub fn db(&self) -> &Database<K, V> {
+        &self.db
+    }
+
+    /// Mutable access to the underlying store, for protocol internals and
+    /// tests. Mutations made here do not touch the rumor state.
+    pub fn db_mut(&mut self) -> &mut Database<K, V> {
+        &mut self.db
+    }
+
+    /// The infective list.
+    pub fn hot(&self) -> &HotList<K> {
+        &self.hot
+    }
+
+    /// Mutable access to the infective list.
+    pub fn hot_mut(&mut self) -> &mut HotList<K> {
+        &mut self.hot
+    }
+
+    /// Whether this replica is actively spreading `key`.
+    pub fn is_infective(&self, key: &K) -> bool {
+        self.hot.contains(key)
+    }
+
+    /// Whether this replica has never heard of `key`.
+    pub fn is_susceptible(&self, key: &K) -> bool {
+        self.db.entry(key).is_none() && self.db.dormant_certificate(key).is_none()
+    }
+
+    /// Local clock reading.
+    pub fn local_time(&self) -> u64 {
+        self.clock.peek()
+    }
+
+    /// Consumes and returns a fresh, globally unique timestamp.
+    pub fn now(&mut self) -> Timestamp {
+        self.clock.now()
+    }
+
+    /// A non-consuming observation timestamp: the current local clock
+    /// reading paired with this site's id. Used to stamp death-certificate
+    /// activations on receipt — activation timestamps control dormancy
+    /// windows, not supersession, so they need not be unique, and taking
+    /// one must not advance local time (a replica receiving thousands of
+    /// entries would otherwise drift far ahead of real time and corrupt
+    /// every age-based window).
+    pub fn observation(&self) -> Timestamp {
+        Timestamp::new(self.clock.peek(), self.site)
+    }
+
+    /// Advances the local clock to global simulated time `time` (the
+    /// simulator calls this once per cycle).
+    pub fn advance_clock(&mut self, time: u64) {
+        self.clock.advance_to(time);
+    }
+
+    /// Client `Update` operation (§1.1): writes a value at this site and
+    /// makes it a hot rumor. Returns the assigned timestamp.
+    pub fn client_update(&mut self, key: K, value: V) -> Timestamp {
+        let at = self.db.update(key.clone(), value, &mut self.clock);
+        self.hot.insert(key);
+        at
+    }
+
+    /// Client deletion (§2): installs a death certificate with no retention
+    /// sites and makes it hot.
+    pub fn client_delete(&mut self, key: &K) -> Timestamp {
+        let at = self.db.delete(key, &mut self.clock);
+        self.hot.insert(key.clone());
+        at
+    }
+
+    /// Client deletion whose certificate keeps dormant copies at the given
+    /// retention sites (§2.1).
+    pub fn client_delete_with_retention(
+        &mut self,
+        key: &K,
+        retention: Vec<SiteId>,
+    ) -> Timestamp {
+        let at = self.db.delete_with_retention(key, retention, &mut self.clock);
+        self.hot.insert(key.clone());
+        at
+    }
+
+    /// Receives an entry through a *rumor-carrying* channel (direct mail,
+    /// rumor mongering, redistribution): if it is news, it becomes a hot
+    /// rumor here (§1.4: "every person hearing the rumor also becomes
+    /// active"). Dormant death certificates are honored and awakened ones
+    /// also become hot (§2.3).
+    pub fn receive_rumor(&mut self, key: K, entry: Entry<V>) -> OfferOutcome {
+        let now = self.observation();
+        let outcome = self.db.offer(key.clone(), entry, now);
+        match outcome {
+            OfferOutcome::Applied | OfferOutcome::AwakenedDormant => self.hot.insert(key),
+            OfferOutcome::AlreadyKnown | OfferOutcome::Obsolete => {}
+        }
+        outcome
+    }
+
+    /// Receives an entry through a *quiet* channel (plain anti-entropy):
+    /// the entry is merged but does **not** become a hot rumor — except for
+    /// an awakened dormant death certificate, which must propagate again
+    /// (§2.2) and is therefore marked hot.
+    pub fn receive_quietly(&mut self, key: K, entry: Entry<V>) -> OfferOutcome {
+        let now = self.observation();
+        let outcome = self.db.offer(key.clone(), entry, now);
+        if outcome == OfferOutcome::AwakenedDormant {
+            self.hot.insert(key);
+        }
+        outcome
+    }
+
+    /// Runs death-certificate garbage collection (§2.1) with this site's
+    /// identity and local time.
+    pub fn collect_garbage(&mut self, policy: GcPolicy) -> GcStats {
+        self.db.collect_garbage(self.site, self.clock.peek(), policy)
+    }
+
+    /// Convenience: merges an entry under plain last-writer-wins without
+    /// dormant handling. Prefer [`Replica::receive_rumor`] /
+    /// [`Replica::receive_quietly`] in protocol code.
+    pub fn apply(&mut self, key: K, entry: Entry<V>) -> ApplyOutcome {
+        self.db.apply(key, entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn replica(site: u32) -> Replica<&'static str, u32> {
+        Replica::new(SiteId::new(site))
+    }
+
+    #[test]
+    fn client_update_is_infective() {
+        let mut r = replica(0);
+        assert!(r.is_susceptible(&"k"));
+        r.client_update("k", 7);
+        assert!(r.is_infective(&"k"));
+        assert!(!r.is_susceptible(&"k"));
+    }
+
+    #[test]
+    fn receive_rumor_becomes_hot_only_when_news() {
+        let mut a = replica(0);
+        let mut b = replica(1);
+        let at = a.client_update("k", 7);
+        let entry = Entry::live(7, at);
+        assert_eq!(b.receive_rumor("k", entry.clone()), OfferOutcome::Applied);
+        assert!(b.is_infective(&"k"));
+        b.hot_mut().remove(&"k");
+        assert_eq!(
+            b.receive_rumor("k", entry),
+            OfferOutcome::AlreadyKnown
+        );
+        assert!(!b.is_infective(&"k")); // stale news does not re-ignite
+    }
+
+    #[test]
+    fn receive_quietly_never_ignites_fresh_updates() {
+        let mut a = replica(0);
+        let mut b = replica(1);
+        let at = a.client_update("k", 7);
+        assert_eq!(
+            b.receive_quietly("k", Entry::live(7, at)),
+            OfferOutcome::Applied
+        );
+        assert!(!b.is_infective(&"k"));
+    }
+
+    #[test]
+    fn awakened_dormant_certificate_is_hot_even_quietly() {
+        let mut a = replica(0);
+        let retention = a.site();
+        a.client_update("k", 1);
+        let t_old = a.db().entry(&"k").unwrap().timestamp();
+        a.client_delete_with_retention(&"k", vec![retention]);
+        a.hot_mut().clear();
+        // Age the certificate past tau1 so it goes dormant at this site.
+        a.advance_clock(1_000);
+        a.collect_garbage(GcPolicy::Dormant {
+            tau1: 10,
+            tau2: 100_000,
+        });
+        assert_eq!(a.db().len(), 0);
+        // An obsolete copy arrives via plain anti-entropy.
+        let outcome = a.receive_quietly("k", Entry::live(1, t_old));
+        assert_eq!(outcome, OfferOutcome::AwakenedDormant);
+        assert!(a.is_infective(&"k"));
+    }
+
+    #[test]
+    fn clocks_advance_monotonically() {
+        let mut r = replica(0);
+        r.advance_clock(50);
+        assert_eq!(r.local_time(), 50);
+        r.advance_clock(10);
+        assert_eq!(r.local_time(), 50);
+        let t = r.client_update("k", 1);
+        assert_eq!(t.time(), 50);
+    }
+}

@@ -1,0 +1,602 @@
+//! Rumor mongering: the complex epidemic (paper §1.4).
+//!
+//! Sites holding a *hot* rumor periodically share it with random partners
+//! and lose interest after enough unnecessary contacts. The paper explores
+//! a matrix of variants, all implemented here:
+//!
+//! * **Blind vs. feedback** — lose interest regardless of the recipient, or
+//!   only on contacts the recipient did not need.
+//! * **Counter vs. coin** — lose interest after `k` unnecessary contacts, or
+//!   with probability `1/k` per (unnecessary) contact.
+//! * **Push vs. pull vs. push-pull** — who drives the data flow. Pull
+//!   counters follow the Table 3 footnote: all pulls served in a cycle are
+//!   aggregated, any useful one resets the counter
+//!   ([`crate::hot::HotList::end_cycle`]).
+//! * **Minimization** — in a push-pull contact where *both* parties already
+//!   know the update, only the smaller counter is incremented (both on a
+//!   tie).
+//!
+//! Connection limits and hunting are scheduling concerns and live in the
+//! simulator crate; this module implements the pairwise contacts.
+
+use std::hash::Hash;
+
+use rand::{Rng, RngExt};
+
+use crate::replica::Replica;
+use crate::Direction;
+
+/// Whether a sender learns if its contact was unnecessary (§1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Feedback {
+    /// The recipient reports whether it already knew the rumor; interest is
+    /// lost only on unnecessary contacts.
+    Feedback,
+    /// No response from the recipient; interest is lost regardless of the
+    /// recipient's state ("obviates the bit-vector response").
+    Blind,
+}
+
+/// The interest-loss rule (§1.4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Removal {
+    /// Become removed after `k` (unnecessary) contacts.
+    Counter {
+        /// Loss threshold.
+        k: u32,
+    },
+    /// Become removed with probability `1/k` per (unnecessary) contact.
+    Coin {
+        /// Inverse loss probability.
+        k: u32,
+    },
+}
+
+impl Removal {
+    /// The variant's `k` parameter.
+    pub const fn k(self) -> u32 {
+        match self {
+            Removal::Counter { k } | Removal::Coin { k } => k,
+        }
+    }
+}
+
+/// Full rumor-mongering configuration.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+/// // Table 1's protocol: (feedback, counter, push).
+/// let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+/// assert!(!cfg.reset_on_useful); // push counters are monotone
+/// // Table 3's protocol: (feedback, counter, pull) — footnote semantics.
+/// let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k: 2 });
+/// assert!(cfg.reset_on_useful);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RumorConfig {
+    /// Who drives data flow in a contact.
+    pub direction: Direction,
+    /// Blind or feedback interest loss.
+    pub feedback: Feedback,
+    /// Counter or coin removal rule.
+    pub removal: Removal,
+    /// Whether a useful contact resets the counter (Table 3 footnote).
+    /// Defaults to `true` for pull, `false` otherwise.
+    pub reset_on_useful: bool,
+    /// §1.4 "Minimization": in push-pull, when both parties know the
+    /// update, increment only the smaller counter (both on a tie).
+    pub minimization: bool,
+}
+
+impl RumorConfig {
+    /// Creates a configuration with the paper's per-direction counter
+    /// semantics (pull resets counters on useful contacts, push does not).
+    pub fn new(direction: Direction, feedback: Feedback, removal: Removal) -> Self {
+        RumorConfig {
+            direction,
+            feedback,
+            removal,
+            reset_on_useful: matches!(direction, Direction::Pull),
+            minimization: false,
+        }
+    }
+
+    /// Enables §1.4 minimization (meaningful for push-pull).
+    pub fn with_minimization(mut self) -> Self {
+        self.minimization = true;
+        self
+    }
+
+    /// Overrides the counter-reset rule (for ablations).
+    pub fn with_reset_on_useful(mut self, reset: bool) -> Self {
+        self.reset_on_useful = reset;
+        self
+    }
+}
+
+/// Outcome of one rumor contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RumorStats {
+    /// Updates transmitted over the network (the paper's traffic unit).
+    pub sent: usize,
+    /// Transmissions the recipient actually needed.
+    pub useful: usize,
+    /// Rumors that ceased to be hot at either party during this contact.
+    pub deactivated: usize,
+}
+
+impl RumorStats {
+    /// Accumulates another contact's statistics into this one.
+    pub fn merge(&mut self, other: RumorStats) {
+        self.sent += other.sent;
+        self.useful += other.useful;
+        self.deactivated += other.deactivated;
+    }
+}
+
+/// One **push** contact: `sender` offers every hot rumor to `receiver`
+/// (§1.4's basic scenario). Interest-loss is applied immediately per the
+/// configured feedback/removal rules.
+pub fn push_contact<K, V, R>(
+    cfg: &RumorConfig,
+    sender: &mut Replica<K, V>,
+    receiver: &mut Replica<K, V>,
+    rng: &mut R,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
+    let mut stats = RumorStats::default();
+    for key in sender.hot().keys_snapshot() {
+        let Some(entry) = sender.db().entry(&key).cloned() else {
+            sender.hot_mut().remove(&key);
+            continue;
+        };
+        stats.sent += 1;
+        let useful = receiver.receive_rumor(key.clone(), entry).was_useful();
+        if useful {
+            stats.useful += 1;
+        }
+        apply_interest_loss(cfg, sender, &key, useful, rng, &mut stats);
+    }
+    stats
+}
+
+/// One **pull** contact: `requester` asks `source` for its hot rumors.
+/// Counter bookkeeping is *deferred*: the source records whether each pull
+/// was needed and applies the Table 3 footnote at end of cycle via
+/// [`end_cycle`]. Coin removal is applied immediately.
+pub fn pull_contact<K, V, R>(
+    cfg: &RumorConfig,
+    requester: &mut Replica<K, V>,
+    source: &mut Replica<K, V>,
+    rng: &mut R,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
+    let mut stats = RumorStats::default();
+    for key in source.hot().keys_snapshot() {
+        let Some(entry) = source.db().entry(&key).cloned() else {
+            source.hot_mut().remove(&key);
+            continue;
+        };
+        stats.sent += 1;
+        let useful = requester.receive_rumor(key.clone(), entry).was_useful();
+        if useful {
+            stats.useful += 1;
+        }
+        match cfg.removal {
+            Removal::Counter { .. } => {
+                // Deferred to end_cycle (Table 3 footnote). Blind pull
+                // records every serve as useless — no feedback reaches the
+                // source.
+                let needed = match cfg.feedback {
+                    Feedback::Feedback => useful,
+                    Feedback::Blind => false,
+                };
+                source.hot_mut().record_pending(&key, needed);
+            }
+            Removal::Coin { .. } => {
+                apply_interest_loss(cfg, source, &key, useful, rng, &mut stats);
+            }
+        }
+    }
+    stats
+}
+
+/// One **push-pull** contact: both parties offer their hot rumors, with
+/// immediate interest-loss and optional §1.4 minimization.
+pub fn push_pull_contact<K, V, R>(
+    cfg: &RumorConfig,
+    a: &mut Replica<K, V>,
+    b: &mut Replica<K, V>,
+    rng: &mut R,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
+    let mut stats = RumorStats::default();
+    let a_keys = a.hot().keys_snapshot();
+    let b_keys = b.hot().keys_snapshot();
+
+    for key in &a_keys {
+        let both_hot = b_keys.contains(key);
+        let Some(entry) = a.db().entry(key).cloned() else {
+            a.hot_mut().remove(key);
+            continue;
+        };
+        stats.sent += 1;
+        let useful = b.receive_rumor(key.clone(), entry).was_useful();
+        if useful {
+            stats.useful += 1;
+        }
+        if cfg.minimization && both_hot && !useful {
+            // Both parties knew the rumor: increment only the smaller
+            // counter; on ties increment both (§1.4 Minimization). The
+            // b→a direction for this key is subsumed here.
+            minimize_counters(cfg, a, b, key, &mut stats);
+            continue;
+        }
+        apply_interest_loss(cfg, a, key, useful, rng, &mut stats);
+    }
+    for key in &b_keys {
+        if cfg.minimization && a_keys.contains(key) {
+            continue; // handled in the first loop
+        }
+        let Some(entry) = b.db().entry(key).cloned() else {
+            b.hot_mut().remove(key);
+            continue;
+        };
+        stats.sent += 1;
+        let useful = a.receive_rumor(key.clone(), entry).was_useful();
+        if useful {
+            stats.useful += 1;
+        }
+        apply_interest_loss(cfg, b, key, useful, rng, &mut stats);
+    }
+    stats
+}
+
+/// End-of-cycle processing for pull counters (Table 3 footnote). Call once
+/// per site per cycle after all contacts. Returns deactivation count.
+pub fn end_cycle<K, V>(cfg: &RumorConfig, site: &mut Replica<K, V>) -> usize
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Hash,
+{
+    match cfg.removal {
+        Removal::Counter { k } => site
+            .hot_mut()
+            .end_cycle(k, cfg.reset_on_useful)
+            .len(),
+        Removal::Coin { .. } => 0,
+    }
+}
+
+/// Applies the configured interest-loss rule to `holder` after a contact
+/// about `key` whose usefulness was `useful`. Exposed so round-synchronous
+/// drivers can judge usefulness against start-of-cycle state instead of the
+/// sequential outcome (see `epidemic-sim`).
+pub fn record_feedback<K, V, R>(
+    cfg: &RumorConfig,
+    holder: &mut Replica<K, V>,
+    key: &K,
+    useful: bool,
+    rng: &mut R,
+) -> bool
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Hash,
+    R: Rng + ?Sized,
+{
+    let mut stats = RumorStats::default();
+    apply_interest_loss(cfg, holder, key, useful, rng, &mut stats);
+    stats.deactivated > 0
+}
+
+/// Applies the configured interest-loss rule to `holder` after a contact
+/// about `key` whose usefulness was `useful`.
+fn apply_interest_loss<K, V, R>(
+    cfg: &RumorConfig,
+    holder: &mut Replica<K, V>,
+    key: &K,
+    useful: bool,
+    rng: &mut R,
+    stats: &mut RumorStats,
+) where
+    K: Ord + Clone + Hash + Eq,
+    V: Hash,
+    R: Rng + ?Sized,
+{
+    let counts_against = match cfg.feedback {
+        Feedback::Feedback => !useful,
+        Feedback::Blind => true,
+    };
+    if !counts_against {
+        if useful && cfg.reset_on_useful {
+            holder.hot_mut().mark_useful(key);
+        }
+        return;
+    }
+    match cfg.removal {
+        Removal::Counter { k } => {
+            if let Some(c) = holder.hot_mut().bump_counter(key, 1) {
+                if c >= k {
+                    holder.hot_mut().remove(key);
+                    stats.deactivated += 1;
+                }
+            }
+        }
+        Removal::Coin { k } => {
+            if rng.random::<f64>() < 1.0 / f64::from(k.max(1))
+                && holder.hot_mut().remove(key) {
+                    stats.deactivated += 1;
+                }
+        }
+    }
+}
+
+/// §1.4 minimization: both parties hold `key` hot and the push was
+/// unnecessary — increment only the smaller counter (both on a tie) and
+/// deactivate whoever reaches `k`.
+fn minimize_counters<K, V>(
+    cfg: &RumorConfig,
+    a: &mut Replica<K, V>,
+    b: &mut Replica<K, V>,
+    key: &K,
+    stats: &mut RumorStats,
+) where
+    K: Ord + Clone + Hash + Eq,
+    V: Hash,
+{
+    let Removal::Counter { k } = cfg.removal else {
+        return; // minimization is defined for counters only
+    };
+    let ca = a.hot().counter(key).unwrap_or(0);
+    let cb = b.hot().counter(key).unwrap_or(0);
+    use std::cmp::Ordering;
+    let (bump_a, bump_b) = match ca.cmp(&cb) {
+        Ordering::Less => (true, false),
+        Ordering::Greater => (false, true),
+        Ordering::Equal => (true, true),
+    };
+    for (holder, bump) in [(&mut *a, bump_a), (&mut *b, bump_b)] {
+        if !bump {
+            continue;
+        }
+        if let Some(c) = holder.hot_mut().bump_counter(key, 1) {
+            if c >= k {
+                holder.hot_mut().remove(key);
+                stats.deactivated += 1;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_db::SiteId;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn pair() -> (Replica<&'static str, u32>, Replica<&'static str, u32>) {
+        (Replica::new(SiteId::new(0)), Replica::new(SiteId::new(1)))
+    }
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(7)
+    }
+
+    #[test]
+    fn push_spreads_and_ignites_receiver() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+        let stats = push_contact(&cfg, &mut a, &mut b, &mut rng());
+        assert_eq!(stats.sent, 1);
+        assert_eq!(stats.useful, 1);
+        assert!(b.is_infective(&"k"));
+        assert!(a.is_infective(&"k"), "useful contact keeps the rumor hot");
+    }
+
+    #[test]
+    fn feedback_counter_deactivates_after_k_unnecessary() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+        let mut r = rng();
+        push_contact(&cfg, &mut a, &mut b, &mut r); // useful
+        b.hot_mut().clear(); // keep b from counting for this test
+        push_contact(&cfg, &mut a, &mut b, &mut r); // unnecessary #1
+        assert!(a.is_infective(&"k"));
+        let stats = push_contact(&cfg, &mut a, &mut b, &mut r); // unnecessary #2
+        assert_eq!(stats.deactivated, 1);
+        assert!(!a.is_infective(&"k"));
+        assert_eq!(a.db().get(&"k"), Some(&1), "update retained after removal");
+    }
+
+    #[test]
+    fn blind_counter_counts_every_contact() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::Push, Feedback::Blind, Removal::Counter { k: 2 });
+        let mut r = rng();
+        push_contact(&cfg, &mut a, &mut b, &mut r); // useful, still counts
+        assert_eq!(a.hot().counter(&"k"), Some(1));
+        push_contact(&cfg, &mut a, &mut b, &mut r);
+        assert!(!a.is_infective(&"k"));
+    }
+
+    #[test]
+    fn coin_with_k1_removes_after_first_unnecessary_contact() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        b.client_update("k2", 2); // make b non-susceptible on key k? no: k unknown to b
+        let cfg = RumorConfig::new(Direction::Push, Feedback::Blind, Removal::Coin { k: 1 });
+        let stats = push_contact(&cfg, &mut a, &mut b, &mut rng());
+        // Blind coin with k=1: removed with probability 1 after the send.
+        assert_eq!(stats.deactivated, 1);
+        assert!(!a.is_infective(&"k"));
+        assert!(b.is_infective(&"k"), "the recipient caught the rumor first");
+    }
+
+    #[test]
+    fn pull_transfers_from_infective_source() {
+        let (mut a, mut b) = pair();
+        b.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k: 1 });
+        let stats = pull_contact(&cfg, &mut a, &mut b, &mut rng());
+        assert_eq!(stats.sent, 1);
+        assert_eq!(a.db().get(&"k"), Some(&1));
+        // Counter is deferred: b still hot until end_cycle.
+        assert!(b.is_infective(&"k"));
+        let deactivated = end_cycle(&cfg, &mut b);
+        assert_eq!(deactivated, 0, "a useful serve resets the counter");
+    }
+
+    #[test]
+    fn pull_footnote_counter_semantics() {
+        let (mut a, mut b) = pair();
+        b.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k: 1 });
+        let mut r = rng();
+        // Cycle 1: two pulls, one useful (a needs it) one not (c knows it).
+        let mut c: Replica<&str, u32> = Replica::new(SiteId::new(2));
+        c.client_update("other", 5);
+        pull_contact(&cfg, &mut a, &mut b, &mut r); // useful
+        pull_contact(&cfg, &mut c, &mut b, &mut r); // c needed it too actually
+        end_cycle(&cfg, &mut b);
+        assert!(b.is_infective(&"k"), "some recipient needed the update");
+        // Cycle 2: only unnecessary pulls.
+        pull_contact(&cfg, &mut a, &mut b, &mut r);
+        pull_contact(&cfg, &mut c, &mut b, &mut r);
+        let removed = end_cycle(&cfg, &mut b);
+        assert_eq!(removed, 1);
+        assert!(!b.is_infective(&"k"));
+    }
+
+    #[test]
+    fn push_pull_exchanges_both_ways() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        let cfg =
+            RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 3 });
+        let stats = push_pull_contact(&cfg, &mut a, &mut b, &mut rng());
+        assert_eq!(stats.sent, 2);
+        assert_eq!(stats.useful, 2);
+        assert_eq!(a.db().get(&"y"), Some(&2));
+        assert_eq!(b.db().get(&"x"), Some(&1));
+        assert!(a.is_infective(&"y") && b.is_infective(&"x"));
+    }
+
+    #[test]
+    fn minimization_increments_only_smaller_counter() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 5 })
+            .with_minimization();
+        let mut r = rng();
+        // Spread to b, then pre-load a's counter.
+        push_pull_contact(&cfg, &mut a, &mut b, &mut r);
+        a.hot_mut().bump_counter(&"k", 2); // a: 2, b: 0
+        push_pull_contact(&cfg, &mut a, &mut b, &mut r);
+        assert_eq!(a.hot().counter(&"k"), Some(2), "larger counter untouched");
+        assert_eq!(b.hot().counter(&"k"), Some(1), "smaller counter bumped");
+    }
+
+    #[test]
+    fn minimization_increments_both_counters_on_ties() {
+        let (mut a, mut b) = pair();
+        a.client_update("k", 1);
+        let cfg = RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 5 })
+            .with_minimization();
+        let mut r = rng();
+        push_pull_contact(&cfg, &mut a, &mut b, &mut r); // both infective, a:0 b:0
+        push_pull_contact(&cfg, &mut a, &mut b, &mut r); // tie: both bump to 1
+        assert_eq!(a.hot().counter(&"k"), Some(1));
+        assert_eq!(b.hot().counter(&"k"), Some(1));
+    }
+
+    #[test]
+    fn minimization_lowers_population_residue() {
+        // §1.4: minimization "results in the smallest residue we have seen
+        // so far". In a two-site system counters re-tie and the variants
+        // coincide; the benefit appears at population scale, where random
+        // meetings leave counters unequal and minimization spends only the
+        // smaller one. Mini-simulation: 60 sites, push-pull, k = 2.
+        let mut r = rng();
+        let residue = |cfg: &RumorConfig, r: &mut StdRng| {
+            let mut total = 0.0;
+            let trials = 30;
+            for _ in 0..trials {
+                let n = 60;
+                let mut sites: Vec<Replica<u8, u8>> = (0..n)
+                    .map(|i| Replica::new(epidemic_db::SiteId::new(i)))
+                    .collect();
+                sites[0].client_update(0, 1);
+                let mut guard = 0;
+                while sites.iter().any(|s| !s.hot().is_empty()) {
+                    for i in 0..n as usize {
+                        if sites[i].hot().is_empty() {
+                            continue;
+                        }
+                        let mut j = usize::try_from(r.random_range(0..n - 1)).unwrap();
+                        if j >= i {
+                            j += 1;
+                        }
+                        let (x, y) = if i < j {
+                            let (lo, hi) = sites.split_at_mut(j);
+                            (&mut lo[i], &mut hi[0])
+                        } else {
+                            let (lo, hi) = sites.split_at_mut(i);
+                            (&mut hi[0], &mut lo[j])
+                        };
+                        push_pull_contact(cfg, x, y, r);
+                    }
+                    guard += 1;
+                    assert!(guard < 10_000);
+                }
+                let missing = sites.iter().filter(|s| s.db().entry(&0).is_none()).count();
+                total += missing as f64 / f64::from(n);
+            }
+            total / 30.0
+        };
+        let plain = RumorConfig::new(
+            Direction::PushPull,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
+        let minimized = plain.with_minimization();
+        let plain_res = residue(&plain, &mut r);
+        let min_res = residue(&minimized, &mut r);
+        assert!(
+            min_res <= plain_res,
+            "minimized {min_res} vs plain {plain_res}"
+        );
+    }
+
+    #[test]
+    fn hot_keys_without_entries_are_dropped_not_sent() {
+        // A hot rumor whose entry was garbage-collected (an expired death
+        // certificate) must silently leave the hot list.
+        let (mut a, mut b) = pair();
+        a.hot_mut().insert("ghost");
+        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 1 });
+        let stats = push_contact(&cfg, &mut a, &mut b, &mut rng());
+        assert_eq!(stats.sent, 0);
+        assert!(!a.is_infective(&"ghost"));
+        let stats = push_pull_contact(&cfg, &mut a, &mut b, &mut rng());
+        assert_eq!(stats.sent, 0);
+    }
+}

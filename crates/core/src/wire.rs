@@ -1,0 +1,378 @@
+//! A message-level realization of the anti-entropy exchange.
+//!
+//! The rest of this crate expresses `ResolveDifference` as a direct
+//! function over two co-located [`Replica`]s — ideal for simulation. This
+//! module shows the same §1.3 protocol as explicit request/response
+//! messages, so it can run over a real network: the initiator drives
+//! [`sync_via`] against any [`Transport`]; the responder side is the pure
+//! function [`handle_request`]. Every message is self-contained and every
+//! merge is idempotent and monotone, so lost messages or crashed
+//! conversations never corrupt state — retrying is always safe, exactly
+//! the property the paper's randomized protocols rely on ("merely depend
+//! on eventual delivery of repeated messages").
+//!
+//! The message flow (push-pull with recent-update lists, §1.3):
+//!
+//! ```text
+//! initiator                                  partner
+//!    | -- Probe { recent, checksum } ------->  merge recent
+//!    | <---- Recent { recent, checksum } ----  |
+//!  merge recent; checksums match? done.
+//!    | -- FullDump { entries } ------------->  merge all
+//!    | <---- FullDump { entries } -----------  |
+//!  merge all: exact convergence.
+//! ```
+
+use std::hash::Hash;
+
+use epidemic_db::{Checksum, Entry, SiteId};
+
+use crate::anti_entropy::ExchangeStats;
+use crate::replica::Replica;
+
+/// A request message from the sync initiator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncRequest<K, V> {
+    /// First round: the initiator's recent updates (entries younger than
+    /// its window) and the checksum of its database *after* local
+    /// bookkeeping.
+    Probe {
+        /// The initiator's recent-update list.
+        recent: Vec<(K, Entry<V>)>,
+        /// Checksum of the initiator's full database.
+        checksum: Checksum,
+        /// The window `τ` the list was built with (the partner replies
+        /// with a list over the same window).
+        window: u64,
+    },
+    /// Second round (only when checksums still disagree): the initiator's
+    /// complete database.
+    FullDump {
+        /// Every entry the initiator holds.
+        entries: Vec<(K, Entry<V>)>,
+    },
+}
+
+/// The responder's reply.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SyncResponse<K, V> {
+    /// Reply to [`SyncRequest::Probe`]: the partner's own recent list and
+    /// its post-merge checksum.
+    Recent {
+        /// The partner's recent-update list.
+        recent: Vec<(K, Entry<V>)>,
+        /// Checksum of the partner's database after merging the probe.
+        checksum: Checksum,
+    },
+    /// Reply to [`SyncRequest::FullDump`]: the partner's complete database
+    /// (after merging the dump).
+    FullDump {
+        /// Every entry the partner holds.
+        entries: Vec<(K, Entry<V>)>,
+    },
+}
+
+/// A request/response channel to remote replicas.
+///
+/// Implementations may fail (timeouts, crashes); because every state
+/// change on both sides is an idempotent merge, callers simply retry the
+/// whole [`sync_via`] conversation later — the paper's "eventual delivery
+/// of repeated messages" assumption.
+pub trait Transport<K, V> {
+    /// Transport-level failure (the remote never saw or never answered).
+    type Error;
+
+    /// Delivers `request` to `to`'s replica and returns its response.
+    fn call(
+        &mut self,
+        to: SiteId,
+        request: SyncRequest<K, V>,
+    ) -> Result<SyncResponse<K, V>, Self::Error>;
+}
+
+/// Server side of the protocol: merges the request into `replica` and
+/// builds the reply. Pure with respect to the transport — wire formats,
+/// retries and authentication live outside.
+pub fn handle_request<K, V>(
+    replica: &mut Replica<K, V>,
+    request: SyncRequest<K, V>,
+) -> SyncResponse<K, V>
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+{
+    match request {
+        SyncRequest::Probe {
+            recent,
+            checksum: _,
+            window,
+        } => {
+            for (k, e) in recent {
+                replica.receive_quietly(k, e);
+            }
+            let mine = replica
+                .db()
+                .recent_updates(replica.local_time(), window)
+                .into_items();
+            SyncResponse::Recent {
+                recent: mine,
+                checksum: replica.db().checksum(),
+            }
+        }
+        SyncRequest::FullDump { entries } => {
+            for (k, e) in entries {
+                replica.receive_quietly(k, e);
+            }
+            let mine = replica
+                .db()
+                .iter()
+                .map(|(k, e)| (k.clone(), e.clone()))
+                .collect();
+            SyncResponse::FullDump { entries: mine }
+        }
+    }
+}
+
+/// Client side: one full push-pull conversation between the local
+/// `initiator` and the remote replica at `partner`, over `transport`.
+///
+/// On success both replicas hold identical databases (the conversation
+/// ends with full dumps whenever the cheap recent-list round was not
+/// enough). On transport error the local replica is left in a valid —
+/// possibly partially advanced — state; retrying later is safe.
+///
+/// # Errors
+///
+/// Propagates the transport's error unchanged.
+pub fn sync_via<K, V, T>(
+    initiator: &mut Replica<K, V>,
+    partner: SiteId,
+    window: u64,
+    transport: &mut T,
+) -> Result<ExchangeStats, T::Error>
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+    T: Transport<K, V>,
+{
+    let mut stats = ExchangeStats::default();
+    let recent = initiator
+        .db()
+        .recent_updates(initiator.local_time(), window)
+        .into_items();
+    stats.sent_ab += recent.len();
+    let response = transport.call(
+        partner,
+        SyncRequest::Probe {
+            recent,
+            checksum: initiator.db().checksum(),
+            window,
+        },
+    )?;
+    let SyncResponse::Recent { recent, checksum } = response else {
+        // A well-behaved responder never answers a Probe with a dump;
+        // treat it as convergence-unknown and fall through to a full sync.
+        return full_sync(initiator, partner, transport, stats);
+    };
+    stats.sent_ba += recent.len();
+    for (k, e) in recent {
+        initiator.receive_quietly(k, e);
+    }
+    stats.checksum_exchanges += 1;
+    if initiator.db().checksum() == checksum {
+        return Ok(stats);
+    }
+    full_sync(initiator, partner, transport, stats)
+}
+
+fn full_sync<K, V, T>(
+    initiator: &mut Replica<K, V>,
+    partner: SiteId,
+    transport: &mut T,
+    mut stats: ExchangeStats,
+) -> Result<ExchangeStats, T::Error>
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+    T: Transport<K, V>,
+{
+    stats.full_compare = true;
+    let entries: Vec<(K, Entry<V>)> = initiator
+        .db()
+        .iter()
+        .map(|(k, e)| (k.clone(), e.clone()))
+        .collect();
+    stats.sent_ab += entries.len();
+    let response = transport.call(partner, SyncRequest::FullDump { entries })?;
+    if let SyncResponse::FullDump { entries } = response {
+        stats.sent_ba += entries.len();
+        for (k, e) in entries {
+            initiator.receive_quietly(k, e);
+        }
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::{RngExt, SeedableRng};
+    use std::collections::BTreeMap;
+
+    /// A test transport over an in-process fleet, with optional message
+    /// loss.
+    struct InProcess {
+        fleet: BTreeMap<SiteId, Replica<u32, u64>>,
+        loss: f64,
+        rng: StdRng,
+    }
+
+    #[derive(Debug, PartialEq, Eq)]
+    struct Timeout;
+
+    impl Transport<u32, u64> for InProcess {
+        type Error = Timeout;
+
+        fn call(
+            &mut self,
+            to: SiteId,
+            request: SyncRequest<u32, u64>,
+        ) -> Result<SyncResponse<u32, u64>, Timeout> {
+            if self.loss > 0.0 && self.rng.random::<f64>() < self.loss {
+                return Err(Timeout);
+            }
+            let replica = self.fleet.get_mut(&to).expect("known peer");
+            // The request may be applied even when the *response* is lost.
+            let response = handle_request(replica, request);
+            if self.loss > 0.0 && self.rng.random::<f64>() < self.loss {
+                return Err(Timeout);
+            }
+            Ok(response)
+        }
+    }
+
+    fn fleet(n: u32) -> InProcess {
+        InProcess {
+            fleet: (0..n)
+                .map(|i| (SiteId::new(i), Replica::new(SiteId::new(i))))
+                .collect(),
+            loss: 0.0,
+            rng: StdRng::seed_from_u64(1),
+        }
+    }
+
+    #[test]
+    fn wire_sync_converges_like_the_direct_exchange() {
+        let mut transport = fleet(2);
+        let mut local: Replica<u32, u64> = Replica::new(SiteId::new(9));
+        local.client_update(1, 10);
+        transport
+            .fleet
+            .get_mut(&SiteId::new(0))
+            .unwrap()
+            .client_update(2, 20);
+        let stats = sync_via(&mut local, SiteId::new(0), 1_000, &mut transport).unwrap();
+        assert!(stats.total_sent() >= 2);
+        let remote = &transport.fleet[&SiteId::new(0)];
+        assert_eq!(local.db(), remote.db());
+        assert_eq!(local.db().len(), 2);
+    }
+
+    #[test]
+    fn recent_round_alone_suffices_for_fresh_divergence() {
+        let mut transport = fleet(1);
+        let mut local: Replica<u32, u64> = Replica::new(SiteId::new(9));
+        // Converge once, then make one fresh update.
+        local.client_update(1, 10);
+        sync_via(&mut local, SiteId::new(0), 1_000, &mut transport).unwrap();
+        local.advance_clock(50);
+        transport
+            .fleet
+            .get_mut(&SiteId::new(0))
+            .unwrap()
+            .advance_clock(50);
+        local.client_update(7, 70);
+        let stats = sync_via(&mut local, SiteId::new(0), 1_000, &mut transport).unwrap();
+        assert!(!stats.full_compare, "recent lists should reconcile alone");
+        assert_eq!(local.db(), transport.fleet[&SiteId::new(0)].db());
+    }
+
+    #[test]
+    fn stale_divergence_falls_back_to_full_dump() {
+        let mut transport = fleet(1);
+        let mut local: Replica<u32, u64> = Replica::new(SiteId::new(9));
+        local.client_update(1, 10); // t = 1
+        local.advance_clock(10_000);
+        transport
+            .fleet
+            .get_mut(&SiteId::new(0))
+            .unwrap()
+            .advance_clock(10_000);
+        // Window 5 excludes the old divergence → full dump round needed.
+        let stats = sync_via(&mut local, SiteId::new(0), 5, &mut transport).unwrap();
+        assert!(stats.full_compare);
+        assert_eq!(local.db(), transport.fleet[&SiteId::new(0)].db());
+    }
+
+    #[test]
+    fn lossy_transport_errors_but_never_corrupts_and_retry_completes() {
+        let mut transport = fleet(1);
+        transport.loss = 0.5;
+        let mut local: Replica<u32, u64> = Replica::new(SiteId::new(9));
+        for key in 0..20u32 {
+            local.client_update(key, u64::from(key));
+        }
+        let mut attempts = 0;
+        loop {
+            attempts += 1;
+            assert!(attempts < 1_000, "retries should eventually succeed");
+            match sync_via(&mut local, SiteId::new(0), 1_000, &mut transport) {
+                Ok(_) => {
+                    // One successful full conversation may still leave the
+                    // sides unequal if it was the recent round of a
+                    // previously half-applied conversation; loop until the
+                    // checksums agree.
+                    if local.db().checksum() == transport.fleet[&SiteId::new(0)].db().checksum()
+                    {
+                        break;
+                    }
+                }
+                Err(Timeout) => continue,
+            }
+        }
+        assert_eq!(local.db(), transport.fleet[&SiteId::new(0)].db());
+        assert_eq!(local.db().len(), 20);
+    }
+
+    #[test]
+    fn a_fleet_of_wire_peers_reaches_global_consistency() {
+        let mut transport = fleet(6);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Scatter updates across the remote fleet directly.
+        for key in 0..30u32 {
+            let site = SiteId::new(rng.random_range(0..6));
+            transport
+                .fleet
+                .get_mut(&site)
+                .unwrap()
+                .client_update(key, u64::from(key));
+        }
+        // One local replica gossips with random peers until the whole
+        // fleet (driven through it) converges.
+        let mut local: Replica<u32, u64> = Replica::new(SiteId::new(9));
+        for round in 0..200 {
+            let peer = SiteId::new(rng.random_range(0..6));
+            sync_via(&mut local, peer, 10_000, &mut transport).unwrap();
+            let all_equal = transport
+                .fleet
+                .values()
+                .all(|r| r.db() == local.db());
+            if all_equal && local.db().len() == 30 {
+                return;
+            }
+            let _ = round;
+        }
+        panic!("fleet failed to converge through the wire protocol");
+    }
+}

@@ -1,0 +1,165 @@
+//! Incremental database checksums (paper §1.3).
+//!
+//! "Each site maintains a checksum of its database contents, recomputing the
+//! checksum incrementally as the database is updated." We realize this with
+//! an order-independent XOR of per-entry FNV-1a digests: inserting or
+//! removing an entry toggles its digest in or out in `O(1)`, and two
+//! databases have equal checksums whenever they hold equal `(key, entry)`
+//! sets (up to the vanishingly small probability of a 64-bit collision).
+//!
+//! The hasher is hand-rolled (FNV-1a) rather than `DefaultHasher` so that
+//! checksums are stable across processes and Rust releases — two *different*
+//! simulated sites must agree on the digest of an identical entry.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+/// An order-independent checksum over a set of hashable items.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_db::Checksum;
+/// let mut a = Checksum::new();
+/// let mut b = Checksum::new();
+/// a.toggle(&("k1", 10));
+/// a.toggle(&("k2", 20));
+/// b.toggle(&("k2", 20));
+/// b.toggle(&("k1", 10));
+/// assert_eq!(a, b); // insertion order is irrelevant
+/// a.toggle(&("k1", 10)); // toggling again removes the item
+/// assert_ne!(a, b);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// The checksum of an empty database.
+    pub const fn new() -> Self {
+        Checksum(0)
+    }
+
+    /// Adds or removes an item. Because the combination is XOR, toggling
+    /// the same item twice restores the previous checksum; replacing an
+    /// entry is `toggle(old); toggle(new)`.
+    pub fn toggle<T: Hash + ?Sized>(&mut self, item: &T) {
+        self.0 ^= fnv1a_hash(item);
+    }
+
+    /// The raw 64-bit digest.
+    pub const fn value(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for Checksum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:016x}", self.0)
+    }
+}
+
+impl fmt::LowerHex for Checksum {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+/// Hashes one value with the process-independent FNV-1a hasher.
+pub fn fnv1a_hash<T: Hash + ?Sized>(value: &T) -> u64 {
+    let mut hasher = Fnv1a::new();
+    value.hash(&mut hasher);
+    hasher.finish()
+}
+
+/// FNV-1a 64-bit [`Hasher`], stable across processes and platforms.
+#[derive(Debug, Clone)]
+pub struct Fnv1a(u64);
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x0000_0100_0000_01b3;
+
+impl Fnv1a {
+    /// Creates a hasher at the standard FNV offset basis.
+    pub const fn new() -> Self {
+        Fnv1a(FNV_OFFSET)
+    }
+}
+
+impl Default for Fnv1a {
+    fn default() -> Self {
+        Fnv1a::new()
+    }
+}
+
+impl Hasher for Fnv1a {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(FNV_PRIME);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_checksums_are_equal() {
+        assert_eq!(Checksum::new(), Checksum::default());
+        assert_eq!(Checksum::new().value(), 0);
+    }
+
+    #[test]
+    fn toggle_twice_is_identity() {
+        let mut c = Checksum::new();
+        let before = c;
+        c.toggle("hello");
+        assert_ne!(c, before);
+        c.toggle("hello");
+        assert_eq!(c, before);
+    }
+
+    #[test]
+    fn order_independent() {
+        let items = ["a", "b", "c", "d"];
+        let mut fwd = Checksum::new();
+        let mut rev = Checksum::new();
+        for i in &items {
+            fwd.toggle(i);
+        }
+        for i in items.iter().rev() {
+            rev.toggle(i);
+        }
+        assert_eq!(fwd, rev);
+    }
+
+    #[test]
+    fn fnv_matches_known_vectors() {
+        // FNV-1a("") over no bytes is the offset basis.
+        assert_eq!(Fnv1a::new().finish(), FNV_OFFSET);
+        // Known vector: fnv1a_64 of bytes "a" = 0xaf63dc4c8601ec8c.
+        let mut h = Fnv1a::new();
+        h.write(b"a");
+        assert_eq!(h.finish(), 0xaf63_dc4c_8601_ec8c);
+    }
+
+    #[test]
+    fn distinct_entries_rarely_collide() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(fnv1a_hash(&i)), "collision at {i}");
+        }
+    }
+
+    #[test]
+    fn display_is_fixed_width_hex() {
+        let mut c = Checksum::new();
+        c.toggle(&1u8);
+        assert_eq!(c.to_string().len(), 16);
+    }
+}

@@ -1,0 +1,158 @@
+//! Inverted index of database entries by timestamp (paper §1.3).
+//!
+//! *Peel back* anti-entropy exchanges updates "in reverse timestamp order,
+//! incrementally recomputing checksums, until agreement of the checksums is
+//! achieved". That requires each site to "maintain an inverted index of its
+//! database by timestamp"; this module is that index.
+//!
+//! Timestamps are globally unique when produced by a well-behaved
+//! [`Clock`](crate::Clock), but the index does not *rely* on that: entries
+//! are keyed by `(timestamp, key)`, so a misbehaving client that reuses a
+//! timestamp for two keys degrades ordering ties gracefully instead of
+//! corrupting the index.
+
+use std::collections::BTreeSet;
+
+use crate::timestamp::Timestamp;
+
+/// An inverted index from timestamp to key, iterable newest-first.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_db::{PeelBackIndex, SiteId, Timestamp};
+/// let ts = |t| Timestamp::new(t, SiteId::new(0));
+/// let mut idx = PeelBackIndex::new();
+/// idx.insert(ts(3), "c");
+/// idx.insert(ts(1), "a");
+/// idx.insert(ts(2), "b");
+/// let keys: Vec<_> = idx.newest_first().map(|(_, k)| *k).collect();
+/// assert_eq!(keys, ["c", "b", "a"]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PeelBackIndex<K> {
+    by_time: BTreeSet<(Timestamp, K)>,
+}
+
+impl<K: Ord + Clone> PeelBackIndex<K> {
+    /// Creates an empty index.
+    pub fn new() -> Self {
+        PeelBackIndex {
+            by_time: BTreeSet::new(),
+        }
+    }
+
+    /// Number of indexed entries.
+    pub fn len(&self) -> usize {
+        self.by_time.len()
+    }
+
+    /// Whether the index is empty.
+    pub fn is_empty(&self) -> bool {
+        self.by_time.is_empty()
+    }
+
+    /// Records that `key`'s current entry carries timestamp `at`.
+    ///
+    /// Returns `false` if this exact `(timestamp, key)` pair was already
+    /// present.
+    pub fn insert(&mut self, at: Timestamp, key: K) -> bool {
+        self.by_time.insert((at, key))
+    }
+
+    /// Removes the record `(at, key)`, returning whether it was present.
+    pub fn remove(&mut self, at: Timestamp, key: &K) -> bool {
+        self.by_time.remove(&(at, key.clone()))
+    }
+
+    /// Iterates `(timestamp, key)` pairs newest-first — the peel-back order.
+    pub fn newest_first(&self) -> impl Iterator<Item = (Timestamp, &K)> {
+        self.by_time.iter().rev().map(|(t, k)| (*t, k))
+    }
+
+    /// Iterates `(timestamp, key)` pairs oldest-first.
+    pub fn oldest_first(&self) -> impl Iterator<Item = (Timestamp, &K)> {
+        self.by_time.iter().map(|(t, k)| (*t, k))
+    }
+
+    /// Iterates pairs with timestamps strictly newer than `after`,
+    /// newest-first.
+    pub fn newer_than(&self, after: Timestamp) -> impl Iterator<Item = (Timestamp, &K)> {
+        self.by_time
+            .iter()
+            .rev()
+            .take_while(move |(t, _)| *t > after)
+            .map(|(t, k)| (*t, k))
+    }
+
+    /// The newest timestamp in the index, if any.
+    pub fn newest(&self) -> Option<Timestamp> {
+        self.by_time.iter().next_back().map(|(t, _)| *t)
+    }
+
+    /// The oldest timestamp in the index, if any.
+    pub fn oldest(&self) -> Option<Timestamp> {
+        self.by_time.iter().next().map(|(t, _)| *t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::SiteId;
+
+    fn ts(t: u64) -> Timestamp {
+        Timestamp::new(t, SiteId::new(0))
+    }
+
+    #[test]
+    fn newest_first_order() {
+        let mut idx = PeelBackIndex::new();
+        for t in [5, 1, 9, 3] {
+            idx.insert(ts(t), t);
+        }
+        let order: Vec<_> = idx.newest_first().map(|(_, k)| *k).collect();
+        assert_eq!(order, [9, 5, 3, 1]);
+        assert_eq!(idx.newest(), Some(ts(9)));
+        assert_eq!(idx.oldest(), Some(ts(1)));
+    }
+
+    #[test]
+    fn remove_keeps_index_consistent() {
+        let mut idx = PeelBackIndex::new();
+        idx.insert(ts(1), "a");
+        idx.insert(ts(2), "b");
+        assert!(idx.remove(ts(1), &"a"));
+        assert_eq!(idx.len(), 1);
+        assert!(!idx.remove(ts(1), &"a"));
+    }
+
+    #[test]
+    fn duplicate_timestamps_across_keys_are_tolerated() {
+        let mut idx = PeelBackIndex::new();
+        assert!(idx.insert(ts(1), "a"));
+        assert!(idx.insert(ts(1), "b"));
+        assert_eq!(idx.len(), 2);
+        assert!(idx.remove(ts(1), &"a"));
+        assert_eq!(idx.len(), 1);
+    }
+
+    #[test]
+    fn newer_than_is_exclusive() {
+        let mut idx = PeelBackIndex::new();
+        for t in 1..=5 {
+            idx.insert(ts(t), t);
+        }
+        let newer: Vec<_> = idx.newer_than(ts(3)).map(|(_, k)| *k).collect();
+        assert_eq!(newer, [5, 4]);
+        assert!(idx.newer_than(ts(5)).next().is_none());
+    }
+
+    #[test]
+    fn empty_index() {
+        let idx: PeelBackIndex<u32> = PeelBackIndex::new();
+        assert!(idx.is_empty());
+        assert_eq!(idx.newest(), None);
+        assert_eq!(idx.oldest(), None);
+    }
+}

@@ -1,0 +1,128 @@
+//! Recent-update lists (paper §1.3).
+//!
+//! The checksum-based anti-entropy refinement keeps, besides the checksum, a
+//! "*recent update list*: a list of all entries in its database whose ages
+//! (measured by the difference between their timestamp values and the site's
+//! local clock) are less than τ". Two sites exchange these lists first, so a
+//! freshly made update known to one side does not spoil the checksum
+//! comparison.
+
+use crate::item::Entry;
+use crate::timestamp::Timestamp;
+
+/// A snapshot of all entries younger than a window `τ`, newest first.
+///
+/// Produced by [`Database::recent_updates`](crate::Database::recent_updates).
+///
+/// # Example
+///
+/// ```
+/// use epidemic_db::{Database, SimClock, SiteId, Clock};
+/// let mut clock = SimClock::new(SiteId::new(0));
+/// let mut db = Database::new();
+/// db.update("old", 1, &mut clock);
+/// clock.advance_to(100);
+/// db.update("new", 2, &mut clock);
+/// let recent = db.recent_updates(clock.peek(), 10);
+/// assert_eq!(recent.len(), 1);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RecentUpdates<K, V> {
+    window: u64,
+    items: Vec<(K, Entry<V>)>,
+}
+
+impl<K: Clone, V: Clone> RecentUpdates<K, V> {
+    /// Collects the entries younger than `tau` from a newest-first entry
+    /// iterator (so collection stops at the first too-old entry).
+    pub fn collect<'a, I>(newest_first: I, now: u64, tau: u64) -> Self
+    where
+        I: Iterator<Item = (&'a K, &'a Entry<V>)>,
+        K: 'a,
+        V: 'a,
+    {
+        let items = newest_first
+            .take_while(|(_, e)| e.timestamp().age(now) <= tau)
+            .map(|(k, e)| (k.clone(), e.clone()))
+            .collect();
+        RecentUpdates { window: tau, items }
+    }
+
+    /// The window `τ` the list was collected with.
+    pub fn window(&self) -> u64 {
+        self.window
+    }
+
+    /// Number of entries in the list.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether the list is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// Iterates `(key, entry)` pairs newest-first.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Entry<V>)> {
+        self.items.iter().map(|(k, e)| (k, e))
+    }
+
+    /// The oldest timestamp included, if any.
+    pub fn oldest(&self) -> Option<Timestamp> {
+        self.items.last().map(|(_, e)| e.timestamp())
+    }
+
+    /// Consumes the list, yielding owned `(key, entry)` pairs newest-first.
+    pub fn into_items(self) -> Vec<(K, Entry<V>)> {
+        self.items
+    }
+}
+
+impl<K: Clone, V: Clone> IntoIterator for RecentUpdates<K, V> {
+    type Item = (K, Entry<V>);
+    type IntoIter = std::vec::IntoIter<(K, Entry<V>)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.into_iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::SiteId;
+
+    fn entry(t: u64) -> Entry<u32> {
+        Entry::live(0, Timestamp::new(t, SiteId::new(0)))
+    }
+
+    #[test]
+    fn collect_stops_at_window_boundary() {
+        let entries = [("c", entry(100)),
+            ("b", entry(95)),
+            ("a", entry(50))];
+        let refs: Vec<(&&str, &Entry<u32>)> = entries.iter().map(|(k, e)| (k, e)).collect();
+        let list = RecentUpdates::collect(refs.into_iter(), 100, 10);
+        assert_eq!(list.len(), 2);
+        assert_eq!(list.oldest(), Some(Timestamp::new(95, SiteId::new(0))));
+        assert_eq!(list.window(), 10);
+    }
+
+    #[test]
+    fn boundary_age_is_inclusive() {
+        let entries = [("a", entry(90))];
+        let refs: Vec<(&&str, &Entry<u32>)> = entries.iter().map(|(k, e)| (k, e)).collect();
+        let list = RecentUpdates::collect(refs.into_iter(), 100, 10);
+        assert_eq!(list.len(), 1);
+    }
+
+    #[test]
+    fn empty_list() {
+        let list: RecentUpdates<&str, u32> =
+            RecentUpdates::collect(std::iter::empty(), 100, 10);
+        assert!(list.is_empty());
+        assert_eq!(list.oldest(), None);
+        assert_eq!(list.into_items(), Vec::new());
+    }
+}

@@ -1,0 +1,669 @@
+//! The versioned replica store (paper §1.1).
+
+use std::collections::BTreeMap;
+use std::hash::Hash;
+
+use crate::checksum::Checksum;
+use crate::death::{DeathCertificate, DeathStage, GcPolicy, GcStats};
+use crate::item::{ApplyOutcome, Entry};
+use crate::peelback::PeelBackIndex;
+use crate::recent::RecentUpdates;
+use crate::timestamp::{Clock, SiteId, Timestamp};
+
+/// One replica of the database: the time-varying partial function
+/// `ValueOf : K → (v ∪ NIL, t)` of §1.1.
+///
+/// The store maintains three auxiliary structures the paper's protocols
+/// need, all kept consistent incrementally:
+///
+/// * an order-independent [`Checksum`] of all entries (§1.3),
+/// * a [`PeelBackIndex`] — entries inverted by timestamp (§1.3),
+/// * a side store of *dormant* death certificates (§2.1) that are held but
+///   neither counted in the checksum nor propagated.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_db::{Database, SimClock, SiteId};
+///
+/// let mut clock = SimClock::new(SiteId::new(0));
+/// let mut db = Database::new();
+/// db.update("user:alice", "MV:PARC", &mut clock);
+/// db.update("user:bob", "MV:SDD", &mut clock);
+/// assert_eq!(db.live_len(), 2);
+///
+/// db.delete(&"user:bob", &mut clock);
+/// assert_eq!(db.live_len(), 1);
+/// assert_eq!(db.len(), 2); // the death certificate still occupies space
+/// ```
+#[derive(Debug, Clone)]
+pub struct Database<K, V> {
+    entries: BTreeMap<K, Entry<V>>,
+    dormant: BTreeMap<K, DeathCertificate>,
+    checksum: Checksum,
+    peel: PeelBackIndex<K>,
+    live: usize,
+}
+
+/// Outcome of [`Database::offer`], which adds dormant-death-certificate
+/// handling (§2.2–2.3) on top of the plain [`ApplyOutcome`] merge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OfferOutcome {
+    /// The entry was newer and was installed.
+    Applied,
+    /// The replica already held this exact version.
+    AlreadyKnown,
+    /// The replica held a strictly newer version.
+    Obsolete,
+    /// The entry was an obsolete copy of an item with a *dormant* death
+    /// certificate here; the certificate was awakened (its activation
+    /// timestamp set to now) and reinstalled for propagation. The caller
+    /// should treat the certificate as a new hot rumor (§2.3).
+    AwakenedDormant,
+}
+
+impl OfferOutcome {
+    /// True if the receiving replica needed the offered entry.
+    pub fn was_useful(self) -> bool {
+        matches!(self, OfferOutcome::Applied)
+    }
+}
+
+impl From<ApplyOutcome> for OfferOutcome {
+    fn from(outcome: ApplyOutcome) -> Self {
+        match outcome {
+            ApplyOutcome::Applied => OfferOutcome::Applied,
+            ApplyOutcome::AlreadyKnown => OfferOutcome::AlreadyKnown,
+            ApplyOutcome::Obsolete => OfferOutcome::Obsolete,
+        }
+    }
+}
+
+impl<K, V> Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash,
+{
+    /// Creates an empty replica.
+    pub fn new() -> Self {
+        Database {
+            entries: BTreeMap::new(),
+            dormant: BTreeMap::new(),
+            checksum: Checksum::new(),
+            peel: PeelBackIndex::new(),
+            live: 0,
+        }
+    }
+
+    /// Number of entries, live values plus (non-dormant) death certificates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the replica holds no entries at all.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Number of live (non-deleted) values.
+    pub fn live_len(&self) -> usize {
+        self.live
+    }
+
+    /// Number of death certificates held in the main store.
+    pub fn dead_len(&self) -> usize {
+        self.entries.len() - self.live
+    }
+
+    /// Number of dormant death certificates held in the side store.
+    pub fn dormant_len(&self) -> usize {
+        self.dormant.len()
+    }
+
+    /// The client-visible value for `key`: `None` both for absent keys and
+    /// for keys with a death certificate (§1.1: a NIL pair "is the same as
+    /// `ValueOf[k]` is undefined" from a client's perspective).
+    pub fn get(&self, key: &K) -> Option<&V> {
+        self.entries.get(key).and_then(Entry::value)
+    }
+
+    /// The full versioned entry for `key`, including death certificates.
+    pub fn entry(&self, key: &K) -> Option<&Entry<V>> {
+        self.entries.get(key)
+    }
+
+    /// The dormant death certificate for `key`, if this site retains one.
+    pub fn dormant_certificate(&self, key: &K) -> Option<&DeathCertificate> {
+        self.dormant.get(key)
+    }
+
+    /// The incrementally maintained checksum over all `(key, entry)` pairs
+    /// in the main store (§1.3).
+    pub fn checksum(&self) -> Checksum {
+        self.checksum
+    }
+
+    /// Performs the client `Update` operation of §1.1: stamps `value` with a
+    /// fresh timestamp from the local clock and installs it.
+    ///
+    /// Returns the timestamp assigned to the update.
+    pub fn update<C: Clock>(&mut self, key: K, value: V, clock: &mut C) -> Timestamp {
+        let at = clock.now();
+        self.install(key, Entry::live(value, at));
+        at
+    }
+
+    /// Deletes `key` by installing a death certificate (§2) with no
+    /// retention sites. Returns the deletion timestamp.
+    pub fn delete<C: Clock>(&mut self, key: &K, clock: &mut C) -> Timestamp {
+        let at = clock.now();
+        self.install(key.clone(), Entry::Dead(DeathCertificate::new(at)));
+        at
+    }
+
+    /// Deletes `key` with a death certificate whose dormant copies will be
+    /// retained at the given sites (§2.1). Returns the deletion timestamp.
+    pub fn delete_with_retention<C: Clock>(
+        &mut self,
+        key: &K,
+        retention: Vec<SiteId>,
+        clock: &mut C,
+    ) -> Timestamp {
+        let at = clock.now();
+        self.install(
+            key.clone(),
+            Entry::Dead(DeathCertificate::with_retention(at, retention)),
+        );
+        at
+    }
+
+    /// Merges a received entry under the §1.1 supersession rule: install it
+    /// iff its timestamp is strictly newer than what the replica holds.
+    ///
+    /// This is the pure semilattice join; use [`Database::offer`] to also
+    /// honor dormant death certificates.
+    pub fn apply(&mut self, key: K, entry: Entry<V>) -> ApplyOutcome {
+        match self.entries.get(&key) {
+            Some(current) if !entry.supersedes(current) => {
+                if current.timestamp() == entry.timestamp() {
+                    ApplyOutcome::AlreadyKnown
+                } else {
+                    ApplyOutcome::Obsolete
+                }
+            }
+            _ => {
+                self.install(key, entry);
+                ApplyOutcome::Applied
+            }
+        }
+    }
+
+    /// Merges a received entry, first consulting the dormant
+    /// death-certificate store (§2.2–2.3).
+    ///
+    /// If the entry is an obsolete copy of an item whose certificate lies
+    /// dormant here, the certificate is *awakened*: its activation timestamp
+    /// is set to `now`, it moves back into the main store, and
+    /// [`OfferOutcome::AwakenedDormant`] asks the caller to propagate it
+    /// afresh. If the entry is *newer* than the dormant certificate (a
+    /// legitimate reinstatement or re-deletion), the certificate is simply
+    /// superseded and dropped.
+    pub fn offer(&mut self, key: K, entry: Entry<V>, now: Timestamp) -> OfferOutcome {
+        if let Some(dc) = self.dormant.get(&key) {
+            if entry.timestamp() <= dc.deleted_at() {
+                let mut dc = self.dormant.remove(&key).expect("checked above");
+                dc.reactivate(now);
+                self.install(key, Entry::Dead(dc));
+                return OfferOutcome::AwakenedDormant;
+            }
+            self.dormant.remove(&key);
+        }
+        self.apply(key, entry).into()
+    }
+
+    /// Installs an entry unconditionally, maintaining checksum, peel-back
+    /// index and live count. Private: all mutation funnels through here.
+    fn install(&mut self, key: K, entry: Entry<V>) {
+        if let Some(old) = self.entries.get(&key) {
+            self.checksum.toggle(&(&key, old));
+            self.peel.remove(old.timestamp(), &key);
+            if !old.is_dead() {
+                self.live -= 1;
+            }
+        }
+        self.checksum.toggle(&(&key, &entry));
+        self.peel.insert(entry.timestamp(), key.clone());
+        if !entry.is_dead() {
+            self.live += 1;
+        }
+        self.entries.insert(key, entry);
+    }
+
+    /// Iterates over all `(key, entry)` pairs in key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &Entry<V>)> {
+        self.entries.iter()
+    }
+
+    /// Iterates over entries in **reverse timestamp order** — the *peel
+    /// back* order of §1.3/§1.5.
+    pub fn newest_first(&self) -> impl Iterator<Item = (&K, &Entry<V>)> {
+        self.peel.newest_first().map(move |(_, k)| {
+            let entry = self.entries.get(k).expect("peel index is consistent");
+            (k, entry)
+        })
+    }
+
+    /// The *recent update list* (§1.3): all entries whose timestamp age
+    /// relative to `now` is at most `tau`, newest first.
+    pub fn recent_updates(&self, now: u64, tau: u64) -> RecentUpdates<K, V>
+    where
+        V: Clone,
+    {
+        RecentUpdates::collect(self.newest_first(), now, tau)
+    }
+
+    /// Discards or parks death certificates according to `policy`, as
+    /// evaluated at `site` with local time `now` (§2.1).
+    ///
+    /// Under [`GcPolicy::Dormant`], certificates entering their dormant
+    /// stage at a retention site move to the side store (no longer counted
+    /// in the checksum, no longer propagated); everywhere else they are
+    /// discarded. Expired dormant copies are discarded too.
+    pub fn collect_garbage(&mut self, site: SiteId, now: u64, policy: GcPolicy) -> GcStats {
+        let mut stats = GcStats::default();
+        let mut discard = Vec::new();
+        let mut park = Vec::new();
+        for (key, entry) in &self.entries {
+            let Entry::Dead(dc) = entry else { continue };
+            match policy {
+                GcPolicy::KeepForever => stats.active += 1,
+                GcPolicy::FixedThreshold { .. } => {
+                    if policy.discards(dc, site, now) {
+                        discard.push(key.clone());
+                    } else {
+                        stats.active += 1;
+                    }
+                }
+                GcPolicy::Dormant { tau1, tau2 } => match dc.stage(site, now, tau1, tau2) {
+                    DeathStage::Active => stats.active += 1,
+                    DeathStage::Dormant => park.push(key.clone()),
+                    DeathStage::Expired => discard.push(key.clone()),
+                },
+            }
+        }
+        for key in discard {
+            self.remove_entry(&key);
+            stats.discarded += 1;
+        }
+        for key in park {
+            if let Some(Entry::Dead(dc)) = self.remove_entry(&key) {
+                self.dormant.insert(key, dc);
+                stats.dormant += 1;
+            }
+        }
+        // Expire dormant copies that have outlived tau1 + tau2.
+        if let GcPolicy::Dormant { tau1, tau2 } = policy {
+            let before = self.dormant.len();
+            self.dormant
+                .retain(|_, dc| dc.stage(site, now, tau1, tau2) != DeathStage::Expired);
+            stats.discarded += before - self.dormant.len();
+            stats.dormant = self.dormant.len();
+        }
+        stats
+    }
+
+    /// Removes an entry outright, maintaining the auxiliary structures.
+    /// Used by garbage collection; ordinary deletion goes through
+    /// [`Database::delete`] so that a death certificate is left behind.
+    fn remove_entry(&mut self, key: &K) -> Option<Entry<V>> {
+        let entry = self.entries.remove(key)?;
+        self.checksum.toggle(&(key, &entry));
+        self.peel.remove(entry.timestamp(), key);
+        if !entry.is_dead() {
+            self.live -= 1;
+        }
+        Some(entry)
+    }
+
+    /// Recomputes the checksum from scratch. Exposed for tests and
+    /// invariant audits; always equals [`Database::checksum`].
+    pub fn recompute_checksum(&self) -> Checksum {
+        let mut sum = Checksum::new();
+        for (k, e) in &self.entries {
+            sum.toggle(&(k, e));
+        }
+        sum
+    }
+}
+
+impl<K, V> Default for Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash,
+{
+    fn default() -> Self {
+        Database::new()
+    }
+}
+
+impl<K, V> PartialEq for Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash + PartialEq,
+{
+    /// Two replicas are equal when their main stores agree — the
+    /// convergence goal `∀ s, s′ : s.ValueOf = s′.ValueOf` of §1.1.
+    fn eq(&self, other: &Self) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl<K, V> Eq for Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash + Eq,
+{
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timestamp::SimClock;
+
+    fn clock(site: u32) -> SimClock {
+        SimClock::new(SiteId::new(site))
+    }
+
+    #[test]
+    fn update_then_get() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        db.update("k", 1, &mut c);
+        assert_eq!(db.get(&"k"), Some(&1));
+        db.update("k", 2, &mut c);
+        assert_eq!(db.get(&"k"), Some(&2));
+        assert_eq!(db.len(), 1);
+    }
+
+    #[test]
+    fn delete_leaves_death_certificate() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        db.update("k", 1, &mut c);
+        db.delete(&"k", &mut c);
+        assert_eq!(db.get(&"k"), None);
+        assert!(db.entry(&"k").is_some_and(Entry::is_dead));
+        assert_eq!(db.live_len(), 0);
+        assert_eq!(db.dead_len(), 1);
+    }
+
+    #[test]
+    fn apply_respects_supersession() {
+        let mut c0 = clock(0);
+        let mut a = Database::new();
+        let mut b = Database::new();
+        let t1 = a.update("k", 1, &mut c0);
+        assert_eq!(b.apply("k", Entry::live(1, t1)), ApplyOutcome::Applied);
+        assert_eq!(b.apply("k", Entry::live(1, t1)), ApplyOutcome::AlreadyKnown);
+        let t2 = a.update("k", 2, &mut c0);
+        assert_eq!(b.apply("k", Entry::live(2, t2)), ApplyOutcome::Applied);
+        assert_eq!(b.apply("k", Entry::live(1, t1)), ApplyOutcome::Obsolete);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn checksum_tracks_content_not_history() {
+        let mut c0 = clock(0);
+        let mut c1 = clock(1);
+        let mut a = Database::new();
+        let mut b = Database::new();
+        let ta = a.update("x", 10, &mut c0);
+        let tb = a.update("y", 20, &mut c0);
+        // b receives the same updates in the opposite order.
+        b.apply("y", Entry::live(20, tb));
+        b.apply("x", Entry::live(10, ta));
+        assert_eq!(a.checksum(), b.checksum());
+        // A divergent update makes the checksums differ.
+        b.update("z", 30, &mut c1);
+        assert_ne!(a.checksum(), b.checksum());
+    }
+
+    #[test]
+    fn incremental_checksum_matches_recompute() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        for i in 0..100 {
+            db.update(i % 17, i, &mut c);
+            if i % 5 == 0 {
+                db.delete(&(i % 17), &mut c);
+            }
+            assert_eq!(db.checksum(), db.recompute_checksum());
+        }
+    }
+
+    #[test]
+    fn newest_first_is_reverse_timestamp_order() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        db.update("a", 1, &mut c);
+        db.update("b", 2, &mut c);
+        db.update("a", 3, &mut c);
+        let order: Vec<_> = db.newest_first().map(|(k, _)| *k).collect();
+        assert_eq!(order, ["a", "b"]);
+        let times: Vec<_> = db.newest_first().map(|(_, e)| e.timestamp()).collect();
+        assert!(times.windows(2).all(|w| w[0] > w[1]));
+    }
+
+    #[test]
+    fn gc_fixed_threshold_discards_old_certificates() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        db.update("k", 1, &mut c);
+        db.delete(&"k", &mut c);
+        let policy = GcPolicy::FixedThreshold { tau: 10 };
+        let stats = db.collect_garbage(SiteId::new(0), c.peek() + 100, policy);
+        assert_eq!(stats.discarded, 1);
+        assert_eq!(db.len(), 0);
+        assert_eq!(db.checksum(), Checksum::new());
+    }
+
+    #[test]
+    fn gc_dormant_parks_at_retention_site_only() {
+        let retention = SiteId::new(1);
+        let policy = GcPolicy::Dormant { tau1: 10, tau2: 100 };
+        for (site, expect_dormant) in [(retention, true), (SiteId::new(2), false)] {
+            let mut c = clock(0);
+            let mut db = Database::new();
+            db.update("k", 1, &mut c);
+            db.delete_with_retention(&"k", vec![retention], &mut c);
+            let stats = db.collect_garbage(site, c.peek() + 50, policy);
+            assert_eq!(db.len(), 0);
+            if expect_dormant {
+                assert_eq!(stats.dormant, 1);
+                assert!(db.dormant_certificate(&"k").is_some());
+            } else {
+                assert_eq!(stats.discarded, 1);
+                assert_eq!(db.dormant_len(), 0);
+            }
+        }
+    }
+
+    #[test]
+    fn offer_awakens_dormant_certificate_on_obsolete_data() {
+        let retention = SiteId::new(0);
+        let mut c = clock(0);
+        let mut db = Database::new();
+        let t_old = c.now(); // timestamp of the obsolete remote copy
+        db.update("k", 1, &mut c);
+        db.delete_with_retention(&"k", vec![retention], &mut c);
+        db.collect_garbage(retention, c.peek() + 50, GcPolicy::Dormant { tau1: 10, tau2: 1000 });
+        assert_eq!(db.len(), 0);
+
+        // An obsolete copy arrives from a badly out-of-date replica.
+        let now = Timestamp::new(c.peek() + 50, SiteId::new(9));
+        let outcome = db.offer("k", Entry::live(1, t_old), now);
+        assert_eq!(outcome, OfferOutcome::AwakenedDormant);
+        let entry = db.entry(&"k").unwrap();
+        assert!(entry.is_dead());
+        let dc = entry.death_certificate().unwrap();
+        assert_eq!(dc.activation(), now);
+        assert!(dc.deleted_at() < now); // ordinary timestamp unchanged
+    }
+
+    #[test]
+    fn offer_lets_newer_update_supersede_dormant_certificate() {
+        let retention = SiteId::new(0);
+        let mut c = clock(0);
+        let mut db = Database::new();
+        db.update("k", 1, &mut c);
+        db.delete_with_retention(&"k", vec![retention], &mut c);
+        db.collect_garbage(retention, c.peek() + 50, GcPolicy::Dormant { tau1: 10, tau2: 1000 });
+
+        // A *reinstatement* newer than the deletion must not be cancelled
+        // (§2.2's correctness concern).
+        let mut remote_clock = SimClock::starting_at(SiteId::new(5), c.peek() + 60);
+        let t_new = remote_clock.now();
+        let now = Timestamp::new(c.peek() + 61, SiteId::new(9));
+        let outcome = db.offer("k", Entry::live(2, t_new), now);
+        assert_eq!(outcome, OfferOutcome::Applied);
+        assert_eq!(db.get(&"k"), Some(&2));
+        assert_eq!(db.dormant_len(), 0);
+    }
+
+    #[test]
+    fn recent_updates_window() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        db.update("old", 1, &mut c); // t=1
+        c.advance_to(100);
+        db.update("new", 2, &mut c); // t=100
+        let recent = db.recent_updates(101, 5);
+        assert_eq!(recent.len(), 1);
+        assert_eq!(recent.iter().next().unwrap().0, &"new");
+        let all = db.recent_updates(101, 1000);
+        assert_eq!(all.len(), 2);
+    }
+}
+
+impl<K, V> Extend<(K, Entry<V>)> for Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash,
+{
+    /// Merges a stream of entries under the supersession rule — equivalent
+    /// to [`Database::apply`] per item.
+    fn extend<T: IntoIterator<Item = (K, Entry<V>)>>(&mut self, iter: T) {
+        for (k, e) in iter {
+            self.apply(k, e);
+        }
+    }
+}
+
+impl<K, V> FromIterator<(K, Entry<V>)> for Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash,
+{
+    /// Builds a replica from a stream of entries (e.g. a full-database
+    /// transfer), resolving duplicates by timestamp.
+    fn from_iter<T: IntoIterator<Item = (K, Entry<V>)>>(iter: T) -> Self {
+        let mut db = Database::new();
+        db.extend(iter);
+        db
+    }
+}
+
+impl<'a, K, V> IntoIterator for &'a Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash,
+{
+    type Item = (&'a K, &'a Entry<V>);
+    type IntoIter = std::collections::btree_map::Iter<'a, K, Entry<V>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.entries.iter()
+    }
+}
+
+#[cfg(test)]
+mod collect_tests {
+    use super::*;
+    use crate::timestamp::SimClock;
+
+    #[test]
+    fn from_iterator_resolves_duplicates_by_timestamp() {
+        let ts = |t| Timestamp::new(t, SiteId::new(0));
+        let db: Database<&str, u32> = vec![
+            ("k", Entry::live(1, ts(1))),
+            ("k", Entry::live(2, ts(5))),
+            ("k", Entry::live(3, ts(3))),
+            ("j", Entry::dead(ts(2))),
+        ]
+        .into_iter()
+        .collect();
+        assert_eq!(db.get(&"k"), Some(&2));
+        assert_eq!(db.get(&"j"), None);
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.checksum(), db.recompute_checksum());
+    }
+
+    #[test]
+    fn extend_merges_a_transfer() {
+        let mut clock = SimClock::new(SiteId::new(0));
+        let mut a: Database<&str, u32> = Database::new();
+        a.update("x", 1, &mut clock);
+        a.update("y", 2, &mut clock);
+        let mut b: Database<&str, u32> = Database::new();
+        b.extend(a.iter().map(|(k, e)| (*k, e.clone())));
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn ref_into_iterator_walks_entries() {
+        let mut clock = SimClock::new(SiteId::new(0));
+        let mut db: Database<&str, u32> = Database::new();
+        db.update("a", 1, &mut clock);
+        db.update("b", 2, &mut clock);
+        let keys: Vec<_> = (&db).into_iter().map(|(k, _)| *k).collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+}
+
+impl<K, V> Database<K, V>
+where
+    K: Ord + Clone + Hash,
+    V: Hash,
+{
+    /// Iterates the keys in order (live and deleted alike).
+    pub fn keys(&self) -> impl Iterator<Item = &K> {
+        self.entries.keys()
+    }
+
+    /// Iterates only the live `(key, value)` pairs, skipping death
+    /// certificates — the client-visible contents of the replica.
+    pub fn live_entries(&self) -> impl Iterator<Item = (&K, &V)> {
+        self.entries
+            .iter()
+            .filter_map(|(k, e)| e.value().map(|v| (k, v)))
+    }
+}
+
+#[cfg(test)]
+mod iter_tests {
+    use super::*;
+    use crate::timestamp::SimClock;
+
+    #[test]
+    fn live_entries_skip_tombstones() {
+        let mut clock = SimClock::new(SiteId::new(0));
+        let mut db: Database<&str, u32> = Database::new();
+        db.update("a", 1, &mut clock);
+        db.update("b", 2, &mut clock);
+        db.delete(&"a", &mut clock);
+        let live: Vec<_> = db.live_entries().collect();
+        assert_eq!(live, [(&"b", &2)]);
+        let keys: Vec<_> = db.keys().copied().collect();
+        assert_eq!(keys, ["a", "b"]);
+    }
+}

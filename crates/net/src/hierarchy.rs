@@ -1,0 +1,224 @@
+//! Hierarchical partner selection — the paper's §4 future work.
+//!
+//! "Better performance might be achieved by constructing a dynamic
+//! hierarchy, in which sites at high levels contact other high level
+//! servers at long distances and lower level servers at short distances."
+//!
+//! This module implements that sketch as a two-level scheme:
+//! *representatives* are chosen by a deterministic greedy k-center over hop
+//! distances (so they spread across the network); every site usually
+//! gossips locally (any [`Spatial`] distribution), but a representative
+//! occasionally contacts another representative chosen uniformly at random,
+//! giving the network a small long-haul backbone with bounded traffic.
+//!
+//! The [`PartnerSelection`] trait is the abstraction point: the simulators
+//! accept any implementation, so flat spatial distributions and the
+//! hierarchy can be compared like for like (see the `ablation-hierarchy`
+//! experiment in `epidemic-bench`).
+
+use epidemic_db::SiteId;
+use rand::{Rng, RngExt};
+
+use crate::graph::Topology;
+use crate::routing::Routes;
+use crate::spatial::{PartnerSampler, Spatial};
+
+/// A partner-selection strategy: given a chooser, draw a gossip partner.
+///
+/// Implemented by [`PartnerSampler`] (flat spatial distributions) and
+/// [`HierarchicalSampler`] (§4's two-level scheme).
+pub trait PartnerSelection {
+    /// Draws a partner for `from`. Never returns `from` itself.
+    fn select(&self, from: SiteId, rng: &mut dyn Rng) -> SiteId;
+}
+
+impl PartnerSelection for PartnerSampler {
+    fn select(&self, from: SiteId, rng: &mut dyn Rng) -> SiteId {
+        self.sample(from, rng)
+    }
+}
+
+/// Two-level hierarchical sampler (§4 future work).
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::{topologies, HierarchicalSampler, Routes, Spatial};
+/// use epidemic_net::hierarchy::PartnerSelection;
+/// use rand::SeedableRng;
+///
+/// let topo = topologies::grid(&[6, 6]);
+/// let routes = Routes::compute(&topo);
+/// let h = HierarchicalSampler::new(&topo, &routes, 4, 0.5, Spatial::QsPower { a: 2.0 });
+/// assert_eq!(h.representatives().len(), 4);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+/// let from = topo.sites()[0];
+/// assert_ne!(h.select(from, &mut rng), from);
+/// ```
+#[derive(Debug, Clone)]
+pub struct HierarchicalSampler {
+    local: PartnerSampler,
+    representatives: Vec<SiteId>,
+    is_representative: Vec<bool>,
+    long_range: f64,
+}
+
+impl HierarchicalSampler {
+    /// Builds the hierarchy: `reps` representatives chosen by greedy
+    /// k-center, each contacting a random other representative with
+    /// probability `long_range` and gossiping `local`ly otherwise.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `2 <= reps <= site count` and
+    /// `0.0 <= long_range <= 1.0`.
+    pub fn new(
+        topology: &Topology,
+        routes: &Routes,
+        reps: usize,
+        long_range: f64,
+        local: Spatial,
+    ) -> Self {
+        assert!(
+            reps >= 2 && reps <= topology.site_count(),
+            "need between 2 and n representatives"
+        );
+        assert!((0.0..=1.0).contains(&long_range));
+        let representatives = greedy_k_center(topology, routes, reps);
+        let mut is_representative = vec![false; topology.node_count()];
+        for &r in &representatives {
+            is_representative[r.as_usize()] = true;
+        }
+        HierarchicalSampler {
+            local: PartnerSampler::new(topology, routes, local),
+            representatives,
+            is_representative,
+            long_range,
+        }
+    }
+
+    /// The chosen representative sites.
+    pub fn representatives(&self) -> &[SiteId] {
+        &self.representatives
+    }
+
+    /// Whether `site` is a representative.
+    pub fn is_representative(&self, site: SiteId) -> bool {
+        self.is_representative[site.as_usize()]
+    }
+}
+
+impl PartnerSelection for HierarchicalSampler {
+    fn select(&self, from: SiteId, rng: &mut dyn Rng) -> SiteId {
+        if self.is_representative(from) && rng.random::<f64>() < self.long_range {
+            // Long-haul hop: a uniform random *other* representative.
+            let others: Vec<SiteId> = self
+                .representatives
+                .iter()
+                .copied()
+                .filter(|&r| r != from)
+                .collect();
+            others[rng.random_range(0..others.len())]
+        } else {
+            self.local.sample(from, rng)
+        }
+    }
+}
+
+/// Deterministic greedy k-center over hop distance: start from the site
+/// with the smallest id, repeatedly add the site farthest from the chosen
+/// set. Spreads representatives across the network's regions.
+fn greedy_k_center(topology: &Topology, routes: &Routes, k: usize) -> Vec<SiteId> {
+    let sites = topology.sites();
+    let mut chosen = vec![sites[0]];
+    let mut dist_to_chosen: Vec<u32> = sites
+        .iter()
+        .map(|&s| routes.distance(sites[0], s))
+        .collect();
+    while chosen.len() < k {
+        let (best_idx, _) = sites
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, _)| (dist_to_chosen[i], std::cmp::Reverse(i)))
+            .expect("sites is non-empty");
+        let next = sites[best_idx];
+        chosen.push(next);
+        for (i, &s) in sites.iter().enumerate() {
+            dist_to_chosen[i] = dist_to_chosen[i].min(routes.distance(next, s));
+        }
+    }
+    chosen
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn k_center_spreads_representatives() {
+        let topo = topologies::line(20);
+        let routes = Routes::compute(&topo);
+        let h = HierarchicalSampler::new(&topo, &routes, 3, 0.5, Spatial::Uniform);
+        let reps = h.representatives();
+        assert_eq!(reps.len(), 3);
+        // On a line the first three k-center picks are an end, the other
+        // end, and (near) the middle.
+        let positions: Vec<u32> = reps.iter().map(|r| r.index()).collect();
+        assert!(positions.contains(&0));
+        assert!(positions.contains(&19));
+        assert!(positions.iter().any(|&p| (7..=12).contains(&p)));
+    }
+
+    #[test]
+    fn representatives_make_long_hops() {
+        let topo = topologies::line(30);
+        let routes = Routes::compute(&topo);
+        let h = HierarchicalSampler::new(&topo, &routes, 3, 1.0, Spatial::QsPower { a: 2.0 });
+        let rep = h.representatives()[0];
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..50 {
+            let p = h.select(rep, &mut rng);
+            assert!(h.is_representative(p), "long_range=1 always picks reps");
+            assert_ne!(p, rep);
+        }
+    }
+
+    #[test]
+    fn leaves_always_gossip_locally() {
+        let topo = topologies::line(30);
+        let routes = Routes::compute(&topo);
+        let h = HierarchicalSampler::new(&topo, &routes, 2, 1.0, Spatial::QsPower { a: 2.0 });
+        let leaf = topo.sites()[15];
+        assert!(!h.is_representative(leaf));
+        let mut rng = StdRng::seed_from_u64(5);
+        // Local Qs^-2 selection strongly favors neighbors.
+        let mut near = 0;
+        for _ in 0..2_000 {
+            let p = h.select(leaf, &mut rng);
+            if routes.distance(leaf, p) <= 2 {
+                near += 1;
+            }
+        }
+        assert!(near > 1_000, "near picks {near}/2000");
+    }
+
+    #[test]
+    fn deterministic_representative_choice() {
+        let net = topologies::cin(&topologies::CinConfig::default());
+        let routes = Routes::compute(&net.topology);
+        let a = HierarchicalSampler::new(&net.topology, &routes, 8, 0.3, Spatial::Uniform);
+        let b = HierarchicalSampler::new(&net.topology, &routes, 8, 0.3, Spatial::Uniform);
+        assert_eq!(a.representatives(), b.representatives());
+    }
+
+    #[test]
+    #[should_panic(expected = "representatives")]
+    fn rejects_too_few_reps() {
+        let topo = topologies::ring(6);
+        let routes = Routes::compute(&topo);
+        HierarchicalSampler::new(&topo, &routes, 1, 0.5, Spatial::Uniform);
+    }
+}

@@ -1,0 +1,597 @@
+//! Topology zoo: the networks used in the paper's analyses and experiments.
+//!
+//! * regular shapes for the §3 scaling analysis: [`line()`], [`ring`],
+//!   [`grid`], [`complete`], [`binary_tree`], [`star`];
+//! * the two pathological rumor-mongering examples of §3.2: [`figure1`]
+//!   and [`figure2`];
+//! * a seeded synthetic stand-in for the Xerox Corporate Internet,
+//!   [`cin`], used by the Table 4/5 reproductions (see DESIGN.md for the
+//!   substitution rationale — the real CIN adjacency list was never
+//!   published);
+//! * random families for robustness sweeps: [`random_connected`]
+//!   (Erdős–Rényi) and [`waxman`] (geometric internet-like).
+
+use epidemic_db::SiteId;
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+use crate::graph::{LinkId, Topology, TopologyBuilder};
+
+/// A line of `n` sites, each linked to its neighbors — the §3 model where
+/// the `d^-2` distribution is optimal.
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+pub fn line(n: usize) -> Topology {
+    assert!(n > 0, "a line needs at least one site");
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("n{i}"))).collect();
+    for w in sites.windows(2) {
+        b.link(w[0], w[1]);
+    }
+    b.build().expect("line construction is valid")
+}
+
+/// A ring of `n` sites.
+///
+/// # Panics
+///
+/// Panics if `n < 3`.
+pub fn ring(n: usize) -> Topology {
+    assert!(n >= 3, "a ring needs at least three sites");
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("n{i}"))).collect();
+    for w in sites.windows(2) {
+        b.link(w[0], w[1]);
+    }
+    b.link(sites[n - 1], sites[0]);
+    b.build().expect("ring construction is valid")
+}
+
+/// A D-dimensional rectilinear grid of sites, `dims[k]` sites along axis
+/// `k` — the mesh for which §3 suggests distributions as tight as `d^-2D`.
+///
+/// # Panics
+///
+/// Panics if `dims` is empty or any dimension is zero.
+pub fn grid(dims: &[usize]) -> Topology {
+    assert!(!dims.is_empty() && dims.iter().all(|&d| d > 0));
+    let n: usize = dims.iter().product();
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("g{i}"))).collect();
+    // Mixed-radix coordinates; link each node to its +1 neighbor per axis.
+    for i in 0..n {
+        let mut stride = 1;
+        for &d in dims {
+            let coord = (i / stride) % d;
+            if coord + 1 < d {
+                b.link(sites[i], sites[i + stride]);
+            }
+            stride *= d;
+        }
+    }
+    b.build().expect("grid construction is valid")
+}
+
+/// A complete graph on `n` sites: the "uniform network" of §1, where every
+/// pair is one hop apart.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn complete(n: usize) -> Topology {
+    assert!(n >= 2);
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("n{i}"))).collect();
+    for i in 0..n {
+        for j in i + 1..n {
+            b.link(sites[i], sites[j]);
+        }
+    }
+    b.build().expect("complete construction is valid")
+}
+
+/// A complete binary tree of depth `depth` (`2^depth − 1` sites, root first).
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `depth > 20`.
+pub fn binary_tree(depth: u32) -> Topology {
+    assert!((1..=20).contains(&depth));
+    let n = (1usize << depth) - 1;
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("t{i}"))).collect();
+    for i in 1..n {
+        b.link(sites[(i - 1) / 2], sites[i]);
+    }
+    b.build().expect("tree construction is valid")
+}
+
+/// A star: one hub site linked to `n - 1` leaf sites.
+///
+/// # Panics
+///
+/// Panics if `n < 2`.
+pub fn star(n: usize) -> Topology {
+    assert!(n >= 2);
+    let mut b = TopologyBuilder::new();
+    let hub = b.add_site("hub");
+    for i in 1..n {
+        let leaf = b.add_site(format!("leaf{i}"));
+        b.link(hub, leaf);
+    }
+    b.build().expect("star construction is valid")
+}
+
+/// The Figure 1 pathology of §3.2: sites `s` and `t` adjacent to each other
+/// and, via a relay hub, slightly farther from `m` mutually equidistant
+/// sites `u_1..u_m`.
+///
+/// Under a `Q_s(d)^-2` distribution with `m > k`, push rumor mongering
+/// started at `s` or `t` has a significant probability of dying between the
+/// pair without reaching any `u_i`.
+///
+/// Sites 0 and 1 of the result are `s` and `t`.
+///
+/// # Panics
+///
+/// Panics if `m == 0`.
+pub fn figure1(m: usize) -> Topology {
+    assert!(m > 0);
+    let mut b = TopologyBuilder::new();
+    let s = b.add_site("s");
+    let t = b.add_site("t");
+    let hub = b.add_relay("hub");
+    b.link(s, t);
+    b.link(s, hub);
+    b.link(t, hub);
+    for i in 0..m {
+        let u = b.add_site(format!("u{i}"));
+        b.link(hub, u);
+    }
+    b.build().expect("figure1 construction is valid")
+}
+
+/// The Figure 2 pathology of §3.2: a complete binary tree of `2^depth − 1`
+/// sites whose root connects, through a chain of `tail` relay nodes, to one
+/// distant site `s`. The paper requires the `s`–root distance to exceed the
+/// tree height, i.e. `tail ≥ depth`.
+///
+/// The distant site `s` is the *first* site of the result.
+///
+/// # Panics
+///
+/// Panics if `depth == 0` or `tail < depth as usize`.
+pub fn figure2(depth: u32, tail: usize) -> Topology {
+    assert!(depth >= 1);
+    assert!(
+        tail >= depth as usize,
+        "the distance from s to the root must exceed the tree height"
+    );
+    let mut b = TopologyBuilder::new();
+    let s = b.add_site("s");
+    let mut prev = s;
+    for i in 0..tail {
+        let relay = b.add_relay(format!("r{i}"));
+        b.link(prev, relay);
+        prev = relay;
+    }
+    let n = (1usize << depth) - 1;
+    let tree: Vec<_> = (0..n).map(|i| b.add_site(format!("t{i}"))).collect();
+    b.link(prev, tree[0]);
+    for i in 1..n {
+        b.link(tree[(i - 1) / 2], tree[i]);
+    }
+    b.build().expect("figure2 construction is valid")
+}
+
+/// Configuration for the synthetic CIN generator ([`cin`]).
+///
+/// Defaults approximate the scale the paper describes: several hundred
+/// sites, most in North America, a few tens in Europe, two transatlantic
+/// links with one terminating at Bushey.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CinConfig {
+    /// Number of North-American regional clusters.
+    pub na_regions: usize,
+    /// Database sites per North-American region.
+    pub sites_per_region: usize,
+    /// Database sites in Europe.
+    pub europe_sites: usize,
+    /// Extra random backbone chords between NA region gateways.
+    pub backbone_chords: usize,
+    /// Traversal cost of the two transatlantic links (1 = same as every
+    /// other link, the Table 4/5 model; higher values model the slow phone
+    /// lines and push `d^-a`-style choosers away from the cut).
+    pub transatlantic_cost: u32,
+    /// RNG seed; the same seed always produces the same topology.
+    pub seed: u64,
+}
+
+impl Default for CinConfig {
+    fn default() -> Self {
+        CinConfig {
+            na_regions: 8,
+            sites_per_region: 28,
+            europe_sites: 30,
+            backbone_chords: 4,
+            transatlantic_cost: 1,
+            seed: 0x0000_C199_1987,
+        }
+    }
+}
+
+/// A generated synthetic Corporate Internet (see [`cin`]).
+#[derive(Debug, Clone)]
+pub struct Cin {
+    /// The network itself.
+    pub topology: Topology,
+    /// The transatlantic link that terminates at the Bushey gateway — the
+    /// critical link Tables 4 and 5 single out.
+    pub bushey_link: LinkId,
+    /// The second transatlantic link.
+    pub second_transatlantic: LinkId,
+    /// Database sites located in Europe.
+    pub europe: Vec<SiteId>,
+    /// Database sites located in North America.
+    pub north_america: Vec<SiteId>,
+}
+
+/// Generates a synthetic stand-in for the Xerox Corporate Internet.
+///
+/// Shape: each NA region is a two-level cluster (region gateway relay →
+/// a few Ethernet relays → sites); region gateways form a backbone ring
+/// plus random chords. Europe is one such cluster hung off the "Bushey"
+/// gateway plus a second smaller gateway; exactly two transatlantic links
+/// join the continents. This preserves what the Table 4/5 experiments
+/// measure: a few hundred sites, small diameter, and a critical two-link
+/// cut separating a few tens of sites from the rest (see DESIGN.md).
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::topologies::{cin, CinConfig};
+/// let net = cin(&CinConfig::default());
+/// assert!(net.topology.site_count() > 200);
+/// assert!(net.europe.len() >= 25);
+/// ```
+pub fn cin(config: &CinConfig) -> Cin {
+    assert!(config.na_regions >= 2, "need at least two NA regions");
+    assert!(config.sites_per_region >= 2 && config.europe_sites >= 2);
+    let mut rng = StdRng::seed_from_u64(config.seed);
+    let mut b = TopologyBuilder::new();
+
+    // --- North America ---
+    let mut na_gateways = Vec::new();
+    let mut north_america = Vec::new();
+    for r in 0..config.na_regions {
+        let gw = b.add_relay(format!("na{r}-gw"));
+        na_gateways.push(gw);
+        let sites = build_region(
+            &mut b,
+            &mut rng,
+            gw,
+            &format!("na{r}"),
+            config.sites_per_region,
+        );
+        north_america.extend(sites);
+    }
+    // Backbone: ring of region gateways plus random chords, modelling the
+    // CIN's mixture of leased lines.
+    for i in 0..config.na_regions {
+        b.link(na_gateways[i], na_gateways[(i + 1) % config.na_regions]);
+    }
+    for _ in 0..config.backbone_chords {
+        let i = rng.random_range(0..config.na_regions);
+        let mut j = rng.random_range(0..config.na_regions);
+        while j == i {
+            j = rng.random_range(0..config.na_regions);
+        }
+        b.link(na_gateways[i], na_gateways[j]);
+    }
+
+    // --- Europe ---
+    let bushey = b.add_relay("bushey-gw");
+    let eu2 = b.add_relay("eu2-gw");
+    b.link(bushey, eu2);
+    let mut europe = Vec::new();
+    let half = config.europe_sites / 2;
+    europe.extend(build_region(&mut b, &mut rng, bushey, "eu-b", half));
+    europe.extend(build_region(
+        &mut b,
+        &mut rng,
+        eu2,
+        "eu-c",
+        config.europe_sites - half,
+    ));
+
+    // --- The two transatlantic links ---
+    let bushey_link = b.link_weighted(na_gateways[0], bushey, config.transatlantic_cost);
+    let second = b.link_weighted(
+        na_gateways[config.na_regions / 2],
+        eu2,
+        config.transatlantic_cost,
+    );
+
+    let topology = b.build().expect("cin construction is valid");
+    Cin {
+        topology,
+        bushey_link,
+        second_transatlantic: second,
+        europe,
+        north_america,
+    }
+}
+
+/// Builds one regional cluster: `gateway → ethernets → sites`. Returns the
+/// sites created.
+fn build_region(
+    b: &mut TopologyBuilder,
+    rng: &mut StdRng,
+    gateway: SiteId,
+    prefix: &str,
+    sites: usize,
+) -> Vec<SiteId> {
+    let ethernets = (sites / 10).clamp(1, 4);
+    let hubs: Vec<SiteId> = (0..ethernets)
+        .map(|e| {
+            let hub = b.add_relay(format!("{prefix}-e{e}"));
+            b.link(gateway, hub);
+            hub
+        })
+        .collect();
+    (0..sites)
+        .map(|i| {
+            let site = b.add_site(format!("{prefix}-s{i}"));
+            let hub = hubs[rng.random_range(0..hubs.len())];
+            b.link(hub, site);
+            site
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::Routes;
+
+    #[test]
+    fn line_shape() {
+        let t = line(10);
+        assert_eq!(t.site_count(), 10);
+        assert_eq!(t.link_count(), 9);
+    }
+
+    #[test]
+    fn ring_shape() {
+        let t = ring(10);
+        assert_eq!(t.link_count(), 10);
+        let r = Routes::compute(&t);
+        assert_eq!(r.diameter(), 5);
+    }
+
+    #[test]
+    fn grid_shape_and_distances() {
+        let t = grid(&[3, 4]);
+        assert_eq!(t.site_count(), 12);
+        // links: 2*4 horizontal-axis + 3*3 vertical-axis = 17.
+        assert_eq!(t.link_count(), 17);
+        let r = Routes::compute(&t);
+        // Manhattan distance between opposite corners: (3-1)+(4-1) = 5.
+        assert_eq!(r.distance(t.sites()[0], t.sites()[11]), 5);
+    }
+
+    #[test]
+    fn three_dimensional_grid() {
+        let t = grid(&[2, 2, 2]);
+        assert_eq!(t.site_count(), 8);
+        assert_eq!(t.link_count(), 12);
+        let r = Routes::compute(&t);
+        assert_eq!(r.diameter(), 3);
+    }
+
+    #[test]
+    fn complete_shape() {
+        let t = complete(6);
+        assert_eq!(t.link_count(), 15);
+        assert_eq!(Routes::compute(&t).diameter(), 1);
+    }
+
+    #[test]
+    fn binary_tree_shape() {
+        let t = binary_tree(4);
+        assert_eq!(t.site_count(), 15);
+        assert_eq!(t.link_count(), 14);
+        assert_eq!(Routes::compute(&t).diameter(), 6);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(7);
+        assert_eq!(t.link_count(), 6);
+        assert_eq!(Routes::compute(&t).diameter(), 2);
+    }
+
+    #[test]
+    fn figure1_geometry() {
+        let t = figure1(8);
+        let r = Routes::compute(&t);
+        let s = t.node_by_label("s").unwrap();
+        let tt = t.node_by_label("t").unwrap();
+        assert_eq!(r.distance(s, tt), 1);
+        for i in 0..8 {
+            let u = t.node_by_label(&format!("u{i}")).unwrap();
+            assert_eq!(r.distance(s, u), 2);
+            assert_eq!(r.distance(tt, u), 2);
+        }
+        assert_eq!(t.site_count(), 10); // s, t, u_1..u_8; hub is a relay
+    }
+
+    #[test]
+    fn figure2_geometry() {
+        let (depth, tail) = (4, 6);
+        let t = figure2(depth, tail);
+        let r = Routes::compute(&t);
+        let s = t.node_by_label("s").unwrap();
+        let root = t.node_by_label("t0").unwrap();
+        assert_eq!(r.distance(s, root) as usize, tail + 1);
+        // Tree height (depth-1) is less than the s-root distance.
+        assert!(((depth - 1) as usize) < tail + 1);
+        assert_eq!(t.site_count(), 1 + 15);
+    }
+
+    #[test]
+    fn cin_is_deterministic_per_seed() {
+        let a = cin(&CinConfig::default());
+        let b = cin(&CinConfig::default());
+        assert_eq!(a.topology.node_count(), b.topology.node_count());
+        assert_eq!(a.topology.links(), b.topology.links());
+        let c = cin(&CinConfig {
+            seed: 99,
+            ..CinConfig::default()
+        });
+        // Different seed, same scale, (almost surely) different wiring.
+        assert_eq!(a.topology.site_count(), c.topology.site_count());
+    }
+
+    #[test]
+    fn cin_scale_matches_paper() {
+        let net = cin(&CinConfig::default());
+        let n = net.topology.site_count();
+        assert!((200..400).contains(&n), "site count {n}");
+        assert_eq!(net.europe.len() + net.north_america.len(), n);
+        assert!(net.europe.len() < 50);
+        let r = Routes::compute(&net.topology);
+        let d = r.diameter();
+        assert!((6..=16).contains(&d), "diameter {d}");
+    }
+
+    #[test]
+    fn cin_transatlantic_links_are_a_cut() {
+        // Removing both transatlantic links must disconnect Europe: verify
+        // every NA→EU route crosses one of them.
+        let net = cin(&CinConfig::default());
+        let r = Routes::compute(&net.topology);
+        let na = net.north_america[0];
+        for &eu in &net.europe {
+            let links = r.route_links(na, eu);
+            assert!(links
+                .iter()
+                .any(|&l| l == net.bushey_link || l == net.second_transatlantic));
+        }
+    }
+}
+
+/// A connected Erdős–Rényi-style random graph: a random spanning tree
+/// (guaranteeing connectivity) plus each remaining pair linked with
+/// probability `p`. All nodes are database sites.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `p` is not in `[0, 1]`.
+pub fn random_connected(n: usize, p: f64, seed: u64) -> Topology {
+    assert!(n >= 2);
+    assert!((0.0..=1.0).contains(&p));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("n{i}"))).collect();
+    for i in 1..n {
+        let parent = rng.random_range(0..i);
+        b.link(sites[parent], sites[i]);
+    }
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if rng.random::<f64>() < p {
+                b.link(sites[i], sites[j]);
+            }
+        }
+    }
+    b.build().expect("the spanning tree keeps the graph connected")
+}
+
+/// A Waxman random graph — the classic internet-topology generator: nodes
+/// are scattered on the unit square and each pair is linked with
+/// probability `alpha * exp(-distance / (beta * sqrt(2)))`. A random
+/// spanning tree guarantees connectivity. All nodes are database sites.
+///
+/// # Panics
+///
+/// Panics if `n < 2`, or `alpha`/`beta` are not in `(0, 1]`.
+pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
+    assert!(n >= 2);
+    assert!(alpha > 0.0 && alpha <= 1.0 && beta > 0.0 && beta <= 1.0);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let points: Vec<(f64, f64)> = (0..n)
+        .map(|_| (rng.random::<f64>(), rng.random::<f64>()))
+        .collect();
+    let mut b = TopologyBuilder::new();
+    let sites: Vec<_> = (0..n).map(|i| b.add_site(format!("w{i}"))).collect();
+    // Connectivity: chain each node to its nearest already-placed node.
+    for i in 1..n {
+        let nearest = (0..i)
+            .min_by(|&x, &y| {
+                let dx = dist2(points[i], points[x]);
+                let dy = dist2(points[i], points[y]);
+                dx.partial_cmp(&dy).expect("distances are finite")
+            })
+            .expect("i >= 1");
+        b.link(sites[nearest], sites[i]);
+    }
+    let l = std::f64::consts::SQRT_2;
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let d = dist2(points[i], points[j]).sqrt();
+            if rng.random::<f64>() < alpha * (-d / (beta * l)).exp() {
+                b.link(sites[i], sites[j]);
+            }
+        }
+    }
+    b.build().expect("the nearest-neighbor chain keeps the graph connected")
+}
+
+fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {
+    let dx = a.0 - b.0;
+    let dy = a.1 - b.1;
+    dx * dx + dy * dy
+}
+
+#[cfg(test)]
+mod random_tests {
+    use super::*;
+    use crate::routing::Routes;
+
+    #[test]
+    fn random_connected_is_connected_and_deterministic() {
+        let a = random_connected(40, 0.05, 9);
+        let b = random_connected(40, 0.05, 9);
+        assert_eq!(a.links(), b.links());
+        assert!(a.link_count() >= 39); // at least the spanning tree
+        let r = Routes::compute(&a);
+        assert!(r.diameter() > 0);
+    }
+
+    #[test]
+    fn edge_probability_scales_link_count() {
+        let sparse = random_connected(40, 0.02, 3);
+        let dense = random_connected(40, 0.3, 3);
+        assert!(dense.link_count() > sparse.link_count());
+    }
+
+    #[test]
+    fn waxman_prefers_short_links() {
+        let t = waxman(60, 0.9, 0.15, 4);
+        assert!(t.link_count() >= 59);
+        let r = Routes::compute(&t);
+        // Geometric locality gives a multi-hop diameter, unlike ER at the
+        // same density.
+        assert!(r.diameter() >= 3, "diameter {}", r.diameter());
+    }
+
+    #[test]
+    fn waxman_is_deterministic_per_seed() {
+        let a = waxman(30, 0.5, 0.3, 11);
+        let b = waxman(30, 0.5, 0.3, 11);
+        assert_eq!(a.links(), b.links());
+    }
+}

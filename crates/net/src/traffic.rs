@@ -1,0 +1,158 @@
+//! Per-link traffic accounting (paper §3.1).
+//!
+//! Tables 4 and 5 report, per spatial distribution, the number of
+//! anti-entropy *comparisons* and *update transmissions* per network link —
+//! averaged over all links and singled out for the transatlantic link to
+//! Bushey. A [`LinkTraffic`] charges one unit to every link on the shortest
+//! route between two conversing sites.
+
+use crate::graph::LinkId;
+use crate::routing::Routes;
+use epidemic_db::SiteId;
+
+/// Traffic counters, one per link of a topology.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::{topologies, LinkTraffic, Routes};
+/// let topo = topologies::line(4);
+/// let routes = Routes::compute(&topo);
+/// let mut traffic = LinkTraffic::new(topo.link_count());
+/// let s = topo.sites();
+/// traffic.record_route(&routes, s[0], s[3]); // traverses all 3 links
+/// assert_eq!(traffic.total(), 3);
+/// assert!((traffic.mean_per_link() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinkTraffic {
+    counts: Vec<u64>,
+}
+
+impl LinkTraffic {
+    /// Creates counters for a topology with `links` links, all zero.
+    pub fn new(links: usize) -> Self {
+        LinkTraffic {
+            counts: vec![0; links],
+        }
+    }
+
+    /// Number of links tracked.
+    pub fn link_count(&self) -> usize {
+        self.counts.len()
+    }
+
+    /// Charges one unit to every link on the route `from → to`.
+    pub fn record_route(&mut self, routes: &Routes, from: SiteId, to: SiteId) {
+        routes.for_each_route_link(from, to, |l| self.counts[l.index()] += 1);
+    }
+
+    /// Charges one unit to a single link.
+    pub fn record_link(&mut self, link: LinkId) {
+        self.counts[link.index()] += 1;
+    }
+
+    /// Units charged to `link`.
+    pub fn at(&self, link: LinkId) -> u64 {
+        self.counts[link.index()]
+    }
+
+    /// Total units over all links.
+    pub fn total(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Mean units per link.
+    pub fn mean_per_link(&self) -> f64 {
+        if self.counts.is_empty() {
+            0.0
+        } else {
+            self.total() as f64 / self.counts.len() as f64
+        }
+    }
+
+    /// The most heavily loaded link and its count, if any links exist.
+    pub fn hottest(&self) -> Option<(LinkId, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &c)| c)
+            .map(|(i, &c)| (LinkId::from_index(i), c))
+    }
+
+    /// Adds another counter set into this one (for aggregating runs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two counters track different numbers of links.
+    pub fn merge(&mut self, other: &LinkTraffic) {
+        assert_eq!(self.counts.len(), other.counts.len());
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+    }
+
+    /// Raw per-link counts, indexable by [`LinkId::index`].
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::topologies;
+
+    #[test]
+    fn records_along_routes() {
+        let topo = topologies::line(5);
+        let routes = Routes::compute(&topo);
+        let mut t = LinkTraffic::new(topo.link_count());
+        let s = topo.sites();
+        t.record_route(&routes, s[0], s[2]);
+        t.record_route(&routes, s[1], s[2]);
+        // Link 0-1 carries one unit, link 1-2 carries two.
+        let l01 = topo.link_between(s[0], s[1]).unwrap();
+        let l12 = topo.link_between(s[1], s[2]).unwrap();
+        assert_eq!(t.at(l01), 1);
+        assert_eq!(t.at(l12), 2);
+        assert_eq!(t.total(), 3);
+        assert_eq!(t.hottest(), Some((l12, 2)));
+    }
+
+    #[test]
+    fn self_route_is_free() {
+        let topo = topologies::line(3);
+        let routes = Routes::compute(&topo);
+        let mut t = LinkTraffic::new(topo.link_count());
+        t.record_route(&routes, topo.sites()[1], topo.sites()[1]);
+        assert_eq!(t.total(), 0);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let mut a = LinkTraffic::new(3);
+        let mut b = LinkTraffic::new(3);
+        a.record_link(LinkId::from_index(0));
+        b.record_link(LinkId::from_index(0));
+        b.record_link(LinkId::from_index(2));
+        a.merge(&b);
+        assert_eq!(a.counts(), &[2, 0, 1]);
+        assert!((a.mean_per_link() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn merge_rejects_mismatched_sizes() {
+        let mut a = LinkTraffic::new(2);
+        a.merge(&LinkTraffic::new(3));
+    }
+
+    #[test]
+    fn empty_traffic() {
+        let t = LinkTraffic::new(0);
+        assert_eq!(t.total(), 0);
+        assert_eq!(t.mean_per_link(), 0.0);
+        assert_eq!(t.hottest(), None);
+    }
+}

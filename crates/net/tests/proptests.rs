@@ -1,0 +1,152 @@
+//! Property-based tests for topologies, routing and spatial sampling on
+//! randomly generated connected graphs.
+
+use epidemic_net::{PartnerSampler, Routes, Spatial, Topology, TopologyBuilder};
+use proptest::prelude::*;
+
+/// Strategy: a random connected graph of `n` nodes — a random spanning
+/// tree plus extra random edges; a random subset of nodes (at least two)
+/// are database sites.
+fn random_topology() -> impl Strategy<Value = Topology> {
+    (3usize..24)
+        .prop_flat_map(|n| {
+            (
+                Just(n),
+                // parent[i] < i gives a random spanning tree.
+                prop::collection::vec(any::<prop::sample::Index>(), n - 1),
+                prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..8),
+                prop::collection::vec(any::<bool>(), n),
+            )
+        })
+        .prop_map(|(n, parents, extras, site_flags)| {
+            let mut b = TopologyBuilder::new();
+            let nodes: Vec<_> = (0..n)
+                .map(|i| {
+                    // Guarantee at least two sites (nodes 0 and 1).
+                    if i < 2 || site_flags[i] {
+                        b.add_site(format!("n{i}"))
+                    } else {
+                        b.add_relay(format!("r{i}"))
+                    }
+                })
+                .collect();
+            for (i, parent) in parents.iter().enumerate() {
+                let child = i + 1;
+                let p = parent.index(child); // 0..child
+                b.link(nodes[p], nodes[child]);
+            }
+            for (x, y) in extras {
+                let a = x.index(n);
+                let c = y.index(n);
+                if a != c {
+                    b.link(nodes[a], nodes[c]);
+                }
+            }
+            b.build().expect("spanning tree keeps the graph connected")
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Distances are a metric: symmetric, zero iff equal, triangle
+    /// inequality (over sampled triples).
+    #[test]
+    fn distances_form_a_metric(topo in random_topology()) {
+        let routes = Routes::compute(&topo);
+        let nodes = topo.node_count() as u32;
+        for a in 0..nodes {
+            for b in 0..nodes {
+                let ab = routes.distance(a.into(), b.into());
+                prop_assert_eq!(ab, routes.distance(b.into(), a.into()));
+                prop_assert_eq!(ab == 0, a == b);
+                for c in 0..nodes {
+                    let ac = routes.distance(a.into(), c.into());
+                    let cb = routes.distance(c.into(), b.into());
+                    prop_assert!(ab <= ac + cb);
+                }
+            }
+        }
+    }
+
+    /// Every route is a connected path of the correct length joining its
+    /// endpoints.
+    #[test]
+    fn routes_are_valid_paths(topo in random_topology()) {
+        let routes = Routes::compute(&topo);
+        for &a in topo.sites() {
+            for &b in topo.sites() {
+                let links = routes.route_links(a, b);
+                prop_assert_eq!(links.len() as u32, routes.distance(a, b));
+                let mut cur = a;
+                for link in links {
+                    let (x, y) = topo.endpoints(link);
+                    prop_assert!(cur == x || cur == y);
+                    cur = if cur == x { y } else { x };
+                }
+                prop_assert_eq!(cur, b);
+            }
+        }
+    }
+
+    /// Spatial samplers are proper probability distributions over the
+    /// other sites, for every distribution family.
+    #[test]
+    fn samplers_are_normalized(topo in random_topology(), a in 0.5f64..3.0) {
+        let routes = Routes::compute(&topo);
+        for spatial in [
+            Spatial::Uniform,
+            Spatial::DistancePower { a },
+            Spatial::QsPower { a },
+            Spatial::PositionPower { a },
+        ] {
+            let sampler = PartnerSampler::new(&topo, &routes, spatial);
+            for &from in topo.sites() {
+                let total: f64 = topo
+                    .sites()
+                    .iter()
+                    .map(|&to| sampler.probability(from, to))
+                    .sum();
+                prop_assert!((total - 1.0).abs() < 1e-9, "{:?}: {}", spatial, total);
+                prop_assert_eq!(sampler.probability(from, from), 0.0);
+            }
+        }
+    }
+
+    /// Under Qs^-a, selection probability never increases with distance.
+    #[test]
+    fn qs_probability_is_monotone_in_distance(topo in random_topology(), a in 1.0f64..3.0) {
+        let routes = Routes::compute(&topo);
+        let sampler = PartnerSampler::new(&topo, &routes, Spatial::QsPower { a });
+        for &from in topo.sites() {
+            let mut by_distance: Vec<(u32, f64)> = topo
+                .sites()
+                .iter()
+                .filter(|&&t| t != from)
+                .map(|&t| (routes.distance(from, t), sampler.probability(from, t)))
+                .collect();
+            by_distance.sort_by(|x, y| x.partial_cmp(y).unwrap());
+            for w in by_distance.windows(2) {
+                if w[0].0 < w[1].0 {
+                    prop_assert!(w[0].1 >= w[1].1 - 1e-12);
+                }
+            }
+        }
+    }
+
+    /// Sampling never returns the chooser or a relay node.
+    #[test]
+    fn samples_are_other_sites(topo in random_topology(), seed in any::<u64>()) {
+        use rand::SeedableRng;
+        let routes = Routes::compute(&topo);
+        let sampler = PartnerSampler::new(&topo, &routes, Spatial::QsPower { a: 2.0 });
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        for &from in topo.sites() {
+            for _ in 0..20 {
+                let p = sampler.sample(from, &mut rng);
+                prop_assert_ne!(p, from);
+                prop_assert!(topo.is_site(p));
+            }
+        }
+    }
+}

@@ -1,0 +1,413 @@
+//! Event-driven (asynchronous) anti-entropy simulation.
+//!
+//! The paper's simulations — and this crate's other drivers — use
+//! synchronized cycles: every site acts once per cycle. Real Clearinghouse
+//! servers were not synchronized; each ran anti-entropy on its own timer.
+//! This driver replays the Table 4 experiment on a discrete-event queue
+//! with per-site periods and jitter, as an *ablation of the synchrony
+//! assumption*: convergence times (measured in periods) and per-link
+//! traffic rates come out close to the round-synchronous results, so the
+//! paper's conclusions do not hinge on lockstep cycles.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_db::SiteId;
+use epidemic_net::{LinkTraffic, PartnerSampler, Routes, Spatial, Topology};
+use rand::rngs::StdRng;
+use rand::seq::IndexedRandom;
+use rand::{RngExt, SeedableRng};
+
+/// Time in microticks; one nominal anti-entropy period is
+/// [`AsyncAntiEntropySim::PERIOD`] microticks.
+pub type Micros = u64;
+
+/// Result of one asynchronous run.
+#[derive(Debug, Clone)]
+pub struct AsyncRunResult {
+    /// Time (in periods) until the last site received the update.
+    pub t_last: f64,
+    /// Mean time (in periods) from injection to receipt over all sites.
+    pub t_ave: f64,
+    /// Total exchanges performed until convergence.
+    pub exchanges: u64,
+    /// Conversations per link, accumulated over the run.
+    pub compare_traffic: LinkTraffic,
+    /// Update-bearing conversations per link.
+    pub update_traffic: LinkTraffic,
+    /// Conversations per link per period, averaged over links.
+    pub compare_per_link_period: f64,
+}
+
+/// Discrete-event anti-entropy driver with per-site timers.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::{topologies, Spatial};
+/// use epidemic_sim::event::AsyncAntiEntropySim;
+///
+/// let topo = topologies::ring(16);
+/// let sim = AsyncAntiEntropySim::new(&topo, Spatial::Uniform, 0.2);
+/// let r = sim.run(3, None);
+/// assert!(r.t_last > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct AsyncAntiEntropySim<'a> {
+    topology: &'a Topology,
+    routes: Routes,
+    sampler: PartnerSampler,
+    jitter: f64,
+    max_events: u64,
+}
+
+const KEY: u32 = 0;
+
+impl<'a> AsyncAntiEntropySim<'a> {
+    /// Nominal anti-entropy period in microticks.
+    pub const PERIOD: Micros = 1_000;
+
+    /// Builds the simulator. `jitter` is the fraction of the period by
+    /// which each firing deviates, uniformly in `[-jitter, +jitter]`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= jitter < 1.0`.
+    pub fn new(topology: &'a Topology, spatial: Spatial, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        let routes = Routes::compute(topology);
+        let sampler = PartnerSampler::new(topology, &routes, spatial);
+        AsyncAntiEntropySim {
+            topology,
+            routes,
+            sampler,
+            jitter,
+            max_events: 10_000_000,
+        }
+    }
+
+    /// Runs one experiment: a single update injected at `origin` (random
+    /// when `None`) at time 0; every site fires anti-entropy exchanges on
+    /// its own jittered timer until all sites hold the update.
+    pub fn run(&self, seed: u64, origin: Option<SiteId>) -> AsyncRunResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites = self.topology.sites();
+        let n = sites.len();
+        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
+        let mut replicas: Vec<Replica<u32, u32>> =
+            sites.iter().map(|&s| Replica::new(s)).collect();
+        let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
+        let origin_idx = index_of(origin);
+        replicas[origin_idx].client_update(KEY, 1);
+        replicas[origin_idx].hot_mut().clear();
+        let mut receive_time: Vec<Option<Micros>> = vec![None; n];
+        receive_time[origin_idx] = Some(0);
+        let mut missing = n - 1;
+
+        // Seed each site's first firing with a random phase so the fleet
+        // starts fully desynchronized.
+        let mut queue: BinaryHeap<Reverse<(Micros, usize)>> = (0..n)
+            .map(|i| Reverse((rng.random_range(0..Self::PERIOD), i)))
+            .collect();
+
+        let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let mut compare_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut update_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut exchanges = 0u64;
+        let mut now = 0;
+
+        while missing > 0 && exchanges < self.max_events {
+            let Some(Reverse((t, i))) = queue.pop() else {
+                break;
+            };
+            now = t;
+            let j = index_of(self.sampler.sample(sites[i], &mut rng));
+            let (a, b) = crate::util::pair_mut(&mut replicas, i, j);
+            let stats = protocol.exchange(a, b);
+            exchanges += 1;
+            compare_traffic.record_route(&self.routes, sites[i], sites[j]);
+            if stats.update_flowed() {
+                update_traffic.record_route(&self.routes, sites[i], sites[j]);
+                for idx in [i, j] {
+                    if receive_time[idx].is_none() && replicas[idx].db().entry(&KEY).is_some() {
+                        receive_time[idx] = Some(now);
+                        missing -= 1;
+                    }
+                }
+            }
+            // Schedule this site's next firing.
+            let base = Self::PERIOD as f64;
+            let jitter = 1.0 + self.jitter * (2.0 * rng.random::<f64>() - 1.0);
+            let next = now + (base * jitter).max(1.0) as Micros;
+            queue.push(Reverse((next, i)));
+        }
+
+        let period = Self::PERIOD as f64;
+        let t_last = receive_time
+            .iter()
+            .flatten()
+            .copied()
+            .max()
+            .unwrap_or(0) as f64
+            / period;
+        let t_ave = receive_time
+            .iter()
+            .map(|t| t.unwrap_or(now) as f64)
+            .sum::<f64>()
+            / n as f64
+            / period;
+        let periods_elapsed = (now as f64 / period).max(1.0);
+        let compare_per_link_period = compare_traffic.mean_per_link() / periods_elapsed;
+        AsyncRunResult {
+            t_last,
+            t_ave,
+            exchanges,
+            compare_traffic,
+            update_traffic,
+            compare_per_link_period,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spatial_ae::AntiEntropySim;
+    use epidemic_net::topologies;
+
+    #[test]
+    fn converges_and_accounts_traffic() {
+        let topo = topologies::grid(&[5, 5]);
+        let sim = AsyncAntiEntropySim::new(&topo, Spatial::Uniform, 0.2);
+        let r = sim.run(1, Some(topo.sites()[0]));
+        assert!(r.t_last > 0.0);
+        assert!(r.t_ave <= r.t_last);
+        assert!(r.update_traffic.total() > 0);
+        assert!(r.exchanges >= 24);
+    }
+
+    #[test]
+    fn asynchronous_matches_synchronous_convergence_roughly() {
+        // The ablation claim: measured in periods, asynchronous t_last is
+        // within a factor ~1.6 of the synchronous cycle count.
+        let topo = topologies::grid(&[6, 6]);
+        let sync = AntiEntropySim::new(&topo, Spatial::Uniform);
+        let async_ = AsyncAntiEntropySim::new(&topo, Spatial::Uniform, 0.3);
+        let trials = 15;
+        let mut sync_mean = 0.0;
+        let mut async_mean = 0.0;
+        for seed in 0..trials {
+            sync_mean += f64::from(sync.run(seed, Some(topo.sites()[0])).t_last);
+            async_mean += async_.run(seed, Some(topo.sites()[0])).t_last;
+        }
+        sync_mean /= f64::from(trials as u32);
+        async_mean /= f64::from(trials as u32);
+        let ratio = async_mean / sync_mean;
+        assert!(
+            (0.6..1.7).contains(&ratio),
+            "async {async_mean} vs sync {sync_mean} (ratio {ratio})"
+        );
+    }
+
+    #[test]
+    fn jitter_zero_is_allowed_and_deterministic() {
+        let topo = topologies::ring(12);
+        let sim = AsyncAntiEntropySim::new(&topo, Spatial::QsPower { a: 2.0 }, 0.0);
+        let a = sim.run(7, None);
+        let b = sim.run(7, None);
+        assert_eq!(a.exchanges, b.exchanges);
+        assert_eq!(a.t_last, b.t_last);
+    }
+
+    #[test]
+    #[should_panic(expected = "jitter")]
+    fn rejects_out_of_range_jitter() {
+        let topo = topologies::ring(6);
+        AsyncAntiEntropySim::new(&topo, Spatial::Uniform, 1.5);
+    }
+}
+
+/// Event-driven rumor mongering under complete mixing: each site fires
+/// contacts on its own jittered timer instead of lockstep cycles —
+/// ablating the cycle model behind Tables 1–3.
+///
+/// Counter semantics are necessarily per-contact here (there is no cycle
+/// over which to aggregate pull feedback), so results are compared against
+/// the synchronous driver's *sequential* mode.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+/// use epidemic_sim::event::AsyncRumorEpidemic;
+///
+/// let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback,
+///                            Removal::Counter { k: 3 });
+/// let r = AsyncRumorEpidemic::new(cfg, 0.2).run(300, 5);
+/// assert!(r.residue < 0.2);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncRumorEpidemic {
+    cfg: epidemic_core::RumorConfig,
+    jitter: f64,
+    max_events: u64,
+}
+
+/// Result of one asynchronous rumor epidemic.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AsyncRumorResult {
+    /// Fraction of sites still susceptible at quiescence.
+    pub residue: f64,
+    /// Updates sent per site.
+    pub traffic: f64,
+    /// Time (in periods) until the last receiving site got the update.
+    pub t_last: f64,
+    /// Whether every site received the update.
+    pub complete: bool,
+}
+
+impl AsyncRumorEpidemic {
+    /// Creates the driver.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0.0 <= jitter < 1.0`.
+    pub fn new(cfg: epidemic_core::RumorConfig, jitter: f64) -> Self {
+        assert!((0.0..1.0).contains(&jitter), "jitter must be in [0, 1)");
+        AsyncRumorEpidemic {
+            cfg,
+            jitter,
+            max_events: 10_000_000,
+        }
+    }
+
+    /// Runs one epidemic: a single update injected at site 0, each site
+    /// firing one contact per (jittered) period, until no rumor is hot.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run(&self, n: usize, seed: u64) -> AsyncRumorResult {
+        use epidemic_core::rumor;
+        assert!(n >= 2, "an epidemic needs at least two sites");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites: Vec<Replica<u32, u32>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .collect();
+        sites[0].client_update(KEY, 1);
+        let mut receive_time: Vec<Option<Micros>> = vec![None; n];
+        receive_time[0] = Some(0);
+        let period = AsyncAntiEntropySim::PERIOD;
+        let mut queue: BinaryHeap<Reverse<(Micros, usize)>> = (0..n)
+            .map(|i| Reverse((rng.random_range(0..period), i)))
+            .collect();
+        let mut sent: u64 = 0;
+        let mut events = 0u64;
+
+        while events < self.max_events {
+            // Quiescence: no site is infective.
+            if sites.iter().all(|s| s.hot().is_empty()) {
+                break;
+            }
+            let Some(Reverse((now, i))) = queue.pop() else {
+                break;
+            };
+            events += 1;
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (a, b) = crate::util::pair_mut(&mut sites, i, j);
+            let stats = match self.cfg.direction {
+                Direction::Push => rumor::push_contact(&self.cfg, a, b, &mut rng),
+                Direction::Pull => {
+                    let s = rumor::pull_contact(&self.cfg, a, b, &mut rng);
+                    // No cycle boundary exists: apply counters immediately.
+                    rumor::end_cycle(&self.cfg, b);
+                    s
+                }
+                Direction::PushPull => rumor::push_pull_contact(&self.cfg, a, b, &mut rng),
+            };
+            sent += stats.sent as u64;
+            for idx in [i, j] {
+                if receive_time[idx].is_none() && sites[idx].db().entry(&KEY).is_some() {
+                    receive_time[idx] = Some(now);
+                }
+            }
+            let jitter = 1.0 + self.jitter * (2.0 * rng.random::<f64>() - 1.0);
+            let next = now + (period as f64 * jitter).max(1.0) as Micros;
+            queue.push(Reverse((next, i)));
+        }
+
+        let susceptible = receive_time.iter().filter(|t| t.is_none()).count();
+        AsyncRumorResult {
+            residue: susceptible as f64 / n as f64,
+            traffic: sent as f64 / n as f64,
+            t_last: receive_time
+                .iter()
+                .flatten()
+                .copied()
+                .max()
+                .unwrap_or(0) as f64
+                / period as f64,
+            complete: susceptible == 0,
+        }
+    }
+}
+
+#[cfg(test)]
+mod rumor_tests {
+    use super::*;
+    use epidemic_core::{Feedback, Removal, RumorConfig};
+
+    fn cfg(k: u32) -> RumorConfig {
+        RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k })
+    }
+
+    #[test]
+    fn async_push_epidemic_completes_mostly() {
+        let r = AsyncRumorEpidemic::new(cfg(4), 0.3).run(400, 2);
+        assert!(r.residue < 0.05, "residue {}", r.residue);
+        assert!(r.traffic > 1.0);
+        assert!(r.t_last > 0.0);
+    }
+
+    #[test]
+    fn async_matches_synchronous_sequential_mode_roughly() {
+        use crate::mixing::RumorEpidemic;
+        let trials = 15;
+        let sync_driver = RumorEpidemic::new(cfg(2)).synchronous(false);
+        let async_driver = AsyncRumorEpidemic::new(cfg(2), 0.3);
+        let mut sync_res = 0.0;
+        let mut async_res = 0.0;
+        for seed in 0..trials {
+            sync_res += sync_driver.run(500, seed).residue;
+            async_res += async_driver.run(500, seed).residue;
+        }
+        sync_res /= f64::from(trials as u32);
+        async_res /= f64::from(trials as u32);
+        assert!(
+            (async_res - sync_res).abs() < 0.05,
+            "async {async_res} vs sync {sync_res}"
+        );
+    }
+
+    #[test]
+    fn pull_works_without_cycle_boundaries() {
+        let cfg = RumorConfig::new(
+            Direction::Pull,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
+        let r = AsyncRumorEpidemic::new(cfg, 0.2).run(300, 3);
+        assert!(r.residue < 0.1, "residue {}", r.residue);
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = AsyncRumorEpidemic::new(cfg(3), 0.25).run(200, 9);
+        let b = AsyncRumorEpidemic::new(cfg(3), 0.25).run(200, 9);
+        assert_eq!(a, b);
+    }
+}

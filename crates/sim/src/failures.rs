@@ -1,0 +1,237 @@
+//! Failure injection for spatial anti-entropy (paper §2: "there is a
+//! fairly high probability that at any time some site will be down (or
+//! unreachable) for hours or even days").
+//!
+//! Each site independently alternates between up and down states with
+//! geometric sojourn times. A down site neither initiates nor accepts
+//! conversations (connections to it simply fail, like the paper's
+//! unreachable servers); anti-entropy's claim is that distribution still
+//! completes, merely stretched by the unavailable capacity.
+
+use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_db::SiteId;
+use epidemic_net::{PartnerSampler, Routes, Spatial, Topology};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::{RngExt, SeedableRng};
+
+use crate::util::pair_mut;
+
+/// Churn model: per-cycle transition probabilities of the two-state
+/// up/down Markov chain at each site.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Churn {
+    /// Probability an up site goes down at the start of a cycle.
+    pub fail: f64,
+    /// Probability a down site comes back at the start of a cycle.
+    pub recover: f64,
+}
+
+impl Churn {
+    /// The stationary fraction of time a site spends down.
+    pub fn down_fraction(&self) -> f64 {
+        if self.fail + self.recover == 0.0 {
+            0.0
+        } else {
+            self.fail / (self.fail + self.recover)
+        }
+    }
+}
+
+/// Result of one churn run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChurnRunResult {
+    /// Cycles until every site (including ones that were down) received
+    /// the update.
+    pub t_last: u32,
+    /// Whether full coverage was reached within the cycle bound.
+    pub complete: bool,
+    /// Mean fraction of sites down per cycle (sanity check vs the model).
+    pub observed_down_fraction: f64,
+}
+
+/// Spatial anti-entropy under site churn.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::{topologies, Spatial};
+/// use epidemic_sim::failures::{Churn, ChurnedAntiEntropySim};
+///
+/// let topo = topologies::grid(&[5, 5]);
+/// let churn = Churn { fail: 0.05, recover: 0.2 };
+/// let sim = ChurnedAntiEntropySim::new(&topo, Spatial::Uniform, churn);
+/// let r = sim.run(3, None);
+/// assert!(r.complete);
+/// ```
+#[derive(Debug)]
+pub struct ChurnedAntiEntropySim<'a> {
+    topology: &'a Topology,
+    routes: Routes,
+    sampler: PartnerSampler,
+    churn: Churn,
+    max_cycles: u32,
+}
+
+const KEY: u32 = 0;
+
+impl<'a> ChurnedAntiEntropySim<'a> {
+    /// Builds the simulator.
+    pub fn new(topology: &'a Topology, spatial: Spatial, churn: Churn) -> Self {
+        let routes = Routes::compute(topology);
+        let sampler = PartnerSampler::new(topology, &routes, spatial);
+        ChurnedAntiEntropySim {
+            topology,
+            routes,
+            sampler,
+            churn,
+            max_cycles: 50_000,
+        }
+    }
+
+    /// Shortest-path tables (for traffic assertions in tests).
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// Runs one experiment: single update at `origin` (random when
+    /// `None`), push-pull anti-entropy each cycle among *up* sites.
+    pub fn run(&self, seed: u64, origin: Option<SiteId>) -> ChurnRunResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites = self.topology.sites();
+        let n = sites.len();
+        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
+        let mut replicas: Vec<Replica<u32, u32>> =
+            sites.iter().map(|&s| Replica::new(s)).collect();
+        let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
+        let origin_idx = index_of(origin);
+        replicas[origin_idx].client_update(KEY, 1);
+        replicas[origin_idx].hot_mut().clear();
+        let mut have = vec![false; n];
+        have[origin_idx] = true;
+        let mut have_count = 1;
+
+        let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let mut up = vec![true; n];
+        let mut down_cycles = 0u64;
+        let mut cycle = 0;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        while have_count < n && cycle < self.max_cycles {
+            cycle += 1;
+            for status in up.iter_mut() {
+                if *status {
+                    if rng.random::<f64>() < self.churn.fail {
+                        *status = false;
+                    }
+                } else if rng.random::<f64>() < self.churn.recover {
+                    *status = true;
+                }
+            }
+            down_cycles += up.iter().filter(|&&u| !u).count() as u64;
+            order.shuffle(&mut rng);
+            for &i in &order {
+                if !up[i] {
+                    continue;
+                }
+                let j = index_of(self.sampler.sample(sites[i], &mut rng));
+                if !up[j] {
+                    continue; // the partner is unreachable: connection fails
+                }
+                let (a, b) = pair_mut(&mut replicas, i, j);
+                let stats = protocol.exchange(a, b);
+                if stats.update_flowed() {
+                    for idx in [i, j] {
+                        if !have[idx] && replicas[idx].db().entry(&KEY).is_some() {
+                            have[idx] = true;
+                            have_count += 1;
+                        }
+                    }
+                }
+            }
+        }
+        ChurnRunResult {
+            t_last: cycle,
+            complete: have_count == n,
+            observed_down_fraction: if cycle == 0 {
+                0.0
+            } else {
+                down_cycles as f64 / (f64::from(cycle) * n as f64)
+            },
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_net::topologies;
+
+    #[test]
+    fn churn_model_stationary_fraction() {
+        let churn = Churn {
+            fail: 0.1,
+            recover: 0.3,
+        };
+        assert!((churn.down_fraction() - 0.25).abs() < 1e-12);
+        assert_eq!(Churn { fail: 0.0, recover: 0.0 }.down_fraction(), 0.0);
+    }
+
+    #[test]
+    fn anti_entropy_survives_heavy_churn() {
+        // A third of the fleet is down at any moment; distribution still
+        // completes with probability 1 (§2's premise for why snapshot
+        // protocols stall but anti-entropy does not).
+        let topo = topologies::grid(&[6, 6]);
+        let churn = Churn {
+            fail: 0.1,
+            recover: 0.2,
+        };
+        let sim = ChurnedAntiEntropySim::new(&topo, Spatial::Uniform, churn);
+        for seed in 0..10 {
+            let r = sim.run(seed, Some(topo.sites()[0]));
+            assert!(r.complete, "seed {seed}: {r:?}");
+            assert!((r.observed_down_fraction - churn.down_fraction()).abs() < 0.15);
+        }
+    }
+
+    #[test]
+    fn churn_slows_but_does_not_stop_convergence() {
+        let topo = topologies::grid(&[6, 6]);
+        let quiet = ChurnedAntiEntropySim::new(
+            &topo,
+            Spatial::Uniform,
+            Churn { fail: 0.0, recover: 1.0 },
+        );
+        let stormy = ChurnedAntiEntropySim::new(
+            &topo,
+            Spatial::Uniform,
+            Churn { fail: 0.2, recover: 0.2 },
+        );
+        let mean = |sim: &ChurnedAntiEntropySim, seeds: u64| {
+            (0..seeds)
+                .map(|s| f64::from(sim.run(s, Some(topo.sites()[0])).t_last))
+                .sum::<f64>()
+                / seeds as f64
+        };
+        let quiet_t = mean(&quiet, 10);
+        let stormy_t = mean(&stormy, 10);
+        assert!(
+            stormy_t > quiet_t,
+            "stormy {stormy_t} should exceed quiet {quiet_t}"
+        );
+    }
+
+    #[test]
+    fn zero_churn_matches_plain_simulation_behaviour() {
+        let topo = topologies::ring(16);
+        let sim = ChurnedAntiEntropySim::new(
+            &topo,
+            Spatial::QsPower { a: 2.0 },
+            Churn { fail: 0.0, recover: 1.0 },
+        );
+        let r = sim.run(5, Some(topo.sites()[0]));
+        assert!(r.complete);
+        assert_eq!(r.observed_down_fraction, 0.0);
+    }
+}

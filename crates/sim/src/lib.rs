@@ -1,0 +1,67 @@
+//! Round-synchronous simulator for the epidemic protocols — the harness
+//! behind every table and figure of Demers et al. (PODC 1987).
+//!
+//! The paper evaluates its protocols with cycle-based simulations: in each
+//! cycle every (relevant) site chooses a partner and performs one protocol
+//! exchange. This crate provides those drivers:
+//!
+//! * [`mixing`] — uniform complete-mixing rumor epidemics on `n` sites
+//!   (Tables 1–3): residue, traffic `m`, `t_ave`, `t_last`, with connection
+//!   limits and hunting;
+//! * [`spatial_ae`] — anti-entropy on a real topology with spatial partner
+//!   selection and per-link traffic accounting (Tables 4–5);
+//! * [`spatial_rumor`] — rumor mongering on a topology (§3.2), including
+//!   the minimal-`k` search used to match Table 4 and the Figure 1/2
+//!   pathology demonstrations;
+//! * [`scenario`] — end-to-end workloads: direct mail with anti-entropy
+//!   backup (the Clearinghouse configuration), deletion with death
+//!   certificates, dormant-certificate reactivation, partitions, crashes;
+//! * [`steady`] — steady-state anti-entropy under continuous updates: the
+//!   §1.3 checksum/recent-list window trade-off;
+//! * [`event`] — a discrete-event, per-site-timer driver ablating the
+//!   synchronous-cycle assumption;
+//! * [`failures`] — spatial anti-entropy under site churn (§2's
+//!   hours-to-days downtime);
+//! * [`rumor_steady`] — continuous-update rumor mongering: §1.4's
+//!   push-vs-pull update-rate trade-off;
+//! * [`stats`] — small summary-statistics helpers.
+//!
+//! Everything is deterministic given a seed.
+//!
+//! # Example
+//!
+//! ```
+//! use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+//! use epidemic_sim::mixing::RumorEpidemic;
+//!
+//! // One trial of Table 1's protocol at k = 2 on 200 sites.
+//! let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+//! let result = RumorEpidemic::new(cfg).run(200, 42);
+//! assert!(result.residue < 0.5);
+//! assert!(result.traffic > 0.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod event;
+pub mod failures;
+pub mod mixing;
+pub mod rumor_steady;
+pub mod scenario;
+pub mod spatial_ae;
+pub mod spatial_steady;
+pub mod steady;
+pub mod spatial_rumor;
+pub mod stats;
+mod util;
+
+pub use event::{AsyncAntiEntropySim, AsyncRumorEpidemic, AsyncRumorResult, AsyncRunResult};
+pub use failures::{Churn, ChurnRunResult, ChurnedAntiEntropySim};
+pub use mixing::{EpidemicResult, RumorEpidemic};
+pub use spatial_ae::{AntiEntropySim, SpatialRunResult};
+pub use spatial_rumor::SpatialRumorSim;
+pub use rumor_steady::{RumorSteadyConfig, RumorSteadyReport, RumorSteadySim};
+pub use spatial_steady::{SpatialSteadyConfig, SpatialSteadyReport, SpatialSteadySim};
+pub use steady::{SteadyStateReport, SteadyStateSim};
+pub use stats::{Quantiles, Summary};

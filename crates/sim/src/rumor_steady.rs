@@ -1,0 +1,266 @@
+//! Steady-state rumor mongering under continuous update injection —
+//! §1.4's push-vs-pull trade-off.
+//!
+//! "If there are numerous independent updates a *pull* request is likely
+//! to find a source with a non-empty rumor list, triggering useful
+//! information flow. By contrast, if the database is quiescent, the *push*
+//! algorithm ceases to introduce traffic overhead, while the *pull*
+//! variation continues to inject fruitless requests for updates. Our own
+//! CIN application has a high enough update rate to warrant the use of
+//! pull."
+//!
+//! This driver injects updates at a configurable rate and measures, per
+//! variant: updates delivered, update messages sent, *fruitless contacts*
+//! (conversations that moved nothing — pull's idle polling, push's
+//! redundant sends), and the residue of rumors that quiesced before
+//! reaching everyone.
+
+use epidemic_core::rumor::{self, RumorConfig};
+use epidemic_core::{Direction, Replica};
+use epidemic_db::SiteId;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::util::pair_mut;
+
+/// Configuration for the steady-state rumor experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RumorSteadyConfig {
+    /// Number of sites.
+    pub sites: usize,
+    /// New updates injected per cycle at uniformly random sites.
+    pub updates_per_cycle: f64,
+    /// Cycles of injection.
+    pub inject_cycles: u32,
+    /// Additional drain cycles after injection stops (so every rumor can
+    /// run to quiescence before measurement ends).
+    pub drain_cycles: u32,
+}
+
+impl Default for RumorSteadyConfig {
+    fn default() -> Self {
+        RumorSteadyConfig {
+            sites: 200,
+            updates_per_cycle: 1.0,
+            inject_cycles: 100,
+            drain_cycles: 200,
+        }
+    }
+}
+
+/// Measurements from one steady-state rumor run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RumorSteadyReport {
+    /// Updates injected over the run.
+    pub injected: u32,
+    /// Mean fraction of sites each update reached by the end.
+    pub coverage: f64,
+    /// Update messages sent per delivered copy (traffic efficiency).
+    pub messages_per_delivery: f64,
+    /// Conversations that transferred nothing, per cycle — pull's idle
+    /// polling cost, push's redundant contacts.
+    pub fruitless_per_cycle: f64,
+    /// Conversations attempted per cycle (the fixed protocol overhead).
+    pub contacts_per_cycle: f64,
+}
+
+/// Driver for steady-state rumor mongering under complete mixing.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+/// use epidemic_sim::rumor_steady::{RumorSteadyConfig, RumorSteadySim};
+///
+/// let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback,
+///                            Removal::Counter { k: 2 });
+/// let sim = RumorSteadySim::new(cfg, RumorSteadyConfig::default());
+/// let report = sim.run(7);
+/// assert!(report.coverage > 0.9);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RumorSteadySim {
+    cfg: RumorConfig,
+    config: RumorSteadyConfig,
+}
+
+impl RumorSteadySim {
+    /// Creates the driver.
+    pub fn new(cfg: RumorConfig, config: RumorSteadyConfig) -> Self {
+        RumorSteadySim { cfg, config }
+    }
+
+    /// Runs the workload.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the configuration has fewer than two sites.
+    pub fn run(&self, seed: u64) -> RumorSteadyReport {
+        let n = self.config.sites;
+        assert!(n >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites: Vec<Replica<u32, u32>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .collect();
+        let mut injected = 0u32;
+        let mut next_key = 0u32;
+        let mut carry = 0.0;
+        let mut sent = 0u64;
+        let mut useful = 0u64;
+        let mut fruitless = 0u64;
+        let mut contacts = 0u64;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        let total_cycles = self.config.inject_cycles + self.config.drain_cycles;
+        for cycle in 1..=total_cycles {
+            let time = u64::from(cycle) * 10;
+            for r in sites.iter_mut() {
+                r.advance_clock(time);
+            }
+            if cycle <= self.config.inject_cycles {
+                carry += self.config.updates_per_cycle;
+                while carry >= 1.0 {
+                    carry -= 1.0;
+                    let site = rng.random_range(0..n);
+                    sites[site].client_update(next_key, cycle);
+                    next_key += 1;
+                    injected += 1;
+                }
+            }
+            match self.cfg.direction {
+                Direction::Push => {
+                    // Only infective sites act; a quiescent network costs
+                    // nothing.
+                    let mut initiators: Vec<usize> =
+                        (0..n).filter(|&i| !sites[i].hot().is_empty()).collect();
+                    initiators.shuffle(&mut rng);
+                    for i in initiators {
+                        let mut j = rng.random_range(0..n - 1);
+                        if j >= i {
+                            j += 1;
+                        }
+                        let (a, b) = pair_mut(&mut sites, i, j);
+                        let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
+                        contacts += 1;
+                        sent += stats.sent as u64;
+                        useful += stats.useful as u64;
+                        if stats.useful == 0 {
+                            fruitless += 1;
+                        }
+                    }
+                }
+                Direction::Pull | Direction::PushPull => {
+                    // Every site polls every cycle, quiescent or not.
+                    order.shuffle(&mut rng);
+                    for &i in &order {
+                        let mut j = rng.random_range(0..n - 1);
+                        if j >= i {
+                            j += 1;
+                        }
+                        let (a, b) = pair_mut(&mut sites, i, j);
+                        let stats = if self.cfg.direction == Direction::Pull {
+                            rumor::pull_contact(&self.cfg, a, b, &mut rng)
+                        } else {
+                            rumor::push_pull_contact(&self.cfg, a, b, &mut rng)
+                        };
+                        contacts += 1;
+                        sent += stats.sent as u64;
+                        useful += stats.useful as u64;
+                        if stats.useful == 0 {
+                            fruitless += 1;
+                        }
+                    }
+                    if self.cfg.direction == Direction::Pull {
+                        for site in sites.iter_mut() {
+                            rumor::end_cycle(&self.cfg, site);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Coverage: each injected key should be at (nearly) all n sites.
+        let held: u64 = sites
+            .iter()
+            .map(|s| s.db().len() as u64)
+            .sum();
+        let coverage = if injected == 0 {
+            1.0
+        } else {
+            held as f64 / (u64::from(injected) * n as u64) as f64
+        };
+        RumorSteadyReport {
+            injected,
+            coverage,
+            messages_per_delivery: if useful == 0 {
+                0.0
+            } else {
+                sent as f64 / useful as f64
+            },
+            fruitless_per_cycle: fruitless as f64 / f64::from(total_cycles),
+            contacts_per_cycle: contacts as f64 / f64::from(total_cycles),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_core::{Feedback, Removal};
+
+    fn cfg(direction: Direction, k: u32) -> RumorConfig {
+        RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k })
+    }
+
+    #[test]
+    fn quiescent_push_costs_nothing_but_pull_keeps_polling() {
+        let config = RumorSteadyConfig {
+            updates_per_cycle: 0.0,
+            inject_cycles: 0,
+            drain_cycles: 50,
+            ..RumorSteadyConfig::default()
+        };
+        let push = RumorSteadySim::new(cfg(Direction::Push, 2), config).run(1);
+        let pull = RumorSteadySim::new(cfg(Direction::Pull, 2), config).run(1);
+        assert_eq!(push.contacts_per_cycle, 0.0, "§1.4: push goes silent");
+        assert!(
+            pull.fruitless_per_cycle > 100.0,
+            "§1.4: pull keeps injecting fruitless requests: {}",
+            pull.fruitless_per_cycle
+        );
+    }
+
+    #[test]
+    fn busy_network_makes_pull_efficient() {
+        let config = RumorSteadyConfig {
+            updates_per_cycle: 4.0,
+            ..RumorSteadyConfig::default()
+        };
+        let pull = RumorSteadySim::new(cfg(Direction::Pull, 2), config).run(2);
+        assert!(pull.coverage > 0.95, "coverage {}", pull.coverage);
+        // At 4 updates/cycle most polls find a non-empty rumor list.
+        assert!(
+            pull.fruitless_per_cycle < 0.7 * pull.contacts_per_cycle,
+            "fruitless {} of {}",
+            pull.fruitless_per_cycle,
+            pull.contacts_per_cycle
+        );
+    }
+
+    #[test]
+    fn push_and_pull_both_deliver_under_load() {
+        let config = RumorSteadyConfig::default();
+        for direction in [Direction::Push, Direction::Pull] {
+            let r = RumorSteadySim::new(cfg(direction, 3), config).run(3);
+            assert!(r.coverage > 0.9, "{direction:?} coverage {}", r.coverage);
+            assert!(r.messages_per_delivery >= 1.0);
+        }
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let sim = RumorSteadySim::new(cfg(Direction::Pull, 2), RumorSteadyConfig::default());
+        assert_eq!(sim.run(11), sim.run(11));
+    }
+}

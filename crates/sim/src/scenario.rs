@@ -1,0 +1,685 @@
+//! End-to-end workloads combining the protocols (paper §1.2, §1.5, §2).
+//!
+//! * [`ClearinghouseScenario`] — the production configuration the paper
+//!   describes: direct mail for initial distribution (fallible), periodic
+//!   anti-entropy as the backup, with a configurable redistribution policy.
+//! * [`resurrection_without_certificates`] — §2's motivating failure: naive
+//!   deletion is undone by the propagation mechanism.
+//! * [`DormantDeathScenario`] — §2.1–2.2: a site that was down for longer
+//!   than `τ₁` rejoins with an obsolete item; a dormant death certificate
+//!   awakens and re-cancels it everywhere.
+
+use epidemic_core::{
+    AntiEntropy, BackupAntiEntropy, Comparison, DirectMail, Direction, MailConfig, MailSystem,
+    Redistribution, Replica,
+};
+use epidemic_db::{GcPolicy, SiteId};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::util::pair_mut;
+
+/// Configuration for the Clearinghouse-style workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClearinghouseScenario {
+    /// Number of database sites.
+    pub sites: usize,
+    /// Failure model of the mail transport.
+    pub mail: MailConfig,
+    /// Client updates injected, one per cycle starting at cycle 1, each at
+    /// a random site.
+    pub updates: usize,
+    /// Anti-entropy runs every this many cycles (0 disables it).
+    pub anti_entropy_every: u32,
+    /// What anti-entropy does with discovered updates (§1.5).
+    pub redistribution: Redistribution,
+    /// When `Some(k)`, sites run push rumor mongering every cycle with
+    /// feedback counters at threshold `k` — the initial-distribution role
+    /// rumors play in §1.5, and what makes [`Redistribution::Rumor`]
+    /// actually spread rediscovered updates.
+    pub rumor_k: Option<u32>,
+    /// Safety bound on simulated cycles.
+    pub max_cycles: u32,
+}
+
+impl Default for ClearinghouseScenario {
+    fn default() -> Self {
+        ClearinghouseScenario {
+            sites: 50,
+            mail: MailConfig {
+                loss_probability: 0.05,
+                queue_capacity: 1_000,
+            },
+            updates: 20,
+            anti_entropy_every: 5,
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 10_000,
+        }
+    }
+}
+
+/// Outcome of a Clearinghouse workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClearinghouseReport {
+    /// First cycle at which every replica was identical (after all updates
+    /// were injected); `None` if never within the bound.
+    pub consistent_at: Option<u32>,
+    /// Mail messages lost or dropped by overflow.
+    pub mail_failures: usize,
+    /// Mail messages delivered.
+    pub mail_delivered: usize,
+    /// Entries shipped by anti-entropy (the repairs).
+    pub ae_repairs: usize,
+}
+
+impl ClearinghouseScenario {
+    /// Runs the workload to consistency (or the cycle bound).
+    pub fn run(&self, seed: u64) -> ClearinghouseReport {
+        assert!(self.sites >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.sites;
+        let mut replicas: Vec<Replica<u32, u64>> =
+            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let mut mail: MailSystem<u32, u64> = MailSystem::new(n, self.mail);
+        let direct = DirectMail::new();
+        let backup = BackupAntiEntropy::new(self.redistribution);
+        let everyone: Vec<SiteId> = (0..n as u32).map(SiteId::new).collect();
+        let mut ae_repairs = 0usize;
+        let mut consistent_at = None;
+
+        for cycle in 1..=self.max_cycles {
+            for r in &mut replicas {
+                r.advance_clock(u64::from(cycle));
+            }
+            // Client activity: one update per cycle while any remain.
+            if (cycle as usize) <= self.updates {
+                let at = rng.random_range(0..n);
+                let key = cycle; // unique key per update
+                replicas[at].client_update(key, u64::from(cycle));
+                direct.broadcast(&replicas[at], &everyone, &key, &mut mail, &mut rng);
+            }
+            // Mail delivery.
+            for replica in replicas.iter_mut() {
+                direct.deliver(replica, &mut mail);
+            }
+            // Rumor mongering for whatever is hot (client updates start
+            // hot; under Redistribution::Rumor, so do rediscoveries).
+            if let Some(k) = self.rumor_k {
+                use epidemic_core::rumor::{self, RumorConfig};
+                use epidemic_core::{Direction, Feedback, Removal};
+                let cfg = RumorConfig::new(
+                    Direction::Push,
+                    Feedback::Feedback,
+                    Removal::Counter { k },
+                );
+                let infective: Vec<usize> =
+                    (0..n).filter(|&i| !replicas[i].hot().is_empty()).collect();
+                for i in infective {
+                    let mut j = rng.random_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let (a, b) = pair_mut(&mut replicas, i, j);
+                    rumor::push_contact(&cfg, a, b, &mut rng);
+                }
+            }
+            // Periodic anti-entropy backup.
+            if self.anti_entropy_every > 0 && cycle % self.anti_entropy_every == 0 {
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(&mut rng);
+                for i in order {
+                    let mut j = rng.random_range(0..n - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    let (a, b) = pair_mut(&mut replicas, i, j);
+                    let outcome = backup.exchange(a, b);
+                    ae_repairs += outcome.stats.total_sent();
+                    // Mail redistribution (§1.5's expensive option).
+                    for (key, entry) in outcome.remail {
+                        for &to in &everyone {
+                            mail.post(to, key, entry.clone(), &mut rng);
+                        }
+                    }
+                }
+            }
+            // Consistency check once all updates are in flight.
+            if (cycle as usize) >= self.updates {
+                let first = &replicas[0];
+                if replicas[1..].iter().all(|r| r.db() == first.db())
+                    && first.db().len() == self.updates
+                {
+                    consistent_at = Some(cycle);
+                    break;
+                }
+            }
+        }
+        let stats = mail.stats();
+        ClearinghouseReport {
+            consistent_at,
+            mail_failures: stats.lost + stats.overflowed,
+            mail_delivered: stats.delivered,
+            ae_repairs,
+        }
+    }
+}
+
+/// Demonstrates §2's motivating failure: if a site deletes an item by
+/// simply forgetting it (no death certificate), anti-entropy resurrects the
+/// item from the other replicas. Returns `true` if the item is back at the
+/// deleting site afterwards (it always is).
+pub fn resurrection_without_certificates(sites: usize, seed: u64) -> bool {
+    assert!(sites >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut replicas: Vec<Replica<&str, u32>> = (0..sites)
+        .map(|i| Replica::new(SiteId::new(i as u32)))
+        .collect();
+    let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+    replicas[0].client_update("item", 7);
+    converge(&mut replicas, &ae, &mut rng);
+
+    // "Delete" at site 0 by rebuilding its replica without the item — the
+    // naive removal the paper warns against.
+    let fresh = Replica::new(SiteId::new(0));
+    replicas[0] = fresh;
+
+    converge(&mut replicas, &ae, &mut rng);
+    replicas[0].db().get(&"item") == Some(&7)
+}
+
+/// Configuration for the dormant-death-certificate scenario (§2.1–2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DormantDeathScenario {
+    /// Number of sites (including the one that goes down).
+    pub sites: usize,
+    /// Active retention window `τ₁` in ticks.
+    pub tau1: u64,
+    /// Dormant retention window `τ₂` in ticks.
+    pub tau2: u64,
+    /// Number of retention sites `r` for the certificate.
+    pub retention: usize,
+}
+
+impl Default for DormantDeathScenario {
+    fn default() -> Self {
+        DormantDeathScenario {
+            sites: 20,
+            tau1: 50,
+            tau2: 100_000,
+            retention: 2,
+        }
+    }
+}
+
+/// Outcome of the dormant-certificate run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DormantReport {
+    /// Dormant certificates awakened during the rejoin.
+    pub awakened: usize,
+    /// Whether the obsolete item was cancelled everywhere at the end.
+    pub obsolete_cancelled: bool,
+    /// Sites still holding a (non-dormant) death certificate after GC —
+    /// should be 0 once `τ₁` has passed.
+    pub certificates_active_after_gc: usize,
+}
+
+impl DormantDeathScenario {
+    /// Runs the scenario:
+    ///
+    /// 1. all sites converge on an item;
+    /// 2. one site goes down;
+    /// 3. the item is deleted with `r` retention sites; the deletion
+    ///    propagates and, after `τ₁`, every site garbage-collects (dormant
+    ///    copies remain only at retention sites);
+    /// 4. the down site rejoins with its obsolete copy — a dormant
+    ///    certificate must awaken and cancel it everywhere.
+    pub fn run(&self, seed: u64) -> DormantReport {
+        assert!(self.sites >= 4);
+        assert!(self.retention >= 1 && self.retention < self.sites - 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.sites;
+        let mut replicas: Vec<Replica<&str, u32>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .collect();
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+
+        // 1. Converge on the item.
+        replicas[0].client_update("item", 7);
+        converge(&mut replicas, &ae, &mut rng);
+
+        // 2. Site n-1 goes down (simply excluded from further exchanges).
+        let down = n - 1;
+
+        // 3. Delete with retention sites (never the down site).
+        let retention: Vec<SiteId> = (1..=self.retention).map(|i| SiteId::new(i as u32)).collect();
+        replicas[0].client_delete_with_retention(&"item", retention);
+        converge_excluding(&mut replicas, down, &ae, &mut rng);
+
+        // Time passes beyond tau1; everyone garbage-collects.
+        let later = replicas[0].local_time() + self.tau1 + 1;
+        let policy = GcPolicy::Dormant {
+            tau1: self.tau1,
+            tau2: self.tau2,
+        };
+        let mut active_after_gc = 0;
+        for (i, r) in replicas.iter_mut().enumerate() {
+            if i == down {
+                continue;
+            }
+            r.advance_clock(later);
+            r.collect_garbage(policy);
+            active_after_gc += r.db().dead_len();
+        }
+
+        // 4. The down site rejoins, obsolete item intact, and gossips
+        //    until the awakened certificate has cancelled the obsolete
+        //    item everywhere (or a generous exchange budget runs out).
+        replicas[down].advance_clock(later);
+        let mut awakened = 0;
+        let mut obsolete_cancelled = false;
+        for _ in 0..50 * n {
+            if replicas.iter().all(|r| r.db().get(&"item").is_none()) {
+                obsolete_cancelled = true;
+                break;
+            }
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (a, b) = pair_mut(&mut replicas, i, j);
+            awakened += ae.exchange(a, b).awakened;
+        }
+        DormantReport {
+            awakened,
+            obsolete_cancelled,
+            certificates_active_after_gc: active_after_gc,
+        }
+    }
+}
+
+/// Runs random push-pull anti-entropy rounds until all replicas agree.
+fn converge(
+    replicas: &mut [Replica<&'static str, u32>],
+    ae: &AntiEntropy,
+    rng: &mut StdRng,
+) {
+    let n = replicas.len();
+    for _ in 0..50 * n {
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        let (a, b) = pair_mut(replicas, i, j);
+        ae.exchange(a, b);
+        let first = &replicas[0];
+        if replicas[1..].iter().all(|r| r.db() == first.db()) {
+            return;
+        }
+    }
+    panic!("replicas failed to converge within the exchange budget");
+}
+
+/// As [`converge`], but one site is down and excluded.
+fn converge_excluding(
+    replicas: &mut [Replica<&'static str, u32>],
+    down: usize,
+    ae: &AntiEntropy,
+    rng: &mut StdRng,
+) {
+    let n = replicas.len();
+    for _ in 0..50 * n {
+        let i = rng.random_range(0..n);
+        let mut j = rng.random_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        if i == down || j == down {
+            continue;
+        }
+        let (a, b) = pair_mut(replicas, i, j);
+        ae.exchange(a, b);
+        let up: Vec<_> = (0..n).filter(|&x| x != down).collect();
+        let first = &replicas[up[0]];
+        if up[1..].iter().all(|&x| replicas[x].db() == first.db()) {
+            return;
+        }
+    }
+    panic!("replicas failed to converge within the exchange budget");
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearinghouse_reaches_consistency_despite_lossy_mail() {
+        let scenario = ClearinghouseScenario {
+            sites: 30,
+            mail: MailConfig {
+                loss_probability: 0.2,
+                queue_capacity: 100,
+            },
+            updates: 10,
+            anti_entropy_every: 3,
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 2_000,
+        };
+        let report = scenario.run(11);
+        assert!(report.consistent_at.is_some());
+        assert!(report.mail_failures > 0, "the mail should actually fail");
+        assert!(report.ae_repairs > 0, "anti-entropy should repair losses");
+    }
+
+    #[test]
+    fn without_anti_entropy_lossy_mail_leaves_holes() {
+        let scenario = ClearinghouseScenario {
+            sites: 30,
+            mail: MailConfig {
+                loss_probability: 0.2,
+                queue_capacity: 100,
+            },
+            updates: 10,
+            anti_entropy_every: 0, // disabled
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 300,
+        };
+        let report = scenario.run(11);
+        assert_eq!(report.consistent_at, None);
+    }
+
+    #[test]
+    fn perfect_mail_needs_no_repairs() {
+        let scenario = ClearinghouseScenario {
+            sites: 20,
+            mail: MailConfig::default(),
+            updates: 5,
+            anti_entropy_every: 4,
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 500,
+        };
+        let report = scenario.run(3);
+        assert!(report.consistent_at.is_some());
+        assert_eq!(report.mail_failures, 0);
+    }
+
+    #[test]
+    fn naive_deletion_resurrects() {
+        assert!(resurrection_without_certificates(10, 5));
+    }
+
+    #[test]
+    fn dormant_certificates_cancel_rejoining_obsolete_data() {
+        let report = DormantDeathScenario::default().run(17);
+        assert!(report.awakened >= 1, "a dormant certificate must awaken");
+        assert!(report.obsolete_cancelled);
+        assert_eq!(
+            report.certificates_active_after_gc, 0,
+            "no active certificates should remain after tau1"
+        );
+    }
+}
+
+/// §1.5's partition claim: the peel-back ∪ rumor (activity list) protocol
+/// "behaves well when a network partitions and rejoins". Two halves evolve
+/// independently while partitioned; after the rejoin the fresh updates are
+/// exchanged first and the fleet converges with bounded traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionScenario {
+    /// Sites per partition half.
+    pub half: usize,
+    /// Updates injected in each half while partitioned.
+    pub updates_per_half: usize,
+    /// Batch size for the activity-list exchanges.
+    pub batch: usize,
+}
+
+impl Default for PartitionScenario {
+    fn default() -> Self {
+        PartitionScenario {
+            half: 8,
+            updates_per_half: 12,
+            batch: 4,
+        }
+    }
+}
+
+/// Outcome of [`PartitionScenario::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// Whether all replicas converged after the rejoin.
+    pub converged: bool,
+    /// Activity-list exchanges needed after the rejoin.
+    pub exchanges_after_rejoin: usize,
+    /// Entries shipped after the rejoin.
+    pub entries_after_rejoin: usize,
+}
+
+impl PartitionScenario {
+    /// Runs the scenario with the given seed.
+    pub fn run(&self, seed: u64) -> PartitionReport {
+        use epidemic_core::activity::{ActivityList, PeelBackRumor};
+        assert!(self.half >= 2);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = 2 * self.half;
+        let mut replicas: Vec<Replica<u32, u64>> =
+            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let mut lists: Vec<ActivityList<u32>> = (0..n).map(|_| ActivityList::new()).collect();
+        let protocol = PeelBackRumor::new(self.batch);
+
+        let exchange = |replicas: &mut Vec<Replica<u32, u64>>,
+                            lists: &mut Vec<ActivityList<u32>>,
+                            i: usize,
+                            j: usize| {
+            let (a, b) = pair_mut(replicas, i, j);
+            let (la, lb) = pair_mut(lists, i, j);
+            protocol.exchange(a, la, b, lb)
+        };
+
+        // Partitioned phase: updates and gossip stay within each half.
+        for u in 0..self.updates_per_half {
+            let time = (u as u64 + 1) * 10;
+            for r in replicas.iter_mut() {
+                r.advance_clock(time);
+            }
+            let left = rng.random_range(0..self.half);
+            let right = self.half + rng.random_range(0..self.half);
+            replicas[left].client_update(u as u32, 1);
+            replicas[right].client_update(1_000 + u as u32, 2);
+            // A few gossip rounds inside each half.
+            for _ in 0..2 {
+                for base in [0, self.half] {
+                    let i = base + rng.random_range(0..self.half);
+                    let mut j = base + rng.random_range(0..self.half - 1);
+                    if j >= i {
+                        j += 1;
+                    }
+                    exchange(&mut replicas, &mut lists, i, j);
+                }
+            }
+        }
+
+        // Rejoin: unrestricted gossip until convergence.
+        let mut exchanges = 0;
+        let mut entries = 0;
+        let converged = loop {
+            if replicas[1..].iter().all(|r| r.db() == replicas[0].db()) {
+                break true;
+            }
+            if exchanges > 200 * n {
+                break false;
+            }
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let stats = exchange(&mut replicas, &mut lists, i, j);
+            exchanges += 1;
+            entries += stats.total_sent();
+        };
+        PartitionReport {
+            converged,
+            exchanges_after_rejoin: exchanges,
+            entries_after_rejoin: entries,
+        }
+    }
+}
+
+/// Failure injection: a fraction of sites is down during the initial rumor
+/// spreading and comes back only for the anti-entropy backup phase —
+/// combining §1.4's failure mode with §1.5's remedy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashScenario {
+    /// Total sites.
+    pub sites: usize,
+    /// Fraction of sites down during rumor spreading.
+    pub down_fraction: f64,
+    /// Rumor counter parameter `k`.
+    pub k: u32,
+}
+
+impl Default for CrashScenario {
+    fn default() -> Self {
+        CrashScenario {
+            sites: 40,
+            down_fraction: 0.3,
+            k: 2,
+        }
+    }
+}
+
+/// Outcome of [`CrashScenario::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Sites missing the update when the rumor quiesced.
+    pub missed_by_rumor: usize,
+    /// Whether backup anti-entropy achieved full coverage afterwards.
+    pub repaired: bool,
+}
+
+impl CrashScenario {
+    /// Runs the scenario with the given seed.
+    pub fn run(&self, seed: u64) -> CrashReport {
+        use epidemic_core::rumor::{self, RumorConfig};
+        use epidemic_core::{Direction, Feedback, Removal};
+        assert!(self.sites >= 4);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let n = self.sites;
+        let mut replicas: Vec<Replica<u32, u64>> =
+            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let down_count = ((n as f64) * self.down_fraction) as usize;
+        // Sites 1..=down_count are down; site 0 injects the update.
+        let is_down = |i: usize| (1..=down_count).contains(&i);
+        replicas[0].client_update(0, 7);
+        let cfg = RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: self.k },
+        );
+        let mut guard = 0;
+        while replicas.iter().enumerate().any(|(i, r)| !is_down(i) && !r.hot().is_empty()) {
+            let infective: Vec<usize> = (0..n)
+                .filter(|&i| !is_down(i) && !replicas[i].hot().is_empty())
+                .collect();
+            for i in infective {
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                if is_down(j) {
+                    continue; // connection to a down site simply fails
+                }
+                let (a, b) = pair_mut(&mut replicas, i, j);
+                rumor::push_contact(&cfg, a, b, &mut rng);
+            }
+            guard += 1;
+            if guard > 10_000 {
+                break;
+            }
+        }
+        let missed_by_rumor = replicas
+            .iter()
+            .filter(|r| r.db().entry(&0).is_none())
+            .count();
+
+        // Everyone is back up; run backup anti-entropy to convergence.
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let mut exchanges = 0;
+        let repaired = loop {
+            if replicas.iter().all(|r| r.db().entry(&0).is_some()) {
+                break true;
+            }
+            if exchanges > 100 * n {
+                break false;
+            }
+            let i = rng.random_range(0..n);
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            let (a, b) = pair_mut(&mut replicas, i, j);
+            ae.exchange(a, b);
+            exchanges += 1;
+        };
+        CrashReport {
+            missed_by_rumor,
+            repaired,
+        }
+    }
+}
+
+#[cfg(test)]
+mod failure_tests {
+    use super::*;
+
+    #[test]
+    fn partition_rejoin_converges_with_bounded_traffic() {
+        let report = PartitionScenario::default().run(21);
+        assert!(report.converged);
+        // Each update must cross to 8 other sites: entries shipped is
+        // bounded by a small multiple of updates x sites.
+        assert!(report.entries_after_rejoin < 24 * 16 * 4);
+    }
+
+    #[test]
+    fn partition_rejoin_handles_conflicts() {
+        // Same keys written on both sides of the partition: timestamps
+        // decide, and both halves agree after rejoin.
+        let scenario = PartitionScenario {
+            updates_per_half: 6,
+            ..PartitionScenario::default()
+        };
+        for seed in 0..3 {
+            assert!(scenario.run(seed).converged);
+        }
+    }
+
+    #[test]
+    fn downed_sites_miss_rumors_but_backup_repairs() {
+        let report = CrashScenario::default().run(5);
+        assert!(
+            report.missed_by_rumor >= 12,
+            "the down sites cannot hear the rumor: {report:?}"
+        );
+        assert!(report.repaired);
+    }
+
+    #[test]
+    fn crash_free_run_misses_almost_nobody() {
+        let report = CrashScenario {
+            sites: 40,
+            down_fraction: 0.0,
+            k: 4,
+        }
+        .run(6);
+        assert!(report.missed_by_rumor <= 2, "{report:?}");
+        assert!(report.repaired);
+    }
+}

@@ -1,0 +1,274 @@
+//! Anti-entropy with spatial partner selection on a topology
+//! (paper §3.1, Tables 4 and 5).
+//!
+//! Each cycle, every database site initiates one anti-entropy conversation
+//! with a partner drawn from a [`Spatial`] distribution. Conversations are
+//! charged to every link on the shortest route between the participants:
+//! *compare traffic* counts conversations per link per cycle, *update
+//! traffic* counts the conversations in which the update actually had to be
+//! sent. Connection limits follow Table 5's pessimistic model: a site can
+//! *accept* at most `C` inbound conversations per cycle (its own outgoing
+//! conversation is not charged against it, matching the paper's 0.63
+//! success fraction at limit 1); rejected initiators may hunt.
+
+use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
+use epidemic_db::SiteId;
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::SeedableRng;
+
+use crate::util::pair_mut;
+
+/// Result of one spatial anti-entropy run (one update, one topology).
+#[derive(Debug, Clone)]
+pub struct SpatialRunResult {
+    /// Cycles until the last site received the update.
+    pub t_last: u32,
+    /// Mean cycles from injection to receipt over all sites.
+    pub t_ave: f64,
+    /// Conversations charged per link, accumulated over `t_last` cycles.
+    pub compare_traffic: LinkTraffic,
+    /// Update-bearing conversations charged per link, accumulated over the
+    /// whole run.
+    pub update_traffic: LinkTraffic,
+    /// Cycles simulated (equals `t_last`: the run stops at convergence).
+    pub cycles: u32,
+}
+
+impl SpatialRunResult {
+    /// Mean compare conversations per link *per cycle*.
+    pub fn compare_per_link_cycle(&self) -> f64 {
+        if self.cycles == 0 {
+            return 0.0;
+        }
+        self.compare_traffic.mean_per_link() / f64::from(self.cycles)
+    }
+
+    /// Mean update transmissions per link over the run.
+    pub fn update_per_link(&self) -> f64 {
+        self.update_traffic.mean_per_link()
+    }
+}
+
+/// Driver for the Table 4/5 experiments.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::{topologies, Spatial};
+/// use epidemic_sim::spatial_ae::AntiEntropySim;
+///
+/// let topo = topologies::ring(24);
+/// let sim = AntiEntropySim::new(&topo, Spatial::QsPower { a: 2.0 });
+/// let result = sim.run(7, None);
+/// assert!(result.t_last > 0);
+/// ```
+#[derive(Debug)]
+pub struct AntiEntropySim<'a, S = PartnerSampler> {
+    topology: &'a Topology,
+    routes: Routes,
+    sampler: S,
+    connection_limit: Option<u32>,
+    hunt_limit: u32,
+    max_cycles: u32,
+}
+
+/// The single key the spreading update uses.
+const KEY: u32 = 0;
+
+impl<'a> AntiEntropySim<'a, PartnerSampler> {
+    /// Builds a simulator for `topology` under the given spatial
+    /// distribution. Routing tables and sampling tables are precomputed
+    /// once; reuse the simulator across runs.
+    pub fn new(topology: &'a Topology, spatial: Spatial) -> Self {
+        let routes = Routes::compute(topology);
+        let sampler = PartnerSampler::new(topology, &routes, spatial);
+        Self::with_selection(topology, sampler)
+    }
+}
+
+impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
+    /// Builds a simulator with an arbitrary [`PartnerSelection`] strategy —
+    /// e.g. the §4 [`HierarchicalSampler`](epidemic_net::HierarchicalSampler).
+    pub fn with_selection(topology: &'a Topology, sampler: S) -> Self {
+        let routes = Routes::compute(topology);
+        AntiEntropySim {
+            topology,
+            routes,
+            sampler,
+            connection_limit: None,
+            hunt_limit: 0,
+            max_cycles: 10_000,
+        }
+    }
+
+    /// Limits conversations per site per cycle (Table 5 uses `Some(1)`).
+    pub fn connection_limit(mut self, limit: Option<u32>) -> Self {
+        self.connection_limit = limit;
+        self
+    }
+
+    /// Alternate partners a rejected initiator may try.
+    pub fn hunt_limit(mut self, hunt: u32) -> Self {
+        self.hunt_limit = hunt;
+        self
+    }
+
+    /// Shortest-path routing tables (exposed for analysis).
+    pub fn routes(&self) -> &Routes {
+        &self.routes
+    }
+
+    /// Runs one experiment: a single update injected at `origin` (or at a
+    /// random site when `None`), push-pull full-database anti-entropy each
+    /// cycle, simulated until every site holds the update.
+    pub fn run(&self, seed: u64, origin: Option<SiteId>) -> SpatialRunResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites = self.topology.sites();
+        let n = sites.len();
+        // Map node id -> dense replica index.
+        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
+        let mut replicas: Vec<Replica<u32, u32>> =
+            sites.iter().map(|&s| Replica::new(s)).collect();
+        let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
+        let origin_idx = index_of(origin);
+        replicas[origin_idx].client_update(KEY, 1);
+        replicas[origin_idx].hot_mut().clear(); // pure anti-entropy: nothing is "hot"
+        let mut receive_cycle: Vec<Option<u32>> = vec![None; n];
+        receive_cycle[origin_idx] = Some(0);
+
+        let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let mut compare_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut update_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut cycle = 0;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        while cycle < self.max_cycles {
+            if receive_cycle.iter().all(Option::is_some) {
+                break;
+            }
+            cycle += 1;
+            let mut engaged = vec![0u32; n];
+            order.shuffle(&mut rng);
+            for idx in order.iter().copied() {
+                let Some(pidx) = self.find_partner(idx, sites, &engaged, &mut rng, &index_of)
+                else {
+                    continue;
+                };
+                engaged[pidx] += 1;
+                let (a, b) = pair_mut(&mut replicas, idx, pidx);
+                let stats = protocol.exchange(a, b);
+                compare_traffic.record_route(&self.routes, sites[idx], sites[pidx]);
+                if stats.update_flowed() {
+                    update_traffic.record_route(&self.routes, sites[idx], sites[pidx]);
+                    for i in [idx, pidx] {
+                        if receive_cycle[i].is_none() && replicas[i].db().entry(&KEY).is_some() {
+                            receive_cycle[i] = Some(cycle);
+                        }
+                    }
+                }
+            }
+        }
+
+        let t_last = receive_cycle.iter().flatten().copied().max().unwrap_or(0);
+        let t_ave = receive_cycle
+            .iter()
+            .map(|c| f64::from(c.unwrap_or(cycle)))
+            .sum::<f64>()
+            / n as f64;
+        SpatialRunResult {
+            t_last,
+            t_ave,
+            compare_traffic,
+            update_traffic,
+            cycles: cycle,
+        }
+    }
+
+    /// Samples a partner for site index `idx`, honoring the connection
+    /// limit with hunting.
+    fn find_partner(
+        &self,
+        idx: usize,
+        sites: &[SiteId],
+        engaged: &[u32],
+        rng: &mut StdRng,
+        index_of: &impl Fn(SiteId) -> usize,
+    ) -> Option<usize> {
+        for _ in 0..=self.hunt_limit {
+            let partner = self.sampler.select(sites[idx], rng);
+            let pidx = index_of(partner);
+            match self.connection_limit {
+                Some(limit) if engaged[pidx] >= limit => continue,
+                _ => return Some(pidx),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_net::topologies;
+
+    #[test]
+    fn converges_on_a_ring() {
+        let topo = topologies::ring(20);
+        let sim = AntiEntropySim::new(&topo, Spatial::Uniform);
+        let r = sim.run(1, Some(topo.sites()[0]));
+        assert!(r.t_last > 0);
+        assert!(r.t_ave <= f64::from(r.t_last));
+        assert_eq!(r.cycles, r.t_last, "run stops exactly at convergence");
+        assert!(r.update_traffic.total() > 0);
+    }
+
+    #[test]
+    fn spatial_distribution_cuts_far_link_traffic() {
+        // On a line, the end-to-end links carry far less traffic under
+        // Qs^-2 than under uniform selection.
+        let topo = topologies::line(30);
+        let uniform = AntiEntropySim::new(&topo, Spatial::Uniform);
+        let local = AntiEntropySim::new(&topo, Spatial::QsPower { a: 2.0 });
+        let mut uniform_mid = 0.0;
+        let mut local_mid = 0.0;
+        let mid_link = topo
+            .link_between(topo.sites()[14], topo.sites()[15])
+            .unwrap();
+        for seed in 0..10 {
+            let ru = uniform.run(seed, Some(topo.sites()[0]));
+            let rl = local.run(seed, Some(topo.sites()[0]));
+            uniform_mid += ru.compare_traffic.at(mid_link) as f64 / f64::from(ru.cycles);
+            local_mid += rl.compare_traffic.at(mid_link) as f64 / f64::from(rl.cycles);
+        }
+        assert!(
+            local_mid < uniform_mid / 2.0,
+            "local {local_mid} vs uniform {uniform_mid}"
+        );
+    }
+
+    #[test]
+    fn connection_limit_slows_but_still_converges() {
+        let topo = topologies::grid(&[5, 5]);
+        let unlimited = AntiEntropySim::new(&topo, Spatial::Uniform);
+        let limited = AntiEntropySim::new(&topo, Spatial::Uniform).connection_limit(Some(1));
+        let mut t_unlimited = 0.0;
+        let mut t_limited = 0.0;
+        for seed in 0..10 {
+            t_unlimited += f64::from(unlimited.run(seed, Some(topo.sites()[0])).t_last);
+            t_limited += f64::from(limited.run(seed, Some(topo.sites()[0])).t_last);
+        }
+        assert!(t_limited > t_unlimited, "{t_limited} vs {t_unlimited}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = topologies::ring(16);
+        let sim = AntiEntropySim::new(&topo, Spatial::QsPower { a: 1.4 });
+        let a = sim.run(5, None);
+        let b = sim.run(5, None);
+        assert_eq!(a.t_last, b.t_last);
+        assert_eq!(a.compare_traffic, b.compare_traffic);
+    }
+}

@@ -1,0 +1,337 @@
+//! Rumor mongering on a network topology (paper §3.2).
+//!
+//! Rumor mongering "runs to quiescence", so on irregular topologies with
+//! nonuniform spatial distributions it can fail outright — the Figure 1 and
+//! Figure 2 pathologies. The paper's methodology: increase `k` until the
+//! protocol achieves 100% distribution in every one of `N` trials, then
+//! compare traffic and convergence against anti-entropy (Table 4). This
+//! module provides the topology-aware driver, the minimal-`k` search and a
+//! failure-probability estimator.
+
+use epidemic_core::rumor::{self, RumorConfig};
+use epidemic_core::{Direction, Replica};
+use epidemic_db::SiteId;
+use epidemic_net::{LinkTraffic, PartnerSampler, Routes, Spatial, Topology};
+use rand::rngs::StdRng;
+use rand::seq::{IndexedRandom, SliceRandom};
+use rand::SeedableRng;
+
+use crate::util::pair_mut;
+
+/// Result of one topology-aware rumor-mongering run.
+#[derive(Debug, Clone)]
+pub struct SpatialRumorResult {
+    /// Whether every site received the update before quiescence.
+    pub complete: bool,
+    /// Fraction of sites still susceptible at quiescence.
+    pub residue: f64,
+    /// Cycles until the last receiving site got the update.
+    pub t_last: u32,
+    /// Mean cycles to receipt over receiving sites.
+    pub t_ave: f64,
+    /// Conversations per link, accumulated over the run.
+    pub compare_traffic: LinkTraffic,
+    /// Update transmissions per link, accumulated over the run.
+    pub update_traffic: LinkTraffic,
+    /// Cycles until quiescence.
+    pub cycles: u32,
+    /// Sites that never received the update.
+    pub susceptible_sites: Vec<SiteId>,
+}
+
+/// Driver for rumor mongering with spatial partner selection.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+/// use epidemic_net::{topologies, Spatial};
+/// use epidemic_sim::spatial_rumor::SpatialRumorSim;
+///
+/// let topo = topologies::ring(16);
+/// let cfg = RumorConfig::new(Direction::PushPull, Feedback::Feedback,
+///                            Removal::Counter { k: 4 });
+/// let sim = SpatialRumorSim::new(&topo, Spatial::QsPower { a: 1.2 }, cfg);
+/// let r = sim.run(3, None);
+/// assert!(r.cycles > 0);
+/// ```
+#[derive(Debug)]
+pub struct SpatialRumorSim<'a> {
+    topology: &'a Topology,
+    routes: Routes,
+    sampler: PartnerSampler,
+    cfg: RumorConfig,
+    max_cycles: u32,
+}
+
+const KEY: u32 = 0;
+
+impl<'a> SpatialRumorSim<'a> {
+    /// Builds a simulator; routing and sampling tables are precomputed.
+    pub fn new(topology: &'a Topology, spatial: Spatial, cfg: RumorConfig) -> Self {
+        let routes = Routes::compute(topology);
+        let sampler = PartnerSampler::new(topology, &routes, spatial);
+        SpatialRumorSim {
+            topology,
+            routes,
+            sampler,
+            cfg,
+            max_cycles: 100_000,
+        }
+    }
+
+    /// Replaces the rumor configuration (e.g. to sweep `k`).
+    pub fn with_config(mut self, cfg: RumorConfig) -> Self {
+        self.cfg = cfg;
+        self
+    }
+
+    /// Runs one epidemic from `origin` (random site when `None`) until no
+    /// rumor is hot anywhere.
+    pub fn run(&self, seed: u64, origin: Option<SiteId>) -> SpatialRumorResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites = self.topology.sites();
+        let n = sites.len();
+        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
+        let mut replicas: Vec<Replica<u32, u32>> =
+            sites.iter().map(|&s| Replica::new(s)).collect();
+        let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
+        let origin_idx = index_of(origin);
+        replicas[origin_idx].client_update(KEY, 1);
+        let mut receive_cycle: Vec<Option<u32>> = vec![None; n];
+        receive_cycle[origin_idx] = Some(0);
+
+        let mut compare_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut update_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut cycle = 0;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        while cycle < self.max_cycles {
+            if (0..n).all(|i| replicas[i].hot().is_empty()) {
+                break;
+            }
+            cycle += 1;
+            match self.cfg.direction {
+                Direction::Push => {
+                    let mut initiators: Vec<usize> =
+                        (0..n).filter(|&i| !replicas[i].hot().is_empty()).collect();
+                    initiators.shuffle(&mut rng);
+                    for i in initiators {
+                        let j = index_of(self.sampler.sample(sites[i], &mut rng));
+                        let (a, b) = pair_mut(&mut replicas, i, j);
+                        let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
+                        compare_traffic.record_route(&self.routes, sites[i], sites[j]);
+                        if stats.sent > 0 {
+                            for _ in 0..stats.sent {
+                                update_traffic.record_route(&self.routes, sites[i], sites[j]);
+                            }
+                        }
+                        if stats.useful > 0 && receive_cycle[j].is_none() {
+                            receive_cycle[j] = Some(cycle);
+                        }
+                    }
+                }
+                Direction::Pull => {
+                    order.shuffle(&mut rng);
+                    for &i in &order {
+                        let j = index_of(self.sampler.sample(sites[i], &mut rng));
+                        let (requester, source) = pair_mut(&mut replicas, i, j);
+                        let stats = rumor::pull_contact(&self.cfg, requester, source, &mut rng);
+                        compare_traffic.record_route(&self.routes, sites[i], sites[j]);
+                        for _ in 0..stats.sent {
+                            update_traffic.record_route(&self.routes, sites[i], sites[j]);
+                        }
+                        if stats.useful > 0 && receive_cycle[i].is_none() {
+                            receive_cycle[i] = Some(cycle);
+                        }
+                    }
+                    for r in &mut replicas {
+                        rumor::end_cycle(&self.cfg, r);
+                    }
+                }
+                Direction::PushPull => {
+                    order.shuffle(&mut rng);
+                    for &i in &order {
+                        let j = index_of(self.sampler.sample(sites[i], &mut rng));
+                        let (a, b) = pair_mut(&mut replicas, i, j);
+                        let stats = rumor::push_pull_contact(&self.cfg, a, b, &mut rng);
+                        compare_traffic.record_route(&self.routes, sites[i], sites[j]);
+                        for _ in 0..stats.sent {
+                            update_traffic.record_route(&self.routes, sites[i], sites[j]);
+                        }
+                        for idx in [i, j] {
+                            if receive_cycle[idx].is_none()
+                                && replicas[idx].db().entry(&KEY).is_some()
+                            {
+                                receive_cycle[idx] = Some(cycle);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+
+        let received: Vec<u32> = receive_cycle.iter().flatten().copied().collect();
+        let susceptible_sites: Vec<SiteId> = (0..n)
+            .filter(|&i| receive_cycle[i].is_none())
+            .map(|i| sites[i])
+            .collect();
+        let susceptible = susceptible_sites.len();
+        SpatialRumorResult {
+            complete: susceptible == 0,
+            residue: susceptible as f64 / n as f64,
+            t_last: received.iter().copied().max().unwrap_or(0),
+            t_ave: received.iter().map(|&c| f64::from(c)).sum::<f64>() / received.len() as f64,
+            compare_traffic,
+            update_traffic,
+            cycles: cycle,
+            susceptible_sites,
+        }
+    }
+}
+
+/// The paper's §3.2 methodology: the smallest `k ≤ max_k` for which the
+/// protocol achieves 100% distribution in each of `trials` runs (random
+/// origins). Returns `None` if no such `k` exists within the bound.
+pub fn minimum_k(
+    topology: &Topology,
+    spatial: Spatial,
+    base: RumorConfig,
+    trials: u32,
+    max_k: u32,
+) -> Option<u32> {
+    for k in 1..=max_k {
+        let cfg = RumorConfig {
+            removal: match base.removal {
+                epidemic_core::Removal::Counter { .. } => epidemic_core::Removal::Counter { k },
+                epidemic_core::Removal::Coin { .. } => epidemic_core::Removal::Coin { k },
+            },
+            ..base
+        };
+        let sim = SpatialRumorSim::new(topology, spatial, cfg);
+        if (0..trials).all(|t| sim.run(u64::from(k) << 32 | u64::from(t), None).complete) {
+            return Some(k);
+        }
+    }
+    None
+}
+
+/// Estimates the probability that the epidemic fails to reach all sites,
+/// over `trials` runs injected at `origin`.
+pub fn failure_probability(
+    topology: &Topology,
+    spatial: Spatial,
+    cfg: RumorConfig,
+    trials: u32,
+    origin: Option<SiteId>,
+) -> f64 {
+    let sim = SpatialRumorSim::new(topology, spatial, cfg);
+    let failures = (0..trials)
+        .filter(|&t| !sim.run(u64::from(t).wrapping_mul(0x9E37_79B9), origin).complete)
+        .count();
+    failures as f64 / f64::from(trials)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_core::{Feedback, Removal};
+    use epidemic_net::topologies;
+
+    fn cfg(direction: Direction, k: u32) -> RumorConfig {
+        RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k })
+    }
+
+    #[test]
+    fn push_pull_on_ring_completes_with_generous_k() {
+        let topo = topologies::ring(20);
+        let sim = SpatialRumorSim::new(&topo, Spatial::Uniform, cfg(Direction::PushPull, 5));
+        let r = sim.run(1, Some(topo.sites()[0]));
+        assert!(r.complete, "residue {}", r.residue);
+        assert!(r.update_traffic.total() > 0);
+    }
+
+    #[test]
+    fn minimum_k_finds_the_smallest_working_k() {
+        let topo = topologies::line(24);
+        let base = cfg(Direction::PushPull, 1);
+        let k = minimum_k(&topo, Spatial::Uniform, base, 10, 16).expect("some k works");
+        assert!(k >= 1);
+        if k > 1 {
+            // Every smaller k must fail at least one of the same trials.
+            assert_eq!(minimum_k(&topo, Spatial::Uniform, base, 10, k - 1), None);
+        }
+    }
+
+    #[test]
+    fn push_needs_larger_k_under_local_distributions_on_figure1() {
+        // §3.2: push rumor mongering is much more sensitive than push-pull
+        // to the combination of a local distribution and an irregular
+        // topology. On the Figure 1 pathology, the s–t pair mostly talk to
+        // each other under Qs^-2 and k must grow to guarantee escape.
+        let topo = topologies::figure1(30);
+        let s = topo.node_by_label("s").unwrap();
+        let protocol = cfg(Direction::Push, 2);
+        // A run is a *catastrophic* failure when the rumor dies inside the
+        // s–t pair and most of the network stays susceptible — the paper's
+        // Figure 1 scenario. It essentially never happens under uniform
+        // selection; under Qs^-2 it has significant probability.
+        let catastrophic = |spatial| {
+            let sim = SpatialRumorSim::new(&topo, spatial, protocol);
+            (0..300).filter(|&t| sim.run(t, Some(s)).residue > 0.5).count()
+        };
+        let uniform = catastrophic(Spatial::Uniform);
+        let local = catastrophic(Spatial::QsPower { a: 2.0 });
+        assert!(
+            local > uniform + 3,
+            "local catastrophic failures {local}/300 should dwarf uniform {uniform}/300"
+        );
+    }
+
+    #[test]
+    fn figure1_push_fails_with_small_k_and_local_distribution() {
+        // §3.2 Figure 1: with m >> k, push rumors between the s-t pair can
+        // die before escaping to the u_i sites.
+        let topo = topologies::figure1(30);
+        let s = topo.node_by_label("s").unwrap();
+        let p = failure_probability(
+            &topo,
+            Spatial::QsPower { a: 2.0 },
+            cfg(Direction::Push, 1),
+            200,
+            Some(s),
+        );
+        assert!(p > 0.05, "failure probability {p}");
+    }
+
+    #[test]
+    fn figure1_failures_shrink_with_larger_k() {
+        let topo = topologies::figure1(30);
+        let s = topo.node_by_label("s").unwrap();
+        let p1 = failure_probability(
+            &topo,
+            Spatial::QsPower { a: 2.0 },
+            cfg(Direction::Push, 1),
+            100,
+            Some(s),
+        );
+        let p6 = failure_probability(
+            &topo,
+            Spatial::QsPower { a: 2.0 },
+            cfg(Direction::Push, 6),
+            100,
+            Some(s),
+        );
+        assert!(p6 < p1, "k=6 {p6} should fail less than k=1 {p1}");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let topo = topologies::grid(&[4, 4]);
+        let sim = SpatialRumorSim::new(&topo, Spatial::QsPower { a: 1.5 }, cfg(Direction::PushPull, 3));
+        let a = sim.run(9, None);
+        let b = sim.run(9, None);
+        assert_eq!(a.t_last, b.t_last);
+        assert_eq!(a.residue, b.residue);
+    }
+}

@@ -1,0 +1,206 @@
+//! Steady-state anti-entropy on a topology — the production Clearinghouse
+//! configuration (paper §1.3 + §3.1 combined).
+//!
+//! Table 4's note: "the distinction between compare and update traffic can
+//! be significant if checksums are used for database comparison". This
+//! driver runs continuous update injection on a real topology with the
+//! recent-update-list comparison, measuring per-link *entry* traffic — the
+//! bytes-on-the-wire proxy — under different spatial distributions. It
+//! shows that the spatial distribution's savings survive in steady state,
+//! where most conversations carry a handful of recent entries rather than
+//! one epidemic update.
+
+use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_db::SiteId;
+use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{RngExt, SeedableRng};
+
+use crate::util::pair_mut;
+
+/// Configuration for the steady-state spatial experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SpatialSteadyConfig {
+    /// New updates injected per cycle at uniformly random sites.
+    pub updates_per_cycle: f64,
+    /// Comparison strategy for the per-cycle exchanges.
+    pub comparison: Comparison,
+    /// Warm-up cycles excluded from measurement.
+    pub warmup: u32,
+    /// Measured cycles.
+    pub cycles: u32,
+}
+
+impl Default for SpatialSteadyConfig {
+    fn default() -> Self {
+        SpatialSteadyConfig {
+            updates_per_cycle: 2.0,
+            comparison: Comparison::RecentList { tau: 400 },
+            warmup: 20,
+            cycles: 60,
+        }
+    }
+}
+
+/// Measurements from one steady-state spatial run.
+#[derive(Debug, Clone)]
+pub struct SpatialSteadyReport {
+    /// Conversations per link per cycle (mean over links).
+    pub conversations_per_link_cycle: f64,
+    /// Entries transmitted per link per cycle (mean over links).
+    pub entries_per_link_cycle: f64,
+    /// Fraction of exchanges that fell back to a full comparison.
+    pub full_compare_rate: f64,
+    /// Entry traffic per link, for singling out critical links.
+    pub entry_traffic: LinkTraffic,
+    /// Cycles measured.
+    pub measured_cycles: u32,
+}
+
+/// Driver: continuous updates + anti-entropy with spatial partner
+/// selection on a topology.
+///
+/// # Example
+///
+/// ```
+/// use epidemic_net::{topologies, Spatial};
+/// use epidemic_sim::spatial_steady::{SpatialSteadyConfig, SpatialSteadySim};
+///
+/// let topo = topologies::ring(16);
+/// let sim = SpatialSteadySim::new(&topo, Spatial::QsPower { a: 2.0 },
+///                                 SpatialSteadyConfig::default());
+/// let report = sim.run(3);
+/// assert!(report.conversations_per_link_cycle > 0.0);
+/// ```
+#[derive(Debug)]
+pub struct SpatialSteadySim<'a> {
+    topology: &'a Topology,
+    routes: Routes,
+    sampler: PartnerSampler,
+    config: SpatialSteadyConfig,
+}
+
+impl<'a> SpatialSteadySim<'a> {
+    /// Builds the simulator (routing and sampling tables precomputed).
+    pub fn new(topology: &'a Topology, spatial: Spatial, config: SpatialSteadyConfig) -> Self {
+        let routes = Routes::compute(topology);
+        let sampler = PartnerSampler::new(topology, &routes, spatial);
+        SpatialSteadySim {
+            topology,
+            routes,
+            sampler,
+            config,
+        }
+    }
+
+    /// Runs the workload.
+    pub fn run(&self, seed: u64) -> SpatialSteadyReport {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sites = self.topology.sites();
+        let n = sites.len();
+        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
+        let mut replicas: Vec<Replica<u32, u64>> =
+            sites.iter().map(|&s| Replica::new(s)).collect();
+        let protocol = AntiEntropy::new(Direction::PushPull, self.config.comparison);
+        let mut conversations = LinkTraffic::new(self.topology.link_count());
+        let mut entry_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut next_key = 0u32;
+        let mut carry = 0.0;
+        let mut exchanges = 0u64;
+        let mut full_compares = 0u64;
+        let mut order: Vec<usize> = (0..n).collect();
+
+        for cycle in 1..=(self.config.warmup + self.config.cycles) {
+            let time = u64::from(cycle) * 10;
+            for r in replicas.iter_mut() {
+                r.advance_clock(time);
+            }
+            carry += self.config.updates_per_cycle;
+            while carry >= 1.0 {
+                carry -= 1.0;
+                let site = rng.random_range(0..n);
+                replicas[site].client_update(next_key, u64::from(cycle));
+                next_key += 1;
+            }
+            order.shuffle(&mut rng);
+            for &i in &order {
+                let j = index_of(self.sampler.select(sites[i], &mut rng));
+                let (a, b) = pair_mut(&mut replicas, i, j);
+                let stats = protocol.exchange(a, b);
+                if cycle > self.config.warmup {
+                    exchanges += 1;
+                    full_compares += u64::from(stats.full_compare);
+                    conversations.record_route(&self.routes, sites[i], sites[j]);
+                    for _ in 0..stats.total_sent() {
+                        entry_traffic.record_route(&self.routes, sites[i], sites[j]);
+                    }
+                }
+            }
+        }
+        let measured = f64::from(self.config.cycles);
+        SpatialSteadyReport {
+            conversations_per_link_cycle: conversations.mean_per_link() / measured,
+            entries_per_link_cycle: entry_traffic.mean_per_link() / measured,
+            full_compare_rate: full_compares as f64 / exchanges as f64,
+            entry_traffic,
+            measured_cycles: self.config.cycles,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use epidemic_net::topologies;
+
+    #[test]
+    fn steady_state_stays_consistent_enough() {
+        let topo = topologies::grid(&[5, 5]);
+        let sim = SpatialSteadySim::new(
+            &topo,
+            Spatial::Uniform,
+            SpatialSteadyConfig::default(),
+        );
+        let report = sim.run(1);
+        // With τ well above the distribution time, the recent lists absorb
+        // nearly everything.
+        assert!(report.full_compare_rate < 0.1, "{}", report.full_compare_rate);
+        assert!(report.entries_per_link_cycle > 0.0);
+    }
+
+    #[test]
+    fn spatial_selection_cuts_steady_state_entry_traffic_on_far_links() {
+        let topo = topologies::line(24);
+        let far_link = topo
+            .link_between(topo.sites()[11], topo.sites()[12])
+            .unwrap();
+        let measure = |spatial| {
+            let sim = SpatialSteadySim::new(&topo, spatial, SpatialSteadyConfig::default());
+            let r = sim.run(3);
+            r.entry_traffic.at(far_link) as f64 / f64::from(r.measured_cycles)
+        };
+        let uniform = measure(Spatial::Uniform);
+        let local = measure(Spatial::QsPower { a: 2.0 });
+        assert!(
+            local < uniform / 2.0,
+            "local {local} vs uniform {uniform}"
+        );
+    }
+
+    #[test]
+    fn zero_rate_carries_no_entries() {
+        let topo = topologies::ring(10);
+        let sim = SpatialSteadySim::new(
+            &topo,
+            Spatial::Uniform,
+            SpatialSteadyConfig {
+                updates_per_cycle: 0.0,
+                ..SpatialSteadyConfig::default()
+            },
+        );
+        let report = sim.run(9);
+        assert_eq!(report.entries_per_link_cycle, 0.0);
+        assert!(report.conversations_per_link_cycle > 0.0);
+    }
+}

@@ -1,0 +1,39 @@
+//! Internal helpers shared by the simulation drivers.
+
+/// Mutable references to two distinct elements of a slice.
+///
+/// # Panics
+///
+/// Panics if `i == j` or either index is out of bounds.
+pub(crate) fn pair_mut<T>(slice: &mut [T], i: usize, j: usize) -> (&mut T, &mut T) {
+    assert_ne!(i, j, "a site cannot exchange with itself");
+    if i < j {
+        let (lo, hi) = slice.split_at_mut(j);
+        (&mut lo[i], &mut hi[0])
+    } else {
+        let (lo, hi) = slice.split_at_mut(i);
+        (&mut hi[0], &mut lo[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pair_mut_returns_requested_elements() {
+        let mut v = [10, 20, 30, 40];
+        let (a, b) = pair_mut(&mut v, 3, 1);
+        assert_eq!((*a, *b), (40, 20));
+        *a = 0;
+        *b = 1;
+        assert_eq!(v, [10, 1, 30, 0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "itself")]
+    fn pair_mut_rejects_equal_indices() {
+        let mut v = [1, 2];
+        let _ = pair_mut(&mut v, 1, 1);
+    }
+}

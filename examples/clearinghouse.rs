@@ -1,0 +1,55 @@
+//! The Clearinghouse configuration (paper §0.1, §1.5): direct mail for
+//! timely distribution, periodic anti-entropy as the safety net.
+//!
+//! ```text
+//! cargo run --example clearinghouse
+//! ```
+//!
+//! The mail system here loses 25% of messages — far worse than the real
+//! CIN — yet the name service still reaches exact consistency, because
+//! anti-entropy repairs whatever mail drops. The same run with anti-entropy
+//! disabled never converges.
+
+use epidemics::core::{MailConfig, Redistribution};
+use epidemics::sim::scenario::ClearinghouseScenario;
+
+fn main() {
+    let lossy_mail = MailConfig {
+        loss_probability: 0.25,
+        queue_capacity: 500,
+    };
+
+    println!("50 sites, 25 updates, mail losing 25% of messages\n");
+
+    for (label, anti_entropy_every, redistribution, rumor_k) in [
+        ("mail only (no anti-entropy)", 0, Redistribution::None, None),
+        ("mail + anti-entropy backup", 5, Redistribution::None, None),
+        ("mail + AE + rumor redistribution", 5, Redistribution::Rumor, Some(2)),
+    ] {
+        let scenario = ClearinghouseScenario {
+            sites: 50,
+            mail: lossy_mail,
+            updates: 25,
+            anti_entropy_every,
+            redistribution,
+            rumor_k,
+            max_cycles: 1_000,
+        };
+        let report = scenario.run(1987);
+        match report.consistent_at {
+            Some(cycle) => println!(
+                "{label:45} consistent at cycle {cycle:4} ({} mail failures repaired by {} anti-entropy transfers)",
+                report.mail_failures, report.ae_repairs
+            ),
+            None => println!(
+                "{label:45} NEVER consistent within 1000 cycles ({} mail failures)",
+                report.mail_failures
+            ),
+        }
+    }
+
+    println!(
+        "\nThis is the paper's §1.5 design: a timely but unreliable first hop,\n\
+         backed by a simple epidemic that converges with probability 1."
+    );
+}

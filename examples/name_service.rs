@@ -1,0 +1,91 @@
+//! The Clearinghouse name service end to end (paper §0.1): three-level
+//! names, domains replicated at subsets of servers, per-domain
+//! anti-entropy.
+//!
+//! ```text
+//! cargo run --example name_service
+//! ```
+
+use epidemics::clearinghouse::{Clearinghouse, Directory, Name, Object};
+use epidemics::db::SiteId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Eight servers; PARC:Xerox is replicated at four of them, SDD:Xerox
+    // at two others.
+    let mut directory = Directory::new();
+    directory.assign("PARC:Xerox".parse()?, (0..4).map(SiteId::new).collect());
+    directory.assign(
+        "SDD:Xerox".parse()?,
+        vec![SiteId::new(4), SiteId::new(5)],
+    );
+    let mut ch = Clearinghouse::new(8, directory);
+
+    // Register some objects.
+    let mary: Name = "mary:PARC:Xerox".parse()?;
+    let daisy: Name = "daisy:PARC:Xerox".parse()?;
+    let star: Name = "star-fs:SDD:Xerox".parse()?;
+    ch.bind(&mary, Object::address("MV:2048#737"))?;
+    ch.bind(&daisy, Object::address("printer 35-2200"))?;
+    ch.bind(&star, Object::address("file service 10.1"))?;
+
+    // Gossip until both domains are internally consistent.
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut cycles = 0;
+    loop {
+        cycles += 1;
+        ch.anti_entropy_cycle(&mut rng);
+        let parc_ok = ch.domain_consistent(&"PARC:Xerox".parse()?);
+        let sdd_ok = ch.domain_consistent(&"SDD:Xerox".parse()?);
+        if parc_ok && sdd_ok {
+            break;
+        }
+    }
+    println!("both domains consistent after {cycles} anti-entropy cycles\n");
+
+    // Any PARC holder answers PARC lookups; SDD holders do not see them.
+    for site in [0u32, 3] {
+        println!(
+            "server s{site}: mary:PARC:Xerox -> {:?}",
+            ch.lookup_at(SiteId::new(site), &mary)?
+        );
+    }
+    println!(
+        "server s4 asked about PARC (not stored): {:?}",
+        ch.lookup_at(SiteId::new(4), &mary).unwrap_err().to_string()
+    );
+    println!(
+        "server s4: star-fs:SDD:Xerox -> {:?}",
+        ch.lookup_at(SiteId::new(4), &star)?
+    );
+
+    // Aliases resolve through chains; groups hold member sets.
+    let lpr: Name = "lpr:PARC:Xerox".parse()?;
+    ch.bind(&lpr, Object::Alias(daisy.clone()))?;
+    let admins: Name = "admins:PARC:Xerox".parse()?;
+    ch.bind(&admins, Object::group(vec![mary.clone()]))?;
+    for _ in 0..6 {
+        ch.anti_entropy_cycle(&mut rng);
+    }
+    println!(
+        "\nalias: lpr:PARC:Xerox resolves to {}",
+        ch.resolve_at(SiteId::new(1), &lpr)?
+    );
+    println!(
+        "group: admins:PARC:Xerox -> {}",
+        ch.lookup_at(SiteId::new(1), &admins)?.expect("bound")
+    );
+
+    // Deletion spreads as a death certificate, not as absence.
+    ch.unbind(&daisy)?;
+    for _ in 0..8 {
+        ch.anti_entropy_cycle(&mut rng);
+    }
+    println!(
+        "\nafter unbind + gossip: daisy:PARC:Xerox -> {:?} at every holder",
+        ch.lookup_at(SiteId::new(2), &daisy)?
+    );
+    assert!(ch.domain_consistent(&"PARC:Xerox".parse()?));
+    Ok(())
+}

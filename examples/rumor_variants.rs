@@ -1,0 +1,117 @@
+//! Tour of the §1.4 rumor-mongering variants: blind/feedback, coin/counter,
+//! push/pull, connection limits and hunting.
+//!
+//! ```text
+//! cargo run --release --example rumor_variants
+//! ```
+//!
+//! Prints residue (who never hears the rumor), traffic (updates sent per
+//! site) and delay for each variant at n = 1000, k = 2 — a compact version
+//! of the paper's Tables 1–3.
+
+use epidemics::core::{Direction, Feedback, Removal, RumorConfig};
+use epidemics::sim::mixing::RumorEpidemic;
+
+fn main() {
+    let n = 1000;
+    let trials = 20;
+    println!("n = {n}, k = 2, {trials} trials per variant\n");
+    println!(
+        "{:<42} {:>9} {:>8} {:>7} {:>7}",
+        "variant", "residue", "traffic", "t_ave", "t_last"
+    );
+
+    let variants: Vec<(&str, RumorEpidemic)> = vec![
+        (
+            "push, feedback, counter (Table 1)",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            )),
+        ),
+        (
+            "push, blind, coin (Table 2)",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Blind,
+                Removal::Coin { k: 2 },
+            )),
+        ),
+        (
+            "pull, feedback, counter (Table 3)",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Pull,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            )),
+        ),
+        (
+            "push-pull, feedback, counter",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::PushPull,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            )),
+        ),
+        (
+            "push-pull + minimization",
+            RumorEpidemic::new(
+                RumorConfig::new(
+                    Direction::PushPull,
+                    Feedback::Feedback,
+                    Removal::Counter { k: 2 },
+                )
+                .with_minimization(),
+            ),
+        ),
+        (
+            "push, feedback, counter, conn limit 1",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            ))
+            .connection_limit(Some(1)),
+        ),
+        (
+            "push, conn limit 1, hunt limit 8",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            ))
+            .connection_limit(Some(1))
+            .hunt_limit(8),
+        ),
+    ];
+
+    for (label, driver) in variants {
+        let mut residue = 0.0;
+        let mut traffic = 0.0;
+        let mut t_ave = 0.0;
+        let mut t_last = 0.0;
+        for seed in 0..trials {
+            let r = driver.run(n, seed);
+            residue += r.residue;
+            traffic += r.traffic;
+            t_ave += r.t_ave;
+            t_last += r.t_last;
+        }
+        let t = f64::from(trials as u32);
+        println!(
+            "{:<42} {:>9.4} {:>8.2} {:>7.1} {:>7.1}",
+            label,
+            residue / t,
+            traffic / t,
+            t_ave / t,
+            t_last / t
+        );
+    }
+
+    println!(
+        "\nObservations (paper §1.4): pull beats push on residue; counters beat\n\
+         coins; a connection limit *helps* push; hunting recovers what the\n\
+         limit rejected."
+    );
+}

@@ -1,0 +1,165 @@
+//! Golden tests: the paper's headline quantitative claims, asserted
+//! end-to-end at reduced scale with tolerances wide enough to be stable
+//! across platforms but tight enough to catch semantic regressions.
+//! (Full-fidelity numbers live in EXPERIMENTS.md / `repro`.)
+
+use epidemics::analysis::{push_epidemic_time, residue_for_counter, RumorOde};
+use epidemics::core::{Direction, Feedback, Removal, RumorConfig};
+use epidemics::net::topologies::{cin, CinConfig};
+use epidemics::net::{expected_cut_conversations, Spatial};
+use epidemics::sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
+use epidemics::sim::spatial_ae::AntiEntropySim;
+
+fn mean<T>(trials: u64, f: impl Fn(u64) -> T) -> f64
+where
+    T: Into<f64>,
+{
+    (0..trials).map(|s| f(s).into()).sum::<f64>() / trials as f64
+}
+
+#[test]
+fn table1_k1_residue_is_about_18_percent() {
+    let driver = RumorEpidemic::new(
+        RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 1 })
+            .with_reset_on_useful(true),
+    );
+    let residue = mean(40, |s| driver.run(1000, s).residue);
+    assert!((residue - 0.18).abs() < 0.03, "residue {residue}");
+}
+
+#[test]
+fn table1_k5_traffic_is_about_6_point_7() {
+    let driver = RumorEpidemic::new(
+        RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 5 })
+            .with_reset_on_useful(true),
+    );
+    let m = mean(20, |s| driver.run(1000, s).traffic);
+    assert!((m - 6.7).abs() < 0.4, "traffic {m}");
+}
+
+#[test]
+fn table2_k1_dies_with_96_percent_residue() {
+    let driver = RumorEpidemic::new(RumorConfig::new(
+        Direction::Push,
+        Feedback::Blind,
+        Removal::Coin { k: 1 },
+    ));
+    let residue = mean(40, |s| driver.run(1000, s).residue);
+    assert!((residue - 0.96).abs() < 0.03, "residue {residue}");
+}
+
+#[test]
+fn table3_pull_k2_residue_is_under_a_thousandth() {
+    let driver = RumorEpidemic::new(RumorConfig::new(
+        Direction::Pull,
+        Feedback::Feedback,
+        Removal::Counter { k: 2 },
+    ));
+    let residue = mean(40, |s| driver.run(1000, s).residue);
+    assert!(residue < 2e-3, "residue {residue}");
+}
+
+#[test]
+fn ode_quotes_20_and_6_percent() {
+    assert!((residue_for_counter(1) - 0.20).abs() < 0.01);
+    assert!((residue_for_counter(2) - 0.06).abs() < 0.005);
+    // And the fixed-point equation is satisfied.
+    let s = RumorOde::new(3).final_residue();
+    assert!((s - (-(4.0) * (1.0 - s)).exp()).abs() < 1e-9);
+}
+
+#[test]
+fn push_anti_entropy_cover_time_is_log2_plus_ln() {
+    let driver = AntiEntropyEpidemic::new(Direction::Push);
+    let measured = mean(25, |s| f64::from(driver.run(1000, s).cycles));
+    let predicted = push_epidemic_time(1000.0);
+    assert!(
+        (measured - predicted).abs() / predicted < 0.15,
+        "measured {measured} vs predicted {predicted}"
+    );
+}
+
+#[test]
+fn uniform_selection_loads_the_cut_at_the_formula_rate() {
+    let net = cin(&CinConfig::default());
+    let sim = AntiEntropySim::new(&net.topology, Spatial::Uniform);
+    let mut crossing = 0.0;
+    let mut cycles = 0.0;
+    for seed in 0..8 {
+        let r = sim.run(seed, None);
+        crossing += (r.compare_traffic.at(net.bushey_link)
+            + r.compare_traffic.at(net.second_transatlantic)) as f64;
+        cycles += f64::from(r.cycles);
+    }
+    let predicted =
+        expected_cut_conversations(net.europe.len() as f64, net.north_america.len() as f64);
+    let ratio = crossing / cycles / predicted;
+    assert!((0.75..1.25).contains(&ratio), "ratio {ratio}");
+}
+
+#[test]
+fn qs2_cuts_critical_link_traffic_by_an_order_of_magnitude() {
+    let net = cin(&CinConfig::default());
+    let per_cycle = |spatial| {
+        let sim = AntiEntropySim::new(&net.topology, spatial);
+        let mut bushey = 0.0;
+        let mut cycles = 0.0;
+        let mut t_last = 0.0;
+        for seed in 0..10 {
+            let r = sim.run(seed, None);
+            bushey += r.compare_traffic.at(net.bushey_link) as f64;
+            cycles += f64::from(r.cycles);
+            t_last += f64::from(r.t_last);
+        }
+        (bushey / cycles, t_last / 10.0)
+    };
+    let (uniform_bushey, uniform_t) = per_cycle(Spatial::Uniform);
+    let (local_bushey, local_t) = per_cycle(Spatial::QsPower { a: 2.0 });
+    // "traffic on certain critical links [reduced] by a factor of 30" —
+    // allow ≥10x on the synthetic topology.
+    assert!(
+        uniform_bushey > 10.0 * local_bushey,
+        "uniform {uniform_bushey} vs local {local_bushey}"
+    );
+    // "convergence time t_last degrades by less than a factor of 2" — we
+    // allow up to 2.6x on the synthetic CIN (its mean distances differ).
+    assert!(
+        local_t < 2.6 * uniform_t,
+        "local {local_t} vs uniform {uniform_t}"
+    );
+}
+
+#[test]
+fn connection_limit_one_keeps_total_update_traffic_constant() {
+    let net = cin(&CinConfig::default());
+    let update_avg = |limit| {
+        let sim = AntiEntropySim::new(&net.topology, Spatial::Uniform).connection_limit(limit);
+        mean(8, |s| sim.run(s, None).update_traffic.mean_per_link())
+    };
+    let unlimited = update_avg(None);
+    let limited = update_avg(Some(1));
+    assert!(
+        (limited - unlimited).abs() / unlimited < 0.1,
+        "limited {limited} vs unlimited {unlimited}"
+    );
+}
+
+#[test]
+fn connection_limit_success_fraction_is_one_minus_e_inverse() {
+    let net = cin(&CinConfig::default());
+    let cmp_per_cycle = |limit| {
+        let sim = AntiEntropySim::new(&net.topology, Spatial::Uniform).connection_limit(limit);
+        let mut total = 0.0;
+        for seed in 0..8 {
+            let r = sim.run(seed, None);
+            total += r.compare_traffic.mean_per_link() / f64::from(r.cycles.max(1));
+        }
+        total / 8.0
+    };
+    let fraction = cmp_per_cycle(Some(1)) / cmp_per_cycle(None);
+    let predicted = 1.0 - (-1.0f64).exp(); // ≈ 0.632
+    assert!(
+        (fraction - predicted).abs() < 0.06,
+        "fraction {fraction} vs {predicted}"
+    );
+}
