@@ -67,7 +67,9 @@ pub fn traffic_class(a: f64) -> TrafficClass {
 pub fn line_link_traffic(n: usize, a: f64) -> Vec<f64> {
     assert!(n >= 2);
     // Per-site normalizers: Z_i = Σ_{j≠i} |i-j|^-a.
-    let pow: Vec<f64> = (0..n).map(|d| if d == 0 { 0.0 } else { (d as f64).powf(-a) }).collect();
+    let pow: Vec<f64> = (0..n)
+        .map(|d| if d == 0 { 0.0 } else { (d as f64).powf(-a) })
+        .collect();
     let z: Vec<f64> = (0..n)
         .map(|i| {
             let mut zi = 0.0;
@@ -173,6 +175,9 @@ mod tests {
         let total: f64 = load.iter().sum();
         // Under uniform choice on a line the mean distance is (n+1)/3.
         let expected = n as f64 * (n as f64 + 1.0) / 3.0 / (n as f64 - 1.0) * (n as f64 - 1.0);
-        assert!((total - expected).abs() / expected < 0.02, "{total} vs {expected}");
+        assert!(
+            (total - expected).abs() / expected < 0.02,
+            "{total} vs {expected}"
+        );
     }
 }

@@ -4,13 +4,20 @@
 //! ```text
 //! cargo run -p epidemic-bench --release --bin repro -- all
 //! cargo run -p epidemic-bench --release --bin repro -- table1 table4
+//! cargo run -p epidemic-bench --release --bin repro -- --timings all
 //! ```
+//!
+//! `--timings [PATH]` additionally records per-experiment wall-clock
+//! seconds and the worker-thread count to a JSON file
+//! (`BENCH_repro.json` by default). Thread count is controlled by the
+//! `EPIDEMIC_THREADS` environment variable (see
+//! `epidemic_sim::runner`).
 
+use epidemic_bench::figures;
 use epidemic_bench::tables::{
     print_mixing, print_spatial, table1, table2, table3, table45, PAPER_TABLE1, PAPER_TABLE2,
     PAPER_TABLE3,
 };
-use epidemic_bench::figures;
 
 const N: usize = 1000;
 
@@ -100,6 +107,27 @@ const ALL: &[&str] = &[
     "ablation-redistribution",
 ];
 
+/// Writes the timing report as JSON (hand-rolled: experiment names come
+/// from the fixed `ALL` list and need no escaping).
+fn write_timings(path: &str, threads: usize, timings: &[(String, f64)]) {
+    let total: f64 = timings.iter().map(|(_, s)| s).sum();
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"threads\": {threads},\n"));
+    json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
+    json.push_str("  \"experiments\": [\n");
+    for (i, (name, seconds)) in timings.iter().enumerate() {
+        let comma = if i + 1 < timings.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}}}{comma}\n"
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    match std::fs::write(path, json) {
+        Ok(()) => eprintln!("[timings written to {path}]"),
+        Err(e) => eprintln!("[failed to write {path}: {e}]"),
+    }
+}
+
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     let mut mix_trials: u64 = 100;
@@ -116,9 +144,28 @@ fn main() {
         spatial_trials = value;
         args.drain(pos..=pos + 1);
     }
+    let mut timings_path: Option<String> = None;
+    if let Some(pos) = args.iter().position(|a| a == "--timings") {
+        // An optional path follows; anything that is not an experiment
+        // name or flag is treated as the output file.
+        let path = match args.get(pos + 1) {
+            Some(next)
+                if next != "all" && !next.starts_with('-') && !ALL.contains(&next.as_str()) =>
+            {
+                let p = next.clone();
+                args.drain(pos..=pos + 1);
+                p
+            }
+            _ => {
+                args.remove(pos);
+                String::from("BENCH_repro.json")
+            }
+        };
+        timings_path = Some(path);
+    }
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
         eprintln!(
-            "usage: repro [--trials N] <experiment>... | all\nexperiments: {}",
+            "usage: repro [--trials N] [--timings [PATH]] <experiment>... | all\nexperiments: {}",
             ALL.join(" ")
         );
         std::process::exit(2);
@@ -128,12 +175,18 @@ fn main() {
     } else {
         args.iter().map(String::as_str).collect()
     };
+    let mut timings: Vec<(String, f64)> = Vec::new();
     for experiment in list {
         let start = std::time::Instant::now();
         if !run(experiment, mix_trials, spatial_trials) {
             eprintln!("unknown experiment: {experiment}\nknown: {}", ALL.join(" "));
             std::process::exit(2);
         }
-        eprintln!("[{experiment}: {:.1}s]", start.elapsed().as_secs_f64());
+        let seconds = start.elapsed().as_secs_f64();
+        eprintln!("[{experiment}: {seconds:.1}s]");
+        timings.push((experiment.to_string(), seconds));
+    }
+    if let Some(path) = timings_path {
+        write_timings(&path, epidemic_sim::runner::default_threads(), &timings);
     }
 }

@@ -59,7 +59,11 @@ pub fn residue_traffic(n: usize, trials: u64) -> Vec<Vec<String>> {
     let variants: Vec<(&str, RumorConfig, Option<u32>)> = vec![
         (
             "feedback+counter",
-            RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 }),
+            RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            ),
             None,
         ),
         (
@@ -69,13 +73,21 @@ pub fn residue_traffic(n: usize, trials: u64) -> Vec<Vec<String>> {
         ),
         (
             "feedback+counter, climit 1",
-            RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 }),
+            RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            ),
             Some(1),
         ),
         (
             "minimization (push-pull)",
-            RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 2 })
-                .with_minimization(),
+            RumorConfig::new(
+                Direction::PushPull,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            )
+            .with_minimization(),
             None,
         ),
     ];
@@ -149,7 +161,14 @@ pub fn print_ae_convergence(trials: u64) {
     let rows = ae_convergence(trials);
     print_table(
         "Fig: anti-entropy cover time — push vs log2(n)+ln(n), pull, push-pull",
-        &["n", "push (sim)", "log2+ln", "pull (sim)", "push-pull (sim)", "pull tail p^2"],
+        &[
+            "n",
+            "push (sim)",
+            "log2+ln",
+            "pull (sim)",
+            "push-pull (sim)",
+            "pull tail p^2",
+        ],
         &rows,
     );
 }
@@ -231,22 +250,19 @@ pub fn figure2(trials: u32) -> Vec<Vec<String>> {
     let s = topo.node_by_label("s").expect("site s exists");
     (1..=6u32)
         .map(|k| {
-            let cfg =
-                RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k });
+            let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k });
             let sim = SpatialRumorSim::new(&topo, Spatial::QsPower { a: 2.0 }, cfg);
-            let missed_s = (0..trials)
-                .filter(|&t| {
-                    let r = sim.run(u64::from(t) + 17, Some(root));
+            let missed_s = parallel_trials(
+                u64::from(trials),
+                |t| {
+                    let r = sim.run(t + 17, Some(root));
                     r.susceptible_sites.contains(&s)
-                })
-                .count();
-            let total_failures = failure_probability(
-                &topo,
-                Spatial::QsPower { a: 2.0 },
-                cfg,
-                trials,
-                Some(root),
+                },
+                0usize,
+                |acc, missed| acc + usize::from(missed),
             );
+            let total_failures =
+                failure_probability(&topo, Spatial::QsPower { a: 2.0 }, cfg, trials, Some(root));
             vec![
                 k.to_string(),
                 fmt(missed_s as f64 / f64::from(trials)),
@@ -270,18 +286,22 @@ pub fn print_figure2(trials: u32) {
 /// and the dormant-certificate immune response.
 pub fn print_death_certificates() {
     // Equal-space law τ₂ = (τ - τ₁)·n/r (§2.1).
-    let rows: Vec<Vec<String>> = [(30u64, 15u64, 300u64, 4u64), (30, 15, 300, 8), (60, 30, 1000, 6)]
-        .iter()
-        .map(|&(tau, tau1, n, r)| {
-            vec![
-                tau.to_string(),
-                tau1.to_string(),
-                n.to_string(),
-                r.to_string(),
-                epidemic_db::GcPolicy::equal_space_tau2(tau, tau1, n, r).to_string(),
-            ]
-        })
-        .collect();
+    let rows: Vec<Vec<String>> = [
+        (30u64, 15u64, 300u64, 4u64),
+        (30, 15, 300, 8),
+        (60, 30, 1000, 6),
+    ]
+    .iter()
+    .map(|&(tau, tau1, n, r)| {
+        vec![
+            tau.to_string(),
+            tau1.to_string(),
+            n.to_string(),
+            r.to_string(),
+            epidemic_db::GcPolicy::equal_space_tau2(tau, tau1, n, r).to_string(),
+        ]
+    })
+    .collect();
     print_table(
         "§2.1: dormant window τ2 = (τ-τ1)n/r at equal space",
         &["τ", "τ1", "n", "r", "τ2"],
@@ -314,7 +334,11 @@ pub fn print_death_certificates() {
 /// and convergence (the paper found them "nearly identical to Table 4").
 pub fn spatial_rumor(trials: u32, measure_runs: u64) -> Vec<Vec<String>> {
     let net = cin(&CinConfig::default());
-    let base = RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 1 });
+    let base = RumorConfig::new(
+        Direction::PushPull,
+        Feedback::Feedback,
+        Removal::Counter { k: 1 },
+    );
     let mut rows = Vec::new();
     for (label, spatial) in [
         ("uniform".to_string(), Spatial::Uniform),
@@ -322,7 +346,14 @@ pub fn spatial_rumor(trials: u32, measure_runs: u64) -> Vec<Vec<String>> {
         ("a = 2.0".to_string(), Spatial::QsPower { a: 2.0 }),
     ] {
         let Some(k) = minimum_k(&net.topology, spatial, base, trials, 40) else {
-            rows.push(vec![label, "-".into(), "-".into(), "-".into(), "-".into(), "-".into()]);
+            rows.push(vec![
+                label,
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+                "-".into(),
+            ]);
             continue;
         };
         let cfg = RumorConfig {
@@ -368,7 +399,14 @@ pub fn print_spatial_rumor(trials: u32, measure_runs: u64) {
     let rows = spatial_rumor(trials, measure_runs);
     print_table(
         "§3.2: push-pull rumor mongering on the CIN — minimal k for 100% distribution",
-        &["distribution", "min k", "t_last", "cmp avg", "cmp Bushey", "upd avg"],
+        &[
+            "distribution",
+            "min k",
+            "t_last",
+            "cmp avg",
+            "cmp Bushey",
+            "upd avg",
+        ],
         &rows,
     );
 }
@@ -385,8 +423,16 @@ pub fn print_ablation_counter_reset(n: usize, trials: u64) {
                         .with_reset_on_useful(reset),
                 )
             });
-            let cells: Vec<String> = rows.iter().flat_map(|r| [fmt(r.residue), fmt(r.traffic)]).collect();
-            let mut row = vec![if reset { "reset (footnote)" } else { "monotone" }.to_string()];
+            let cells: Vec<String> = rows
+                .iter()
+                .flat_map(|r| [fmt(r.residue), fmt(r.traffic)])
+                .collect();
+            let mut row = vec![if reset {
+                "reset (footnote)"
+            } else {
+                "monotone"
+            }
+            .to_string()];
             row.extend(cells);
             row
         })
@@ -421,7 +467,11 @@ pub fn print_ablation_hunting(n: usize, trials: u64) {
                 |a, r| (a.0 + r.0, a.1 + r.1),
             );
             vec![
-                if hunt == u32::MAX { "~inf".into() } else { hunt.to_string() },
+                if hunt == u32::MAX {
+                    "~inf".into()
+                } else {
+                    hunt.to_string()
+                },
                 fmt(s / trials as f64),
                 fmt(m / trials as f64),
             ]
@@ -471,7 +521,13 @@ pub fn print_ablation_comparison() {
     .collect();
     print_table(
         "Ablation: §1.3 comparison strategies (500 shared entries, 3 fresh updates)",
-        &["strategy", "entries sent", "entries scanned", "checksums", "full compare"],
+        &[
+            "strategy",
+            "entries sent",
+            "entries scanned",
+            "checksums",
+            "full compare",
+        ],
         &rows,
     );
 }
@@ -522,7 +578,12 @@ pub fn print_ablation_redistribution(trials: u64) {
     .collect();
     print_table(
         "Ablation: §1.5 redistribution policy (30% mail loss, 40 sites, 15 updates)",
-        &["policy", "cycles to consistency", "mail delivered", "AE repairs"],
+        &[
+            "policy",
+            "cycles to consistency",
+            "mail delivered",
+            "AE repairs",
+        ],
         &rows,
     );
 }
@@ -636,34 +697,35 @@ pub fn print_hierarchy(trials: u64) {
     let routes = Routes::compute(&net.topology);
     let mut rows = Vec::new();
 
-    let mut measure = |label: String, sim: &(dyn Fn(u64) -> epidemic_sim::SpatialRunResult + Sync)| {
-        let acc = parallel_trials(
-            trials,
-            |seed| {
-                let r = sim(seed + 13);
-                let cycles = f64::from(r.cycles.max(1));
-                (
-                    f64::from(r.t_last),
-                    r.compare_traffic.mean_per_link() / cycles,
-                    r.compare_traffic.at(net.bushey_link) as f64 / cycles,
-                )
-            },
-            [0.0f64; 3],
-            |mut a, r| {
-                for (x, v) in a.iter_mut().zip([r.0, r.1, r.2]) {
-                    *x += v;
-                }
-                a
-            },
-        );
-        let t = trials as f64;
-        rows.push(vec![
-            label,
-            fmt(acc[0] / t),
-            fmt(acc[1] / t),
-            fmt(acc[2] / t),
-        ]);
-    };
+    let mut measure =
+        |label: String, sim: &(dyn Fn(u64) -> epidemic_sim::SpatialRunResult + Sync)| {
+            let acc = parallel_trials(
+                trials,
+                |seed| {
+                    let r = sim(seed + 13);
+                    let cycles = f64::from(r.cycles.max(1));
+                    (
+                        f64::from(r.t_last),
+                        r.compare_traffic.mean_per_link() / cycles,
+                        r.compare_traffic.at(net.bushey_link) as f64 / cycles,
+                    )
+                },
+                [0.0f64; 3],
+                |mut a, r| {
+                    for (x, v) in a.iter_mut().zip([r.0, r.1, r.2]) {
+                        *x += v;
+                    }
+                    a
+                },
+            );
+            let t = trials as f64;
+            rows.push(vec![
+                label,
+                fmt(acc[0] / t),
+                fmt(acc[1] / t),
+                fmt(acc[2] / t),
+            ]);
+        };
 
     for (label, spatial) in [
         ("uniform".to_string(), Spatial::Uniform),
@@ -681,14 +743,18 @@ pub fn print_hierarchy(trials: u64) {
             Spatial::QsPower { a: 2.0 },
         );
         let sim = AntiEntropySim::with_selection(&net.topology, sampler);
-        measure(
-            format!("hierarchy r={reps} p={long_range}"),
-            &|seed| sim.run(seed, None),
-        );
+        measure(format!("hierarchy r={reps} p={long_range}"), &|seed| {
+            sim.run(seed, None)
+        });
     }
     print_table(
         "§4 future work: dynamic hierarchy vs flat spatial selection (CIN)",
-        &["strategy", "t_last", "cmp avg/link/cycle", "cmp Bushey/cycle"],
+        &[
+            "strategy",
+            "t_last",
+            "cmp avg/link/cycle",
+            "cmp Bushey/cycle",
+        ],
         &rows,
     );
 }
@@ -850,7 +916,12 @@ pub fn print_weighted_cin(trials: u64) {
     }
     print_table(
         "Ablation: transatlantic link cost under Qs^-2 anti-entropy (CIN)",
-        &["transatlantic cost", "t_last", "cmp avg/link/cycle", "cmp Bushey/cycle"],
+        &[
+            "transatlantic cost",
+            "t_last",
+            "cmp avg/link/cycle",
+            "cmp Bushey/cycle",
+        ],
         &rows,
     );
 }
@@ -866,7 +937,6 @@ pub fn print_dc_scaling(trials: u64) {
         .map(|&n| {
             let driver = AntiEntropyEpidemic::new(Direction::PushPull);
             let cover_times: Vec<f64> = {
-                
                 parallel_trials(
                     trials,
                     |seed| f64::from(driver.run(n, seed ^ 0xDC).cycles),
@@ -890,7 +960,14 @@ pub fn print_dc_scaling(trials: u64) {
         .collect();
     print_table(
         "§2.1: P(propagation time > τ1) vs n — why τ1 must grow as O(log n)",
-        &["n", "mean cover time", "P(>8)", "P(>10)", "P(>12)", "P(>14)"],
+        &[
+            "n",
+            "mean cover time",
+            "P(>8)",
+            "P(>10)",
+            "P(>12)",
+            "P(>14)",
+        ],
         &rows,
     );
 }
@@ -904,17 +981,45 @@ pub fn print_churn(trials: u64) {
     let net = cin(&CinConfig::default());
     let mut rows = Vec::new();
     for (label, churn) in [
-        ("0% down", Churn { fail: 0.0, recover: 1.0 }),
-        ("~10% down", Churn { fail: 0.02, recover: 0.18 }),
-        ("~25% down", Churn { fail: 0.05, recover: 0.15 }),
-        ("~50% down", Churn { fail: 0.10, recover: 0.10 }),
+        (
+            "0% down",
+            Churn {
+                fail: 0.0,
+                recover: 1.0,
+            },
+        ),
+        (
+            "~10% down",
+            Churn {
+                fail: 0.02,
+                recover: 0.18,
+            },
+        ),
+        (
+            "~25% down",
+            Churn {
+                fail: 0.05,
+                recover: 0.15,
+            },
+        ),
+        (
+            "~50% down",
+            Churn {
+                fail: 0.10,
+                recover: 0.10,
+            },
+        ),
     ] {
         let sim = ChurnedAntiEntropySim::new(&net.topology, Spatial::QsPower { a: 2.0 }, churn);
         let acc = parallel_trials(
             trials,
             |seed| {
                 let r = sim.run(seed + 91, None);
-                (f64::from(r.t_last), r.observed_down_fraction, f64::from(u8::from(r.complete)))
+                (
+                    f64::from(r.t_last),
+                    r.observed_down_fraction,
+                    f64::from(u8::from(r.complete)),
+                )
             },
             (0.0, 0.0, 0.0),
             |a, r| (a.0 + r.0, a.1 + r.1, a.2 + r.2),
@@ -929,60 +1034,21 @@ pub fn print_churn(trials: u64) {
     }
     print_table(
         "Ablation: site churn under Qs^-2 anti-entropy (CIN)",
-        &["churn", "observed down fraction", "t_last", "completion rate"],
+        &[
+            "churn",
+            "observed down fraction",
+            "t_last",
+            "completion rate",
+        ],
         &rows,
     );
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn rumor_ode_rows_track_theory() {
-        let rows = rumor_ode(300, 20);
-        assert_eq!(rows.len(), 8);
-        // Column 1 is the ODE residue for k=1 ≈ 0.2.
-        let ode_k1: f64 = rows[0][1].parse().unwrap();
-        assert!((ode_k1 - 0.2032).abs() < 0.01);
-    }
-
-    #[test]
-    fn ae_convergence_rows_are_ordered() {
-        let rows = ae_convergence(5);
-        // Cover time grows with n for push.
-        let push: Vec<f64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
-        assert!(push.windows(2).all(|w| w[1] > w[0]));
-    }
-
-    #[test]
-    fn line_traffic_rows_have_expected_shape() {
-        let rows = line_traffic();
-        // Uniform column roughly doubles per size doubling; a=3 column is flat.
-        let first: f64 = rows[0][1].parse().unwrap();
-        let last: f64 = rows[5][1].parse().unwrap();
-        assert!(last / first > 16.0);
-        let a3_first: f64 = rows[0][5].parse().unwrap();
-        let a3_last: f64 = rows[5][5].parse().unwrap();
-        assert!(a3_last / a3_first < 1.5);
-    }
-
-    #[test]
-    fn figure1_failure_decreases_in_k() {
-        let rows = figure1(60);
-        let k1: f64 = rows[0][1].parse().unwrap();
-        let k6: f64 = rows[5][1].parse().unwrap();
-        assert!(k6 <= k1);
-    }
 }
 
 /// §4 asks to "characterize the pathological topologies": sweep topology
 /// families and report how uniform vs `Q_s(d)^-2` anti-entropy behaves on
 /// each — convergence time and the hottest link's load.
 pub fn print_topology_robustness(trials: u64) {
-    use epidemic_net::topologies::{
-        binary_tree, grid, line, random_connected, ring, waxman,
-    };
+    use epidemic_net::topologies::{binary_tree, grid, line, random_connected, ring, waxman};
     use epidemic_sim::spatial_ae::AntiEntropySim;
     let topos: Vec<(&str, epidemic_net::Topology)> = vec![
         ("line(64)", line(64)),
@@ -1085,4 +1151,46 @@ pub fn print_pull_vs_push_rate(trials: u64) {
         ],
         &rows,
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rumor_ode_rows_track_theory() {
+        let rows = rumor_ode(300, 20);
+        assert_eq!(rows.len(), 8);
+        // Column 1 is the ODE residue for k=1 ≈ 0.2.
+        let ode_k1: f64 = rows[0][1].parse().unwrap();
+        assert!((ode_k1 - 0.2032).abs() < 0.01);
+    }
+
+    #[test]
+    fn ae_convergence_rows_are_ordered() {
+        let rows = ae_convergence(5);
+        // Cover time grows with n for push.
+        let push: Vec<f64> = rows.iter().map(|r| r[1].parse().unwrap()).collect();
+        assert!(push.windows(2).all(|w| w[1] > w[0]));
+    }
+
+    #[test]
+    fn line_traffic_rows_have_expected_shape() {
+        let rows = line_traffic();
+        // Uniform column roughly doubles per size doubling; a=3 column is flat.
+        let first: f64 = rows[0][1].parse().unwrap();
+        let last: f64 = rows[5][1].parse().unwrap();
+        assert!(last / first > 16.0);
+        let a3_first: f64 = rows[0][5].parse().unwrap();
+        let a3_last: f64 = rows[5][5].parse().unwrap();
+        assert!(a3_last / a3_first < 1.5);
+    }
+
+    #[test]
+    fn figure1_failure_decreases_in_k() {
+        let rows = figure1(60);
+        let k1: f64 = rows[0][1].parse().unwrap();
+        let k6: f64 = rows[5][1].parse().unwrap();
+        assert!(k6 <= k1);
+    }
 }

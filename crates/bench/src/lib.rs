@@ -14,49 +14,26 @@ pub mod figures;
 pub mod render;
 pub mod tables;
 
+use epidemic_sim::runner::TrialRunner;
+
 /// Splits `trials` seeds across worker threads, accumulating per-seed
 /// results with `run` and folding them with `fold` into `init`.
 ///
 /// Deterministic: the fold order is by seed, regardless of thread timing.
+/// A thin wrapper over [`epidemic_sim::runner::TrialRunner`] with
+/// `seed_base = 0`: `run` receives the raw trial index, and experiments
+/// apply their own per-experiment seed transforms on top. Honors the
+/// `EPIDEMIC_THREADS` override (see the runner docs).
 pub fn parallel_trials<T, A>(
     trials: u64,
     run: impl Fn(u64) -> T + Sync,
     init: A,
-    mut fold: impl FnMut(A, T) -> A,
+    fold: impl FnMut(A, T) -> A,
 ) -> A
 where
     T: Send,
 {
-    let workers = std::thread::available_parallelism()
-        .map(|p| p.get())
-        .unwrap_or(4)
-        .min(trials.max(1) as usize);
-    let mut results: Vec<Option<T>> = Vec::with_capacity(trials as usize);
-    results.resize_with(trials as usize, || None);
-    let chunk = trials.div_ceil(workers as u64);
-    std::thread::scope(|scope| {
-        let run = &run;
-        let mut rest: &mut [Option<T>] = &mut results;
-        for w in 0..workers as u64 {
-            let lo = w * chunk;
-            let hi = ((w + 1) * chunk).min(trials);
-            if lo >= hi {
-                break;
-            }
-            let (mine, tail) = rest.split_at_mut((hi - lo) as usize);
-            rest = tail;
-            scope.spawn(move || {
-                for (offset, slot) in mine.iter_mut().enumerate() {
-                    *slot = Some(run(lo + offset as u64));
-                }
-            });
-        }
-    });
-    let mut acc = init;
-    for r in results.into_iter().flatten() {
-        acc = fold(acc, r);
-    }
-    acc
+    TrialRunner::new().fold(trials, 0, run, init, fold)
 }
 
 #[cfg(test)]
@@ -71,10 +48,17 @@ mod tests {
 
     #[test]
     fn parallel_trials_is_deterministic() {
-        let collect = || parallel_trials(37, |s| s * s, Vec::new(), |mut v, x| {
-            v.push(x);
-            v
-        });
+        let collect = || {
+            parallel_trials(
+                37,
+                |s| s * s,
+                Vec::new(),
+                |mut v, x| {
+                    v.push(x);
+                    v
+                },
+            )
+        };
         assert_eq!(collect(), collect());
     }
 

@@ -110,7 +110,14 @@ pub fn print_mixing(title: &str, rows: &[MixRow], paper: &[[f64; 4]]) {
     print_table(
         title,
         &[
-            "k", "residue", "traffic", "t_ave", "t_last", "paper s", "paper m", "paper t_ave",
+            "k",
+            "residue",
+            "traffic",
+            "t_ave",
+            "t_last",
+            "paper s",
+            "paper m",
+            "paper t_ave",
             "paper t_last",
         ],
         &data,
@@ -161,7 +168,8 @@ pub fn table45_on(
     table45_distributions()
         .into_iter()
         .map(|(label, spatial)| {
-            let sim = AntiEntropySim::new(&net.topology, spatial).connection_limit(connection_limit);
+            let sim =
+                AntiEntropySim::new(&net.topology, spatial).connection_limit(connection_limit);
             let acc = parallel_trials(
                 trials,
                 |seed| {

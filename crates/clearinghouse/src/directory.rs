@@ -123,7 +123,10 @@ mod tests {
         dir.add_replica(&domain("D:O"), SiteId::new(5));
         dir.add_replica(&domain("D:O"), SiteId::new(1));
         dir.add_replica(&domain("D:O"), SiteId::new(5));
-        assert_eq!(dir.holders(&domain("D:O")), &[SiteId::new(1), SiteId::new(5)]);
+        assert_eq!(
+            dir.holders(&domain("D:O")),
+            &[SiteId::new(1), SiteId::new(5)]
+        );
     }
 
     #[test]

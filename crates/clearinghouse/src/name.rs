@@ -148,7 +148,10 @@ impl fmt::Display for ParseNameError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             ParseNameError::WrongArity => {
-                write!(f, "expected colon-separated components (local:domain:organization)")
+                write!(
+                    f,
+                    "expected colon-separated components (local:domain:organization)"
+                )
             }
             ParseNameError::EmptyComponent => write!(f, "name components must be non-empty"),
         }
@@ -183,11 +186,11 @@ mod tests {
     #[test]
     fn rejects_wrong_arity() {
         assert_eq!("mary:PARC".parse::<Name>(), Err(ParseNameError::WrongArity));
+        assert_eq!("a:b:c:d".parse::<Name>(), Err(ParseNameError::WrongArity));
         assert_eq!(
-            "a:b:c:d".parse::<Name>(),
+            "onlyone".parse::<DomainId>(),
             Err(ParseNameError::WrongArity)
         );
-        assert_eq!("onlyone".parse::<DomainId>(), Err(ParseNameError::WrongArity));
     }
 
     #[test]

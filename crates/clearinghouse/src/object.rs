@@ -147,10 +147,7 @@ mod tests {
     }
 
     fn world(entries: &[(&str, Object)]) -> BTreeMap<Name, Object> {
-        entries
-            .iter()
-            .map(|(n, o)| (name(n), o.clone()))
-            .collect()
+        entries.iter().map(|(n, o)| (name(n), o.clone())).collect()
     }
 
     #[test]
@@ -163,11 +160,7 @@ mod tests {
 
     #[test]
     fn group_members_are_sorted_and_unique() {
-        let g = Object::group(vec![
-            name("b:D:O"),
-            name("a:D:O"),
-            name("b:D:O"),
-        ]);
+        let g = Object::group(vec![name("b:D:O"), name("a:D:O"), name("b:D:O")]);
         let members = g.as_group().unwrap();
         assert_eq!(
             members.iter().cloned().collect::<Vec<_>>(),

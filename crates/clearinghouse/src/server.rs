@@ -138,7 +138,10 @@ mod tests {
         let mut s = Server::new(SiteId::new(0));
         s.host(domain("PARC:Xerox"));
         assert!(s.bind(&name("mary:PARC:Xerox"), "addr".into()).is_some());
-        assert_eq!(s.lookup(&name("mary:PARC:Xerox")), Some(&Object::address("addr")));
+        assert_eq!(
+            s.lookup(&name("mary:PARC:Xerox")),
+            Some(&Object::address("addr"))
+        );
     }
 
     #[test]
@@ -172,8 +175,14 @@ mod tests {
         b.bind(&name("daisy:PARC:Xerox"), "b1".into());
         let stats = Server::exchange_domain(&mut a, &mut b, &d);
         assert_eq!(stats.total_sent(), 2);
-        assert_eq!(a.lookup(&name("daisy:PARC:Xerox")), Some(&Object::address("b1")));
-        assert_eq!(b.lookup(&name("mary:PARC:Xerox")), Some(&Object::address("a1")));
+        assert_eq!(
+            a.lookup(&name("daisy:PARC:Xerox")),
+            Some(&Object::address("b1"))
+        );
+        assert_eq!(
+            b.lookup(&name("mary:PARC:Xerox")),
+            Some(&Object::address("a1"))
+        );
     }
 
     #[test]

@@ -64,9 +64,7 @@ impl Clearinghouse {
     ///
     /// Panics if the directory references a site `>= n`.
     pub fn new(n: usize, directory: Directory) -> Self {
-        let mut servers: Vec<Server> = (0..n)
-            .map(|i| Server::new(SiteId::new(i as u32)))
-            .collect();
+        let mut servers: Vec<Server> = (0..n).map(|i| Server::new(SiteId::new(i as u32))).collect();
         for domain in directory.domains() {
             for &site in directory.holders(domain) {
                 assert!(
@@ -262,7 +260,8 @@ mod tests {
     #[test]
     fn gossip_converges_each_domain_to_its_holders_only() {
         let mut ch = service();
-        ch.bind(&name("mary:PARC:Xerox"), "parc-addr".into()).unwrap();
+        ch.bind(&name("mary:PARC:Xerox"), "parc-addr".into())
+            .unwrap();
         ch.bind(&name("db:SDD:Xerox"), "sdd-addr".into()).unwrap();
         let mut rng = StdRng::seed_from_u64(3);
         for _ in 0..12 {
@@ -273,7 +272,8 @@ mod tests {
         // Every PARC holder can answer; SDD holders cannot see PARC names.
         for s in 0..4u32 {
             assert_eq!(
-                ch.lookup_at(SiteId::new(s), &name("mary:PARC:Xerox")).unwrap(),
+                ch.lookup_at(SiteId::new(s), &name("mary:PARC:Xerox"))
+                    .unwrap(),
                 Some(crate::object::Object::address("parc-addr"))
             );
         }
@@ -294,7 +294,8 @@ mod tests {
         ch.anti_entropy_cycle(&mut rng);
         assert!(ch.domain_consistent(&domain("Lone:Xerox")));
         assert_eq!(
-            ch.lookup_at(SiteId::new(6), &name("only:Lone:Xerox")).unwrap(),
+            ch.lookup_at(SiteId::new(6), &name("only:Lone:Xerox"))
+                .unwrap(),
             Some(crate::object::Object::address("v"))
         );
     }
@@ -313,7 +314,8 @@ mod tests {
         }
         for s in 0..4u32 {
             assert_eq!(
-                ch.lookup_at(SiteId::new(s), &name("mary:PARC:Xerox")).unwrap(),
+                ch.lookup_at(SiteId::new(s), &name("mary:PARC:Xerox"))
+                    .unwrap(),
                 None
             );
         }
@@ -376,7 +378,9 @@ mod resolve_tests {
     fn resolve_follows_aliases_at_any_holder() {
         let ch = service_with_aliases();
         for s in 0..2u32 {
-            let got = ch.resolve_at(SiteId::new(s), &name("lpr:PARC:Xerox")).unwrap();
+            let got = ch
+                .resolve_at(SiteId::new(s), &name("lpr:PARC:Xerox"))
+                .unwrap();
             assert_eq!(got.as_address(), Some("35-2200"));
         }
     }
@@ -384,16 +388,10 @@ mod resolve_tests {
     #[test]
     fn resolve_reports_loops_as_service_errors() {
         let mut ch = service_with_aliases();
-        ch.bind(
-            &name("a:PARC:Xerox"),
-            Object::Alias(name("b:PARC:Xerox")),
-        )
-        .unwrap();
-        ch.bind(
-            &name("b:PARC:Xerox"),
-            Object::Alias(name("a:PARC:Xerox")),
-        )
-        .unwrap();
+        ch.bind(&name("a:PARC:Xerox"), Object::Alias(name("b:PARC:Xerox")))
+            .unwrap();
+        ch.bind(&name("b:PARC:Xerox"), Object::Alias(name("a:PARC:Xerox")))
+            .unwrap();
         let err = ch
             .resolve_at(SiteId::new(0), &name("a:PARC:Xerox"))
             .unwrap_err();
@@ -449,7 +447,10 @@ mod gc_tests {
     fn expired_certificates_are_reclaimed_fleet_wide() {
         let mut dir = Directory::new();
         let d: DomainId = "D:O".parse().unwrap();
-        dir.assign(d.clone(), vec![SiteId::new(0), SiteId::new(1), SiteId::new(2)]);
+        dir.assign(
+            d.clone(),
+            vec![SiteId::new(0), SiteId::new(1), SiteId::new(2)],
+        );
         let mut ch = Clearinghouse::new(3, dir);
         let name: Name = "gone:D:O".parse().unwrap();
         ch.bind(&name, Object::address("x")).unwrap();

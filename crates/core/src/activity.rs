@@ -317,9 +317,15 @@ mod tests {
         let (mut a, mut la, mut b, mut lb) = setup();
         for i in 0..20u32 {
             if i % 2 == 0 {
-                a.client_update(Box::leak(format!("a{i}").into_boxed_str()) as &'static str, i);
+                a.client_update(
+                    Box::leak(format!("a{i}").into_boxed_str()) as &'static str,
+                    i,
+                );
             } else {
-                b.client_update(Box::leak(format!("b{i}").into_boxed_str()) as &'static str, i);
+                b.client_update(
+                    Box::leak(format!("b{i}").into_boxed_str()) as &'static str,
+                    i,
+                );
             }
         }
         PeelBackRumor::new(3).exchange(&mut a, &mut la, &mut b, &mut lb);

@@ -150,12 +150,8 @@ impl AntiEntropy {
 }
 
 /// Offers an entry quietly and accounts for awakened certificates.
-fn offer_counted<K, V>(
-    to: &mut Replica<K, V>,
-    key: K,
-    entry: Entry<V>,
-    stats: &mut ExchangeStats,
-) where
+fn offer_counted<K, V>(to: &mut Replica<K, V>, key: K, entry: Entry<V>, stats: &mut ExchangeStats)
+where
     K: Ord + Clone + Hash + Eq,
     V: Clone + Hash + Eq,
 {
@@ -166,8 +162,14 @@ fn offer_counted<K, V>(
 
 /// Computes the two one-way diffs between replicas: entries `a` holds
 /// strictly newer than `b` (or that `b` lacks), and vice versa. Returns the
-/// pair `(a_to_b, b_to_a)` plus the number of entries scanned.
-pub(crate) fn diff<K, V>(a: &Replica<K, V>, b: &Replica<K, V>) -> DiffResult<K, V>
+/// pair `(a_to_b, b_to_a)` plus the number of entries scanned. Entries are
+/// cloned only for the directions `direction` allows to flow — a one-way
+/// exchange never materialises the list it would discard.
+pub(crate) fn diff<K, V>(
+    direction: Direction,
+    a: &Replica<K, V>,
+    b: &Replica<K, V>,
+) -> DiffResult<K, V>
 where
     K: Ord + Clone + Hash + Eq,
     V: Clone + Hash,
@@ -178,32 +180,41 @@ where
     let mut ia = a.db().iter().peekable();
     let mut ib = b.db().iter().peekable();
     loop {
-        scanned += 1;
         match (ia.peek(), ib.peek()) {
             (None, None) => break,
             (Some((ka, ea)), None) => {
-                a_to_b.push(((*ka).clone(), (*ea).clone()));
+                if direction.pushes() {
+                    a_to_b.push(((*ka).clone(), (*ea).clone()));
+                }
                 ia.next();
             }
             (None, Some((kb, eb))) => {
-                b_to_a.push(((*kb).clone(), (*eb).clone()));
+                if direction.pulls() {
+                    b_to_a.push(((*kb).clone(), (*eb).clone()));
+                }
                 ib.next();
             }
             (Some((ka, ea)), Some((kb, eb))) => {
                 use std::cmp::Ordering;
                 match ka.cmp(kb) {
                     Ordering::Less => {
-                        a_to_b.push(((*ka).clone(), (*ea).clone()));
+                        if direction.pushes() {
+                            a_to_b.push(((*ka).clone(), (*ea).clone()));
+                        }
                         ia.next();
                     }
                     Ordering::Greater => {
-                        b_to_a.push(((*kb).clone(), (*eb).clone()));
+                        if direction.pulls() {
+                            b_to_a.push(((*kb).clone(), (*eb).clone()));
+                        }
                         ib.next();
                     }
                     Ordering::Equal => {
                         if ea.timestamp() > eb.timestamp() {
-                            a_to_b.push(((*ka).clone(), (*ea).clone()));
-                        } else if eb.timestamp() > ea.timestamp() {
+                            if direction.pushes() {
+                                a_to_b.push(((*ka).clone(), (*ea).clone()));
+                            }
+                        } else if eb.timestamp() > ea.timestamp() && direction.pulls() {
                             b_to_a.push(((*kb).clone(), (*eb).clone()));
                         }
                         ia.next();
@@ -212,6 +223,9 @@ where
                 }
             }
         }
+        // Counted after the terminal check so diffing two empty databases
+        // reports zero entries scanned.
+        scanned += 1;
     }
     (a_to_b, b_to_a, scanned)
 }
@@ -226,19 +240,15 @@ fn full_resolve<K, V>(
     K: Ord + Clone + Hash + Eq,
     V: Clone + Hash + Eq,
 {
-    let (a_to_b, b_to_a, scanned) = diff(a, b);
+    let (a_to_b, b_to_a, scanned) = diff(direction, a, b);
     stats.entries_scanned += scanned;
-    if direction.pushes() {
-        for (k, e) in a_to_b {
-            stats.sent_ab += 1;
-            offer_counted(b, k, e, stats);
-        }
+    for (k, e) in a_to_b {
+        stats.sent_ab += 1;
+        offer_counted(b, k, e, stats);
     }
-    if direction.pulls() {
-        for (k, e) in b_to_a {
-            stats.sent_ba += 1;
-            offer_counted(a, k, e, stats);
-        }
+    for (k, e) in b_to_a {
+        stats.sent_ba += 1;
+        offer_counted(a, k, e, stats);
     }
 }
 
@@ -354,6 +364,26 @@ mod tests {
     }
 
     #[test]
+    fn diffing_empty_databases_scans_nothing() {
+        let (mut a, mut b) = pair();
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert_eq!(stats.entries_scanned, 0, "no entries exist to examine");
+        assert_eq!(stats.total_sent(), 0);
+    }
+
+    #[test]
+    fn scan_count_equals_merged_entry_walk() {
+        let (mut a, mut b) = pair();
+        a.client_update("x", 1);
+        b.client_update("y", 2);
+        b.client_update("z", 3);
+        let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let stats = ae.exchange(&mut a, &mut b);
+        assert_eq!(stats.entries_scanned, 3, "one step per distinct key");
+    }
+
+    #[test]
     fn push_only_moves_data_one_way() {
         let (mut a, mut b) = pair();
         a.client_update("x", 1);
@@ -444,7 +474,10 @@ mod tests {
         let (mut a, mut b) = pair();
         // Large shared prefix.
         for i in 0..50u32 {
-            a.client_update(Box::leak(format!("k{i}").into_boxed_str()) as &'static str, i);
+            a.client_update(
+                Box::leak(format!("k{i}").into_boxed_str()) as &'static str,
+                i,
+            );
         }
         AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
         // One fresh divergent update.

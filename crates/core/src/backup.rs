@@ -20,6 +20,7 @@ use epidemic_db::Entry;
 
 use crate::anti_entropy::{diff, ExchangeStats};
 use crate::replica::Replica;
+use crate::Direction;
 
 /// What to do with updates discovered missing during backup anti-entropy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,7 +96,7 @@ impl BackupAntiEntropy {
             full_compare: true,
             ..ExchangeStats::default()
         };
-        let (a_to_b, b_to_a, scanned) = diff(a, b);
+        let (a_to_b, b_to_a, scanned) = diff(Direction::PushPull, a, b);
         stats.entries_scanned = scanned;
         let mut remail = Vec::new();
 

@@ -221,10 +221,13 @@ mod tests {
     #[test]
     fn lossy_mail_drops_messages() {
         let mut rng = rng();
-        let mut mail: MailSystem<&str, u32> = MailSystem::new(2, MailConfig {
-            loss_probability: 1.0,
-            queue_capacity: usize::MAX,
-        });
+        let mut mail: MailSystem<&str, u32> = MailSystem::new(
+            2,
+            MailConfig {
+                loss_probability: 1.0,
+                queue_capacity: usize::MAX,
+            },
+        );
         let entry = Entry::live(1, epidemic_db::Timestamp::new(1, SiteId::new(0)));
         assert!(!mail.post(SiteId::new(1), "k", entry, &mut rng));
         assert_eq!(mail.stats().lost, 1);
@@ -234,10 +237,13 @@ mod tests {
     #[test]
     fn full_queues_overflow() {
         let mut rng = rng();
-        let mut mail: MailSystem<&str, u32> = MailSystem::new(2, MailConfig {
-            loss_probability: 0.0,
-            queue_capacity: 2,
-        });
+        let mut mail: MailSystem<&str, u32> = MailSystem::new(
+            2,
+            MailConfig {
+                loss_probability: 0.0,
+                queue_capacity: 2,
+            },
+        );
         let entry = Entry::live(1, epidemic_db::Timestamp::new(1, SiteId::new(0)));
         assert!(mail.post(SiteId::new(1), "a", entry.clone(), &mut rng));
         assert!(mail.post(SiteId::new(1), "b", entry.clone(), &mut rng));
@@ -279,7 +285,8 @@ mod tests {
         let mut rng = rng();
         let mut mail = MailSystem::new(2, MailConfig::default());
         let origin: Replica<&str, u32> = Replica::new(SiteId::new(0));
-        let sent = DirectMail::new().broadcast(&origin, &[SiteId::new(1)], &"k", &mut mail, &mut rng);
+        let sent =
+            DirectMail::new().broadcast(&origin, &[SiteId::new(1)], &"k", &mut mail, &mut rng);
         assert_eq!(sent, 0);
     }
 }

@@ -87,6 +87,15 @@ where
         self.db.entry(key).is_none() && self.db.dormant_certificate(key).is_none()
     }
 
+    /// Whether receiving an entry for `key` stamped `timestamp` would
+    /// change this replica's database
+    /// ([`Database::would_accept`](epidemic_db::Database::would_accept)).
+    /// Senders use this borrow-only check to skip cloning entries the
+    /// recipient already holds.
+    pub fn needs(&self, key: &K, timestamp: Timestamp) -> bool {
+        self.db.would_accept(key, timestamp)
+    }
+
     /// Local clock reading.
     pub fn local_time(&self) -> u64 {
         self.clock.peek()
@@ -132,12 +141,10 @@ where
 
     /// Client deletion whose certificate keeps dormant copies at the given
     /// retention sites (§2.1).
-    pub fn client_delete_with_retention(
-        &mut self,
-        key: &K,
-        retention: Vec<SiteId>,
-    ) -> Timestamp {
-        let at = self.db.delete_with_retention(key, retention, &mut self.clock);
+    pub fn client_delete_with_retention(&mut self, key: &K, retention: Vec<SiteId>) -> Timestamp {
+        let at = self
+            .db
+            .delete_with_retention(key, retention, &mut self.clock);
         self.hot.insert(key.clone());
         at
     }
@@ -173,7 +180,8 @@ where
     /// Runs death-certificate garbage collection (§2.1) with this site's
     /// identity and local time.
     pub fn collect_garbage(&mut self, policy: GcPolicy) -> GcStats {
-        self.db.collect_garbage(self.site, self.clock.peek(), policy)
+        self.db
+            .collect_garbage(self.site, self.clock.peek(), policy)
     }
 
     /// Convenience: merges an entry under plain last-writer-wins without
@@ -210,10 +218,7 @@ mod tests {
         assert_eq!(b.receive_rumor("k", entry.clone()), OfferOutcome::Applied);
         assert!(b.is_infective(&"k"));
         b.hot_mut().remove(&"k");
-        assert_eq!(
-            b.receive_rumor("k", entry),
-            OfferOutcome::AlreadyKnown
-        );
+        assert_eq!(b.receive_rumor("k", entry), OfferOutcome::AlreadyKnown);
         assert!(!b.is_infective(&"k")); // stale news does not re-ignite
     }
 

@@ -21,6 +21,7 @@
 
 use std::hash::Hash;
 
+use epidemic_db::Entry;
 use rand::{Rng, RngExt};
 
 use crate::replica::Replica;
@@ -136,6 +137,55 @@ impl RumorStats {
     }
 }
 
+/// Start-of-contact snapshot of a replica's hot keys. The single-update
+/// experiments keep at most one rumor hot per site, so that case borrows
+/// into a stack slot instead of allocating a `Vec` on every contact.
+enum HotKeys<K> {
+    UpToOne(Option<K>),
+    Many(Vec<K>),
+}
+
+impl<K: Ord + Clone + Hash + Eq> HotKeys<K> {
+    fn snapshot<V: Hash>(replica: &Replica<K, V>) -> Self {
+        let hot = replica.hot();
+        if hot.len() <= 1 {
+            HotKeys::UpToOne(hot.keys().next().cloned())
+        } else {
+            HotKeys::Many(hot.keys_snapshot())
+        }
+    }
+
+    fn as_slice(&self) -> &[K] {
+        match self {
+            HotKeys::UpToOne(one) => one.as_slice(),
+            HotKeys::Many(keys) => keys,
+        }
+    }
+}
+
+/// Offers the hot rumor `key` from `from` to `to`. The entry is cloned
+/// only when `to` actually needs it — a borrow-only timestamp check
+/// decides, so the common late-epidemic case (everyone already knows the
+/// update) transmits nothing owned. Returns `None` when `from` no longer
+/// holds an entry for the key (e.g. an expired death certificate), after
+/// dropping the stale rumor; otherwise `Some(useful)`.
+fn offer_rumor<K, V>(from: &mut Replica<K, V>, to: &mut Replica<K, V>, key: &K) -> Option<bool>
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+{
+    let Some(timestamp) = from.db().entry(key).map(Entry::timestamp) else {
+        from.hot_mut().remove(key);
+        return None;
+    };
+    if !to.needs(key, timestamp) {
+        // The offer would be a no-op at the recipient; skip the clone.
+        return Some(false);
+    }
+    let entry = from.db().entry(key).expect("entry observed above").clone();
+    Some(to.receive_rumor(key.clone(), entry).was_useful())
+}
+
 /// One **push** contact: `sender` offers every hot rumor to `receiver`
 /// (§1.4's basic scenario). Interest-loss is applied immediately per the
 /// configured feedback/removal rules.
@@ -151,17 +201,16 @@ where
     R: Rng + ?Sized,
 {
     let mut stats = RumorStats::default();
-    for key in sender.hot().keys_snapshot() {
-        let Some(entry) = sender.db().entry(&key).cloned() else {
-            sender.hot_mut().remove(&key);
+    let keys = HotKeys::snapshot(sender);
+    for key in keys.as_slice() {
+        let Some(useful) = offer_rumor(sender, receiver, key) else {
             continue;
         };
         stats.sent += 1;
-        let useful = receiver.receive_rumor(key.clone(), entry).was_useful();
         if useful {
             stats.useful += 1;
         }
-        apply_interest_loss(cfg, sender, &key, useful, rng, &mut stats);
+        apply_interest_loss(cfg, sender, key, useful, rng, &mut stats);
     }
     stats
 }
@@ -182,13 +231,12 @@ where
     R: Rng + ?Sized,
 {
     let mut stats = RumorStats::default();
-    for key in source.hot().keys_snapshot() {
-        let Some(entry) = source.db().entry(&key).cloned() else {
-            source.hot_mut().remove(&key);
+    let keys = HotKeys::snapshot(source);
+    for key in keys.as_slice() {
+        let Some(useful) = offer_rumor(source, requester, key) else {
             continue;
         };
         stats.sent += 1;
-        let useful = requester.receive_rumor(key.clone(), entry).was_useful();
         if useful {
             stats.useful += 1;
         }
@@ -201,10 +249,10 @@ where
                     Feedback::Feedback => useful,
                     Feedback::Blind => false,
                 };
-                source.hot_mut().record_pending(&key, needed);
+                source.hot_mut().record_pending(key, needed);
             }
             Removal::Coin { .. } => {
-                apply_interest_loss(cfg, source, &key, useful, rng, &mut stats);
+                apply_interest_loss(cfg, source, key, useful, rng, &mut stats);
             }
         }
     }
@@ -225,17 +273,15 @@ where
     R: Rng + ?Sized,
 {
     let mut stats = RumorStats::default();
-    let a_keys = a.hot().keys_snapshot();
-    let b_keys = b.hot().keys_snapshot();
+    let a_keys = HotKeys::snapshot(a);
+    let b_keys = HotKeys::snapshot(b);
 
-    for key in &a_keys {
-        let both_hot = b_keys.contains(key);
-        let Some(entry) = a.db().entry(key).cloned() else {
-            a.hot_mut().remove(key);
+    for key in a_keys.as_slice() {
+        let both_hot = b_keys.as_slice().contains(key);
+        let Some(useful) = offer_rumor(a, b, key) else {
             continue;
         };
         stats.sent += 1;
-        let useful = b.receive_rumor(key.clone(), entry).was_useful();
         if useful {
             stats.useful += 1;
         }
@@ -248,16 +294,14 @@ where
         }
         apply_interest_loss(cfg, a, key, useful, rng, &mut stats);
     }
-    for key in &b_keys {
-        if cfg.minimization && a_keys.contains(key) {
+    for key in b_keys.as_slice() {
+        if cfg.minimization && a_keys.as_slice().contains(key) {
             continue; // handled in the first loop
         }
-        let Some(entry) = b.db().entry(key).cloned() else {
-            b.hot_mut().remove(key);
+        let Some(useful) = offer_rumor(b, a, key) else {
             continue;
         };
         stats.sent += 1;
-        let useful = a.receive_rumor(key.clone(), entry).was_useful();
         if useful {
             stats.useful += 1;
         }
@@ -274,10 +318,7 @@ where
     V: Hash,
 {
     match cfg.removal {
-        Removal::Counter { k } => site
-            .hot_mut()
-            .end_cycle(k, cfg.reset_on_useful)
-            .len(),
+        Removal::Counter { k } => site.hot_mut().end_cycle(k, cfg.reset_on_useful).len(),
         Removal::Coin { .. } => 0,
     }
 }
@@ -337,10 +378,9 @@ fn apply_interest_loss<K, V, R>(
             }
         }
         Removal::Coin { k } => {
-            if rng.random::<f64>() < 1.0 / f64::from(k.max(1))
-                && holder.hot_mut().remove(key) {
-                    stats.deactivated += 1;
-                }
+            if rng.random::<f64>() < 1.0 / f64::from(k.max(1)) && holder.hot_mut().remove(key) {
+                stats.deactivated += 1;
+            }
         }
     }
 }
@@ -401,7 +441,11 @@ mod tests {
     fn push_spreads_and_ignites_receiver() {
         let (mut a, mut b) = pair();
         a.client_update("k", 1);
-        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+        let cfg = RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
         let stats = push_contact(&cfg, &mut a, &mut b, &mut rng());
         assert_eq!(stats.sent, 1);
         assert_eq!(stats.useful, 1);
@@ -413,7 +457,11 @@ mod tests {
     fn feedback_counter_deactivates_after_k_unnecessary() {
         let (mut a, mut b) = pair();
         a.client_update("k", 1);
-        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+        let cfg = RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
         let mut r = rng();
         push_contact(&cfg, &mut a, &mut b, &mut r); // useful
         b.hot_mut().clear(); // keep b from counting for this test
@@ -454,7 +502,11 @@ mod tests {
     fn pull_transfers_from_infective_source() {
         let (mut a, mut b) = pair();
         b.client_update("k", 1);
-        let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k: 1 });
+        let cfg = RumorConfig::new(
+            Direction::Pull,
+            Feedback::Feedback,
+            Removal::Counter { k: 1 },
+        );
         let stats = pull_contact(&cfg, &mut a, &mut b, &mut rng());
         assert_eq!(stats.sent, 1);
         assert_eq!(a.db().get(&"k"), Some(&1));
@@ -468,7 +520,11 @@ mod tests {
     fn pull_footnote_counter_semantics() {
         let (mut a, mut b) = pair();
         b.client_update("k", 1);
-        let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k: 1 });
+        let cfg = RumorConfig::new(
+            Direction::Pull,
+            Feedback::Feedback,
+            Removal::Counter { k: 1 },
+        );
         let mut r = rng();
         // Cycle 1: two pulls, one useful (a needs it) one not (c knows it).
         let mut c: Replica<&str, u32> = Replica::new(SiteId::new(2));
@@ -490,8 +546,11 @@ mod tests {
         let (mut a, mut b) = pair();
         a.client_update("x", 1);
         b.client_update("y", 2);
-        let cfg =
-            RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 3 });
+        let cfg = RumorConfig::new(
+            Direction::PushPull,
+            Feedback::Feedback,
+            Removal::Counter { k: 3 },
+        );
         let stats = push_pull_contact(&cfg, &mut a, &mut b, &mut rng());
         assert_eq!(stats.sent, 2);
         assert_eq!(stats.useful, 2);
@@ -504,8 +563,12 @@ mod tests {
     fn minimization_increments_only_smaller_counter() {
         let (mut a, mut b) = pair();
         a.client_update("k", 1);
-        let cfg = RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 5 })
-            .with_minimization();
+        let cfg = RumorConfig::new(
+            Direction::PushPull,
+            Feedback::Feedback,
+            Removal::Counter { k: 5 },
+        )
+        .with_minimization();
         let mut r = rng();
         // Spread to b, then pre-load a's counter.
         push_pull_contact(&cfg, &mut a, &mut b, &mut r);
@@ -519,8 +582,12 @@ mod tests {
     fn minimization_increments_both_counters_on_ties() {
         let (mut a, mut b) = pair();
         a.client_update("k", 1);
-        let cfg = RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 5 })
-            .with_minimization();
+        let cfg = RumorConfig::new(
+            Direction::PushPull,
+            Feedback::Feedback,
+            Removal::Counter { k: 5 },
+        )
+        .with_minimization();
         let mut r = rng();
         push_pull_contact(&cfg, &mut a, &mut b, &mut r); // both infective, a:0 b:0
         push_pull_contact(&cfg, &mut a, &mut b, &mut r); // tie: both bump to 1
@@ -592,7 +659,11 @@ mod tests {
         // certificate) must silently leave the hot list.
         let (mut a, mut b) = pair();
         a.hot_mut().insert("ghost");
-        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 1 });
+        let cfg = RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 1 },
+        );
         let stats = push_contact(&cfg, &mut a, &mut b, &mut rng());
         assert_eq!(stats.sent, 0);
         assert!(!a.is_infective(&"ghost"));

@@ -333,8 +333,7 @@ mod tests {
                     // sides unequal if it was the recent round of a
                     // previously half-applied conversation; loop until the
                     // checksums agree.
-                    if local.db().checksum() == transport.fleet[&SiteId::new(0)].db().checksum()
-                    {
+                    if local.db().checksum() == transport.fleet[&SiteId::new(0)].db().checksum() {
                         break;
                     }
                 }
@@ -364,10 +363,7 @@ mod tests {
         for round in 0..200 {
             let peer = SiteId::new(rng.random_range(0..6));
             sync_via(&mut local, peer, 10_000, &mut transport).unwrap();
-            let all_equal = transport
-                .fleet
-                .values()
-                .all(|r| r.db() == local.db());
+            let all_equal = transport.fleet.values().all(|r| r.db() == local.db());
             if all_equal && local.db().len() == 30 {
                 return;
             }

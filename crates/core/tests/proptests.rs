@@ -16,14 +16,44 @@ const SITES: usize = 5;
 /// One protocol action in a random schedule.
 #[derive(Debug, Clone)]
 enum Action {
-    Write { site: u8, key: u8, value: u16 },
-    Delete { site: u8, key: u8 },
-    AntiEntropy { a: u8, b: u8, comparison: u8, direction: u8 },
-    RumorPush { a: u8, b: u8, cfg: u8 },
-    RumorPull { a: u8, b: u8, cfg: u8 },
-    RumorPushPull { a: u8, b: u8, cfg: u8 },
-    Backup { a: u8, b: u8, policy: u8 },
-    EndCycle { site: u8 },
+    Write {
+        site: u8,
+        key: u8,
+        value: u16,
+    },
+    Delete {
+        site: u8,
+        key: u8,
+    },
+    AntiEntropy {
+        a: u8,
+        b: u8,
+        comparison: u8,
+        direction: u8,
+    },
+    RumorPush {
+        a: u8,
+        b: u8,
+        cfg: u8,
+    },
+    RumorPull {
+        a: u8,
+        b: u8,
+        cfg: u8,
+    },
+    RumorPushPull {
+        a: u8,
+        b: u8,
+        cfg: u8,
+    },
+    Backup {
+        a: u8,
+        b: u8,
+        policy: u8,
+    },
+    EndCycle {
+        site: u8,
+    },
 }
 
 fn action() -> impl Strategy<Value = Action> {
@@ -121,8 +151,9 @@ fn split_pair(
 ///   (here: timestamps only ever originate from client writes/deletes).
 fn run_schedule(actions: &[Action]) -> Vec<Replica<u8, u16>> {
     let mut rng = StdRng::seed_from_u64(7);
-    let mut replicas: Vec<Replica<u8, u16>> =
-        (0..SITES).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+    let mut replicas: Vec<Replica<u8, u16>> = (0..SITES)
+        .map(|i| Replica::new(SiteId::new(i as u32)))
+        .collect();
     let mut watermark: Vec<std::collections::BTreeMap<u8, Timestamp>> =
         vec![Default::default(); SITES];
     let mut time = 10;
@@ -140,7 +171,12 @@ fn run_schedule(actions: &[Action]) -> Vec<Replica<u8, u16>> {
                 let s = *site as usize % SITES;
                 replicas[s].client_delete(key);
             }
-            Action::AntiEntropy { a, b, comparison: c, direction } => {
+            Action::AntiEntropy {
+                a,
+                b,
+                comparison: c,
+                direction,
+            } => {
                 let (i, j) = (*a as usize % SITES, *b as usize % SITES);
                 if i != j {
                     let dir = match direction % 3 {

@@ -214,10 +214,7 @@ mod tests {
     #[test]
     fn reactivation_resets_stage_but_not_supersession() {
         let mut dc = DeathCertificate::with_retention(ts(100), vec![SiteId::new(1)]);
-        assert_eq!(
-            dc.stage(SiteId::new(1), 130, 10, 50),
-            DeathStage::Dormant
-        );
+        assert_eq!(dc.stage(SiteId::new(1), 130, 10, 50), DeathStage::Dormant);
         dc.reactivate(Timestamp::new(130, SiteId::new(1)));
         assert_eq!(dc.stage(SiteId::new(1), 130, 10, 50), DeathStage::Active);
         assert_eq!(dc.deleted_at(), ts(100));
@@ -294,10 +291,7 @@ mod reactivation_aging_tests {
 
     #[test]
     fn retention_listing_is_exact() {
-        let dc = DeathCertificate::with_retention(
-            ts(1),
-            vec![SiteId::new(3), SiteId::new(5)],
-        );
+        let dc = DeathCertificate::with_retention(ts(1), vec![SiteId::new(3), SiteId::new(5)]);
         assert!(dc.retains_at(SiteId::new(3)));
         assert!(dc.retains_at(SiteId::new(5)));
         assert!(!dc.retains_at(SiteId::new(4)));

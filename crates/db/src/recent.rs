@@ -99,9 +99,7 @@ mod tests {
 
     #[test]
     fn collect_stops_at_window_boundary() {
-        let entries = [("c", entry(100)),
-            ("b", entry(95)),
-            ("a", entry(50))];
+        let entries = [("c", entry(100)), ("b", entry(95)), ("a", entry(50))];
         let refs: Vec<(&&str, &Entry<u32>)> = entries.iter().map(|(k, e)| (k, e)).collect();
         let list = RecentUpdates::collect(refs.into_iter(), 100, 10);
         assert_eq!(list.len(), 2);
@@ -119,8 +117,7 @@ mod tests {
 
     #[test]
     fn empty_list() {
-        let list: RecentUpdates<&str, u32> =
-            RecentUpdates::collect(std::iter::empty(), 100, 10);
+        let list: RecentUpdates<&str, u32> = RecentUpdates::collect(std::iter::empty(), 100, 10);
         assert!(list.is_empty());
         assert_eq!(list.oldest(), None);
         assert_eq!(list.into_items(), Vec::new());

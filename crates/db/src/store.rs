@@ -137,6 +137,23 @@ where
         self.dormant.get(key)
     }
 
+    /// Whether [`Database::offer`]ing an entry for `key` stamped
+    /// `timestamp` would change this database — either by installing the
+    /// entry or by touching a dormant death certificate. A borrow-only
+    /// prefilter: senders consult it to avoid cloning entries the
+    /// recipient already holds.
+    pub fn would_accept(&self, key: &K, timestamp: Timestamp) -> bool {
+        if self.dormant.contains_key(key) {
+            // The offer either awakens the certificate (obsolete data) or
+            // supersedes and drops it — a state change either way.
+            return true;
+        }
+        match self.entries.get(key) {
+            Some(current) => timestamp > current.timestamp(),
+            None => true,
+        }
+    }
+
     /// The incrementally maintained checksum over all `(key, entry)` pairs
     /// in the main store (§1.3).
     pub fn checksum(&self) -> Checksum {
@@ -470,7 +487,10 @@ mod tests {
     #[test]
     fn gc_dormant_parks_at_retention_site_only() {
         let retention = SiteId::new(1);
-        let policy = GcPolicy::Dormant { tau1: 10, tau2: 100 };
+        let policy = GcPolicy::Dormant {
+            tau1: 10,
+            tau2: 100,
+        };
         for (site, expect_dormant) in [(retention, true), (SiteId::new(2), false)] {
             let mut c = clock(0);
             let mut db = Database::new();
@@ -496,7 +516,14 @@ mod tests {
         let t_old = c.now(); // timestamp of the obsolete remote copy
         db.update("k", 1, &mut c);
         db.delete_with_retention(&"k", vec![retention], &mut c);
-        db.collect_garbage(retention, c.peek() + 50, GcPolicy::Dormant { tau1: 10, tau2: 1000 });
+        db.collect_garbage(
+            retention,
+            c.peek() + 50,
+            GcPolicy::Dormant {
+                tau1: 10,
+                tau2: 1000,
+            },
+        );
         assert_eq!(db.len(), 0);
 
         // An obsolete copy arrives from a badly out-of-date replica.
@@ -517,7 +544,14 @@ mod tests {
         let mut db = Database::new();
         db.update("k", 1, &mut c);
         db.delete_with_retention(&"k", vec![retention], &mut c);
-        db.collect_garbage(retention, c.peek() + 50, GcPolicy::Dormant { tau1: 10, tau2: 1000 });
+        db.collect_garbage(
+            retention,
+            c.peek() + 50,
+            GcPolicy::Dormant {
+                tau1: 10,
+                tau2: 1000,
+            },
+        );
 
         // A *reinstatement* newer than the deletion must not be cancelled
         // (§2.2's correctness concern).

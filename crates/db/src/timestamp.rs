@@ -267,9 +267,7 @@ mod tests {
     fn clocks_at_different_sites_never_collide() {
         let mut c0 = SimClock::new(SiteId::new(0));
         let mut c1 = SimClock::new(SiteId::new(1));
-        let all: Vec<Timestamp> = (0..50)
-            .flat_map(|_| [c0.now(), c1.now()])
-            .collect();
+        let all: Vec<Timestamp> = (0..50).flat_map(|_| [c0.now(), c1.now()]).collect();
         let mut dedup = all.clone();
         dedup.sort();
         dedup.dedup();

@@ -10,26 +10,41 @@ use proptest::prelude::*;
 /// An abstract update operation for generating random histories.
 #[derive(Debug, Clone)]
 enum Op {
-    Put { key: u8, value: u16, time: u64, site: u8 },
-    Del { key: u8, time: u64, site: u8 },
+    Put {
+        key: u8,
+        value: u16,
+        time: u64,
+        site: u8,
+    },
+    Del {
+        key: u8,
+        time: u64,
+        site: u8,
+    },
 }
 
 fn op_strategy() -> impl Strategy<Value = Op> {
     prop_oneof![
         (any::<u8>(), any::<u16>(), 1u64..500, 0u8..8).prop_map(|(key, value, time, site)| {
-            Op::Put { key, value, time, site }
+            Op::Put {
+                key,
+                value,
+                time,
+                site,
+            }
         }),
-        (any::<u8>(), 1u64..500, 0u8..8).prop_map(|(key, time, site)| Op::Del {
-            key,
-            time,
-            site
-        }),
+        (any::<u8>(), 1u64..500, 0u8..8).prop_map(|(key, time, site)| Op::Del { key, time, site }),
     ]
 }
 
 fn as_entry(op: &Op) -> (u8, Entry<u16>) {
     match *op {
-        Op::Put { key, value, time, site } => (
+        Op::Put {
+            key,
+            value,
+            time,
+            site,
+        } => (
             key,
             Entry::live(value, Timestamp::new(time, SiteId::new(site as u32))),
         ),

@@ -307,7 +307,10 @@ mod tests {
 
     #[test]
     fn rejects_empty_and_disconnected() {
-        assert_eq!(TopologyBuilder::new().build().unwrap_err(), TopologyError::NoSites);
+        assert_eq!(
+            TopologyBuilder::new().build().unwrap_err(),
+            TopologyError::NoSites
+        );
         let mut b = TopologyBuilder::new();
         let a = b.add_site("a");
         let c = b.add_site("c");

@@ -260,10 +260,7 @@ mod weighted_tests {
             for &y in topo.sites() {
                 assert_eq!(routes.distance(x, y), routes.distance(y, x));
                 for &z in topo.sites() {
-                    assert!(
-                        routes.distance(x, y)
-                            <= routes.distance(x, z) + routes.distance(z, y)
-                    );
+                    assert!(routes.distance(x, y) <= routes.distance(x, z) + routes.distance(z, y));
                 }
             }
         }

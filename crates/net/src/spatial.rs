@@ -256,11 +256,7 @@ mod tests {
         ] {
             let (topo, s) = sampler(spatial);
             for &from in topo.sites() {
-                let total: f64 = topo
-                    .sites()
-                    .iter()
-                    .map(|&to| s.probability(from, to))
-                    .sum();
+                let total: f64 = topo.sites().iter().map(|&to| s.probability(from, to)).sum();
                 assert!((total - 1.0).abs() < 1e-9, "{spatial:?}: {total}");
             }
         }
@@ -343,11 +339,7 @@ mod tests {
     fn a_equals_one_limit_is_finite() {
         let (topo, s) = sampler(Spatial::QsPower { a: 1.0 });
         let from = topo.sites()[0];
-        let total: f64 = topo
-            .sites()
-            .iter()
-            .map(|&t| s.probability(from, t))
-            .sum();
+        let total: f64 = topo.sites().iter().map(|&t| s.probability(from, t)).sum();
         assert!((total - 1.0).abs() < 1e-9);
     }
 
@@ -394,11 +386,7 @@ impl std::fmt::Display for Spatial {
 /// let q = cumulative_sites(&topo, &routes, topo.sites()[0]);
 /// assert_eq!(q, vec![(1, 1), (2, 2), (3, 3), (4, 4)]);
 /// ```
-pub fn cumulative_sites(
-    topology: &Topology,
-    routes: &Routes,
-    site: SiteId,
-) -> Vec<(u32, usize)> {
+pub fn cumulative_sites(topology: &Topology, routes: &Routes, site: SiteId) -> Vec<(u32, usize)> {
     let mut distances: Vec<u32> = topology
         .sites()
         .iter()

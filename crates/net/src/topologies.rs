@@ -507,7 +507,8 @@ pub fn random_connected(n: usize, p: f64, seed: u64) -> Topology {
             }
         }
     }
-    b.build().expect("the spanning tree keeps the graph connected")
+    b.build()
+        .expect("the spanning tree keeps the graph connected")
 }
 
 /// A Waxman random graph — the classic internet-topology generator: nodes
@@ -547,7 +548,8 @@ pub fn waxman(n: usize, alpha: f64, beta: f64, seed: u64) -> Topology {
             }
         }
     }
-    b.build().expect("the nearest-neighbor chain keeps the graph connected")
+    b.build()
+        .expect("the nearest-neighbor chain keeps the graph connected")
 }
 
 fn dist2(a: (f64, f64), b: (f64, f64)) -> f64 {

@@ -14,7 +14,10 @@ fn random_topology() -> impl Strategy<Value = Topology> {
                 Just(n),
                 // parent[i] < i gives a random spanning tree.
                 prop::collection::vec(any::<prop::sample::Index>(), n - 1),
-                prop::collection::vec((any::<prop::sample::Index>(), any::<prop::sample::Index>()), 0..8),
+                prop::collection::vec(
+                    (any::<prop::sample::Index>(), any::<prop::sample::Index>()),
+                    0..8,
+                ),
                 prop::collection::vec(any::<bool>(), n),
             )
         })

@@ -1,0 +1,231 @@
+//! Offline, in-workspace stand-in for the `proptest` crate.
+//!
+//! The build environment has no network access, so this crate provides a
+//! deterministic property-testing harness with the subset of the proptest
+//! API the workspace's test suites use: the [`proptest!`] test macro,
+//! [`prop_assert!`]-style assertions, [`strategy::Strategy`] with
+//! `prop_map`/`prop_flat_map`/`boxed`, [`prop_oneof!`] unions, integer and
+//! tuple strategies, [`collection::vec`], [`sample::Index`], a small
+//! regex-subset string strategy, and [`test_runner::ProptestConfig`].
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking.** A failing case reports its values and case number;
+//!   the generator is deterministic (seeded from the test's module path
+//!   and name), so failures replay exactly on every run.
+//! * **No persistence.** `.proptest-regressions` files are neither read
+//!   nor written.
+
+pub mod arbitrary;
+pub mod collection;
+pub mod sample;
+pub mod strategy;
+pub mod string;
+pub mod test_runner;
+
+/// Namespace mirror so `prop::collection::vec` and `prop::sample::Index`
+/// resolve exactly as they do with the real crate.
+pub mod prop {
+    pub use crate::collection;
+    pub use crate::sample;
+}
+
+/// The common imports: `use proptest::prelude::*;`.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::prop;
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Declares deterministic property tests.
+///
+/// Each `fn name(pat in strategy, ...) { body }` item expands to a
+/// `#[test]`-attributed function that draws `config.cases` inputs from the
+/// strategies and runs the body on each. The body is evaluated in a
+/// `Result` context, so `prop_assert!` failures abort only the current
+/// case with a descriptive panic, and `return Ok(())` skips the rest of a
+/// case.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = $crate::test_runner::ProptestConfig::default();
+            $($rest)*
+        }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = $cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config = $cfg;
+            let mut rng = $crate::test_runner::rng_for(concat!(
+                module_path!(), "::", stringify!($name)
+            ));
+            for case in 0..config.cases {
+                let outcome = (|| -> ::std::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $(let $pat = $crate::strategy::Strategy::generate(&($strat), &mut rng);)+
+                    $body
+                    #[allow(unreachable_code)]
+                    ::std::result::Result::Ok(())
+                })();
+                if let ::std::result::Result::Err(e) = outcome {
+                    panic!(
+                        "proptest {} failed at case {}/{}: {}",
+                        stringify!($name),
+                        case + 1,
+                        config.cases,
+                        e
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Asserts a condition inside a [`proptest!`] body, failing only the
+/// current case (with an optional formatted message).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// Asserts two expressions are equal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}",
+            left,
+            right
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left == *right,
+            "assertion failed: `left == right`\n  left: {:?}\n right: {:?}\n {}",
+            left,
+            right,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Asserts two expressions are unequal inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}",
+            left
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (left, right) = (&$left, &$right);
+        $crate::prop_assert!(
+            *left != *right,
+            "assertion failed: `left != right`\n  both: {:?}\n {}",
+            left,
+            format!($($fmt)+)
+        );
+    }};
+}
+
+/// Picks uniformly among several strategies producing the same value type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($arm:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $($crate::strategy::Strategy::boxed($arm)),+
+        ])
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// Integer range strategies respect their bounds.
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u64..10, y in 0u8..8) {
+            prop_assert!((3..10).contains(&x));
+            prop_assert!(y < 8);
+        }
+
+        /// Vec strategies respect their size bounds and oneof picks
+        /// every arm eventually.
+        #[test]
+        fn vec_and_oneof(v in prop::collection::vec(prop_oneof![0u32..5, 100u32..105], 0..20)) {
+            prop_assert!(v.len() < 20);
+            for x in v {
+                prop_assert!(x < 5 || (100..105).contains(&x));
+            }
+        }
+
+        /// Flat-map dependencies hold: the index is always valid for the
+        /// generated length.
+        #[test]
+        fn flat_map_dependency(
+            (len, idx) in (1usize..30).prop_flat_map(|n| (Just(n), 0usize..n))
+        ) {
+            prop_assert!(idx < len);
+        }
+
+        /// The regex-subset string strategy matches its own pattern.
+        #[test]
+        fn regex_strings_match(s in "[A-Za-z][A-Za-z0-9-]{0,8}") {
+            prop_assert!(!s.is_empty() && s.len() <= 9, "{s:?}");
+            let mut chars = s.chars();
+            prop_assert!(chars.next().unwrap().is_ascii_alphabetic(), "{s:?}");
+            prop_assert!(
+                chars.all(|c| c.is_ascii_alphanumeric() || c == '-'),
+                "{s:?}"
+            );
+        }
+
+        /// sample::Index always lands inside the requested length.
+        #[test]
+        fn index_is_in_range(i in any::<prop::sample::Index>(), len in 1usize..50) {
+            prop_assert!(i.index(len) < len);
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        use crate::strategy::Strategy;
+        let strat = prop::collection::vec((0u32..1000, any::<bool>()), 0..16);
+        let mut a = crate::test_runner::rng_for("det");
+        let mut b = crate::test_runner::rng_for("det");
+        for _ in 0..50 {
+            assert_eq!(strat.generate(&mut a), strat.generate(&mut b));
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! Sampling helpers: [`Index`].
+
+use crate::arbitrary::Arbitrary;
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// A length-agnostic random index: generated once, projected onto any
+/// non-empty collection with [`Index::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Index(u64);
+
+impl Index {
+    /// Projects this sample onto `0..len`. Panics if `len == 0`.
+    pub fn index(&self, len: usize) -> usize {
+        assert!(len > 0, "cannot index an empty collection");
+        (self.0 % len as u64) as usize
+    }
+}
+
+impl Arbitrary for Index {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Index(rng.random())
+    }
+}

@@ -1,0 +1,188 @@
+//! String generation from a small regex subset.
+//!
+//! Supports what the workspace's tests actually use: literal characters,
+//! escaped literals (`\-`), character classes with ranges (`[A-Za-z0-9-]`),
+//! and the quantifiers `{m}`, `{m,n}`, `?`, `*`, `+` (the unbounded ones
+//! are capped at 8 repetitions). Anchors, alternation and groups are not
+//! supported and panic loudly so a new pattern fails fast rather than
+//! generating garbage.
+
+use crate::test_runner::TestRng;
+use rand::RngExt;
+
+/// One matchable unit of the pattern.
+enum Atom {
+    Literal(char),
+    /// Inclusive character ranges; single characters are `(c, c)`.
+    Class(Vec<(char, char)>),
+}
+
+struct Piece {
+    atom: Atom,
+    min: u32,
+    max: u32,
+}
+
+/// Generates a string matching `pattern` (see module docs for the
+/// supported subset).
+pub fn generate_matching(pattern: &str, rng: &mut TestRng) -> String {
+    let pieces = parse(pattern);
+    let mut out = String::new();
+    for piece in &pieces {
+        let reps = rng.random_range(piece.min..=piece.max);
+        for _ in 0..reps {
+            match &piece.atom {
+                Atom::Literal(c) => out.push(*c),
+                Atom::Class(ranges) => out.push(sample_class(ranges, rng)),
+            }
+        }
+    }
+    out
+}
+
+fn sample_class(ranges: &[(char, char)], rng: &mut TestRng) -> char {
+    let total: u32 = ranges
+        .iter()
+        .map(|&(lo, hi)| hi as u32 - lo as u32 + 1)
+        .sum();
+    let mut pick = rng.random_range(0..total);
+    for &(lo, hi) in ranges {
+        let span = hi as u32 - lo as u32 + 1;
+        if pick < span {
+            return char::from_u32(lo as u32 + pick).expect("ranges hold valid chars");
+        }
+        pick -= span;
+    }
+    unreachable!("pick < total by construction")
+}
+
+fn parse(pattern: &str) -> Vec<Piece> {
+    let chars: Vec<char> = pattern.chars().collect();
+    let mut pieces = Vec::new();
+    let mut i = 0;
+    while i < chars.len() {
+        let atom = match chars[i] {
+            '[' => {
+                let (ranges, next) = parse_class(&chars, i + 1, pattern);
+                i = next;
+                Atom::Class(ranges)
+            }
+            '\\' => {
+                i += 1;
+                let c = *chars
+                    .get(i)
+                    .unwrap_or_else(|| panic!("dangling escape in pattern {pattern:?}"));
+                i += 1;
+                Atom::Literal(c)
+            }
+            '(' | ')' | '|' | '^' | '$' | '.' => {
+                panic!(
+                    "unsupported regex feature {:?} in pattern {pattern:?}",
+                    chars[i]
+                )
+            }
+            c => {
+                i += 1;
+                Atom::Literal(c)
+            }
+        };
+        let (min, max, next) = parse_quantifier(&chars, i, pattern);
+        i = next;
+        pieces.push(Piece { atom, min, max });
+    }
+    pieces
+}
+
+/// Parses the body of a class starting just past `[`; returns the ranges
+/// and the index just past `]`.
+fn parse_class(chars: &[char], mut i: usize, pattern: &str) -> (Vec<(char, char)>, usize) {
+    let mut ranges = Vec::new();
+    while i < chars.len() && chars[i] != ']' {
+        let lo = if chars[i] == '\\' {
+            i += 1;
+            chars[i]
+        } else {
+            chars[i]
+        };
+        // `a-z` is a range unless `-` is the final character of the class.
+        if i + 2 < chars.len() && chars[i + 1] == '-' && chars[i + 2] != ']' {
+            let hi = chars[i + 2];
+            assert!(lo <= hi, "inverted class range in pattern {pattern:?}");
+            ranges.push((lo, hi));
+            i += 3;
+        } else {
+            ranges.push((lo, lo));
+            i += 1;
+        }
+    }
+    assert!(i < chars.len(), "unterminated class in pattern {pattern:?}");
+    assert!(!ranges.is_empty(), "empty class in pattern {pattern:?}");
+    (ranges, i + 1)
+}
+
+/// Parses an optional quantifier at `i`; returns `(min, max, next_index)`.
+fn parse_quantifier(chars: &[char], i: usize, pattern: &str) -> (u32, u32, usize) {
+    match chars.get(i) {
+        Some('?') => (0, 1, i + 1),
+        Some('*') => (0, 8, i + 1),
+        Some('+') => (1, 8, i + 1),
+        Some('{') => {
+            let close = chars[i..]
+                .iter()
+                .position(|&c| c == '}')
+                .unwrap_or_else(|| panic!("unterminated quantifier in pattern {pattern:?}"))
+                + i;
+            let body: String = chars[i + 1..close].iter().collect();
+            let (min, max) = match body.split_once(',') {
+                Some((lo, hi)) => (
+                    lo.trim().parse().expect("quantifier lower bound"),
+                    hi.trim().parse().expect("quantifier upper bound"),
+                ),
+                None => {
+                    let n = body.trim().parse().expect("quantifier count");
+                    (n, n)
+                }
+            };
+            assert!(min <= max, "inverted quantifier in pattern {pattern:?}");
+            (min, max, close + 1)
+        }
+        _ => (1, 1, i),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::generate_matching;
+    use crate::test_runner::rng_for;
+
+    #[test]
+    fn literal_patterns_generate_themselves() {
+        let mut rng = rng_for("string::literal");
+        assert_eq!(generate_matching("abc", &mut rng), "abc");
+        assert_eq!(generate_matching("a\\-b", &mut rng), "a-b");
+    }
+
+    #[test]
+    fn quantifiers_bound_repetitions() {
+        let mut rng = rng_for("string::quant");
+        for _ in 0..200 {
+            let s = generate_matching("a{2,4}", &mut rng);
+            assert!((2..=4).contains(&s.len()), "{s:?}");
+            assert!(s.bytes().all(|b| b == b'a'));
+        }
+        assert_eq!(generate_matching("b{3}", &mut rng), "bbb");
+    }
+
+    #[test]
+    fn classes_cover_their_ranges() {
+        let mut rng = rng_for("string::class");
+        let mut saw_dash = false;
+        for _ in 0..300 {
+            let s = generate_matching("[A-Za-z0-9-]", &mut rng);
+            let c = s.chars().next().unwrap();
+            assert!(c.is_ascii_alphanumeric() || c == '-', "{c:?}");
+            saw_dash |= c == '-';
+        }
+        assert!(saw_dash, "trailing dash is a literal class member");
+    }
+}

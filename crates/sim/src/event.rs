@@ -95,8 +95,7 @@ impl<'a> AsyncAntiEntropySim<'a> {
         let sites = self.topology.sites();
         let n = sites.len();
         let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
-        let mut replicas: Vec<Replica<u32, u32>> =
-            sites.iter().map(|&s| Replica::new(s)).collect();
+        let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
         let origin_idx = index_of(origin);
         replicas[origin_idx].client_update(KEY, 1);
@@ -144,13 +143,7 @@ impl<'a> AsyncAntiEntropySim<'a> {
         }
 
         let period = Self::PERIOD as f64;
-        let t_last = receive_time
-            .iter()
-            .flatten()
-            .copied()
-            .max()
-            .unwrap_or(0) as f64
-            / period;
+        let t_last = receive_time.iter().flatten().copied().max().unwrap_or(0) as f64 / period;
         let t_ave = receive_time
             .iter()
             .map(|t| t.unwrap_or(now) as f64)
@@ -293,7 +286,7 @@ impl AsyncRumorEpidemic {
         assert!(n >= 2, "an epidemic needs at least two sites");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
-            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
         sites[0].client_update(KEY, 1);
         let mut receive_time: Vec<Option<Micros>> = vec![None; n];
@@ -329,7 +322,7 @@ impl AsyncRumorEpidemic {
                 }
                 Direction::PushPull => rumor::push_pull_contact(&self.cfg, a, b, &mut rng),
             };
-            sent += stats.sent as u64;
+            sent += u64::try_from(stats.sent).expect("sent count fits u64");
             for idx in [i, j] {
                 if receive_time[idx].is_none() && sites[idx].db().entry(&KEY).is_some() {
                     receive_time[idx] = Some(now);
@@ -344,12 +337,7 @@ impl AsyncRumorEpidemic {
         AsyncRumorResult {
             residue: susceptible as f64 / n as f64,
             traffic: sent as f64 / n as f64,
-            t_last: receive_time
-                .iter()
-                .flatten()
-                .copied()
-                .max()
-                .unwrap_or(0) as f64
+            t_last: receive_time.iter().flatten().copied().max().unwrap_or(0) as f64
                 / period as f64,
             complete: susceptible == 0,
         }

@@ -101,8 +101,7 @@ impl<'a> ChurnedAntiEntropySim<'a> {
         let sites = self.topology.sites();
         let n = sites.len();
         let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
-        let mut replicas: Vec<Replica<u32, u32>> =
-            sites.iter().map(|&s| Replica::new(s)).collect();
+        let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
         let origin_idx = index_of(origin);
         replicas[origin_idx].client_update(KEY, 1);
@@ -160,6 +159,20 @@ impl<'a> ChurnedAntiEntropySim<'a> {
             },
         }
     }
+
+    /// Runs `trials` experiments in parallel with seeds
+    /// `seed_base + trial`, returning results in trial order — identical
+    /// to a sequential loop over [`ChurnedAntiEntropySim::run`] at any
+    /// thread count.
+    pub fn run_trials(
+        &self,
+        runner: crate::runner::TrialRunner,
+        trials: u64,
+        seed_base: u64,
+        origin: Option<SiteId>,
+    ) -> Vec<ChurnRunResult> {
+        runner.run(trials, seed_base, |seed| self.run(seed, origin))
+    }
 }
 
 #[cfg(test)]
@@ -174,7 +187,14 @@ mod tests {
             recover: 0.3,
         };
         assert!((churn.down_fraction() - 0.25).abs() < 1e-12);
-        assert_eq!(Churn { fail: 0.0, recover: 0.0 }.down_fraction(), 0.0);
+        assert_eq!(
+            Churn {
+                fail: 0.0,
+                recover: 0.0
+            }
+            .down_fraction(),
+            0.0
+        );
     }
 
     #[test]
@@ -201,12 +221,18 @@ mod tests {
         let quiet = ChurnedAntiEntropySim::new(
             &topo,
             Spatial::Uniform,
-            Churn { fail: 0.0, recover: 1.0 },
+            Churn {
+                fail: 0.0,
+                recover: 1.0,
+            },
         );
         let stormy = ChurnedAntiEntropySim::new(
             &topo,
             Spatial::Uniform,
-            Churn { fail: 0.2, recover: 0.2 },
+            Churn {
+                fail: 0.2,
+                recover: 0.2,
+            },
         );
         let mean = |sim: &ChurnedAntiEntropySim, seeds: u64| {
             (0..seeds)
@@ -228,7 +254,10 @@ mod tests {
         let sim = ChurnedAntiEntropySim::new(
             &topo,
             Spatial::QsPower { a: 2.0 },
-            Churn { fail: 0.0, recover: 1.0 },
+            Churn {
+                fail: 0.0,
+                recover: 1.0,
+            },
         );
         let r = sim.run(5, Some(topo.sites()[0]));
         assert!(r.complete);

@@ -24,9 +24,15 @@
 //!   hours-to-days downtime);
 //! * [`rumor_steady`] — continuous-update rumor mongering: §1.4's
 //!   push-vs-pull update-rate trade-off;
+//! * [`runner`] — deterministic parallel trial execution: fans Monte-Carlo
+//!   trials across threads with per-trial seeds `seed_base + trial`,
+//!   returning results in trial order so aggregates are bit-identical at
+//!   any thread count (force one thread with `EPIDEMIC_THREADS=1` or
+//!   [`runner::TrialRunner::threads`]);
 //! * [`stats`] — small summary-statistics helpers.
 //!
-//! Everything is deterministic given a seed.
+//! Everything is deterministic given a seed — including multi-trial
+//! aggregates run through [`runner::TrialRunner`].
 //!
 //! # Example
 //!
@@ -48,20 +54,22 @@ pub mod event;
 pub mod failures;
 pub mod mixing;
 pub mod rumor_steady;
+pub mod runner;
 pub mod scenario;
 pub mod spatial_ae;
-pub mod spatial_steady;
-pub mod steady;
 pub mod spatial_rumor;
+pub mod spatial_steady;
 pub mod stats;
+pub mod steady;
 mod util;
 
 pub use event::{AsyncAntiEntropySim, AsyncRumorEpidemic, AsyncRumorResult, AsyncRunResult};
 pub use failures::{Churn, ChurnRunResult, ChurnedAntiEntropySim};
 pub use mixing::{EpidemicResult, RumorEpidemic};
+pub use rumor_steady::{RumorSteadyConfig, RumorSteadyReport, RumorSteadySim};
+pub use runner::TrialRunner;
 pub use spatial_ae::{AntiEntropySim, SpatialRunResult};
 pub use spatial_rumor::SpatialRumorSim;
-pub use rumor_steady::{RumorSteadyConfig, RumorSteadyReport, RumorSteadySim};
 pub use spatial_steady::{SpatialSteadyConfig, SpatialSteadyReport, SpatialSteadySim};
-pub use steady::{SteadyStateReport, SteadyStateSim};
 pub use stats::{Quantiles, Summary};
+pub use steady::{SteadyStateReport, SteadyStateSim};

@@ -145,6 +145,19 @@ impl RumorEpidemic {
         SirTrace { points, result }
     }
 
+    /// Runs `trials` epidemics in parallel with seeds `seed_base + trial`,
+    /// returning results in trial order — identical to a sequential loop
+    /// over [`RumorEpidemic::run`] at any thread count.
+    pub fn run_trials(
+        &self,
+        runner: crate::runner::TrialRunner,
+        n: usize,
+        trials: u64,
+        seed_base: u64,
+    ) -> Vec<EpidemicResult> {
+        runner.run(trials, seed_base, |seed| self.run(n, seed))
+    }
+
     fn run_impl(
         &self,
         n: usize,
@@ -154,7 +167,7 @@ impl RumorEpidemic {
         assert!(n >= 2, "an epidemic needs at least two sites");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
-            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
         let mut receive_cycle: Vec<Option<u32>> = vec![None; n];
         sites[0].client_update(KEY, 1);
@@ -163,7 +176,14 @@ impl RumorEpidemic {
         let mut sent_total: u64 = 0;
         let mut cycle = 0;
         let mut order: Vec<usize> = (0..n).collect();
-        let record = |sites: &[Replica<u32, u32>], trace: &mut Option<&mut Vec<(f64, f64, f64)>>| {
+        // Per-cycle scratch buffers, reused across cycles so the hot loop
+        // allocates nothing after warm-up.
+        let mut infective: Vec<usize> = Vec::with_capacity(n);
+        let mut accepted: Vec<u32> = vec![0; n];
+        let mut state0: Vec<bool> = vec![false; n];
+        let mut hot0: Vec<bool> = vec![false; n];
+        let record = |sites: &[Replica<u32, u32>],
+                      trace: &mut Option<&mut Vec<(f64, f64, f64)>>| {
             if let Some(points) = trace.as_deref_mut() {
                 let infective = sites.iter().filter(|r| !r.hot().is_empty()).count();
                 let have = sites
@@ -183,19 +203,21 @@ impl RumorEpidemic {
 
         while cycle < self.max_cycles {
             cycle += 1;
-            let infective: Vec<usize> = (0..n).filter(|&i| !sites[i].hot().is_empty()).collect();
+            infective.clear();
+            infective.extend((0..n).filter(|&i| !sites[i].hot().is_empty()));
             if infective.is_empty() {
                 cycle -= 1;
                 break;
             }
-            let mut accepted = vec![0u32; n];
+            accepted.fill(0);
             match self.cfg.direction {
                 Direction::Push => {
-                    let snapshot: Vec<bool> =
-                        (0..n).map(|i| sites[i].db().entry(&KEY).is_some()).collect();
-                    let mut initiators = infective;
-                    initiators.shuffle(&mut rng);
-                    for i in initiators {
+                    let snapshot = &mut state0;
+                    for (slot, site) in snapshot.iter_mut().zip(&sites) {
+                        *slot = site.db().entry(&KEY).is_some();
+                    }
+                    infective.shuffle(&mut rng);
+                    for &i in &infective {
                         let Some(j) = self.find_partner(i, n, &accepted, &mut rng) else {
                             continue;
                         };
@@ -215,7 +237,7 @@ impl RumorEpidemic {
                             }
                         } else {
                             let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
-                            sent_total += stats.sent as u64;
+                            sent_total += u64::try_from(stats.sent).expect("sent count fits u64");
                             if stats.useful > 0 && receive_cycle[j].is_none() {
                                 receive_cycle[j] = Some(cycle);
                             }
@@ -223,9 +245,13 @@ impl RumorEpidemic {
                     }
                 }
                 Direction::Pull => {
-                    let had: Vec<bool> =
-                        (0..n).map(|i| sites[i].db().entry(&KEY).is_some()).collect();
-                    let hot0: Vec<bool> = (0..n).map(|i| sites[i].is_infective(&KEY)).collect();
+                    let had = &mut state0;
+                    for (slot, site) in had.iter_mut().zip(&sites) {
+                        *slot = site.db().entry(&KEY).is_some();
+                    }
+                    for (slot, site) in hot0.iter_mut().zip(&sites) {
+                        *slot = site.is_infective(&KEY);
+                    }
                     order.shuffle(&mut rng);
                     for &i in &order {
                         let Some(j) = self.find_partner(i, n, &accepted, &mut rng) else {
@@ -261,9 +287,8 @@ impl RumorEpidemic {
                                 receive_cycle[i] = Some(cycle);
                             }
                         } else {
-                            let stats =
-                                rumor::pull_contact(&self.cfg, requester, source, &mut rng);
-                            sent_total += stats.sent as u64;
+                            let stats = rumor::pull_contact(&self.cfg, requester, source, &mut rng);
+                            sent_total += u64::try_from(stats.sent).expect("sent count fits u64");
                             if stats.useful > 0 && receive_cycle[i].is_none() {
                                 receive_cycle[i] = Some(cycle);
                             }
@@ -282,10 +307,9 @@ impl RumorEpidemic {
                         accepted[j] += 1;
                         let (a, b) = pair_mut(&mut sites, i, j);
                         let stats = rumor::push_pull_contact(&self.cfg, a, b, &mut rng);
-                        sent_total += stats.sent as u64;
+                        sent_total += u64::try_from(stats.sent).expect("sent count fits u64");
                         for idx in [i, j] {
-                            if receive_cycle[idx].is_none()
-                                && sites[idx].db().entry(&KEY).is_some()
+                            if receive_cycle[idx].is_none() && sites[idx].db().entry(&KEY).is_some()
                             {
                                 receive_cycle[idx] = Some(cycle);
                             }
@@ -374,8 +398,12 @@ mod tests {
         let mut push_res = 0.0;
         let mut pull_res = 0.0;
         for seed in 0..10 {
-            push_res += RumorEpidemic::new(cfg(Direction::Push, 2)).run(400, seed).residue;
-            pull_res += RumorEpidemic::new(cfg(Direction::Pull, 2)).run(400, seed).residue;
+            push_res += RumorEpidemic::new(cfg(Direction::Push, 2))
+                .run(400, seed)
+                .residue;
+            pull_res += RumorEpidemic::new(cfg(Direction::Pull, 2))
+                .run(400, seed)
+                .residue;
         }
         assert!(
             pull_res < push_res,
@@ -391,11 +419,7 @@ mod tests {
 
     #[test]
     fn blind_coin_k1_dies_early() {
-        let cfg = RumorConfig::new(
-            Direction::Push,
-            Feedback::Blind,
-            Removal::Coin { k: 1 },
-        );
+        let cfg = RumorConfig::new(Direction::Push, Feedback::Blind, Removal::Coin { k: 1 });
         let mut residues = 0.0;
         for seed in 0..20 {
             residues += RumorEpidemic::new(cfg).run(300, seed).residue;
@@ -576,6 +600,19 @@ impl AntiEntropyEpidemic {
             complete: count == n,
         }
     }
+
+    /// Runs `trials` epidemics in parallel with seeds `seed_base + trial`,
+    /// returning results in trial order — identical to a sequential loop
+    /// over [`AntiEntropyEpidemic::run`] at any thread count.
+    pub fn run_trials(
+        &self,
+        runner: crate::runner::TrialRunner,
+        n: usize,
+        trials: u64,
+        seed_base: u64,
+    ) -> Vec<AntiEntropyRun> {
+        runner.run(trials, seed_base, |seed| self.run(n, seed))
+    }
 }
 
 #[cfg(test)]
@@ -623,7 +660,10 @@ mod ae_tests {
         let driver_pp = AntiEntropyEpidemic::new(Direction::PushPull);
         let driver_push = AntiEntropyEpidemic::new(Direction::Push);
         let mean = |d: AntiEntropyEpidemic| {
-            (0..10).map(|s| f64::from(d.run(1024, s).cycles)).sum::<f64>() / 10.0
+            (0..10)
+                .map(|s| f64::from(d.run(1024, s).cycles))
+                .sum::<f64>()
+                / 10.0
         };
         assert!(mean(driver_pp) < mean(driver_push));
     }
@@ -645,7 +685,11 @@ mod trace_tests {
 
     #[test]
     fn sir_fractions_always_sum_to_one() {
-        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 2 });
+        let cfg = RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
         let trace = RumorEpidemic::new(cfg).run_traced(300, 5);
         assert!(!trace.points.is_empty());
         for &(s, i, r) in &trace.points {
@@ -656,7 +700,11 @@ mod trace_tests {
 
     #[test]
     fn trace_starts_with_one_infective_and_ends_quiescent() {
-        let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 3 });
+        let cfg = RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 3 },
+        );
         let trace = RumorEpidemic::new(cfg).run_traced(200, 9);
         let first = trace.points[0];
         assert!((first.0 - 199.0 / 200.0).abs() < 1e-12);
@@ -668,7 +716,11 @@ mod trace_tests {
 
     #[test]
     fn susceptible_fraction_is_monotone_nonincreasing() {
-        let cfg = RumorConfig::new(Direction::PushPull, Feedback::Feedback, Removal::Counter { k: 2 });
+        let cfg = RumorConfig::new(
+            Direction::PushPull,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
         let trace = RumorEpidemic::new(cfg).run_traced(300, 11);
         for w in trace.points.windows(2) {
             assert!(w[1].0 <= w[0].0 + 1e-12);
@@ -677,7 +729,11 @@ mod trace_tests {
 
     #[test]
     fn traced_result_matches_untraced_run() {
-        let cfg = RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k: 2 });
+        let cfg = RumorConfig::new(
+            Direction::Pull,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        );
         let driver = RumorEpidemic::new(cfg);
         let plain = driver.run(250, 3);
         let traced = driver.run_traced(250, 3);

@@ -101,7 +101,7 @@ impl RumorSteadySim {
         assert!(n >= 2);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
-            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
         let mut injected = 0u32;
         let mut next_key = 0u32;
@@ -143,7 +143,7 @@ impl RumorSteadySim {
                         let (a, b) = pair_mut(&mut sites, i, j);
                         let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
                         contacts += 1;
-                        sent += stats.sent as u64;
+                        sent += u64::try_from(stats.sent).expect("sent count fits u64");
                         useful += stats.useful as u64;
                         if stats.useful == 0 {
                             fruitless += 1;
@@ -165,7 +165,7 @@ impl RumorSteadySim {
                             rumor::push_pull_contact(&self.cfg, a, b, &mut rng)
                         };
                         contacts += 1;
-                        sent += stats.sent as u64;
+                        sent += u64::try_from(stats.sent).expect("sent count fits u64");
                         useful += stats.useful as u64;
                         if stats.useful == 0 {
                             fruitless += 1;
@@ -181,10 +181,7 @@ impl RumorSteadySim {
         }
 
         // Coverage: each injected key should be at (nearly) all n sites.
-        let held: u64 = sites
-            .iter()
-            .map(|s| s.db().len() as u64)
-            .sum();
+        let held: u64 = sites.iter().map(|s| s.db().len() as u64).sum();
         let coverage = if injected == 0 {
             1.0
         } else {

@@ -80,8 +80,9 @@ impl ClearinghouseScenario {
         assert!(self.sites >= 2);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.sites;
-        let mut replicas: Vec<Replica<u32, u64>> =
-            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let mut replicas: Vec<Replica<u32, u64>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
+            .collect();
         let mut mail: MailSystem<u32, u64> = MailSystem::new(n, self.mail);
         let direct = DirectMail::new();
         let backup = BackupAntiEntropy::new(self.redistribution);
@@ -109,11 +110,8 @@ impl ClearinghouseScenario {
             if let Some(k) = self.rumor_k {
                 use epidemic_core::rumor::{self, RumorConfig};
                 use epidemic_core::{Direction, Feedback, Removal};
-                let cfg = RumorConfig::new(
-                    Direction::Push,
-                    Feedback::Feedback,
-                    Removal::Counter { k },
-                );
+                let cfg =
+                    RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k });
                 let infective: Vec<usize> =
                     (0..n).filter(|&i| !replicas[i].hot().is_empty()).collect();
                 for i in infective {
@@ -174,7 +172,7 @@ pub fn resurrection_without_certificates(sites: usize, seed: u64) -> bool {
     assert!(sites >= 3);
     let mut rng = StdRng::seed_from_u64(seed);
     let mut replicas: Vec<Replica<&str, u32>> = (0..sites)
-        .map(|i| Replica::new(SiteId::new(i as u32)))
+        .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
         .collect();
     let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
     replicas[0].client_update("item", 7);
@@ -241,7 +239,7 @@ impl DormantDeathScenario {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.sites;
         let mut replicas: Vec<Replica<&str, u32>> = (0..n)
-            .map(|i| Replica::new(SiteId::new(i as u32)))
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
         let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
 
@@ -253,7 +251,9 @@ impl DormantDeathScenario {
         let down = n - 1;
 
         // 3. Delete with retention sites (never the down site).
-        let retention: Vec<SiteId> = (1..=self.retention).map(|i| SiteId::new(i as u32)).collect();
+        let retention: Vec<SiteId> = (1..=self.retention)
+            .map(|i| SiteId::new(u32::try_from(i).expect("site count fits u32")))
+            .collect();
         replicas[0].client_delete_with_retention(&"item", retention);
         converge_excluding(&mut replicas, down, &ae, &mut rng);
 
@@ -301,11 +301,7 @@ impl DormantDeathScenario {
 }
 
 /// Runs random push-pull anti-entropy rounds until all replicas agree.
-fn converge(
-    replicas: &mut [Replica<&'static str, u32>],
-    ae: &AntiEntropy,
-    rng: &mut StdRng,
-) {
+fn converge(replicas: &mut [Replica<&'static str, u32>], ae: &AntiEntropy, rng: &mut StdRng) {
     let n = replicas.len();
     for _ in 0..50 * n {
         let i = rng.random_range(0..n);
@@ -468,15 +464,16 @@ impl PartitionScenario {
         assert!(self.half >= 2);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = 2 * self.half;
-        let mut replicas: Vec<Replica<u32, u64>> =
-            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let mut replicas: Vec<Replica<u32, u64>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
+            .collect();
         let mut lists: Vec<ActivityList<u32>> = (0..n).map(|_| ActivityList::new()).collect();
         let protocol = PeelBackRumor::new(self.batch);
 
         let exchange = |replicas: &mut Vec<Replica<u32, u64>>,
-                            lists: &mut Vec<ActivityList<u32>>,
-                            i: usize,
-                            j: usize| {
+                        lists: &mut Vec<ActivityList<u32>>,
+                        i: usize,
+                        j: usize| {
             let (a, b) = pair_mut(replicas, i, j);
             let (la, lb) = pair_mut(lists, i, j);
             protocol.exchange(a, la, b, lb)
@@ -572,8 +569,9 @@ impl CrashScenario {
         assert!(self.sites >= 4);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.sites;
-        let mut replicas: Vec<Replica<u32, u64>> =
-            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let mut replicas: Vec<Replica<u32, u64>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
+            .collect();
         let down_count = ((n as f64) * self.down_fraction) as usize;
         // Sites 1..=down_count are down; site 0 injects the update.
         let is_down = |i: usize| (1..=down_count).contains(&i);
@@ -584,7 +582,11 @@ impl CrashScenario {
             Removal::Counter { k: self.k },
         );
         let mut guard = 0;
-        while replicas.iter().enumerate().any(|(i, r)| !is_down(i) && !r.hot().is_empty()) {
+        while replicas
+            .iter()
+            .enumerate()
+            .any(|(i, r)| !is_down(i) && !r.hot().is_empty())
+        {
             let infective: Vec<usize> = (0..n)
                 .filter(|&i| !is_down(i) && !replicas[i].hot().is_empty())
                 .collect();

@@ -12,8 +12,8 @@
 //! success fraction at limit 1); rejected initiators may hunt.
 
 use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
-use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
 use epidemic_db::SiteId;
+use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::SeedableRng;
@@ -129,8 +129,7 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
         let n = sites.len();
         // Map node id -> dense replica index.
         let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
-        let mut replicas: Vec<Replica<u32, u32>> =
-            sites.iter().map(|&s| Replica::new(s)).collect();
+        let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
         let origin_idx = index_of(origin);
         replicas[origin_idx].client_update(KEY, 1);
@@ -184,6 +183,23 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
             update_traffic,
             cycles: cycle,
         }
+    }
+
+    /// Runs `trials` experiments in parallel with seeds
+    /// `seed_base + trial`, returning results in trial order — identical
+    /// to a sequential loop over [`AntiEntropySim::run`] at any thread
+    /// count.
+    pub fn run_trials(
+        &self,
+        runner: crate::runner::TrialRunner,
+        trials: u64,
+        seed_base: u64,
+        origin: Option<SiteId>,
+    ) -> Vec<SpatialRunResult>
+    where
+        S: Sync,
+    {
+        runner.run(trials, seed_base, |seed| self.run(seed, origin))
     }
 
     /// Samples a partner for site index `idx`, honoring the connection

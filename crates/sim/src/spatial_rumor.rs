@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::seq::{IndexedRandom, SliceRandom};
 use rand::SeedableRng;
 
+use crate::runner::TrialRunner;
 use crate::util::pair_mut;
 
 /// Result of one topology-aware rumor-mongering run.
@@ -93,8 +94,7 @@ impl<'a> SpatialRumorSim<'a> {
         let sites = self.topology.sites();
         let n = sites.len();
         let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
-        let mut replicas: Vec<Replica<u32, u32>> =
-            sites.iter().map(|&s| Replica::new(s)).collect();
+        let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
         let origin_idx = index_of(origin);
         replicas[origin_idx].client_update(KEY, 1);
@@ -188,11 +188,29 @@ impl<'a> SpatialRumorSim<'a> {
             susceptible_sites,
         }
     }
+
+    /// Runs `trials` epidemics in parallel with seeds
+    /// `seed_base + trial`, returning results in trial order — identical
+    /// to a sequential loop over [`SpatialRumorSim::run`].
+    pub fn run_trials(
+        &self,
+        runner: TrialRunner,
+        trials: u64,
+        seed_base: u64,
+        origin: Option<SiteId>,
+    ) -> Vec<SpatialRumorResult> {
+        runner.run(trials, seed_base, |seed| self.run(seed, origin))
+    }
 }
 
 /// The paper's §3.2 methodology: the smallest `k ≤ max_k` for which the
 /// protocol achieves 100% distribution in each of `trials` runs (random
 /// origins). Returns `None` if no such `k` exists within the bound.
+///
+/// Trials run in parallel waves (one wave per hardware thread batch) so a
+/// failing `k` is abandoned as early as a sequential scan would, while a
+/// succeeding `k` gets full fan-out. The verdict per `k` is identical to
+/// the sequential loop: seeds do not depend on scheduling.
 pub fn minimum_k(
     topology: &Topology,
     spatial: Spatial,
@@ -200,6 +218,8 @@ pub fn minimum_k(
     trials: u32,
     max_k: u32,
 ) -> Option<u32> {
+    let runner = TrialRunner::new();
+    let wave = u64::try_from(runner.effective_threads(u64::from(trials))).expect("usize fits u64");
     for k in 1..=max_k {
         let cfg = RumorConfig {
             removal: match base.removal {
@@ -209,7 +229,18 @@ pub fn minimum_k(
             ..base
         };
         let sim = SpatialRumorSim::new(topology, spatial, cfg);
-        if (0..trials).all(|t| sim.run(u64::from(k) << 32 | u64::from(t), None).complete) {
+        let mut all_complete = true;
+        let mut done = 0u64;
+        while all_complete && done < u64::from(trials) {
+            let batch = wave.min(u64::from(trials) - done);
+            // Seeds `k << 32 | t` with `t < 2^32` make `or` and `add`
+            // coincide, so the runner's additive derivation reproduces the
+            // historical per-trial seeds exactly.
+            let outcomes = sim.run_trials(runner, batch, u64::from(k) << 32 | done, None);
+            all_complete = outcomes.iter().all(|r| r.complete);
+            done += batch;
+        }
+        if all_complete {
             return Some(k);
         }
     }
@@ -217,7 +248,8 @@ pub fn minimum_k(
 }
 
 /// Estimates the probability that the epidemic fails to reach all sites,
-/// over `trials` runs injected at `origin`.
+/// over `trials` runs injected at `origin`. Trials run in parallel; the
+/// estimate is identical to the sequential loop's.
 pub fn failure_probability(
     topology: &Topology,
     spatial: Spatial,
@@ -226,10 +258,14 @@ pub fn failure_probability(
     origin: Option<SiteId>,
 ) -> f64 {
     let sim = SpatialRumorSim::new(topology, spatial, cfg);
-    let failures = (0..trials)
-        .filter(|&t| !sim.run(u64::from(t).wrapping_mul(0x9E37_79B9), origin).complete)
-        .count();
-    failures as f64 / f64::from(trials)
+    let failures = TrialRunner::new().fold(
+        u64::from(trials),
+        0,
+        |t| !sim.run(t.wrapping_mul(0x9E37_79B9), origin).complete,
+        0u32,
+        |acc, failed| acc + u32::from(failed),
+    );
+    f64::from(failures) / f64::from(trials)
 }
 
 #[cfg(test)]
@@ -278,7 +314,9 @@ mod tests {
         // selection; under Qs^-2 it has significant probability.
         let catastrophic = |spatial| {
             let sim = SpatialRumorSim::new(&topo, spatial, protocol);
-            (0..300).filter(|&t| sim.run(t, Some(s)).residue > 0.5).count()
+            (0..300)
+                .filter(|&t| sim.run(t, Some(s)).residue > 0.5)
+                .count()
         };
         let uniform = catastrophic(Spatial::Uniform);
         let local = catastrophic(Spatial::QsPower { a: 2.0 });
@@ -328,7 +366,11 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let topo = topologies::grid(&[4, 4]);
-        let sim = SpatialRumorSim::new(&topo, Spatial::QsPower { a: 1.5 }, cfg(Direction::PushPull, 3));
+        let sim = SpatialRumorSim::new(
+            &topo,
+            Spatial::QsPower { a: 1.5 },
+            cfg(Direction::PushPull, 3),
+        );
         let a = sim.run(9, None);
         let b = sim.run(9, None);
         assert_eq!(a.t_last, b.t_last);

@@ -100,8 +100,7 @@ impl<'a> SpatialSteadySim<'a> {
         let sites = self.topology.sites();
         let n = sites.len();
         let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
-        let mut replicas: Vec<Replica<u32, u64>> =
-            sites.iter().map(|&s| Replica::new(s)).collect();
+        let mut replicas: Vec<Replica<u32, u64>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let protocol = AntiEntropy::new(Direction::PushPull, self.config.comparison);
         let mut conversations = LinkTraffic::new(self.topology.link_count());
         let mut entry_traffic = LinkTraffic::new(self.topology.link_count());
@@ -157,15 +156,15 @@ mod tests {
     #[test]
     fn steady_state_stays_consistent_enough() {
         let topo = topologies::grid(&[5, 5]);
-        let sim = SpatialSteadySim::new(
-            &topo,
-            Spatial::Uniform,
-            SpatialSteadyConfig::default(),
-        );
+        let sim = SpatialSteadySim::new(&topo, Spatial::Uniform, SpatialSteadyConfig::default());
         let report = sim.run(1);
         // With τ well above the distribution time, the recent lists absorb
         // nearly everything.
-        assert!(report.full_compare_rate < 0.1, "{}", report.full_compare_rate);
+        assert!(
+            report.full_compare_rate < 0.1,
+            "{}",
+            report.full_compare_rate
+        );
         assert!(report.entries_per_link_cycle > 0.0);
     }
 
@@ -182,10 +181,7 @@ mod tests {
         };
         let uniform = measure(Spatial::Uniform);
         let local = measure(Spatial::QsPower { a: 2.0 });
-        assert!(
-            local < uniform / 2.0,
-            "local {local} vs uniform {uniform}"
-        );
+        assert!(local < uniform / 2.0, "local {local} vs uniform {uniform}");
     }
 
     #[test]

@@ -100,7 +100,9 @@ mod tests {
 
     #[test]
     fn mean_and_std_match_closed_form() {
-        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0].into_iter().collect();
+        let s: Summary = [2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0]
+            .into_iter()
+            .collect();
         assert!((s.mean() - 5.0).abs() < 1e-12);
         // Sample std dev of this classic set is ~2.138.
         assert!((s.std_dev() - 2.1380899).abs() < 1e-6);

@@ -61,8 +61,9 @@ impl SteadyStateSim {
         assert!(self.sites >= 2);
         let n = self.sites;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut replicas: Vec<Replica<u32, u64>> =
-            (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect();
+        let mut replicas: Vec<Replica<u32, u64>> = (0..n)
+            .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
+            .collect();
         let protocol = AntiEntropy::new(Direction::PushPull, comparison);
         let mut next_key = 0u32;
         let mut carry = 0.0;

@@ -1,0 +1,70 @@
+//! The [`TrialRunner`] contract: aggregated multi-trial results are
+//! bit-identical no matter how many worker threads execute the fan-out.
+//! One mixing-table cell (Table 1's push/feedback/counter protocol) and
+//! one spatial Table 4 cell (anti-entropy on a grid under Qs^-2) are
+//! exercised at one thread and at the machine's full parallelism.
+
+use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+use epidemic_net::{topologies, Spatial};
+use epidemic_sim::mixing::RumorEpidemic;
+use epidemic_sim::runner::TrialRunner;
+use epidemic_sim::spatial_ae::AntiEntropySim;
+
+fn full_parallelism() -> usize {
+    // At least 4 workers so the fan-out is exercised even on small CI
+    // machines (the runner allows oversubscription).
+    std::thread::available_parallelism()
+        .map(std::num::NonZeroUsize::get)
+        .unwrap_or(4)
+        .max(4)
+}
+
+#[test]
+fn mixing_table_cell_is_thread_count_invariant() {
+    // Table 1 cell: (feedback, counter k = 2, push) at a reduced n.
+    let cfg = RumorConfig::new(
+        Direction::Push,
+        Feedback::Feedback,
+        Removal::Counter { k: 2 },
+    );
+    let epidemic = RumorEpidemic::new(cfg);
+    let trials = 16;
+    let sequential = epidemic.run_trials(TrialRunner::new().threads(1), 200, trials, 42);
+    let parallel = epidemic.run_trials(
+        TrialRunner::new().threads(full_parallelism()),
+        200,
+        trials,
+        42,
+    );
+    assert_eq!(sequential, parallel, "results must not depend on threads");
+    // And both must equal a plain sequential loop with the same seeds.
+    let reference: Vec<_> = (0..trials).map(|t| epidemic.run(200, 42 + t)).collect();
+    assert_eq!(sequential, reference);
+}
+
+#[test]
+fn spatial_table4_cell_is_thread_count_invariant() {
+    // Table 4 cell: push-pull anti-entropy on a grid under Qs^-2.
+    let topo = topologies::grid(&[8, 8]);
+    let sim = AntiEntropySim::new(&topo, Spatial::QsPower { a: 2.0 });
+    let trials = 8;
+    let origin = Some(topo.sites()[0]);
+    let one = sim.run_trials(TrialRunner::new().threads(1), trials, 7, origin);
+    let many = sim.run_trials(
+        TrialRunner::new().threads(full_parallelism()),
+        trials,
+        7,
+        origin,
+    );
+    for (a, b) in one.iter().zip(&many) {
+        assert_eq!(a.t_last, b.t_last);
+        assert_eq!(a.t_ave, b.t_ave);
+        assert_eq!(a.compare_traffic, b.compare_traffic);
+        assert_eq!(a.update_traffic, b.update_traffic);
+    }
+    let reference: Vec<_> = (0..trials).map(|t| sim.run(7 + t, origin)).collect();
+    for (a, b) in one.iter().zip(&reference) {
+        assert_eq!(a.t_last, b.t_last);
+        assert_eq!(a.compare_traffic, b.compare_traffic);
+    }
+}

@@ -24,7 +24,12 @@ fn main() {
     for (label, anti_entropy_every, redistribution, rumor_k) in [
         ("mail only (no anti-entropy)", 0, Redistribution::None, None),
         ("mail + anti-entropy backup", 5, Redistribution::None, None),
-        ("mail + AE + rumor redistribution", 5, Redistribution::Rumor, Some(2)),
+        (
+            "mail + AE + rumor redistribution",
+            5,
+            Redistribution::Rumor,
+            Some(2),
+        ),
     ] {
         let scenario = ClearinghouseScenario {
             sites: 50,

@@ -16,10 +16,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // at two others.
     let mut directory = Directory::new();
     directory.assign("PARC:Xerox".parse()?, (0..4).map(SiteId::new).collect());
-    directory.assign(
-        "SDD:Xerox".parse()?,
-        vec![SiteId::new(4), SiteId::new(5)],
-    );
+    directory.assign("SDD:Xerox".parse()?, vec![SiteId::new(4), SiteId::new(5)]);
     let mut ch = Clearinghouse::new(8, directory);
 
     // Register some objects.

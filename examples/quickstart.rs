@@ -59,7 +59,10 @@ fn main() {
         println!("  {key} -> {:?}", sample.db().get(&key.to_string()));
     }
     assert_eq!(
-        sample.db().get(&"user:mary".to_string()).map(String::as_str),
+        sample
+            .db()
+            .get(&"user:mary".to_string())
+            .map(String::as_str),
         Some("PA:PARC:Xerox"),
         "the newer timestamp supersedes"
     );

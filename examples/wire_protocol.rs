@@ -80,17 +80,15 @@ fn main() {
         conversations += 1;
         let peer = SiteId::new(rng.random_range(0..5));
         let _ = sync_via(&mut local, peer, 10_000, &mut network); // retry on Err
-        let converged = network.peers.values().all(|p| p.db() == local.db())
-            && local.db().len() == names.len();
+        let converged =
+            network.peers.values().all(|p| p.db() == local.db()) && local.db().len() == names.len();
         if converged {
             break;
         }
         assert!(conversations < 10_000, "must converge despite loss");
     }
 
-    println!(
-        "converged after {conversations} conversations over a 30%-lossy transport"
-    );
+    println!("converged after {conversations} conversations over a 30%-lossy transport");
     println!(
         "transport calls: {} ({} timed out and were simply retried)",
         network.calls, network.timeouts

@@ -2,11 +2,11 @@
 //! replicas to the same converged state.
 
 use epidemics::core::activity::{ActivityList, PeelBackRumor};
+use epidemics::core::rumor;
 use epidemics::core::{
     AntiEntropy, BackupAntiEntropy, Comparison, Direction, Feedback, Redistribution, Removal,
     Replica, RumorConfig,
 };
-use epidemics::core::rumor;
 use epidemics::db::SiteId;
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
@@ -14,7 +14,9 @@ use rand::{RngExt, SeedableRng};
 type Fleet = Vec<Replica<u32, u64>>;
 
 fn fleet(n: usize) -> Fleet {
-    (0..n).map(|i| Replica::new(SiteId::new(i as u32))).collect()
+    (0..n)
+        .map(|i| Replica::new(SiteId::new(i as u32)))
+        .collect()
 }
 
 fn random_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
@@ -26,7 +28,11 @@ fn random_pair(rng: &mut StdRng, n: usize) -> (usize, usize) {
     (i, j)
 }
 
-fn split_pair(replicas: &mut Fleet, i: usize, j: usize) -> (&mut Replica<u32, u64>, &mut Replica<u32, u64>) {
+fn split_pair(
+    replicas: &mut Fleet,
+    i: usize,
+    j: usize,
+) -> (&mut Replica<u32, u64>, &mut Replica<u32, u64>) {
     if i < j {
         let (lo, hi) = replicas.split_at_mut(j);
         (&mut lo[i], &mut hi[0])
@@ -103,7 +109,11 @@ fn rumor_mongering_with_backup_never_loses_updates() {
     let mut rng = StdRng::seed_from_u64(99);
     let n = 30;
     let mut replicas = fleet(n);
-    let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 1 });
+    let cfg = RumorConfig::new(
+        Direction::Push,
+        Feedback::Feedback,
+        Removal::Counter { k: 1 },
+    );
     // Inject 10 rumors; k = 1 push dies early, leaving susceptible sites.
     for u in 0..10u32 {
         let site = rng.random_range(0..n);

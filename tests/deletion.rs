@@ -2,9 +2,7 @@
 
 use epidemics::core::{AntiEntropy, Comparison, Direction, Replica};
 use epidemics::db::{Entry, GcPolicy, SiteId};
-use epidemics::sim::scenario::{
-    resurrection_without_certificates, DormantDeathScenario,
-};
+use epidemics::sim::scenario::{resurrection_without_certificates, DormantDeathScenario};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
@@ -124,7 +122,10 @@ fn reactivated_certificate_does_not_cancel_newer_reinstatement() {
     let old_entry = a.db().entry(&"x").unwrap().clone();
     a.client_delete_with_retention(&"x", vec![site]);
     a.advance_clock(1_000);
-    a.collect_garbage(GcPolicy::Dormant { tau1: 10, tau2: 1_000_000 });
+    a.collect_garbage(GcPolicy::Dormant {
+        tau1: 10,
+        tau2: 1_000_000,
+    });
     assert_eq!(a.db().len(), 0);
     assert_eq!(a.db().dormant_len(), 1);
 

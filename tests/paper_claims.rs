@@ -20,8 +20,12 @@ where
 #[test]
 fn table1_k1_residue_is_about_18_percent() {
     let driver = RumorEpidemic::new(
-        RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 1 })
-            .with_reset_on_useful(true),
+        RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 1 },
+        )
+        .with_reset_on_useful(true),
     );
     let residue = mean(40, |s| driver.run(1000, s).residue);
     assert!((residue - 0.18).abs() < 0.03, "residue {residue}");
@@ -30,8 +34,12 @@ fn table1_k1_residue_is_about_18_percent() {
 #[test]
 fn table1_k5_traffic_is_about_6_point_7() {
     let driver = RumorEpidemic::new(
-        RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k: 5 })
-            .with_reset_on_useful(true),
+        RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: 5 },
+        )
+        .with_reset_on_useful(true),
     );
     let m = mean(20, |s| driver.run(1000, s).traffic);
     assert!((m - 6.7).abs() < 0.4, "traffic {m}");

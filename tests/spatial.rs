@@ -22,10 +22,8 @@ fn uniform_cut_traffic_matches_the_papers_formula() {
         cycles += f64::from(r.cycles);
     }
     let measured_per_cycle = crossing / cycles;
-    let predicted = expected_cut_conversations(
-        net.europe.len() as f64,
-        net.north_america.len() as f64,
-    );
+    let predicted =
+        expected_cut_conversations(net.europe.len() as f64, net.north_america.len() as f64);
     let ratio = measured_per_cycle / predicted;
     assert!(
         (0.8..1.2).contains(&ratio),
