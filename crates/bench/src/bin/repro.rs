@@ -5,7 +5,14 @@
 //! cargo run -p epidemic-bench --release --bin repro -- all
 //! cargo run -p epidemic-bench --release --bin repro -- table1 table4
 //! cargo run -p epidemic-bench --release --bin repro -- --timings all
+//! cargo run -p epidemic-bench --release --bin repro -- --list
+//! cargo run -p epidemic-bench --release --bin repro -- --only table
 //! ```
+//!
+//! `--list` prints every experiment name, one per line, and exits.
+//! `--only <selector>` runs the experiments whose name equals or starts
+//! with the selector — `--only table` runs the five tables, `--only fig`
+//! the figures, `--only table4` exactly one experiment.
 //!
 //! `--timings [PATH]` additionally records per-experiment wall-clock
 //! seconds and the worker-thread count to a JSON file
@@ -130,6 +137,12 @@ fn write_timings(path: &str, threads: usize, timings: &[(String, f64)]) {
 
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
+    if args.iter().any(|a| a == "--list") {
+        for name in ALL {
+            println!("{name}");
+        }
+        return;
+    }
     let mut mix_trials: u64 = 100;
     let mut spatial_trials: u64 = 250;
     if let Some(pos) = args.iter().position(|a| a == "--trials") {
@@ -163,18 +176,44 @@ fn main() {
         };
         timings_path = Some(path);
     }
-    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+    let mut selectors: Vec<String> = Vec::new();
+    while let Some(pos) = args.iter().position(|a| a == "--only") {
+        let selector = args.get(pos + 1).cloned().unwrap_or_else(|| {
+            eprintln!("--only needs a selector (an experiment name or prefix)");
+            std::process::exit(2);
+        });
+        selectors.push(selector);
+        args.drain(pos..=pos + 1);
+    }
+    if (args.is_empty() && selectors.is_empty()) || args.iter().any(|a| a == "--help" || a == "-h")
+    {
         eprintln!(
-            "usage: repro [--trials N] [--timings [PATH]] <experiment>... | all\nexperiments: {}",
+            "usage: repro [--trials N] [--timings [PATH]] [--only SELECTOR]... \
+             [--list] <experiment>... | all\nexperiments: {}",
             ALL.join(" ")
         );
         std::process::exit(2);
     }
-    let list: Vec<&str> = if args.iter().any(|a| a == "all") {
+    let mut list: Vec<&str> = if args.iter().any(|a| a == "all") {
         ALL.to_vec()
     } else {
         args.iter().map(String::as_str).collect()
     };
+    for selector in &selectors {
+        let matched: Vec<&str> = ALL
+            .iter()
+            .copied()
+            .filter(|name| name == selector || name.starts_with(selector.as_str()))
+            .collect();
+        if matched.is_empty() {
+            eprintln!(
+                "--only {selector} matches no experiment\nknown: {}",
+                ALL.join(" ")
+            );
+            std::process::exit(2);
+        }
+        list.extend(matched);
+    }
     let mut timings: Vec<(String, f64)> = Vec::new();
     for experiment in list {
         let start = std::time::Instant::now();

@@ -10,14 +10,15 @@ use epidemic_db::SiteId;
 use epidemic_net::topologies::{self, cin, CinConfig};
 use epidemic_net::Spatial;
 use epidemic_sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
+use epidemic_sim::runner::TrialRunner;
 use epidemic_sim::scenario::{
     resurrection_without_certificates, ClearinghouseScenario, DormantDeathScenario,
 };
-use epidemic_sim::spatial_rumor::{failure_probability, minimum_k, SpatialRumorSim};
+use epidemic_sim::spatial_rumor::{failure_probability, minimum_k_with, SpatialRumorSim};
 
-use crate::parallel_trials;
 use crate::render::{fmt, print_table};
 use crate::tables::mixing_sweep;
+use crate::{parallel_trials, parallel_trials_with};
 
 /// §1.4 rumor ODE: predicted residue `s = e^{-(k+1)(1-s)}` versus the
 /// simulated feedback+coin epidemic.
@@ -334,18 +335,39 @@ pub fn print_death_certificates() {
 /// and convergence (the paper found them "nearly identical to Table 4").
 pub fn spatial_rumor(trials: u32, measure_runs: u64) -> Vec<Vec<String>> {
     let net = cin(&CinConfig::default());
+    spatial_rumor_on(
+        TrialRunner::new(),
+        &net,
+        &[
+            ("uniform".to_string(), Spatial::Uniform),
+            ("a = 1.2".to_string(), Spatial::QsPower { a: 1.2 }),
+            ("a = 2.0".to_string(), Spatial::QsPower { a: 2.0 }),
+        ],
+        trials,
+        40,
+        measure_runs,
+    )
+}
+
+/// As [`spatial_rumor`] but on a caller-provided CIN, distribution list
+/// and [`TrialRunner`] (golden tests pin one cell of this on a small
+/// network).
+pub fn spatial_rumor_on(
+    runner: TrialRunner,
+    net: &topologies::Cin,
+    distributions: &[(String, Spatial)],
+    trials: u32,
+    max_k: u32,
+    measure_runs: u64,
+) -> Vec<Vec<String>> {
     let base = RumorConfig::new(
         Direction::PushPull,
         Feedback::Feedback,
         Removal::Counter { k: 1 },
     );
     let mut rows = Vec::new();
-    for (label, spatial) in [
-        ("uniform".to_string(), Spatial::Uniform),
-        ("a = 1.2".to_string(), Spatial::QsPower { a: 1.2 }),
-        ("a = 2.0".to_string(), Spatial::QsPower { a: 2.0 }),
-    ] {
-        let Some(k) = minimum_k(&net.topology, spatial, base, trials, 40) else {
+    for (label, spatial) in distributions.iter().cloned() {
+        let Some(k) = minimum_k_with(runner, &net.topology, spatial, base, trials, max_k) else {
             rows.push(vec![
                 label,
                 "-".into(),
@@ -361,7 +383,8 @@ pub fn spatial_rumor(trials: u32, measure_runs: u64) -> Vec<Vec<String>> {
             ..base
         };
         let sim = SpatialRumorSim::new(&net.topology, spatial, cfg);
-        let acc = parallel_trials(
+        let acc = parallel_trials_with(
+            runner,
             measure_runs,
             |seed| {
                 let r = sim.run(seed + 1000, None);
@@ -397,7 +420,12 @@ pub fn spatial_rumor(trials: u32, measure_runs: u64) -> Vec<Vec<String>> {
 /// Prints [`spatial_rumor`].
 pub fn print_spatial_rumor(trials: u32, measure_runs: u64) {
     let rows = spatial_rumor(trials, measure_runs);
-    print_table(
+    print!("{}", render_spatial_rumor(&rows));
+}
+
+/// Renders [`spatial_rumor`]-shaped rows to a `String` (golden tests).
+pub fn render_spatial_rumor(rows: &[Vec<String>]) -> String {
+    crate::render::render_table(
         "§3.2: push-pull rumor mongering on the CIN — minimal k for 100% distribution",
         &[
             "distribution",
@@ -407,8 +435,8 @@ pub fn print_spatial_rumor(trials: u32, measure_runs: u64) {
             "cmp Bushey",
             "upd avg",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Ablation: Table 3's counter-reset-on-useful-contact rule versus

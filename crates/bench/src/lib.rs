@@ -33,7 +33,24 @@ pub fn parallel_trials<T, A>(
 where
     T: Send,
 {
-    TrialRunner::new().fold(trials, 0, run, init, fold)
+    parallel_trials_with(TrialRunner::new(), trials, run, init, fold)
+}
+
+/// As [`parallel_trials`] but on a caller-provided [`TrialRunner`], so
+/// tests can pin an explicit thread count (the golden-output tests run the
+/// same experiment at 1 thread and at full parallelism and assert byte
+/// identity).
+pub fn parallel_trials_with<T, A>(
+    runner: TrialRunner,
+    trials: u64,
+    run: impl Fn(u64) -> T + Sync,
+    init: A,
+    fold: impl FnMut(A, T) -> A,
+) -> A
+where
+    T: Send,
+{
+    runner.fold(trials, 0, run, init, fold)
 }
 
 #[cfg(test)]

@@ -12,7 +12,14 @@
 /// );
 /// ```
 pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
-    println!("\n## {title}");
+    print!("{}", render_table(title, headers, rows));
+}
+
+/// Renders the same fixed-width table as [`print_table`] into a `String`
+/// (one trailing newline per line, including the last). The golden-output
+/// regression tests pin this text byte-for-byte.
+pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut out = format!("\n## {title}\n");
     let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
     for row in rows {
         for (i, cell) in row.iter().enumerate() {
@@ -29,15 +36,18 @@ pub fn print_table(title: &str, headers: &[&str], rows: &[Vec<String>]) {
         s
     };
     let headers_owned: Vec<String> = headers.iter().map(|h| h.to_string()).collect();
-    println!("{}", line(&headers_owned));
-    let mut sep = String::from("|");
+    out.push_str(&line(&headers_owned));
+    out.push('\n');
+    out.push('|');
     for w in &widths {
-        sep.push_str(&format!("{}|", "-".repeat(w + 2)));
+        out.push_str(&format!("{}|", "-".repeat(w + 2)));
     }
-    println!("{sep}");
+    out.push('\n');
     for row in rows {
-        println!("{}", line(row));
+        out.push_str(&line(row));
+        out.push('\n');
     }
+    out
 }
 
 /// Formats a float with three significant-ish decimals, trimming noise.

@@ -6,8 +6,10 @@ use epidemic_net::Spatial;
 use epidemic_sim::mixing::RumorEpidemic;
 use epidemic_sim::spatial_ae::AntiEntropySim;
 
-use crate::parallel_trials;
-use crate::render::{fmt, print_table};
+use epidemic_sim::runner::TrialRunner;
+
+use crate::parallel_trials_with;
+use crate::render::{fmt, render_table};
 
 /// One row of a Table 1/2/3-style complete-mixing experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,10 +33,22 @@ pub fn mixing_sweep(
     ks: &[u32],
     make: impl Fn(u32) -> RumorEpidemic + Sync,
 ) -> Vec<MixRow> {
+    mixing_sweep_with(TrialRunner::new(), n, trials, ks, make)
+}
+
+/// As [`mixing_sweep`] but on a caller-provided [`TrialRunner`].
+pub fn mixing_sweep_with(
+    runner: TrialRunner,
+    n: usize,
+    trials: u64,
+    ks: &[u32],
+    make: impl Fn(u32) -> RumorEpidemic + Sync,
+) -> Vec<MixRow> {
     ks.iter()
         .map(|&k| {
             let driver = make(k);
-            let (residue, traffic, t_ave, t_last) = parallel_trials(
+            let (residue, traffic, t_ave, t_last) = parallel_trials_with(
+                runner,
                 trials,
                 |seed| {
                     let r = driver.run(n, seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(k));
@@ -57,7 +71,12 @@ pub fn mixing_sweep(
 
 /// Table 1: push rumor mongering with feedback and counters, n sites.
 pub fn table1(n: usize, trials: u64) -> Vec<MixRow> {
-    mixing_sweep(n, trials, &[1, 2, 3, 4, 5], |k| {
+    table1_with(TrialRunner::new(), n, trials)
+}
+
+/// As [`table1`] but on a caller-provided [`TrialRunner`] (golden tests).
+pub fn table1_with(runner: TrialRunner, n: usize, trials: u64) -> Vec<MixRow> {
+    mixing_sweep_with(runner, n, trials, &[1, 2, 3, 4, 5], |k| {
         RumorEpidemic::new(
             RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k })
                 .with_reset_on_useful(true),
@@ -90,6 +109,11 @@ pub fn table3(n: usize, trials: u64) -> Vec<MixRow> {
 
 /// Prints a mixing table next to the paper's reference values.
 pub fn print_mixing(title: &str, rows: &[MixRow], paper: &[[f64; 4]]) {
+    print!("{}", render_mixing(title, rows, paper));
+}
+
+/// Renders a mixing table to a `String` (golden tests pin this text).
+pub fn render_mixing(title: &str, rows: &[MixRow], paper: &[[f64; 4]]) -> String {
     let data: Vec<Vec<String>> = rows
         .iter()
         .enumerate()
@@ -107,7 +131,7 @@ pub fn print_mixing(title: &str, rows: &[MixRow], paper: &[[f64; 4]]) {
             row
         })
         .collect();
-    print_table(
+    render_table(
         title,
         &[
             "k",
@@ -121,7 +145,7 @@ pub fn print_mixing(title: &str, rows: &[MixRow], paper: &[[f64; 4]]) {
             "paper t_last",
         ],
         &data,
-    );
+    )
 }
 
 /// One row of a Table 4/5-style spatial anti-entropy experiment.
@@ -165,12 +189,23 @@ pub fn table45_on(
     trials: u64,
     connection_limit: Option<u32>,
 ) -> Vec<SpatialRow> {
+    table45_on_with(TrialRunner::new(), net, trials, connection_limit)
+}
+
+/// As [`table45_on`] but on a caller-provided [`TrialRunner`].
+pub fn table45_on_with(
+    runner: TrialRunner,
+    net: &epidemic_net::topologies::Cin,
+    trials: u64,
+    connection_limit: Option<u32>,
+) -> Vec<SpatialRow> {
     table45_distributions()
         .into_iter()
         .map(|(label, spatial)| {
             let sim =
                 AntiEntropySim::new(&net.topology, spatial).connection_limit(connection_limit);
-            let acc = parallel_trials(
+            let acc = parallel_trials_with(
+                runner,
                 trials,
                 |seed| {
                     let r = sim.run(seed.wrapping_mul(0x2545_F491_4F6C_DD1D) + 1, None);
@@ -208,6 +243,11 @@ pub fn table45_on(
 
 /// Prints a Table 4/5-style result.
 pub fn print_spatial(title: &str, rows: &[SpatialRow]) {
+    print!("{}", render_spatial(title, rows));
+}
+
+/// Renders a Table 4/5-style result to a `String` (golden tests).
+pub fn render_spatial(title: &str, rows: &[SpatialRow]) -> String {
     let data: Vec<Vec<String>> = rows
         .iter()
         .map(|r| {
@@ -222,7 +262,7 @@ pub fn print_spatial(title: &str, rows: &[SpatialRow]) {
             ]
         })
         .collect();
-    print_table(
+    render_table(
         title,
         &[
             "distribution",
@@ -234,7 +274,7 @@ pub fn print_spatial(title: &str, rows: &[SpatialRow]) {
             "upd Bushey",
         ],
         &data,
-    );
+    )
 }
 
 /// The paper's Table 1 reference values `[s, m, t_ave, t_last]` per k.

@@ -1,0 +1,119 @@
+//! Golden-output regression tests.
+//!
+//! These pin the exact rendered text of Table 1, Table 4 and one
+//! spatial-rumor cell, at deliberately small trial counts so the suite
+//! stays fast. The numbers depend on every RNG draw a driver makes, so
+//! any refactor that perturbs the partner-selection, contact or
+//! convergence logic — however slightly — shows up as a byte-level diff
+//! here. Each table is checked at 1 worker thread and at 8 to prove the
+//! trial runner's scheduling never leaks into results.
+//!
+//! To regenerate after an *intentional* output change:
+//!
+//! ```text
+//! cargo test -p epidemic-bench --test golden -- --ignored regenerate
+//! ```
+
+use epidemic_bench::figures::{render_spatial_rumor, spatial_rumor_on};
+use epidemic_bench::tables::{
+    render_mixing, render_spatial, table1_with, table45_on_with, PAPER_TABLE1,
+};
+use epidemic_net::topologies::{cin, Cin, CinConfig};
+use epidemic_net::Spatial;
+use epidemic_sim::runner::TrialRunner;
+
+const TABLE1_GOLDEN: &str = include_str!("golden/table1.txt");
+const TABLE4_GOLDEN: &str = include_str!("golden/table4.txt");
+const SPATIAL_RUMOR_GOLDEN: &str = include_str!("golden/spatial_rumor.txt");
+
+/// The 50-site CIN used by the spatial goldens (same configuration as the
+/// in-crate `table45_on` unit test).
+fn small_cin() -> Cin {
+    cin(&CinConfig {
+        na_regions: 4,
+        sites_per_region: 10,
+        europe_sites: 10,
+        backbone_chords: 2,
+        seed: 7,
+        ..CinConfig::default()
+    })
+}
+
+fn table1_text(runner: TrialRunner) -> String {
+    render_mixing(
+        "Table 1 (golden): push, feedback, counter, n=200, 16 trials",
+        &table1_with(runner, 200, 16),
+        &PAPER_TABLE1,
+    )
+}
+
+fn table4_text(runner: TrialRunner) -> String {
+    render_spatial(
+        "Table 4 (golden): push-pull anti-entropy on the 50-site CIN, 6 trials",
+        &table45_on_with(runner, &small_cin(), 6, None),
+    )
+}
+
+fn spatial_rumor_text(runner: TrialRunner) -> String {
+    let net = small_cin();
+    let rows = spatial_rumor_on(
+        runner,
+        &net,
+        &[("a = 1.2".to_string(), Spatial::QsPower { a: 1.2 })],
+        6,
+        40,
+        8,
+    );
+    render_spatial_rumor(&rows)
+}
+
+#[test]
+fn table1_matches_golden_single_thread() {
+    assert_eq!(table1_text(TrialRunner::new().threads(1)), TABLE1_GOLDEN);
+}
+
+#[test]
+fn table1_matches_golden_parallel() {
+    assert_eq!(table1_text(TrialRunner::new().threads(8)), TABLE1_GOLDEN);
+}
+
+#[test]
+fn table4_matches_golden_single_thread() {
+    assert_eq!(table4_text(TrialRunner::new().threads(1)), TABLE4_GOLDEN);
+}
+
+#[test]
+fn table4_matches_golden_parallel() {
+    assert_eq!(table4_text(TrialRunner::new().threads(8)), TABLE4_GOLDEN);
+}
+
+#[test]
+fn spatial_rumor_matches_golden_single_thread() {
+    assert_eq!(
+        spatial_rumor_text(TrialRunner::new().threads(1)),
+        SPATIAL_RUMOR_GOLDEN
+    );
+}
+
+#[test]
+fn spatial_rumor_matches_golden_parallel() {
+    assert_eq!(
+        spatial_rumor_text(TrialRunner::new().threads(8)),
+        SPATIAL_RUMOR_GOLDEN
+    );
+}
+
+#[test]
+#[ignore = "overwrites the checked-in golden files"]
+fn regenerate() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/golden");
+    std::fs::create_dir_all(dir).expect("create golden dir");
+    let single = TrialRunner::new().threads(1);
+    std::fs::write(format!("{dir}/table1.txt"), table1_text(single)).expect("write table1");
+    std::fs::write(format!("{dir}/table4.txt"), table4_text(single)).expect("write table4");
+    std::fs::write(
+        format!("{dir}/spatial_rumor.txt"),
+        spatial_rumor_text(single),
+    )
+    .expect("write spatial_rumor");
+}

@@ -1,7 +1,7 @@
 //! Registered objects: what Clearinghouse names bind to.
 //!
 //! The Clearinghouse mapped names to "machine addresses, user identities,
-//! etc." [Op]. Three kinds of bindings cover its use:
+//! etc." \[Op\]. Three kinds of bindings cover its use:
 //!
 //! * [`Object::Address`] — a machine/network address (individuals,
 //!   printers, file services);

@@ -310,6 +310,31 @@ where
     stats
 }
 
+/// One contact in the configured [`Direction`]: dispatches to
+/// [`push_contact`], [`pull_contact`] or [`push_pull_contact`].
+///
+/// `initiator` is the site that opened the connection — the sender under
+/// push, the requester under pull, either party under push-pull. This is
+/// the single entry point the `epidemic-sim` engine drivers use, so the
+/// direction dispatch lives in exactly one place.
+pub fn contact<K, V, R>(
+    cfg: &RumorConfig,
+    initiator: &mut Replica<K, V>,
+    partner: &mut Replica<K, V>,
+    rng: &mut R,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
+    match cfg.direction {
+        Direction::Push => push_contact(cfg, initiator, partner, rng),
+        Direction::Pull => pull_contact(cfg, initiator, partner, rng),
+        Direction::PushPull => push_pull_contact(cfg, initiator, partner, rng),
+    }
+}
+
 /// End-of-cycle processing for pull counters (Table 3 footnote). Call once
 /// per site per cycle after all contacts. Returns deactivation count.
 pub fn end_cycle<K, V>(cfg: &RumorConfig, site: &mut Replica<K, V>) -> usize

@@ -38,6 +38,12 @@ impl PartnerSelection for PartnerSampler {
     }
 }
 
+impl<T: PartnerSelection + ?Sized> PartnerSelection for &T {
+    fn select(&self, from: SiteId, rng: &mut dyn Rng) -> SiteId {
+        (**self).select(from, rng)
+    }
+}
+
 /// Two-level hierarchical sampler (§4 future work).
 ///
 /// # Example

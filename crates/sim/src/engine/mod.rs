@@ -1,0 +1,435 @@
+//! The shared round-synchronous simulation engine.
+//!
+//! Every cycle-based driver in this crate is the same machine wearing a
+//! different protocol: per cycle, a roster of initiating sites is shuffled,
+//! each initiator draws a partner (with optional connection limits and
+//! hunting), one protocol contact runs per accepted connection, and the
+//! run ends at quiescence/convergence or a cycle bound. This module owns
+//! that machine exactly once:
+//!
+//! * [`EpidemicProtocol`] — what a contact *does* (anti-entropy exchange,
+//!   rumor mongering in any [`Direction`](epidemic_core::Direction),
+//!   direct mail) plus per-cycle state transitions and the finish
+//!   predicate;
+//! * [`PartnerPolicy`] — where partners come from: uniform complete mixing
+//!   or any [`PartnerSelection`](epidemic_net::PartnerSelection) topology
+//!   sampler ([`UniformPartners`], [`SpatialPartners`]);
+//! * [`CycleEngine`] — the round loop itself: roster computation, scratch
+//!   buffer reuse, connection-limit/hunting retries, per-contact traffic
+//!   totals and the cycle bound;
+//! * [`Observer`] — composable tracing hooks (per-contact events, per-cycle
+//!   SIR snapshots) that replaced the drivers' bespoke trace plumbing.
+//!
+//! The loop preserves the historical drivers' exact RNG draw order —
+//! roster filtering is ascending, shuffles come after `begin_cycle`, one
+//! partner draw per hunting attempt, admission checks happen after the
+//! draw — so porting a driver onto the engine is output-preserving, which
+//! the golden-table and fixture tests pin down to the byte.
+
+pub mod observer;
+pub mod partner;
+pub mod protocols;
+
+pub use observer::{Observer, SirCounts, SirObserver, SirView};
+pub use partner::{PartnerPolicy, SpatialPartners, UniformPartners};
+pub use protocols::{DirectMailProtocol, ReceiveLog, RouteRecorder, UpdateInjector};
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+
+/// Traffic accounting for one protocol contact.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ContactStats {
+    /// Database updates transmitted during the contact.
+    pub sent: u64,
+    /// Transmissions that told the recipient something new.
+    pub useful: u64,
+}
+
+impl From<epidemic_core::rumor::RumorStats> for ContactStats {
+    fn from(stats: epidemic_core::rumor::RumorStats) -> Self {
+        ContactStats {
+            sent: u64::try_from(stats.sent).expect("sent count fits u64"),
+            useful: u64::try_from(stats.useful).expect("useful count fits u64"),
+        }
+    }
+}
+
+/// Which sites initiate a contact each cycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Roster {
+    /// Every site initiates (anti-entropy, pull/push-pull rumors: polling
+    /// happens whether or not there is anything to say).
+    Everyone,
+    /// Only sites for which [`EpidemicProtocol::is_active`] holds initiate
+    /// (push rumors, direct mail: a quiescent site costs nothing).
+    Active,
+}
+
+/// A pluggable epidemic protocol driven by the [`CycleEngine`].
+///
+/// The engine owns the round loop; the protocol owns the replicas and
+/// answers four questions: who initiates ([`Self::roster`] /
+/// [`Self::is_active`] / [`Self::initiates`]), who may be contacted
+/// ([`Self::admits`]), what a contact does ([`Self::contact`]), and when
+/// the run is over ([`Self::finished`]).
+pub trait EpidemicProtocol {
+    /// Number of sites being simulated.
+    fn site_count(&self) -> usize;
+
+    /// Which sites initiate contacts each cycle.
+    fn roster(&self) -> Roster {
+        Roster::Everyone
+    }
+
+    /// Whether site `i` is currently active (spreading). Drives the
+    /// [`Roster::Active`] roster and the default quiescence test.
+    fn is_active(&self, _i: usize) -> bool {
+        true
+    }
+
+    /// Whether the run is over, checked before each cycle. `cycle` is the
+    /// number of completed cycles; `active` lists the currently active
+    /// sites in ascending order.
+    fn finished(&self, cycle: u32, active: &[usize]) -> bool;
+
+    /// Per-cycle state transition before any contact: clock advances,
+    /// update injection, churn transitions, start-of-cycle snapshots.
+    /// Runs before the roster shuffle, so its RNG draws (if any) come
+    /// first in the cycle.
+    fn begin_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {}
+
+    /// Whether roster member `i` actually initiates this cycle (checked
+    /// after the shuffle, before any partner draw) — e.g. a site that is
+    /// down under churn.
+    fn initiates(&self, _i: usize) -> bool {
+        true
+    }
+
+    /// Whether the drawn partner `j` accepts the connection (checked after
+    /// the draw, so the RNG cost of the failed attempt is still paid —
+    /// connections to unreachable sites simply fail).
+    fn admits(&self, _j: usize) -> bool {
+        true
+    }
+
+    /// Performs one contact between initiator `i` and partner `j`.
+    fn contact(&mut self, cycle: u32, i: usize, j: usize, rng: &mut StdRng) -> ContactStats;
+
+    /// Per-cycle processing after all contacts (e.g. deferred pull-counter
+    /// bookkeeping, trace accumulation).
+    fn end_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {}
+}
+
+/// Aggregate contact totals for one engine run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EngineTotals {
+    /// Contacts executed (connections accepted).
+    pub contacts: u64,
+    /// Database updates transmitted.
+    pub sent: u64,
+    /// Transmissions that were news to the recipient.
+    pub useful: u64,
+    /// Contacts that transmitted nothing useful.
+    pub fruitless: u64,
+}
+
+/// Outcome of one [`CycleEngine::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EngineReport {
+    /// Cycles executed before the finish predicate held (or the bound).
+    pub cycles: u32,
+    /// Aggregate contact totals.
+    pub totals: EngineTotals,
+}
+
+/// The shared round loop: owns roster/order/admission scratch buffers
+/// (reused across cycles so the hot loop allocates nothing after warm-up),
+/// connection limits and hunting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CycleEngine {
+    connection_limit: Option<u32>,
+    hunt_limit: u32,
+    max_cycles: u32,
+}
+
+impl Default for CycleEngine {
+    fn default() -> Self {
+        CycleEngine::new()
+    }
+}
+
+impl CycleEngine {
+    /// An engine with no connection limit, no hunting and a generous
+    /// cycle bound.
+    pub fn new() -> Self {
+        CycleEngine {
+            connection_limit: None,
+            hunt_limit: 0,
+            max_cycles: 100_000,
+        }
+    }
+
+    /// Limits how many connections a site can accept per cycle (§1.4
+    /// *Connection Limit*). `None` means unlimited.
+    pub fn connection_limit(mut self, limit: Option<u32>) -> Self {
+        self.connection_limit = limit;
+        self
+    }
+
+    /// Alternate partners a rejected initiator may try (§1.4 *Hunting*).
+    pub fn hunt_limit(mut self, hunt: u32) -> Self {
+        self.hunt_limit = hunt;
+        self
+    }
+
+    /// Safety bound on simulated cycles.
+    pub fn max_cycles(mut self, max: u32) -> Self {
+        self.max_cycles = max;
+        self
+    }
+
+    /// Drives `protocol` to completion, drawing partners from `policy` and
+    /// reporting every event to `observer` (pass `&mut ()` to observe
+    /// nothing).
+    pub fn run<P, L, O>(
+        &self,
+        protocol: &mut P,
+        policy: &L,
+        rng: &mut StdRng,
+        observer: &mut O,
+    ) -> EngineReport
+    where
+        P: EpidemicProtocol,
+        L: PartnerPolicy + ?Sized,
+        O: Observer<P>,
+    {
+        let n = protocol.site_count();
+        let mut order: Vec<usize> = (0..n).collect();
+        let mut active: Vec<usize> = Vec::with_capacity(n);
+        let mut accepted: Vec<u32> = vec![0; n];
+        let mut totals = EngineTotals::default();
+        let mut cycle = 0u32;
+        observer.on_run_start(protocol);
+
+        while cycle < self.max_cycles {
+            active.clear();
+            active.extend((0..n).filter(|&i| protocol.is_active(i)));
+            if protocol.finished(cycle, &active) {
+                break;
+            }
+            cycle += 1;
+            accepted.fill(0);
+            protocol.begin_cycle(cycle, rng);
+            let roster: &mut Vec<usize> = match protocol.roster() {
+                Roster::Active => {
+                    // begin_cycle may change who is active (e.g. update
+                    // injection makes fresh sites hot): recompute so they
+                    // initiate this very cycle, as the drivers always did.
+                    active.clear();
+                    active.extend((0..n).filter(|&i| protocol.is_active(i)));
+                    &mut active
+                }
+                Roster::Everyone => &mut order,
+            };
+            roster.shuffle(rng);
+            for &i in roster.iter() {
+                if !protocol.initiates(i) {
+                    continue;
+                }
+                let Some(j) = self.find_partner(policy, i, &accepted, rng) else {
+                    continue;
+                };
+                if !protocol.admits(j) {
+                    continue;
+                }
+                accepted[j] += 1;
+                let stats = protocol.contact(cycle, i, j, rng);
+                totals.contacts += 1;
+                totals.sent += stats.sent;
+                totals.useful += stats.useful;
+                if stats.useful == 0 {
+                    totals.fruitless += 1;
+                }
+                observer.on_contact(cycle, i, j, &stats);
+            }
+            protocol.end_cycle(cycle, rng);
+            observer.on_cycle_end(cycle, protocol);
+        }
+
+        EngineReport {
+            cycles: cycle,
+            totals,
+        }
+    }
+
+    /// Draws a partner for `i`, honoring the connection limit with up to
+    /// `hunt_limit` retries. Every attempt pays its RNG draw whether or
+    /// not the candidate accepts.
+    fn find_partner<L: PartnerPolicy + ?Sized>(
+        &self,
+        policy: &L,
+        i: usize,
+        accepted: &[u32],
+        rng: &mut StdRng,
+    ) -> Option<usize> {
+        for _ in 0..=self.hunt_limit {
+            let j = policy.attempt(i, rng);
+            match self.connection_limit {
+                Some(limit) if accepted[j] >= limit => continue,
+                _ => return Some(j),
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    /// A protocol where "infection" is one bit per site: every active
+    /// (infected) site pushes its bit to its partner.
+    struct BitPush {
+        infected: Vec<bool>,
+        contact_log: Vec<(usize, usize)>,
+    }
+
+    impl EpidemicProtocol for BitPush {
+        fn site_count(&self) -> usize {
+            self.infected.len()
+        }
+        fn roster(&self) -> Roster {
+            Roster::Active
+        }
+        fn is_active(&self, i: usize) -> bool {
+            self.infected[i]
+        }
+        fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+            self.infected.iter().all(|&b| b)
+        }
+        fn contact(&mut self, _cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
+            self.contact_log.push((i, j));
+            let useful = u64::from(!self.infected[j]);
+            self.infected[j] = true;
+            ContactStats { sent: 1, useful }
+        }
+    }
+
+    #[test]
+    fn engine_runs_a_push_epidemic_to_completion() {
+        let mut protocol = BitPush {
+            infected: {
+                let mut v = vec![false; 32];
+                v[0] = true;
+                v
+            },
+            contact_log: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        let report =
+            CycleEngine::new().run(&mut protocol, &UniformPartners::new(32), &mut rng, &mut ());
+        assert!(protocol.infected.iter().all(|&b| b));
+        assert!(report.cycles > 0);
+        assert_eq!(report.totals.contacts, protocol.contact_log.len() as u64);
+        assert_eq!(report.totals.sent, report.totals.contacts);
+        assert_eq!(report.totals.useful, 31, "each site infected exactly once");
+    }
+
+    #[test]
+    fn engine_is_deterministic_per_seed() {
+        let run = || {
+            let mut protocol = BitPush {
+                infected: {
+                    let mut v = vec![false; 24];
+                    v[3] = true;
+                    v
+                },
+                contact_log: Vec::new(),
+            };
+            let mut rng = StdRng::seed_from_u64(9);
+            let report =
+                CycleEngine::new().run(&mut protocol, &UniformPartners::new(24), &mut rng, &mut ());
+            (report, protocol.contact_log)
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn connection_limit_rejects_and_hunting_recovers() {
+        /// Everyone initiates; contacts always succeed.
+        struct Count {
+            n: usize,
+            cycles: u32,
+            contacts: u64,
+        }
+        impl EpidemicProtocol for Count {
+            fn site_count(&self) -> usize {
+                self.n
+            }
+            fn finished(&self, cycle: u32, _active: &[usize]) -> bool {
+                cycle >= self.cycles
+            }
+            fn contact(
+                &mut self,
+                _cycle: u32,
+                _i: usize,
+                _j: usize,
+                _rng: &mut StdRng,
+            ) -> ContactStats {
+                self.contacts += 1;
+                ContactStats::default()
+            }
+        }
+        let run = |limit: Option<u32>, hunt: u32| {
+            let mut protocol = Count {
+                n: 40,
+                cycles: 20,
+                contacts: 0,
+            };
+            let mut rng = StdRng::seed_from_u64(2);
+            CycleEngine::new()
+                .connection_limit(limit)
+                .hunt_limit(hunt)
+                .run(&mut protocol, &UniformPartners::new(40), &mut rng, &mut ());
+            protocol.contacts
+        };
+        let unlimited = run(None, 0);
+        let limited = run(Some(1), 0);
+        let hunting = run(Some(1), 8);
+        assert_eq!(unlimited, 40 * 20, "every site connects every cycle");
+        assert!(limited < unlimited, "limit 1 must reject some initiators");
+        assert!(hunting > limited, "hunting recovers rejected connections");
+    }
+
+    #[test]
+    fn max_cycles_bounds_a_run_that_never_finishes() {
+        struct Never;
+        impl EpidemicProtocol for Never {
+            fn site_count(&self) -> usize {
+                4
+            }
+            fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+                false
+            }
+            fn contact(
+                &mut self,
+                _cycle: u32,
+                _i: usize,
+                _j: usize,
+                _rng: &mut StdRng,
+            ) -> ContactStats {
+                ContactStats::default()
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = CycleEngine::new().max_cycles(17).run(
+            &mut Never,
+            &UniformPartners::new(4),
+            &mut rng,
+            &mut (),
+        );
+        assert_eq!(report.cycles, 17);
+    }
+}

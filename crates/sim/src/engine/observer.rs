@@ -1,0 +1,118 @@
+//! Observation hooks for engine runs.
+//!
+//! An [`Observer`] sees every contact and every cycle boundary without the
+//! protocol knowing it is being watched — tracing is composed onto a run
+//! instead of being compiled into each driver (this is what replaced the
+//! bespoke `run_traced` plumbing in the mixing driver). The no-op observer
+//! is the unit type `()`, which compiles away entirely.
+
+use super::ContactStats;
+
+/// Hooks invoked by [`CycleEngine::run`](super::CycleEngine::run).
+///
+/// All methods default to no-ops, so an observer implements only what it
+/// needs. `P` is the protocol type, giving `on_cycle_end` a read-only view
+/// of protocol state (e.g. SIR counts).
+pub trait Observer<P: ?Sized> {
+    /// Called once before the first cycle, with the initial state.
+    fn on_run_start(&mut self, _protocol: &P) {}
+
+    /// Called after every executed contact.
+    fn on_contact(&mut self, _cycle: u32, _i: usize, _j: usize, _stats: &ContactStats) {}
+
+    /// Called after each cycle completes (post `end_cycle`).
+    fn on_cycle_end(&mut self, _cycle: u32, _protocol: &P) {}
+}
+
+/// The null observer: observes nothing, costs nothing.
+impl<P: ?Sized> Observer<P> for () {}
+
+/// Susceptible / infective / removed counts at one instant, as site
+/// counts. Protocols that model a single spreading update expose these via
+/// [`SirView`] so the same trace observer serves them all.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SirCounts {
+    /// Sites that have not received the update.
+    pub susceptible: usize,
+    /// Sites actively spreading the update.
+    pub infective: usize,
+    /// Sites that hold the update but no longer spread it.
+    pub removed: usize,
+}
+
+/// A protocol whose state projects onto the §1.4 SIR compartments.
+pub trait SirView {
+    /// Current susceptible/infective/removed site counts.
+    fn sir_counts(&self) -> SirCounts;
+}
+
+/// Records the `(s, i, r)` fraction trajectory of a run — point 0 is the
+/// state at injection, point `c` the state after cycle `c` — the simulated
+/// counterpart of §1.4's differential-equation trajectory.
+#[derive(Debug, Clone, Default)]
+pub struct SirObserver {
+    /// The recorded `(s, i, r)` fraction triples.
+    pub points: Vec<(f64, f64, f64)>,
+}
+
+impl SirObserver {
+    /// Creates an empty trace.
+    pub fn new() -> Self {
+        SirObserver::default()
+    }
+
+    fn record<P: SirView>(&mut self, protocol: &P) {
+        let SirCounts {
+            susceptible,
+            infective,
+            removed,
+        } = protocol.sir_counts();
+        let n = (susceptible + infective + removed) as f64;
+        self.points.push((
+            susceptible as f64 / n,
+            infective as f64 / n,
+            removed as f64 / n,
+        ));
+    }
+}
+
+impl<P: SirView> Observer<P> for SirObserver {
+    fn on_run_start(&mut self, protocol: &P) {
+        self.record(protocol);
+    }
+
+    fn on_cycle_end(&mut self, _cycle: u32, protocol: &P) {
+        self.record(protocol);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Fixed(SirCounts);
+    impl SirView for Fixed {
+        fn sir_counts(&self) -> SirCounts {
+            self.0
+        }
+    }
+
+    #[test]
+    fn sir_observer_records_fractions_that_sum_to_one() {
+        let state = Fixed(SirCounts {
+            susceptible: 6,
+            infective: 1,
+            removed: 3,
+        });
+        let mut obs = SirObserver::new();
+        obs.on_run_start(&state);
+        obs.on_cycle_end(1, &state);
+        assert_eq!(obs.points.len(), 2);
+        for &(s, i, r) in &obs.points {
+            assert!((s + i + r - 1.0).abs() < 1e-12);
+            assert!((s - 0.6).abs() < 1e-12);
+            assert!((i - 0.1).abs() < 1e-12);
+            assert!((r - 0.3).abs() < 1e-12);
+        }
+    }
+}

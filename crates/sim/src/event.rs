@@ -19,6 +19,8 @@ use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
 
+use crate::engine::{PartnerPolicy, ReceiveLog, RouteRecorder, SpatialPartners, UniformPartners};
+
 /// Time in microticks; one nominal anti-entropy period is
 /// [`AsyncAntiEntropySim::PERIOD`] microticks.
 pub type Micros = u64;
@@ -94,15 +96,14 @@ impl<'a> AsyncAntiEntropySim<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
-        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
+        let policy = SpatialPartners::new(sites, &self.sampler);
         let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
-        let origin_idx = index_of(origin);
+        let origin_idx = sites.binary_search(&origin).expect("site exists");
         replicas[origin_idx].client_update(KEY, 1);
         replicas[origin_idx].hot_mut().clear();
-        let mut receive_time: Vec<Option<Micros>> = vec![None; n];
-        receive_time[origin_idx] = Some(0);
-        let mut missing = n - 1;
+        let mut received: ReceiveLog<Micros> = ReceiveLog::new(n);
+        received.mark(origin_idx, 0);
 
         // Seed each site's first firing with a random phase so the fleet
         // starts fully desynchronized.
@@ -111,27 +112,25 @@ impl<'a> AsyncAntiEntropySim<'a> {
             .collect();
 
         let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
-        let mut compare_traffic = LinkTraffic::new(self.topology.link_count());
-        let mut update_traffic = LinkTraffic::new(self.topology.link_count());
+        let mut recorder = RouteRecorder::new(&self.routes, self.topology.link_count());
         let mut exchanges = 0u64;
         let mut now = 0;
 
-        while missing > 0 && exchanges < self.max_events {
+        while !received.complete() && exchanges < self.max_events {
             let Some(Reverse((t, i))) = queue.pop() else {
                 break;
             };
             now = t;
-            let j = index_of(self.sampler.sample(sites[i], &mut rng));
+            let j = policy.attempt(i, &mut rng);
             let (a, b) = crate::util::pair_mut(&mut replicas, i, j);
             let stats = protocol.exchange(a, b);
             exchanges += 1;
-            compare_traffic.record_route(&self.routes, sites[i], sites[j]);
-            if stats.update_flowed() {
-                update_traffic.record_route(&self.routes, sites[i], sites[j]);
+            let flowed = stats.update_flowed();
+            recorder.record(sites[i], sites[j], u64::from(flowed));
+            if flowed {
                 for idx in [i, j] {
-                    if receive_time[idx].is_none() && replicas[idx].db().entry(&KEY).is_some() {
-                        receive_time[idx] = Some(now);
-                        missing -= 1;
+                    if replicas[idx].db().entry(&KEY).is_some() {
+                        received.mark(idx, now);
                     }
                 }
             }
@@ -143,21 +142,16 @@ impl<'a> AsyncAntiEntropySim<'a> {
         }
 
         let period = Self::PERIOD as f64;
-        let t_last = receive_time.iter().flatten().copied().max().unwrap_or(0) as f64 / period;
-        let t_ave = receive_time
-            .iter()
-            .map(|t| t.unwrap_or(now) as f64)
-            .sum::<f64>()
-            / n as f64
-            / period;
+        let t_last = received.t_last().unwrap_or(0) as f64 / period;
+        let t_ave = received.t_ave_all(now) / period;
         let periods_elapsed = (now as f64 / period).max(1.0);
-        let compare_per_link_period = compare_traffic.mean_per_link() / periods_elapsed;
+        let compare_per_link_period = recorder.compare.mean_per_link() / periods_elapsed;
         AsyncRunResult {
             t_last,
             t_ave,
             exchanges,
-            compare_traffic,
-            update_traffic,
+            compare_traffic: recorder.compare,
+            update_traffic: recorder.update,
             compare_per_link_period,
         }
     }
@@ -283,14 +277,14 @@ impl AsyncRumorEpidemic {
     /// Panics if `n < 2`.
     pub fn run(&self, n: usize, seed: u64) -> AsyncRumorResult {
         use epidemic_core::rumor;
-        assert!(n >= 2, "an epidemic needs at least two sites");
+        let policy = UniformPartners::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
             .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
         sites[0].client_update(KEY, 1);
-        let mut receive_time: Vec<Option<Micros>> = vec![None; n];
-        receive_time[0] = Some(0);
+        let mut received: ReceiveLog<Micros> = ReceiveLog::new(n);
+        received.mark(0, 0);
         let period = AsyncAntiEntropySim::PERIOD;
         let mut queue: BinaryHeap<Reverse<(Micros, usize)>> = (0..n)
             .map(|i| Reverse((rng.random_range(0..period), i)))
@@ -307,25 +301,17 @@ impl AsyncRumorEpidemic {
                 break;
             };
             events += 1;
-            let mut j = rng.random_range(0..n - 1);
-            if j >= i {
-                j += 1;
-            }
+            let j = policy.attempt(i, &mut rng);
             let (a, b) = crate::util::pair_mut(&mut sites, i, j);
-            let stats = match self.cfg.direction {
-                Direction::Push => rumor::push_contact(&self.cfg, a, b, &mut rng),
-                Direction::Pull => {
-                    let s = rumor::pull_contact(&self.cfg, a, b, &mut rng);
-                    // No cycle boundary exists: apply counters immediately.
-                    rumor::end_cycle(&self.cfg, b);
-                    s
-                }
-                Direction::PushPull => rumor::push_pull_contact(&self.cfg, a, b, &mut rng),
-            };
+            let stats = rumor::contact(&self.cfg, a, b, &mut rng);
+            if self.cfg.direction == Direction::Pull {
+                // No cycle boundary exists: apply counters immediately.
+                rumor::end_cycle(&self.cfg, b);
+            }
             sent += u64::try_from(stats.sent).expect("sent count fits u64");
             for idx in [i, j] {
-                if receive_time[idx].is_none() && sites[idx].db().entry(&KEY).is_some() {
-                    receive_time[idx] = Some(now);
+                if sites[idx].db().entry(&KEY).is_some() {
+                    received.mark(idx, now);
                 }
             }
             let jitter = 1.0 + self.jitter * (2.0 * rng.random::<f64>() - 1.0);
@@ -333,13 +319,11 @@ impl AsyncRumorEpidemic {
             queue.push(Reverse((next, i)));
         }
 
-        let susceptible = receive_time.iter().filter(|t| t.is_none()).count();
         AsyncRumorResult {
-            residue: susceptible as f64 / n as f64,
+            residue: received.residue(),
             traffic: sent as f64 / n as f64,
-            t_last: receive_time.iter().flatten().copied().max().unwrap_or(0) as f64
-                / period as f64,
-            complete: susceptible == 0,
+            t_last: received.t_last().unwrap_or(0) as f64 / period as f64,
+            complete: received.complete(),
         }
     }
 }

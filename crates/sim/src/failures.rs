@@ -12,9 +12,10 @@ use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{PartnerSampler, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
+use rand::seq::IndexedRandom;
 use rand::{RngExt, SeedableRng};
 
+use crate::engine::{ContactStats, CycleEngine, EpidemicProtocol, SpatialPartners};
 use crate::util::pair_mut;
 
 /// Churn model: per-cycle transition probabilities of the two-state
@@ -100,62 +101,38 @@ impl<'a> ChurnedAntiEntropySim<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
-        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
         let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
-        let origin_idx = index_of(origin);
+        let origin_idx = sites.binary_search(&origin).expect("site exists");
         replicas[origin_idx].client_update(KEY, 1);
         replicas[origin_idx].hot_mut().clear();
         let mut have = vec![false; n];
         have[origin_idx] = true;
-        let mut have_count = 1;
 
-        let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
-        let mut up = vec![true; n];
-        let mut down_cycles = 0u64;
-        let mut cycle = 0;
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut protocol = ChurnedAntiEntropyProtocol {
+            exchange: AntiEntropy::new(Direction::PushPull, Comparison::Full),
+            churn: self.churn,
+            replicas,
+            up: vec![true; n],
+            have,
+            have_count: 1,
+            down_cycles: 0,
+        };
+        let report = CycleEngine::new().max_cycles(self.max_cycles).run(
+            &mut protocol,
+            &SpatialPartners::new(sites, &self.sampler),
+            &mut rng,
+            &mut (),
+        );
 
-        while have_count < n && cycle < self.max_cycles {
-            cycle += 1;
-            for status in up.iter_mut() {
-                if *status {
-                    if rng.random::<f64>() < self.churn.fail {
-                        *status = false;
-                    }
-                } else if rng.random::<f64>() < self.churn.recover {
-                    *status = true;
-                }
-            }
-            down_cycles += up.iter().filter(|&&u| !u).count() as u64;
-            order.shuffle(&mut rng);
-            for &i in &order {
-                if !up[i] {
-                    continue;
-                }
-                let j = index_of(self.sampler.sample(sites[i], &mut rng));
-                if !up[j] {
-                    continue; // the partner is unreachable: connection fails
-                }
-                let (a, b) = pair_mut(&mut replicas, i, j);
-                let stats = protocol.exchange(a, b);
-                if stats.update_flowed() {
-                    for idx in [i, j] {
-                        if !have[idx] && replicas[idx].db().entry(&KEY).is_some() {
-                            have[idx] = true;
-                            have_count += 1;
-                        }
-                    }
-                }
-            }
-        }
+        let cycle = report.cycles;
         ChurnRunResult {
             t_last: cycle,
-            complete: have_count == n,
+            complete: protocol.have_count == n,
             observed_down_fraction: if cycle == 0 {
                 0.0
             } else {
-                down_cycles as f64 / (f64::from(cycle) * n as f64)
+                protocol.down_cycles as f64 / (f64::from(cycle) * n as f64)
             },
         }
     }
@@ -172,6 +149,69 @@ impl<'a> ChurnedAntiEntropySim<'a> {
         origin: Option<SiteId>,
     ) -> Vec<ChurnRunResult> {
         runner.run(trials, seed_base, |seed| self.run(seed, origin))
+    }
+}
+
+/// Push-pull anti-entropy among *up* sites: churn transitions run at the
+/// start of each cycle, a down site neither initiates nor admits, and a
+/// connection to a down partner fails after the partner draw (the RNG cost
+/// is paid, matching unreachable servers).
+struct ChurnedAntiEntropyProtocol {
+    exchange: AntiEntropy,
+    churn: Churn,
+    replicas: Vec<Replica<u32, u32>>,
+    up: Vec<bool>,
+    have: Vec<bool>,
+    have_count: usize,
+    down_cycles: u64,
+}
+
+impl EpidemicProtocol for ChurnedAntiEntropyProtocol {
+    fn site_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+        self.have_count == self.replicas.len()
+    }
+
+    fn begin_cycle(&mut self, _cycle: u32, rng: &mut StdRng) {
+        for status in self.up.iter_mut() {
+            if *status {
+                if rng.random::<f64>() < self.churn.fail {
+                    *status = false;
+                }
+            } else if rng.random::<f64>() < self.churn.recover {
+                *status = true;
+            }
+        }
+        self.down_cycles += self.up.iter().filter(|&&u| !u).count() as u64;
+    }
+
+    fn initiates(&self, i: usize) -> bool {
+        self.up[i]
+    }
+
+    fn admits(&self, j: usize) -> bool {
+        self.up[j]
+    }
+
+    fn contact(&mut self, _cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
+        let (a, b) = pair_mut(&mut self.replicas, i, j);
+        let stats = self.exchange.exchange(a, b);
+        let flowed = stats.update_flowed();
+        if flowed {
+            for idx in [i, j] {
+                if !self.have[idx] && self.replicas[idx].db().entry(&KEY).is_some() {
+                    self.have[idx] = true;
+                    self.have_count += 1;
+                }
+            }
+        }
+        ContactStats {
+            sent: u64::from(flowed),
+            useful: u64::from(flowed),
+        }
     }
 }
 

@@ -24,6 +24,10 @@
 //!   hours-to-days downtime);
 //! * [`rumor_steady`] — continuous-update rumor mongering: §1.4's
 //!   push-vs-pull update-rate trade-off;
+//! * [`engine`] — the shared cycle engine all of the above drive:
+//!   pluggable [`engine::EpidemicProtocol`] contacts, uniform or spatial
+//!   [`engine::PartnerPolicy`] partner selection, and [`engine::Observer`]
+//!   tracing hooks;
 //! * [`runner`] — deterministic parallel trial execution: fans Monte-Carlo
 //!   trials across threads with per-trial seeds `seed_base + trial`,
 //!   returning results in trial order so aggregates are bit-identical at
@@ -50,6 +54,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod engine;
 pub mod event;
 pub mod failures;
 pub mod mixing;
@@ -63,6 +68,10 @@ pub mod stats;
 pub mod steady;
 mod util;
 
+pub use engine::{
+    ContactStats, CycleEngine, EngineReport, EpidemicProtocol, Observer, PartnerPolicy,
+    SirObserver, SpatialPartners, UniformPartners,
+};
 pub use event::{AsyncAntiEntropySim, AsyncRumorEpidemic, AsyncRumorResult, AsyncRunResult};
 pub use failures::{Churn, ChurnRunResult, ChurnedAntiEntropySim};
 pub use mixing::{EpidemicResult, RumorEpidemic};

@@ -10,18 +10,22 @@
 //!   to receipt.
 //!
 //! Connection limits and hunting (§1.4's *Connection Limit* and *Hunting*
-//! variations) are implemented here: under push, a site can accept at most
-//! `C` inbound connections per cycle and rejected senders may hunt for
-//! alternates; under pull, a source serves at most `C` requests per cycle.
+//! variations) come from the shared [`CycleEngine`]: under push, a site can
+//! accept at most `C` inbound connections per cycle and rejected senders
+//! may hunt for alternates; under pull, a source serves at most `C`
+//! requests per cycle.
+//!
+//! Both drivers here are thin shims over the engine's rumor-mongering
+//! and bit-anti-entropy protocols with [`UniformPartners`] selection.
 
-use epidemic_core::rumor::{self, RumorConfig};
+use epidemic_core::rumor::RumorConfig;
 use epidemic_core::{Direction, Replica};
 use epidemic_db::SiteId;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
-use crate::util::pair_mut;
+use crate::engine::protocols::{BitAntiEntropyProtocol, MixingProtocol};
+use crate::engine::{CycleEngine, Observer, ReceiveLog, SirObserver, UniformPartners};
 
 /// Result of one single-update epidemic run.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -129,20 +133,24 @@ impl RumorEpidemic {
     ///
     /// Panics if `n < 2`.
     pub fn run(&self, n: usize, seed: u64) -> EpidemicResult {
-        self.run_impl(n, seed, None)
+        self.run_impl(n, seed, &mut ())
     }
 
     /// As [`RumorEpidemic::run`], additionally recording the susceptible /
     /// infective / removed fractions after every cycle — the simulated
-    /// counterpart of the §1.4 differential-equation trajectory.
+    /// counterpart of the §1.4 differential-equation trajectory, captured
+    /// by composing a [`SirObserver`] onto the engine run.
     ///
     /// # Panics
     ///
     /// Panics if `n < 2`.
     pub fn run_traced(&self, n: usize, seed: u64) -> SirTrace {
-        let mut points = Vec::new();
-        let result = self.run_impl(n, seed, Some(&mut points));
-        SirTrace { points, result }
+        let mut observer = SirObserver::new();
+        let result = self.run_impl(n, seed, &mut observer);
+        SirTrace {
+            points: observer.points,
+            result,
+        }
     }
 
     /// Runs `trials` epidemics in parallel with seeds `seed_base + trial`,
@@ -158,202 +166,45 @@ impl RumorEpidemic {
         runner.run(trials, seed_base, |seed| self.run(n, seed))
     }
 
-    fn run_impl(
+    fn run_impl<O: Observer<MixingProtocol>>(
         &self,
         n: usize,
         seed: u64,
-        mut trace: Option<&mut Vec<(f64, f64, f64)>>,
+        observer: &mut O,
     ) -> EpidemicResult {
-        assert!(n >= 2, "an epidemic needs at least two sites");
+        let policy = UniformPartners::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
             .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
-        let mut receive_cycle: Vec<Option<u32>> = vec![None; n];
         sites[0].client_update(KEY, 1);
-        receive_cycle[0] = Some(0);
+        let mut received = ReceiveLog::new(n);
+        received.mark(0, 0);
 
-        let mut sent_total: u64 = 0;
-        let mut cycle = 0;
-        let mut order: Vec<usize> = (0..n).collect();
-        // Per-cycle scratch buffers, reused across cycles so the hot loop
-        // allocates nothing after warm-up.
-        let mut infective: Vec<usize> = Vec::with_capacity(n);
-        let mut accepted: Vec<u32> = vec![0; n];
-        let mut state0: Vec<bool> = vec![false; n];
-        let mut hot0: Vec<bool> = vec![false; n];
-        let record = |sites: &[Replica<u32, u32>],
-                      trace: &mut Option<&mut Vec<(f64, f64, f64)>>| {
-            if let Some(points) = trace.as_deref_mut() {
-                let infective = sites.iter().filter(|r| !r.hot().is_empty()).count();
-                let have = sites
-                    .iter()
-                    .filter(|r| r.db().entry(&KEY).is_some())
-                    .count();
-                let susceptible = n - have;
-                let removed = have - infective;
-                points.push((
-                    susceptible as f64 / n as f64,
-                    infective as f64 / n as f64,
-                    removed as f64 / n as f64,
-                ));
-            }
+        let mut protocol = MixingProtocol {
+            cfg: self.cfg,
+            synchronous: self.synchronous,
+            sites,
+            received,
+            state0: vec![false; n],
+            hot0: vec![false; n],
         };
-        record(&sites, &mut trace);
+        let report = CycleEngine::new()
+            .connection_limit(self.connection_limit)
+            .hunt_limit(self.hunt_limit)
+            .max_cycles(self.max_cycles)
+            .run(&mut protocol, &policy, &mut rng, observer);
 
-        while cycle < self.max_cycles {
-            cycle += 1;
-            infective.clear();
-            infective.extend((0..n).filter(|&i| !sites[i].hot().is_empty()));
-            if infective.is_empty() {
-                cycle -= 1;
-                break;
-            }
-            accepted.fill(0);
-            match self.cfg.direction {
-                Direction::Push => {
-                    let snapshot = &mut state0;
-                    for (slot, site) in snapshot.iter_mut().zip(&sites) {
-                        *slot = site.db().entry(&KEY).is_some();
-                    }
-                    infective.shuffle(&mut rng);
-                    for &i in &infective {
-                        let Some(j) = self.find_partner(i, n, &accepted, &mut rng) else {
-                            continue;
-                        };
-                        accepted[j] += 1;
-                        let (a, b) = pair_mut(&mut sites, i, j);
-                        if self.synchronous {
-                            // Single-rumor push against start-of-cycle state.
-                            let Some(entry) = a.db().entry(&KEY).cloned() else {
-                                a.hot_mut().remove(&KEY);
-                                continue;
-                            };
-                            sent_total += 1;
-                            let applied = b.receive_rumor(KEY, entry).was_useful();
-                            rumor::record_feedback(&self.cfg, a, &KEY, !snapshot[j], &mut rng);
-                            if applied && receive_cycle[j].is_none() {
-                                receive_cycle[j] = Some(cycle);
-                            }
-                        } else {
-                            let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
-                            sent_total += u64::try_from(stats.sent).expect("sent count fits u64");
-                            if stats.useful > 0 && receive_cycle[j].is_none() {
-                                receive_cycle[j] = Some(cycle);
-                            }
-                        }
-                    }
-                }
-                Direction::Pull => {
-                    let had = &mut state0;
-                    for (slot, site) in had.iter_mut().zip(&sites) {
-                        *slot = site.db().entry(&KEY).is_some();
-                    }
-                    for (slot, site) in hot0.iter_mut().zip(&sites) {
-                        *slot = site.is_infective(&KEY);
-                    }
-                    order.shuffle(&mut rng);
-                    for &i in &order {
-                        let Some(j) = self.find_partner(i, n, &accepted, &mut rng) else {
-                            continue;
-                        };
-                        accepted[j] += 1;
-                        let (requester, source) = pair_mut(&mut sites, i, j);
-                        if self.synchronous {
-                            // Serve from the source's start-of-cycle state.
-                            if !hot0[j] {
-                                continue;
-                            }
-                            let Some(entry) = source.db().entry(&KEY).cloned() else {
-                                continue;
-                            };
-                            sent_total += 1;
-                            let applied = requester.receive_rumor(KEY, entry).was_useful();
-                            let needed = match self.cfg.feedback {
-                                epidemic_core::Feedback::Feedback => !had[i],
-                                epidemic_core::Feedback::Blind => false,
-                            };
-                            match self.cfg.removal {
-                                epidemic_core::Removal::Counter { .. } => {
-                                    source.hot_mut().record_pending(&KEY, needed);
-                                }
-                                epidemic_core::Removal::Coin { .. } => {
-                                    rumor::record_feedback(
-                                        &self.cfg, source, &KEY, needed, &mut rng,
-                                    );
-                                }
-                            }
-                            if applied && receive_cycle[i].is_none() {
-                                receive_cycle[i] = Some(cycle);
-                            }
-                        } else {
-                            let stats = rumor::pull_contact(&self.cfg, requester, source, &mut rng);
-                            sent_total += u64::try_from(stats.sent).expect("sent count fits u64");
-                            if stats.useful > 0 && receive_cycle[i].is_none() {
-                                receive_cycle[i] = Some(cycle);
-                            }
-                        }
-                    }
-                    for site in &mut sites {
-                        rumor::end_cycle(&self.cfg, site);
-                    }
-                }
-                Direction::PushPull => {
-                    order.shuffle(&mut rng);
-                    for &i in &order {
-                        let Some(j) = self.find_partner(i, n, &accepted, &mut rng) else {
-                            continue;
-                        };
-                        accepted[j] += 1;
-                        let (a, b) = pair_mut(&mut sites, i, j);
-                        let stats = rumor::push_pull_contact(&self.cfg, a, b, &mut rng);
-                        sent_total += u64::try_from(stats.sent).expect("sent count fits u64");
-                        for idx in [i, j] {
-                            if receive_cycle[idx].is_none() && sites[idx].db().entry(&KEY).is_some()
-                            {
-                                receive_cycle[idx] = Some(cycle);
-                            }
-                        }
-                    }
-                }
-            }
-            record(&sites, &mut trace);
-        }
-
-        let received: Vec<u32> = receive_cycle.iter().flatten().copied().collect();
-        let susceptible = n - received.len();
+        let received = protocol.received;
         EpidemicResult {
             n,
-            residue: susceptible as f64 / n as f64,
-            traffic: sent_total as f64 / n as f64,
-            t_ave: received.iter().map(|&c| f64::from(c)).sum::<f64>() / received.len() as f64,
-            t_last: f64::from(received.iter().copied().max().unwrap_or(0)),
-            cycles: cycle,
-            complete: susceptible == 0,
+            residue: received.residue(),
+            traffic: report.totals.sent as f64 / n as f64,
+            t_ave: received.t_ave_received(),
+            t_last: f64::from(received.t_last().unwrap_or(0)),
+            cycles: report.cycles,
+            complete: received.complete(),
         }
-    }
-
-    /// Chooses a uniform random partner for `i`, honoring the connection
-    /// limit with up to `hunt_limit` retries.
-    fn find_partner(
-        &self,
-        i: usize,
-        n: usize,
-        accepted: &[u32],
-        rng: &mut StdRng,
-    ) -> Option<usize> {
-        let attempts = 1 + self.hunt_limit;
-        for _ in 0..attempts {
-            let mut j = rng.random_range(0..n - 1);
-            if j >= i {
-                j += 1;
-            }
-            match self.connection_limit {
-                Some(limit) if accepted[j] >= limit => continue,
-                _ => return Some(j),
-            }
-        }
-        None
     }
 }
 
@@ -559,45 +410,27 @@ impl AntiEntropyEpidemic {
     ///
     /// Panics if `n < 2`.
     pub fn run(&self, n: usize, seed: u64) -> AntiEntropyRun {
-        assert!(n >= 2, "an epidemic needs at least two sites");
+        let policy = UniformPartners::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut infected = vec![false; n];
         infected[0] = true;
-        let mut count = 1usize;
-        let mut trace = Vec::new();
-        let mut cycles = 0;
-        let mut order: Vec<usize> = (0..n).collect();
-        while count < n && cycles < self.max_cycles {
-            cycles += 1;
-            // Synchronous semantics: resolve against start-of-cycle state.
-            let snapshot = infected.clone();
-            order.shuffle(&mut rng);
-            for &i in &order {
-                let mut j = rng.random_range(0..n - 1);
-                if j >= i {
-                    j += 1;
-                }
-                let infect = |target: &mut bool| {
-                    if !*target {
-                        *target = true;
-                        true
-                    } else {
-                        false
-                    }
-                };
-                if self.direction.pushes() && snapshot[i] && infect(&mut infected[j]) {
-                    count += 1;
-                }
-                if self.direction.pulls() && snapshot[j] && infect(&mut infected[i]) {
-                    count += 1;
-                }
-            }
-            trace.push((n - count) as f64 / n as f64);
-        }
+        let mut protocol = BitAntiEntropyProtocol {
+            direction: self.direction,
+            infected,
+            snapshot: vec![false; n],
+            count: 1,
+            trace: Vec::new(),
+        };
+        let report = CycleEngine::new().max_cycles(self.max_cycles).run(
+            &mut protocol,
+            &policy,
+            &mut rng,
+            &mut (),
+        );
         AntiEntropyRun {
-            cycles,
-            susceptible_trace: trace,
-            complete: count == n,
+            cycles: report.cycles,
+            susceptible_trace: protocol.trace,
+            complete: protocol.count == n,
         }
     }
 

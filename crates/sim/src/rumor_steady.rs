@@ -19,9 +19,11 @@ use epidemic_core::rumor::{self, RumorConfig};
 use epidemic_core::{Direction, Replica};
 use epidemic_db::SiteId;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
+use crate::engine::{
+    ContactStats, CycleEngine, EpidemicProtocol, Roster, UniformPartners, UpdateInjector,
+};
 use crate::util::pair_mut;
 
 /// Configuration for the steady-state rumor experiment.
@@ -98,105 +100,104 @@ impl RumorSteadySim {
     /// Panics if the configuration has fewer than two sites.
     pub fn run(&self, seed: u64) -> RumorSteadyReport {
         let n = self.config.sites;
-        assert!(n >= 2);
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut sites: Vec<Replica<u32, u32>> = (0..n)
+        let policy = UniformPartners::new(n);
+        let sites: Vec<Replica<u32, u32>> = (0..n)
             .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
-        let mut injected = 0u32;
-        let mut next_key = 0u32;
-        let mut carry = 0.0;
-        let mut sent = 0u64;
-        let mut useful = 0u64;
-        let mut fruitless = 0u64;
-        let mut contacts = 0u64;
-        let mut order: Vec<usize> = (0..n).collect();
-
         let total_cycles = self.config.inject_cycles + self.config.drain_cycles;
-        for cycle in 1..=total_cycles {
-            let time = u64::from(cycle) * 10;
-            for r in sites.iter_mut() {
-                r.advance_clock(time);
-            }
-            if cycle <= self.config.inject_cycles {
-                carry += self.config.updates_per_cycle;
-                while carry >= 1.0 {
-                    carry -= 1.0;
-                    let site = rng.random_range(0..n);
-                    sites[site].client_update(next_key, cycle);
-                    next_key += 1;
-                    injected += 1;
-                }
-            }
-            match self.cfg.direction {
-                Direction::Push => {
-                    // Only infective sites act; a quiescent network costs
-                    // nothing.
-                    let mut initiators: Vec<usize> =
-                        (0..n).filter(|&i| !sites[i].hot().is_empty()).collect();
-                    initiators.shuffle(&mut rng);
-                    for i in initiators {
-                        let mut j = rng.random_range(0..n - 1);
-                        if j >= i {
-                            j += 1;
-                        }
-                        let (a, b) = pair_mut(&mut sites, i, j);
-                        let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
-                        contacts += 1;
-                        sent += u64::try_from(stats.sent).expect("sent count fits u64");
-                        useful += stats.useful as u64;
-                        if stats.useful == 0 {
-                            fruitless += 1;
-                        }
-                    }
-                }
-                Direction::Pull | Direction::PushPull => {
-                    // Every site polls every cycle, quiescent or not.
-                    order.shuffle(&mut rng);
-                    for &i in &order {
-                        let mut j = rng.random_range(0..n - 1);
-                        if j >= i {
-                            j += 1;
-                        }
-                        let (a, b) = pair_mut(&mut sites, i, j);
-                        let stats = if self.cfg.direction == Direction::Pull {
-                            rumor::pull_contact(&self.cfg, a, b, &mut rng)
-                        } else {
-                            rumor::push_pull_contact(&self.cfg, a, b, &mut rng)
-                        };
-                        contacts += 1;
-                        sent += u64::try_from(stats.sent).expect("sent count fits u64");
-                        useful += stats.useful as u64;
-                        if stats.useful == 0 {
-                            fruitless += 1;
-                        }
-                    }
-                    if self.cfg.direction == Direction::Pull {
-                        for site in sites.iter_mut() {
-                            rumor::end_cycle(&self.cfg, site);
-                        }
-                    }
-                }
-            }
-        }
+        let mut protocol = RumorSteadyProtocol {
+            cfg: self.cfg,
+            sites,
+            inject_cycles: self.config.inject_cycles,
+            injector: UpdateInjector::new(self.config.updates_per_cycle),
+        };
+        let report = CycleEngine::new().max_cycles(total_cycles).run(
+            &mut protocol,
+            &policy,
+            &mut rng,
+            &mut (),
+        );
 
         // Coverage: each injected key should be at (nearly) all n sites.
-        let held: u64 = sites.iter().map(|s| s.db().len() as u64).sum();
+        let injected = protocol.injector.injected();
+        let held: u64 = protocol.sites.iter().map(|s| s.db().len() as u64).sum();
         let coverage = if injected == 0 {
             1.0
         } else {
             held as f64 / (u64::from(injected) * n as u64) as f64
         };
+        let totals = report.totals;
         RumorSteadyReport {
             injected,
             coverage,
-            messages_per_delivery: if useful == 0 {
+            messages_per_delivery: if totals.useful == 0 {
                 0.0
             } else {
-                sent as f64 / useful as f64
+                totals.sent as f64 / totals.useful as f64
             },
-            fruitless_per_cycle: fruitless as f64 / f64::from(total_cycles),
-            contacts_per_cycle: contacts as f64 / f64::from(total_cycles),
+            fruitless_per_cycle: totals.fruitless as f64 / f64::from(total_cycles),
+            contacts_per_cycle: totals.contacts as f64 / f64::from(total_cycles),
+        }
+    }
+}
+
+/// Continuous-injection rumor mongering: push rosters only the infective
+/// sites (a quiescent network costs nothing), pull and push-pull poll from
+/// every site every cycle. The engine's contact totals *are* the
+/// measurement — fruitless contacts, messages sent, useful deliveries.
+struct RumorSteadyProtocol {
+    cfg: RumorConfig,
+    sites: Vec<Replica<u32, u32>>,
+    inject_cycles: u32,
+    injector: UpdateInjector,
+}
+
+impl EpidemicProtocol for RumorSteadyProtocol {
+    fn site_count(&self) -> usize {
+        self.sites.len()
+    }
+
+    fn roster(&self) -> Roster {
+        match self.cfg.direction {
+            Direction::Push => Roster::Active,
+            Direction::Pull | Direction::PushPull => Roster::Everyone,
+        }
+    }
+
+    fn is_active(&self, i: usize) -> bool {
+        !self.sites[i].hot().is_empty()
+    }
+
+    fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+        // The run length is fixed: the engine's cycle bound is the
+        // inject + drain budget, so the protocol itself never finishes.
+        false
+    }
+
+    fn begin_cycle(&mut self, cycle: u32, rng: &mut StdRng) {
+        let time = u64::from(cycle) * 10;
+        for r in self.sites.iter_mut() {
+            r.advance_clock(time);
+        }
+        if cycle <= self.inject_cycles {
+            let sites = &mut self.sites;
+            self.injector.inject(sites.len(), rng, |site, key| {
+                sites[site].client_update(key, cycle);
+            });
+        }
+    }
+
+    fn contact(&mut self, _cycle: u32, i: usize, j: usize, rng: &mut StdRng) -> ContactStats {
+        let (a, b) = pair_mut(&mut self.sites, i, j);
+        rumor::contact(&self.cfg, a, b, rng).into()
+    }
+
+    fn end_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {
+        if self.cfg.direction == Direction::Pull {
+            for site in self.sites.iter_mut() {
+                rumor::end_cycle(&self.cfg, site);
+            }
         }
     }
 }

@@ -18,6 +18,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::{RngExt, SeedableRng};
 
+use crate::engine::protocols::random_pair;
+use crate::engine::{PartnerPolicy, UniformPartners};
 use crate::util::pair_mut;
 
 /// Configuration for the Clearinghouse-style workload.
@@ -80,6 +82,7 @@ impl ClearinghouseScenario {
         assert!(self.sites >= 2);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.sites;
+        let policy = UniformPartners::new(n);
         let mut replicas: Vec<Replica<u32, u64>> = (0..n)
             .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
@@ -115,10 +118,7 @@ impl ClearinghouseScenario {
                 let infective: Vec<usize> =
                     (0..n).filter(|&i| !replicas[i].hot().is_empty()).collect();
                 for i in infective {
-                    let mut j = rng.random_range(0..n - 1);
-                    if j >= i {
-                        j += 1;
-                    }
+                    let j = policy.attempt(i, &mut rng);
                     let (a, b) = pair_mut(&mut replicas, i, j);
                     rumor::push_contact(&cfg, a, b, &mut rng);
                 }
@@ -128,10 +128,7 @@ impl ClearinghouseScenario {
                 let mut order: Vec<usize> = (0..n).collect();
                 order.shuffle(&mut rng);
                 for i in order {
-                    let mut j = rng.random_range(0..n - 1);
-                    if j >= i {
-                        j += 1;
-                    }
+                    let j = policy.attempt(i, &mut rng);
                     let (a, b) = pair_mut(&mut replicas, i, j);
                     let outcome = backup.exchange(a, b);
                     ae_repairs += outcome.stats.total_sent();
@@ -284,11 +281,7 @@ impl DormantDeathScenario {
                 obsolete_cancelled = true;
                 break;
             }
-            let i = rng.random_range(0..n);
-            let mut j = rng.random_range(0..n - 1);
-            if j >= i {
-                j += 1;
-            }
+            let (i, j) = random_pair(n, &mut rng);
             let (a, b) = pair_mut(&mut replicas, i, j);
             awakened += ae.exchange(a, b).awakened;
         }
@@ -304,11 +297,7 @@ impl DormantDeathScenario {
 fn converge(replicas: &mut [Replica<&'static str, u32>], ae: &AntiEntropy, rng: &mut StdRng) {
     let n = replicas.len();
     for _ in 0..50 * n {
-        let i = rng.random_range(0..n);
-        let mut j = rng.random_range(0..n - 1);
-        if j >= i {
-            j += 1;
-        }
+        let (i, j) = random_pair(n, rng);
         let (a, b) = pair_mut(replicas, i, j);
         ae.exchange(a, b);
         let first = &replicas[0];
@@ -328,11 +317,7 @@ fn converge_excluding(
 ) {
     let n = replicas.len();
     for _ in 0..50 * n {
-        let i = rng.random_range(0..n);
-        let mut j = rng.random_range(0..n - 1);
-        if j >= i {
-            j += 1;
-        }
+        let (i, j) = random_pair(n, rng);
         if i == down || j == down {
             continue;
         }
@@ -492,12 +477,8 @@ impl PartitionScenario {
             // A few gossip rounds inside each half.
             for _ in 0..2 {
                 for base in [0, self.half] {
-                    let i = base + rng.random_range(0..self.half);
-                    let mut j = base + rng.random_range(0..self.half - 1);
-                    if j >= i {
-                        j += 1;
-                    }
-                    exchange(&mut replicas, &mut lists, i, j);
+                    let (i, j) = random_pair(self.half, &mut rng);
+                    exchange(&mut replicas, &mut lists, base + i, base + j);
                 }
             }
         }
@@ -512,11 +493,7 @@ impl PartitionScenario {
             if exchanges > 200 * n {
                 break false;
             }
-            let i = rng.random_range(0..n);
-            let mut j = rng.random_range(0..n - 1);
-            if j >= i {
-                j += 1;
-            }
+            let (i, j) = random_pair(n, &mut rng);
             let stats = exchange(&mut replicas, &mut lists, i, j);
             exchanges += 1;
             entries += stats.total_sent();
@@ -569,6 +546,7 @@ impl CrashScenario {
         assert!(self.sites >= 4);
         let mut rng = StdRng::seed_from_u64(seed);
         let n = self.sites;
+        let policy = UniformPartners::new(n);
         let mut replicas: Vec<Replica<u32, u64>> = (0..n)
             .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
@@ -591,12 +569,11 @@ impl CrashScenario {
                 .filter(|&i| !is_down(i) && !replicas[i].hot().is_empty())
                 .collect();
             for i in infective {
-                let mut j = rng.random_range(0..n - 1);
-                if j >= i {
-                    j += 1;
-                }
+                // The partner draw happens before the down check: a
+                // connection to a down site simply fails.
+                let j = policy.attempt(i, &mut rng);
                 if is_down(j) {
-                    continue; // connection to a down site simply fails
+                    continue;
                 }
                 let (a, b) = pair_mut(&mut replicas, i, j);
                 rumor::push_contact(&cfg, a, b, &mut rng);
@@ -621,11 +598,7 @@ impl CrashScenario {
             if exchanges > 100 * n {
                 break false;
             }
-            let i = rng.random_range(0..n);
-            let mut j = rng.random_range(0..n - 1);
-            if j >= i {
-                j += 1;
-            }
+            let (i, j) = random_pair(n, &mut rng);
             let (a, b) = pair_mut(&mut replicas, i, j);
             ae.exchange(a, b);
             exchanges += 1;

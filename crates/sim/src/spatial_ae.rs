@@ -9,15 +9,20 @@
 //! sent. Connection limits follow Table 5's pessimistic model: a site can
 //! *accept* at most `C` inbound conversations per cycle (its own outgoing
 //! conversation is not charged against it, matching the paper's 0.63
-//! success fraction at limit 1); rejected initiators may hunt.
+//! success fraction at limit 1); rejected initiators may hunt. Limits and
+//! hunting are the shared [`CycleEngine`]'s, applied to a
+//! [`SpatialPartners`] policy.
 
 use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
+use rand::seq::IndexedRandom;
 use rand::SeedableRng;
 
+use crate::engine::{
+    ContactStats, CycleEngine, EpidemicProtocol, ReceiveLog, RouteRecorder, SpatialPartners,
+};
 use crate::util::pair_mut;
 
 /// Result of one spatial anti-entropy run (one update, one topology).
@@ -127,61 +132,38 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
-        // Map node id -> dense replica index.
-        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
         let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
-        let origin_idx = index_of(origin);
+        let origin_idx = sites.binary_search(&origin).expect("site exists");
         replicas[origin_idx].client_update(KEY, 1);
         replicas[origin_idx].hot_mut().clear(); // pure anti-entropy: nothing is "hot"
-        let mut receive_cycle: Vec<Option<u32>> = vec![None; n];
-        receive_cycle[origin_idx] = Some(0);
+        let mut received = ReceiveLog::new(n);
+        received.mark(origin_idx, 0);
 
-        let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
-        let mut compare_traffic = LinkTraffic::new(self.topology.link_count());
-        let mut update_traffic = LinkTraffic::new(self.topology.link_count());
-        let mut cycle = 0;
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut protocol = SpatialAntiEntropyProtocol {
+            exchange: AntiEntropy::new(Direction::PushPull, Comparison::Full),
+            sites,
+            replicas,
+            received,
+            recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+        };
+        let report = CycleEngine::new()
+            .connection_limit(self.connection_limit)
+            .hunt_limit(self.hunt_limit)
+            .max_cycles(self.max_cycles)
+            .run(
+                &mut protocol,
+                &SpatialPartners::new(sites, &self.sampler),
+                &mut rng,
+                &mut (),
+            );
 
-        while cycle < self.max_cycles {
-            if receive_cycle.iter().all(Option::is_some) {
-                break;
-            }
-            cycle += 1;
-            let mut engaged = vec![0u32; n];
-            order.shuffle(&mut rng);
-            for idx in order.iter().copied() {
-                let Some(pidx) = self.find_partner(idx, sites, &engaged, &mut rng, &index_of)
-                else {
-                    continue;
-                };
-                engaged[pidx] += 1;
-                let (a, b) = pair_mut(&mut replicas, idx, pidx);
-                let stats = protocol.exchange(a, b);
-                compare_traffic.record_route(&self.routes, sites[idx], sites[pidx]);
-                if stats.update_flowed() {
-                    update_traffic.record_route(&self.routes, sites[idx], sites[pidx]);
-                    for i in [idx, pidx] {
-                        if receive_cycle[i].is_none() && replicas[i].db().entry(&KEY).is_some() {
-                            receive_cycle[i] = Some(cycle);
-                        }
-                    }
-                }
-            }
-        }
-
-        let t_last = receive_cycle.iter().flatten().copied().max().unwrap_or(0);
-        let t_ave = receive_cycle
-            .iter()
-            .map(|c| f64::from(c.unwrap_or(cycle)))
-            .sum::<f64>()
-            / n as f64;
         SpatialRunResult {
-            t_last,
-            t_ave,
-            compare_traffic,
-            update_traffic,
-            cycles: cycle,
+            t_last: protocol.received.t_last().unwrap_or(0),
+            t_ave: protocol.received.t_ave_all(report.cycles),
+            compare_traffic: protocol.recorder.compare,
+            update_traffic: protocol.recorder.update,
+            cycles: report.cycles,
         }
     }
 
@@ -201,26 +183,45 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
     {
         runner.run(trials, seed_base, |seed| self.run(seed, origin))
     }
+}
 
-    /// Samples a partner for site index `idx`, honoring the connection
-    /// limit with hunting.
-    fn find_partner(
-        &self,
-        idx: usize,
-        sites: &[SiteId],
-        engaged: &[u32],
-        rng: &mut StdRng,
-        index_of: &impl Fn(SiteId) -> usize,
-    ) -> Option<usize> {
-        for _ in 0..=self.hunt_limit {
-            let partner = self.sampler.select(sites[idx], rng);
-            let pidx = index_of(partner);
-            match self.connection_limit {
-                Some(limit) if engaged[pidx] >= limit => continue,
-                _ => return Some(pidx),
+/// Push-pull full-database anti-entropy over a topology: every site
+/// initiates each cycle, the run ends when every site holds the update,
+/// and each conversation is charged along its shortest route.
+struct SpatialAntiEntropyProtocol<'a> {
+    exchange: AntiEntropy,
+    sites: &'a [SiteId],
+    replicas: Vec<Replica<u32, u32>>,
+    received: ReceiveLog<u32>,
+    recorder: RouteRecorder<'a>,
+}
+
+impl EpidemicProtocol for SpatialAntiEntropyProtocol<'_> {
+    fn site_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+        self.received.complete()
+    }
+
+    fn contact(&mut self, cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
+        let (a, b) = pair_mut(&mut self.replicas, i, j);
+        let stats = self.exchange.exchange(a, b);
+        let flowed = stats.update_flowed();
+        self.recorder
+            .record(self.sites[i], self.sites[j], u64::from(flowed));
+        if flowed {
+            for idx in [i, j] {
+                if self.replicas[idx].db().entry(&KEY).is_some() {
+                    self.received.mark(idx, cycle);
+                }
             }
         }
-        None
+        ContactStats {
+            sent: u64::from(flowed),
+            useful: u64::from(flowed),
+        }
     }
 }
 

@@ -13,9 +13,12 @@ use epidemic_core::{Direction, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{LinkTraffic, PartnerSampler, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
-use rand::seq::{IndexedRandom, SliceRandom};
+use rand::seq::IndexedRandom;
 use rand::SeedableRng;
 
+use crate::engine::{
+    ContactStats, CycleEngine, EpidemicProtocol, ReceiveLog, Roster, RouteRecorder, SpatialPartners,
+};
 use crate::runner::TrialRunner;
 use crate::util::pair_mut;
 
@@ -93,98 +96,37 @@ impl<'a> SpatialRumorSim<'a> {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
-        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
         let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
-        let origin_idx = index_of(origin);
+        let origin_idx = sites.binary_search(&origin).expect("site exists");
         replicas[origin_idx].client_update(KEY, 1);
-        let mut receive_cycle: Vec<Option<u32>> = vec![None; n];
-        receive_cycle[origin_idx] = Some(0);
+        let mut received = ReceiveLog::new(n);
+        received.mark(origin_idx, 0);
 
-        let mut compare_traffic = LinkTraffic::new(self.topology.link_count());
-        let mut update_traffic = LinkTraffic::new(self.topology.link_count());
-        let mut cycle = 0;
-        let mut order: Vec<usize> = (0..n).collect();
+        let mut protocol = SpatialRumorProtocol {
+            cfg: self.cfg,
+            sites,
+            replicas,
+            received,
+            recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+        };
+        let report = CycleEngine::new().max_cycles(self.max_cycles).run(
+            &mut protocol,
+            &SpatialPartners::new(sites, &self.sampler),
+            &mut rng,
+            &mut (),
+        );
 
-        while cycle < self.max_cycles {
-            if (0..n).all(|i| replicas[i].hot().is_empty()) {
-                break;
-            }
-            cycle += 1;
-            match self.cfg.direction {
-                Direction::Push => {
-                    let mut initiators: Vec<usize> =
-                        (0..n).filter(|&i| !replicas[i].hot().is_empty()).collect();
-                    initiators.shuffle(&mut rng);
-                    for i in initiators {
-                        let j = index_of(self.sampler.sample(sites[i], &mut rng));
-                        let (a, b) = pair_mut(&mut replicas, i, j);
-                        let stats = rumor::push_contact(&self.cfg, a, b, &mut rng);
-                        compare_traffic.record_route(&self.routes, sites[i], sites[j]);
-                        if stats.sent > 0 {
-                            for _ in 0..stats.sent {
-                                update_traffic.record_route(&self.routes, sites[i], sites[j]);
-                            }
-                        }
-                        if stats.useful > 0 && receive_cycle[j].is_none() {
-                            receive_cycle[j] = Some(cycle);
-                        }
-                    }
-                }
-                Direction::Pull => {
-                    order.shuffle(&mut rng);
-                    for &i in &order {
-                        let j = index_of(self.sampler.sample(sites[i], &mut rng));
-                        let (requester, source) = pair_mut(&mut replicas, i, j);
-                        let stats = rumor::pull_contact(&self.cfg, requester, source, &mut rng);
-                        compare_traffic.record_route(&self.routes, sites[i], sites[j]);
-                        for _ in 0..stats.sent {
-                            update_traffic.record_route(&self.routes, sites[i], sites[j]);
-                        }
-                        if stats.useful > 0 && receive_cycle[i].is_none() {
-                            receive_cycle[i] = Some(cycle);
-                        }
-                    }
-                    for r in &mut replicas {
-                        rumor::end_cycle(&self.cfg, r);
-                    }
-                }
-                Direction::PushPull => {
-                    order.shuffle(&mut rng);
-                    for &i in &order {
-                        let j = index_of(self.sampler.sample(sites[i], &mut rng));
-                        let (a, b) = pair_mut(&mut replicas, i, j);
-                        let stats = rumor::push_pull_contact(&self.cfg, a, b, &mut rng);
-                        compare_traffic.record_route(&self.routes, sites[i], sites[j]);
-                        for _ in 0..stats.sent {
-                            update_traffic.record_route(&self.routes, sites[i], sites[j]);
-                        }
-                        for idx in [i, j] {
-                            if receive_cycle[idx].is_none()
-                                && replicas[idx].db().entry(&KEY).is_some()
-                            {
-                                receive_cycle[idx] = Some(cycle);
-                            }
-                        }
-                    }
-                }
-            }
-        }
-
-        let received: Vec<u32> = receive_cycle.iter().flatten().copied().collect();
-        let susceptible_sites: Vec<SiteId> = (0..n)
-            .filter(|&i| receive_cycle[i].is_none())
-            .map(|i| sites[i])
-            .collect();
-        let susceptible = susceptible_sites.len();
+        let received = protocol.received;
+        let susceptible_sites: Vec<SiteId> = received.unreceived().map(|i| sites[i]).collect();
         SpatialRumorResult {
-            complete: susceptible == 0,
-            residue: susceptible as f64 / n as f64,
-            t_last: received.iter().copied().max().unwrap_or(0),
-            t_ave: received.iter().map(|&c| f64::from(c)).sum::<f64>() / received.len() as f64,
-            compare_traffic,
-            update_traffic,
-            cycles: cycle,
+            complete: received.complete(),
+            residue: received.residue(),
+            t_last: received.t_last().unwrap_or(0),
+            t_ave: received.t_ave_received(),
+            compare_traffic: protocol.recorder.compare,
+            update_traffic: protocol.recorder.update,
+            cycles: report.cycles,
             susceptible_sites,
         }
     }
@@ -203,6 +145,77 @@ impl<'a> SpatialRumorSim<'a> {
     }
 }
 
+/// Topology-aware rumor mongering: push initiators are the infective
+/// sites, pull/push-pull initiators are everyone, and each contact is
+/// charged along its shortest route (one comparison unit per conversation,
+/// one update unit per entry sent).
+struct SpatialRumorProtocol<'a> {
+    cfg: RumorConfig,
+    sites: &'a [SiteId],
+    replicas: Vec<Replica<u32, u32>>,
+    received: ReceiveLog<u32>,
+    recorder: RouteRecorder<'a>,
+}
+
+impl EpidemicProtocol for SpatialRumorProtocol<'_> {
+    fn site_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn roster(&self) -> Roster {
+        match self.cfg.direction {
+            Direction::Push => Roster::Active,
+            Direction::Pull | Direction::PushPull => Roster::Everyone,
+        }
+    }
+
+    fn is_active(&self, i: usize) -> bool {
+        !self.replicas[i].hot().is_empty()
+    }
+
+    fn finished(&self, _cycle: u32, active: &[usize]) -> bool {
+        active.is_empty()
+    }
+
+    fn contact(&mut self, cycle: u32, i: usize, j: usize, rng: &mut StdRng) -> ContactStats {
+        let (a, b) = pair_mut(&mut self.replicas, i, j);
+        let stats = rumor::contact(&self.cfg, a, b, rng);
+        self.recorder.record(
+            self.sites[i],
+            self.sites[j],
+            u64::try_from(stats.sent).expect("sent count fits u64"),
+        );
+        match self.cfg.direction {
+            Direction::Push => {
+                if stats.useful > 0 {
+                    self.received.mark(j, cycle);
+                }
+            }
+            Direction::Pull => {
+                if stats.useful > 0 {
+                    self.received.mark(i, cycle);
+                }
+            }
+            Direction::PushPull => {
+                for idx in [i, j] {
+                    if self.replicas[idx].db().entry(&KEY).is_some() {
+                        self.received.mark(idx, cycle);
+                    }
+                }
+            }
+        }
+        stats.into()
+    }
+
+    fn end_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {
+        if self.cfg.direction == Direction::Pull {
+            for r in &mut self.replicas {
+                rumor::end_cycle(&self.cfg, r);
+            }
+        }
+    }
+}
+
 /// The paper's §3.2 methodology: the smallest `k ≤ max_k` for which the
 /// protocol achieves 100% distribution in each of `trials` runs (random
 /// origins). Returns `None` if no such `k` exists within the bound.
@@ -218,7 +231,21 @@ pub fn minimum_k(
     trials: u32,
     max_k: u32,
 ) -> Option<u32> {
-    let runner = TrialRunner::new();
+    minimum_k_with(TrialRunner::new(), topology, spatial, base, trials, max_k)
+}
+
+/// As [`minimum_k`] but on a caller-provided [`TrialRunner`]. The verdict
+/// per `k` does not depend on the runner's thread count (seeds are fixed
+/// per trial index); only the wave size — and hence how early a failing
+/// `k` is abandoned — varies.
+pub fn minimum_k_with(
+    runner: TrialRunner,
+    topology: &Topology,
+    spatial: Spatial,
+    base: RumorConfig,
+    trials: u32,
+    max_k: u32,
+) -> Option<u32> {
     let wave = u64::try_from(runner.effective_threads(u64::from(trials))).expect("usize fits u64");
     for k in 1..=max_k {
         let cfg = RumorConfig {

@@ -12,11 +12,13 @@
 
 use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
 use epidemic_db::SiteId;
-use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
+use epidemic_net::{LinkTraffic, PartnerSampler, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
+use crate::engine::{
+    ContactStats, CycleEngine, EpidemicProtocol, RouteRecorder, SpatialPartners, UpdateInjector,
+};
 use crate::util::pair_mut;
 
 /// Configuration for the steady-state spatial experiment.
@@ -98,53 +100,80 @@ impl<'a> SpatialSteadySim<'a> {
     pub fn run(&self, seed: u64) -> SpatialSteadyReport {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
-        let n = sites.len();
-        let index_of = |site: SiteId| sites.binary_search(&site).expect("site exists");
-        let mut replicas: Vec<Replica<u32, u64>> = sites.iter().map(|&s| Replica::new(s)).collect();
-        let protocol = AntiEntropy::new(Direction::PushPull, self.config.comparison);
-        let mut conversations = LinkTraffic::new(self.topology.link_count());
-        let mut entry_traffic = LinkTraffic::new(self.topology.link_count());
-        let mut next_key = 0u32;
-        let mut carry = 0.0;
-        let mut exchanges = 0u64;
-        let mut full_compares = 0u64;
-        let mut order: Vec<usize> = (0..n).collect();
-
-        for cycle in 1..=(self.config.warmup + self.config.cycles) {
-            let time = u64::from(cycle) * 10;
-            for r in replicas.iter_mut() {
-                r.advance_clock(time);
-            }
-            carry += self.config.updates_per_cycle;
-            while carry >= 1.0 {
-                carry -= 1.0;
-                let site = rng.random_range(0..n);
-                replicas[site].client_update(next_key, u64::from(cycle));
-                next_key += 1;
-            }
-            order.shuffle(&mut rng);
-            for &i in &order {
-                let j = index_of(self.sampler.select(sites[i], &mut rng));
-                let (a, b) = pair_mut(&mut replicas, i, j);
-                let stats = protocol.exchange(a, b);
-                if cycle > self.config.warmup {
-                    exchanges += 1;
-                    full_compares += u64::from(stats.full_compare);
-                    conversations.record_route(&self.routes, sites[i], sites[j]);
-                    for _ in 0..stats.total_sent() {
-                        entry_traffic.record_route(&self.routes, sites[i], sites[j]);
-                    }
-                }
-            }
-        }
+        let replicas: Vec<Replica<u32, u64>> = sites.iter().map(|&s| Replica::new(s)).collect();
+        let total = self.config.warmup + self.config.cycles;
+        let mut protocol = SpatialSteadyProtocol {
+            exchange: AntiEntropy::new(Direction::PushPull, self.config.comparison),
+            sites,
+            replicas,
+            injector: UpdateInjector::new(self.config.updates_per_cycle),
+            warmup: self.config.warmup,
+            exchanges: 0,
+            full_compares: 0,
+            recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+        };
+        CycleEngine::new().max_cycles(total).run(
+            &mut protocol,
+            &SpatialPartners::new(sites, &self.sampler),
+            &mut rng,
+            &mut (),
+        );
         let measured = f64::from(self.config.cycles);
         SpatialSteadyReport {
-            conversations_per_link_cycle: conversations.mean_per_link() / measured,
-            entries_per_link_cycle: entry_traffic.mean_per_link() / measured,
-            full_compare_rate: full_compares as f64 / exchanges as f64,
-            entry_traffic,
+            conversations_per_link_cycle: protocol.recorder.compare.mean_per_link() / measured,
+            entries_per_link_cycle: protocol.recorder.update.mean_per_link() / measured,
+            full_compare_rate: protocol.full_compares as f64 / protocol.exchanges as f64,
+            entry_traffic: protocol.recorder.update,
             measured_cycles: self.config.cycles,
         }
+    }
+}
+
+/// Steady-state push-pull anti-entropy on a topology: continuous update
+/// injection, spatial partner selection, and per-link traffic recorded
+/// only after the warm-up period.
+struct SpatialSteadyProtocol<'a> {
+    exchange: AntiEntropy,
+    sites: &'a [SiteId],
+    replicas: Vec<Replica<u32, u64>>,
+    injector: UpdateInjector,
+    warmup: u32,
+    exchanges: u64,
+    full_compares: u64,
+    recorder: RouteRecorder<'a>,
+}
+
+impl EpidemicProtocol for SpatialSteadyProtocol<'_> {
+    fn site_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+        // The run length is fixed by the engine's cycle bound.
+        false
+    }
+
+    fn begin_cycle(&mut self, cycle: u32, rng: &mut StdRng) {
+        let time = u64::from(cycle) * 10;
+        for r in self.replicas.iter_mut() {
+            r.advance_clock(time);
+        }
+        let replicas = &mut self.replicas;
+        self.injector.inject(replicas.len(), rng, |site, key| {
+            replicas[site].client_update(key, u64::from(cycle));
+        });
+    }
+
+    fn contact(&mut self, cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
+        let (a, b) = pair_mut(&mut self.replicas, i, j);
+        let stats = self.exchange.exchange(a, b);
+        let sent = stats.total_sent() as u64;
+        if cycle > self.warmup {
+            self.exchanges += 1;
+            self.full_compares += u64::from(stats.full_compare);
+            self.recorder.record(self.sites[i], self.sites[j], sent);
+        }
+        ContactStats { sent, useful: sent }
     }
 }
 

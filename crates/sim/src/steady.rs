@@ -13,9 +13,9 @@
 use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
 use epidemic_db::SiteId;
 use rand::rngs::StdRng;
-use rand::seq::SliceRandom;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
+use crate::engine::{ContactStats, CycleEngine, EpidemicProtocol, UniformPartners, UpdateInjector};
 use crate::util::pair_mut;
 
 /// Configuration for the steady-state experiment.
@@ -61,54 +61,82 @@ impl SteadyStateSim {
         assert!(self.sites >= 2);
         let n = self.sites;
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut replicas: Vec<Replica<u32, u64>> = (0..n)
+        let replicas: Vec<Replica<u32, u64>> = (0..n)
             .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
             .collect();
-        let protocol = AntiEntropy::new(Direction::PushPull, comparison);
-        let mut next_key = 0u32;
-        let mut carry = 0.0;
-        let mut exchanges = 0u64;
-        let mut full_compares = 0u64;
-        let mut sent = 0u64;
-        let mut scanned = 0u64;
-        let mut order: Vec<usize> = (0..n).collect();
-
-        for cycle in 1..=(self.warmup + self.cycles) {
-            let time = u64::from(cycle) * 10;
-            for r in replicas.iter_mut() {
-                r.advance_clock(time);
-            }
-            // Inject the configured update rate (fractional rates carry).
-            carry += self.updates_per_cycle;
-            while carry >= 1.0 {
-                carry -= 1.0;
-                let site = rng.random_range(0..n);
-                replicas[site].client_update(next_key, u64::from(cycle));
-                next_key += 1;
-            }
-            // One exchange per site.
-            order.shuffle(&mut rng);
-            for &i in &order {
-                let mut j = rng.random_range(0..n - 1);
-                if j >= i {
-                    j += 1;
-                }
-                let (a, b) = pair_mut(&mut replicas, i, j);
-                let stats = protocol.exchange(a, b);
-                if cycle > self.warmup {
-                    exchanges += 1;
-                    full_compares += u64::from(stats.full_compare);
-                    sent += stats.total_sent() as u64;
-                    scanned += stats.entries_scanned as u64;
-                }
-            }
-        }
+        let total = self.warmup + self.cycles;
+        let mut protocol = SteadyStateProtocol {
+            exchange: AntiEntropy::new(Direction::PushPull, comparison),
+            replicas,
+            injector: UpdateInjector::new(self.updates_per_cycle),
+            warmup: self.warmup,
+            total,
+            exchanges: 0,
+            full_compares: 0,
+            sent: 0,
+            scanned: 0,
+        };
+        CycleEngine::new().max_cycles(total).run(
+            &mut protocol,
+            &UniformPartners::new(n),
+            &mut rng,
+            &mut (),
+        );
         SteadyStateReport {
-            full_compare_rate: full_compares as f64 / exchanges as f64,
-            entries_per_exchange: sent as f64 / exchanges as f64,
-            scanned_per_exchange: scanned as f64 / exchanges as f64,
-            final_db_len: replicas[0].db().len(),
+            full_compare_rate: protocol.full_compares as f64 / protocol.exchanges as f64,
+            entries_per_exchange: protocol.sent as f64 / protocol.exchanges as f64,
+            scanned_per_exchange: protocol.scanned as f64 / protocol.exchanges as f64,
+            final_db_len: protocol.replicas[0].db().len(),
         }
+    }
+}
+
+/// Push-pull anti-entropy under continuous update injection: one exchange
+/// per site per cycle, with the diffing counters accumulated only after
+/// the warm-up period.
+struct SteadyStateProtocol {
+    exchange: AntiEntropy,
+    replicas: Vec<Replica<u32, u64>>,
+    injector: UpdateInjector,
+    warmup: u32,
+    total: u32,
+    exchanges: u64,
+    full_compares: u64,
+    sent: u64,
+    scanned: u64,
+}
+
+impl EpidemicProtocol for SteadyStateProtocol {
+    fn site_count(&self) -> usize {
+        self.replicas.len()
+    }
+
+    fn finished(&self, cycle: u32, _active: &[usize]) -> bool {
+        cycle >= self.total
+    }
+
+    fn begin_cycle(&mut self, cycle: u32, rng: &mut StdRng) {
+        let time = u64::from(cycle) * 10;
+        for r in self.replicas.iter_mut() {
+            r.advance_clock(time);
+        }
+        let replicas = &mut self.replicas;
+        self.injector.inject(replicas.len(), rng, |site, key| {
+            replicas[site].client_update(key, u64::from(cycle));
+        });
+    }
+
+    fn contact(&mut self, cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
+        let (a, b) = pair_mut(&mut self.replicas, i, j);
+        let stats = self.exchange.exchange(a, b);
+        let sent = stats.total_sent() as u64;
+        if cycle > self.warmup {
+            self.exchanges += 1;
+            self.full_compares += u64::from(stats.full_compare);
+            self.sent += sent;
+            self.scanned += stats.entries_scanned as u64;
+        }
+        ContactStats { sent, useful: sent }
     }
 }
 

@@ -1,0 +1,447 @@
+//! Engine ↔ legacy driver equivalence fixture.
+//!
+//! `fixtures/engine_equivalence.txt` records, in `{:?}` (round-trip exact
+//! for `f64`) formatting, the outputs of **every** simulation driver over a
+//! grid of small configurations and seeds. The file was generated from the
+//! pre-engine drivers; after the drivers were ported onto
+//! `epidemic_sim::engine` the same entry points must reproduce it byte for
+//! byte, proving the refactor preserved each driver's exact RNG draw
+//! sequence (partner selection, hunting, coin flips, shuffles).
+//!
+//! To regenerate after an *intentional* behaviour change:
+//!
+//! ```text
+//! cargo test -p epidemic-sim --test engine_equivalence -- --ignored regenerate
+//! ```
+//!
+//! The property tests at the bottom are the part of satellite #3 that
+//! outlives the legacy code: run-twice determinism and thread-count
+//! invariance over *randomized* configurations, not just the fixed grid.
+
+use std::fmt::Write as _;
+
+use epidemic_core::{Comparison, Direction, Feedback, Removal, RumorConfig};
+use epidemic_net::{topologies, LinkTraffic, Spatial};
+use epidemic_sim::event::{AsyncAntiEntropySim, AsyncRumorEpidemic};
+use epidemic_sim::failures::{Churn, ChurnedAntiEntropySim};
+use epidemic_sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
+use epidemic_sim::rumor_steady::{RumorSteadyConfig, RumorSteadySim};
+use epidemic_sim::runner::TrialRunner;
+use epidemic_sim::spatial_ae::AntiEntropySim;
+use epidemic_sim::spatial_rumor::SpatialRumorSim;
+use epidemic_sim::spatial_steady::{SpatialSteadyConfig, SpatialSteadySim};
+use epidemic_sim::steady::SteadyStateSim;
+
+const FIXTURE: &str = include_str!("fixtures/engine_equivalence.txt");
+
+/// Formats link traffic compactly but exactly: total plus per-link counts.
+fn traffic(t: &LinkTraffic) -> String {
+    format!("total={} counts={:?}", t.total(), t.counts())
+}
+
+/// The rumor-mongering configuration grid: every direction, feedback and
+/// removal rule, synchronous and sequential rounds, connection limits and
+/// hunting, counter reset and push-pull minimization.
+fn rumor_grid() -> Vec<(&'static str, RumorEpidemic)> {
+    let counter = |k| Removal::Counter { k };
+    let coin = |k| Removal::Coin { k };
+    vec![
+        (
+            "push-fb-ctr1-sync",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                counter(1),
+            )),
+        ),
+        (
+            "push-blind-coin2-sync",
+            RumorEpidemic::new(RumorConfig::new(Direction::Push, Feedback::Blind, coin(2))),
+        ),
+        (
+            "pull-fb-ctr2-sync",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Pull,
+                Feedback::Feedback,
+                counter(2),
+            )),
+        ),
+        (
+            "pull-blind-coin1-sync",
+            RumorEpidemic::new(RumorConfig::new(Direction::Pull, Feedback::Blind, coin(1))),
+        ),
+        (
+            "pull-fb-coin2-sync",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Pull,
+                Feedback::Feedback,
+                coin(2),
+            )),
+        ),
+        (
+            "pushpull-fb-ctr2",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::PushPull,
+                Feedback::Feedback,
+                counter(2),
+            )),
+        ),
+        (
+            "pushpull-fb-ctr2-min",
+            RumorEpidemic::new(
+                RumorConfig::new(Direction::PushPull, Feedback::Feedback, counter(2))
+                    .with_minimization(),
+            ),
+        ),
+        (
+            "push-fb-ctr1-seq",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                counter(1),
+            ))
+            .synchronous(false),
+        ),
+        (
+            "pull-fb-ctr2-seq",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Pull,
+                Feedback::Feedback,
+                counter(2),
+            ))
+            .synchronous(false),
+        ),
+        (
+            "push-fb-ctr3-reset-seq",
+            RumorEpidemic::new(
+                RumorConfig::new(Direction::Push, Feedback::Feedback, counter(3))
+                    .with_reset_on_useful(true),
+            )
+            .synchronous(false),
+        ),
+        (
+            "push-fb-ctr2-limit1",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                counter(2),
+            ))
+            .connection_limit(Some(1)),
+        ),
+        (
+            "push-fb-ctr2-limit1-hunt4",
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                counter(2),
+            ))
+            .connection_limit(Some(1))
+            .hunt_limit(4),
+        ),
+    ]
+}
+
+/// Builds the full fixture text from the current driver implementations.
+#[allow(clippy::too_many_lines)]
+fn build_fixture() -> String {
+    let mut out = String::new();
+
+    // --- mixing::RumorEpidemic -----------------------------------------
+    for (tag, epidemic) in rumor_grid() {
+        for seed in 0..4u64 {
+            let r = epidemic.run(24, seed);
+            writeln!(out, "mixing/{tag} seed={seed} => {r:?}").unwrap();
+        }
+    }
+    // SIR trace (run_traced): pins the per-cycle observation points.
+    let traced = RumorEpidemic::new(RumorConfig::new(
+        Direction::Push,
+        Feedback::Feedback,
+        Removal::Counter { k: 1 },
+    ))
+    .run_traced(24, 0);
+    writeln!(out, "mixing/traced seed=0 => {traced:?}").unwrap();
+
+    // --- mixing::AntiEntropyEpidemic -----------------------------------
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        for seed in 0..3u64 {
+            let r = AntiEntropyEpidemic::new(direction).run(32, seed);
+            writeln!(out, "ae-mixing/{direction:?} seed={seed} => {r:?}").unwrap();
+        }
+    }
+
+    // --- spatial_ae::AntiEntropySim ------------------------------------
+    let grid = topologies::grid(&[4, 4]);
+    let ring = topologies::ring(12);
+    for (topo_tag, topo) in [("grid4x4", &grid), ("ring12", &ring)] {
+        for (sp_tag, spatial) in [
+            ("uniform", Spatial::Uniform),
+            ("qs2", Spatial::QsPower { a: 2.0 }),
+        ] {
+            for (lim_tag, limit, hunt) in [("nolimit", None, 0u32), ("limit1-hunt2", Some(1), 2u32)]
+            {
+                let sim = AntiEntropySim::new(topo, spatial)
+                    .connection_limit(limit)
+                    .hunt_limit(hunt);
+                for seed in 0..3u64 {
+                    let r = sim.run(seed, None);
+                    writeln!(
+                        out,
+                        "spatial-ae/{topo_tag}/{sp_tag}/{lim_tag} seed={seed} => \
+                         t_last={} t_ave={:?} cycles={} cmp[{}] upd[{}]",
+                        r.t_last,
+                        r.t_ave,
+                        r.cycles,
+                        traffic(&r.compare_traffic),
+                        traffic(&r.update_traffic),
+                    )
+                    .unwrap();
+                }
+            }
+        }
+    }
+
+    // --- spatial_rumor::SpatialRumorSim --------------------------------
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let cfg = RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k: 2 });
+        let sim = SpatialRumorSim::new(&ring, Spatial::QsPower { a: 1.5 }, cfg);
+        for seed in 0..3u64 {
+            let r = sim.run(seed, None);
+            writeln!(
+                out,
+                "spatial-rumor/ring12/{direction:?} seed={seed} => \
+                 complete={} residue={:?} t_last={} t_ave={:?} cycles={} \
+                 susceptible={:?} cmp[{}] upd[{}]",
+                r.complete,
+                r.residue,
+                r.t_last,
+                r.t_ave,
+                r.cycles,
+                r.susceptible_sites,
+                traffic(&r.compare_traffic),
+                traffic(&r.update_traffic),
+            )
+            .unwrap();
+        }
+    }
+
+    // --- failures::ChurnedAntiEntropySim -------------------------------
+    for (tag, churn) in [
+        (
+            "mild",
+            Churn {
+                fail: 0.05,
+                recover: 0.5,
+            },
+        ),
+        (
+            "harsh",
+            Churn {
+                fail: 0.3,
+                recover: 0.3,
+            },
+        ),
+    ] {
+        let sim = ChurnedAntiEntropySim::new(&grid, Spatial::Uniform, churn);
+        for seed in 0..3u64 {
+            let r = sim.run(seed, None);
+            writeln!(out, "churn/{tag} seed={seed} => {r:?}").unwrap();
+        }
+    }
+
+    // --- steady::SteadyStateSim ----------------------------------------
+    let steady = SteadyStateSim {
+        sites: 24,
+        updates_per_cycle: 1.0,
+        warmup: 5,
+        cycles: 10,
+    };
+    for (tag, comparison) in [
+        ("full", Comparison::Full),
+        ("checksum", Comparison::Checksum),
+        ("recent400", Comparison::RecentList { tau: 400 }),
+        ("peelback", Comparison::PeelBack),
+    ] {
+        for seed in 0..2u64 {
+            let r = steady.run(comparison, seed);
+            writeln!(out, "steady/{tag} seed={seed} => {r:?}").unwrap();
+        }
+    }
+
+    // --- rumor_steady::RumorSteadySim ----------------------------------
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let cfg = RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k: 2 });
+        let sim = RumorSteadySim::new(
+            cfg,
+            RumorSteadyConfig {
+                sites: 24,
+                updates_per_cycle: 0.5,
+                inject_cycles: 10,
+                drain_cycles: 20,
+            },
+        );
+        for seed in 0..2u64 {
+            let r = sim.run(seed);
+            writeln!(out, "rumor-steady/{direction:?} seed={seed} => {r:?}").unwrap();
+        }
+    }
+
+    // --- spatial_steady::SpatialSteadySim ------------------------------
+    for (sp_tag, spatial) in [
+        ("uniform", Spatial::Uniform),
+        ("qs15", Spatial::QsPower { a: 1.5 }),
+    ] {
+        let sim = SpatialSteadySim::new(
+            &ring,
+            spatial,
+            SpatialSteadyConfig {
+                updates_per_cycle: 1.0,
+                comparison: Comparison::RecentList { tau: 400 },
+                warmup: 4,
+                cycles: 8,
+            },
+        );
+        for seed in 0..2u64 {
+            let r = sim.run(seed);
+            writeln!(
+                out,
+                "spatial-steady/ring12/{sp_tag} seed={seed} => \
+                 conv={:?} entries={:?} full={:?} measured={} traffic[{}]",
+                r.conversations_per_link_cycle,
+                r.entries_per_link_cycle,
+                r.full_compare_rate,
+                r.measured_cycles,
+                traffic(&r.entry_traffic),
+            )
+            .unwrap();
+        }
+    }
+
+    // --- event::AsyncAntiEntropySim ------------------------------------
+    let async_ae = AsyncAntiEntropySim::new(&ring, Spatial::QsPower { a: 1.5 }, 0.3);
+    for seed in 0..2u64 {
+        let r = async_ae.run(seed, None);
+        writeln!(
+            out,
+            "async-ae/ring12 seed={seed} => t_last={:?} t_ave={:?} exchanges={} \
+             per_period={:?} cmp[{}] upd[{}]",
+            r.t_last,
+            r.t_ave,
+            r.exchanges,
+            r.compare_per_link_period,
+            traffic(&r.compare_traffic),
+            traffic(&r.update_traffic),
+        )
+        .unwrap();
+    }
+
+    // --- event::AsyncRumorEpidemic -------------------------------------
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let cfg = RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k: 2 });
+        let sim = AsyncRumorEpidemic::new(cfg, 0.2);
+        for seed in 0..2u64 {
+            let r = sim.run(24, seed);
+            writeln!(out, "async-rumor/{direction:?} seed={seed} => {r:?}").unwrap();
+        }
+    }
+
+    out
+}
+
+#[test]
+fn drivers_match_recorded_fixture() {
+    let actual = build_fixture();
+    if actual != FIXTURE {
+        // Report the first diverging line — a full assert_eq! dump of two
+        // multi-kilobyte strings is unreadable.
+        for (i, (a, f)) in actual.lines().zip(FIXTURE.lines()).enumerate() {
+            assert_eq!(a, f, "first divergence at fixture line {}", i + 1);
+        }
+        assert_eq!(
+            actual.lines().count(),
+            FIXTURE.lines().count(),
+            "fixture line count changed"
+        );
+        unreachable!("strings differ but no line diverged");
+    }
+}
+
+#[test]
+#[ignore = "overwrites the checked-in fixture"]
+fn regenerate() {
+    let dir = concat!(env!("CARGO_MANIFEST_DIR"), "/tests/fixtures");
+    std::fs::create_dir_all(dir).expect("create fixtures dir");
+    std::fs::write(format!("{dir}/engine_equivalence.txt"), build_fixture())
+        .expect("write fixture");
+}
+
+// ---------------------------------------------------------------------
+// Randomized determinism properties (the part of the harness that remains
+// meaningful after the legacy driver bodies are gone).
+// ---------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+fn arb_cfg() -> impl Strategy<Value = RumorConfig> {
+    (0u8..3, any::<bool>(), any::<bool>(), 1u32..4).prop_map(|(dir, fb, coin, k)| {
+        let direction = match dir {
+            0 => Direction::Push,
+            1 => Direction::Pull,
+            _ => Direction::PushPull,
+        };
+        let feedback = if fb {
+            Feedback::Feedback
+        } else {
+            Feedback::Blind
+        };
+        let removal = if coin {
+            Removal::Coin { k }
+        } else {
+            Removal::Counter { k }
+        };
+        RumorConfig::new(direction, feedback, removal)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Same seed → identical result, twice over, for any small rumor
+    /// configuration (sequential and synchronous rounds).
+    #[test]
+    fn rumor_epidemic_is_deterministic(
+        cfg in arb_cfg(),
+        synchronous in any::<bool>(),
+        n in 4usize..24,
+        seed in any::<u64>(),
+    ) {
+        let epidemic = RumorEpidemic::new(cfg).synchronous(synchronous);
+        prop_assert_eq!(epidemic.run(n, seed), epidemic.run(n, seed));
+    }
+
+    /// Multi-trial fan-out is thread-count invariant for any configuration.
+    #[test]
+    fn rumor_trials_are_thread_invariant(
+        cfg in arb_cfg(),
+        n in 4usize..16,
+        seed in any::<u64>(),
+    ) {
+        let epidemic = RumorEpidemic::new(cfg);
+        let one = epidemic.run_trials(TrialRunner::new().threads(1), n, 6, seed);
+        let four = epidemic.run_trials(TrialRunner::new().threads(4), n, 6, seed);
+        prop_assert_eq!(one, four);
+    }
+
+    /// Spatial anti-entropy runs are deterministic for any seed/origin.
+    #[test]
+    fn spatial_ae_is_deterministic(seed in any::<u64>(), a in 1.0f64..3.0) {
+        let topo = topologies::ring(10);
+        let sim = AntiEntropySim::new(&topo, Spatial::QsPower { a });
+        let x = sim.run(seed, None);
+        let y = sim.run(seed, None);
+        prop_assert_eq!(x.t_last, y.t_last);
+        prop_assert_eq!(x.t_ave, y.t_ave);
+        prop_assert_eq!(x.compare_traffic, y.compare_traffic);
+        prop_assert_eq!(x.update_traffic, y.update_traffic);
+    }
+}
