@@ -7,6 +7,7 @@
 //! cargo run -p epidemic-bench --release --bin repro -- --timings all
 //! cargo run -p epidemic-bench --release --bin repro -- --list
 //! cargo run -p epidemic-bench --release --bin repro -- --only table
+//! cargo run -p epidemic-bench --release --bin repro -- --only table1 --trace out/
 //! ```
 //!
 //! `--list` prints every experiment name, one per line, and exits.
@@ -14,17 +15,28 @@
 //! with the selector — `--only table` runs the five tables, `--only fig`
 //! the figures, `--only table4` exactly one experiment.
 //!
+//! `--trace <dir>` additionally writes, for each of the five tables, a
+//! structured run trace (`<name>.jsonl`, one JSON object per line, no
+//! wall-clock fields — byte-identical at any `EPIDEMIC_THREADS`) and a
+//! summary record (`<name>.summary.json`). `--json <dir>` writes just the
+//! machine-readable table rows (`<name>.rows.json`). Both leave figure
+//! experiments untouched — see DESIGN.md §Observability.
+//!
 //! `--timings [PATH]` additionally records per-experiment wall-clock
-//! seconds and the worker-thread count to a JSON file
-//! (`BENCH_repro.json` by default). Thread count is controlled by the
-//! `EPIDEMIC_THREADS` environment variable (see
+//! seconds, a per-phase breakdown (engine setup / contact loop /
+//! end-of-cycle, trial fan-out / aggregation) and the worker-thread
+//! count to a JSON file (`BENCH_repro.json` by default). Thread count is
+//! controlled by the `EPIDEMIC_THREADS` environment variable (see
 //! `epidemic_sim::runner`).
 
 use epidemic_bench::figures;
 use epidemic_bench::tables::{
     print_mixing, print_spatial, table1, table2, table3, table45, PAPER_TABLE1, PAPER_TABLE2,
-    PAPER_TABLE3,
+    PAPER_TABLE3, TITLE_TABLE1, TITLE_TABLE2, TITLE_TABLE3, TITLE_TABLE4, TITLE_TABLE5,
 };
+use epidemic_bench::trace::table_artifacts;
+use epidemic_sim::runner::TrialRunner;
+use epidemic_trace::profile;
 
 const N: usize = 1000;
 
@@ -34,29 +46,11 @@ fn run(experiment: &str, mix_trials: u64, spatial_trials: u64) -> bool {
     #[allow(non_snake_case)]
     let SPATIAL_TRIALS = spatial_trials;
     match experiment {
-        "table1" => print_mixing(
-            "Table 1: push, feedback, counter, n=1000",
-            &table1(N, MIX_TRIALS),
-            &PAPER_TABLE1,
-        ),
-        "table2" => print_mixing(
-            "Table 2: push, blind, coin, n=1000",
-            &table2(N, MIX_TRIALS),
-            &PAPER_TABLE2,
-        ),
-        "table3" => print_mixing(
-            "Table 3: pull, feedback, counter, n=1000 (footnote semantics)",
-            &table3(N, MIX_TRIALS),
-            &PAPER_TABLE3,
-        ),
-        "table4" => print_spatial(
-            "Table 4: push-pull anti-entropy on the synthetic CIN, no connection limit (paper: uniform 7.8/5.3/5.9/75.7/5.8/74.4 ... a=2.0 13.3/7.8/1.4/2.4/1.9/5.9)",
-            &table45(SPATIAL_TRIALS, None),
-        ),
-        "table5" => print_spatial(
-            "Table 5: as Table 4 with connection limit 1, hunt limit 0 (paper: uniform 11.0/7.0/3.7/47.5/5.8/75.2 ... a=2.0 24.6/14.1/0.7/0.9/1.9/4.8)",
-            &table45(SPATIAL_TRIALS, Some(1)),
-        ),
+        "table1" => print_mixing(TITLE_TABLE1, &table1(N, MIX_TRIALS), &PAPER_TABLE1),
+        "table2" => print_mixing(TITLE_TABLE2, &table2(N, MIX_TRIALS), &PAPER_TABLE2),
+        "table3" => print_mixing(TITLE_TABLE3, &table3(N, MIX_TRIALS), &PAPER_TABLE3),
+        "table4" => print_spatial(TITLE_TABLE4, &table45(SPATIAL_TRIALS, None)),
+        "table5" => print_spatial(TITLE_TABLE5, &table45(SPATIAL_TRIALS, Some(1))),
         "fig-rumor-ode" => figures::print_rumor_ode(N, MIX_TRIALS),
         "fig-residue-traffic" => figures::print_residue_traffic(N, MIX_TRIALS),
         "fig-ae-convergence" => figures::print_ae_convergence(50),
@@ -114,9 +108,39 @@ const ALL: &[&str] = &[
     "ablation-redistribution",
 ];
 
-/// Writes the timing report as JSON (hand-rolled: experiment names come
-/// from the fixed `ALL` list and need no escaping).
-fn write_timings(path: &str, threads: usize, timings: &[(String, f64)]) {
+/// Writes `contents` (with a guaranteed trailing newline) to
+/// `<dir>/<file>`, creating the directory as needed. Exits on I/O errors:
+/// a user who asked for artifacts should not silently get none.
+fn write_artifact(dir: &str, file: &str, contents: &str) {
+    let path = std::path::Path::new(dir).join(file);
+    if let Some(parent) = path.parent() {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            eprintln!("failed to create {}: {e}", parent.display());
+            std::process::exit(1);
+        }
+    }
+    let mut text = String::with_capacity(contents.len() + 1);
+    text.push_str(contents);
+    if !text.ends_with('\n') {
+        text.push('\n');
+    }
+    match std::fs::write(&path, text) {
+        Ok(()) => eprintln!("[wrote {}]", path.display()),
+        Err(e) => {
+            eprintln!("failed to write {}: {e}", path.display());
+            std::process::exit(1);
+        }
+    }
+}
+
+/// Writes the timing report as JSON (hand-rolled: experiment and phase
+/// names come from fixed in-tree lists and need no escaping).
+fn write_timings(
+    path: &str,
+    threads: usize,
+    timings: &[(String, f64)],
+    phases: &[epidemic_trace::PhaseStat],
+) {
     let total: f64 = timings.iter().map(|(_, s)| s).sum();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
@@ -128,11 +152,34 @@ fn write_timings(path: &str, threads: usize, timings: &[(String, f64)]) {
             "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}}}{comma}\n"
         ));
     }
+    json.push_str("  ],\n");
+    json.push_str("  \"phases\": [\n");
+    for (i, p) in phases.iter().enumerate() {
+        let comma = if i + 1 < phases.len() { "," } else { "" };
+        json.push_str(&format!(
+            "    {{\"name\": \"{}\", \"calls\": {}, \"seconds\": {:.3}}}{comma}\n",
+            p.name,
+            p.calls,
+            p.seconds()
+        ));
+    }
     json.push_str("  ]\n}\n");
     match std::fs::write(path, json) {
         Ok(()) => eprintln!("[timings written to {path}]"),
         Err(e) => eprintln!("[failed to write {path}: {e}]"),
     }
+}
+
+/// Extracts the directory argument of `flag` (e.g. `--trace out/`),
+/// removing both tokens from `args`.
+fn take_dir_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
+    let pos = args.iter().position(|a| a == flag)?;
+    let dir = args.get(pos + 1).cloned().unwrap_or_else(|| {
+        eprintln!("{flag} needs an output directory");
+        std::process::exit(2);
+    });
+    args.drain(pos..=pos + 1);
+    Some(dir)
 }
 
 fn main() {
@@ -176,6 +223,8 @@ fn main() {
         };
         timings_path = Some(path);
     }
+    let trace_dir = take_dir_flag(&mut args, "--trace");
+    let json_dir = take_dir_flag(&mut args, "--json");
     let mut selectors: Vec<String> = Vec::new();
     while let Some(pos) = args.iter().position(|a| a == "--only") {
         let selector = args.get(pos + 1).cloned().unwrap_or_else(|| {
@@ -188,8 +237,8 @@ fn main() {
     if (args.is_empty() && selectors.is_empty()) || args.iter().any(|a| a == "--help" || a == "-h")
     {
         eprintln!(
-            "usage: repro [--trials N] [--timings [PATH]] [--only SELECTOR]... \
-             [--list] <experiment>... | all\nexperiments: {}",
+            "usage: repro [--trials N] [--timings [PATH]] [--trace DIR] [--json DIR] \
+             [--only SELECTOR]... [--list] <experiment>... | all\nexperiments: {}",
             ALL.join(" ")
         );
         std::process::exit(2);
@@ -214,10 +263,41 @@ fn main() {
         }
         list.extend(matched);
     }
+    if timings_path.is_some() {
+        profile::enable();
+    }
     let mut timings: Vec<(String, f64)> = Vec::new();
     for experiment in list {
         let start = std::time::Instant::now();
-        if !run(experiment, mix_trials, spatial_trials) {
+        let handled = if trace_dir.is_some() || json_dir.is_some() {
+            match table_artifacts(
+                TrialRunner::new(),
+                experiment,
+                N,
+                mix_trials,
+                spatial_trials,
+            ) {
+                Some(artifacts) => {
+                    print!("{}", artifacts.rendered);
+                    if let Some(dir) = &trace_dir {
+                        write_artifact(dir, &format!("{experiment}.jsonl"), &artifacts.jsonl);
+                        write_artifact(
+                            dir,
+                            &format!("{experiment}.summary.json"),
+                            &artifacts.summary,
+                        );
+                    }
+                    if let Some(dir) = &json_dir {
+                        write_artifact(dir, &format!("{experiment}.rows.json"), &artifacts.rows);
+                    }
+                    true
+                }
+                None => run(experiment, mix_trials, spatial_trials),
+            }
+        } else {
+            run(experiment, mix_trials, spatial_trials)
+        };
+        if !handled {
             eprintln!("unknown experiment: {experiment}\nknown: {}", ALL.join(" "));
             std::process::exit(2);
         }
@@ -226,6 +306,23 @@ fn main() {
         timings.push((experiment.to_string(), seconds));
     }
     if let Some(path) = timings_path {
-        write_timings(&path, epidemic_sim::runner::default_threads(), &timings);
+        let phases = profile::take();
+        if !phases.is_empty() {
+            eprintln!("[phases]");
+            for p in &phases {
+                eprintln!(
+                    "  {:<22} {:>9.3}s over {} spans",
+                    p.name,
+                    p.seconds(),
+                    p.calls
+                );
+            }
+        }
+        write_timings(
+            &path,
+            epidemic_sim::runner::default_threads(),
+            &timings,
+            &phases,
+        );
     }
 }

@@ -13,6 +13,7 @@
 pub mod figures;
 pub mod render;
 pub mod tables;
+pub mod trace;
 
 use epidemic_sim::runner::TrialRunner;
 

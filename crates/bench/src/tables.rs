@@ -277,6 +277,17 @@ pub fn render_spatial(title: &str, rows: &[SpatialRow]) -> String {
     )
 }
 
+/// Title printed above Table 1 (shared by the plain and traced repro paths).
+pub const TITLE_TABLE1: &str = "Table 1: push, feedback, counter, n=1000";
+/// Title printed above Table 2.
+pub const TITLE_TABLE2: &str = "Table 2: push, blind, coin, n=1000";
+/// Title printed above Table 3.
+pub const TITLE_TABLE3: &str = "Table 3: pull, feedback, counter, n=1000 (footnote semantics)";
+/// Title printed above Table 4.
+pub const TITLE_TABLE4: &str = "Table 4: push-pull anti-entropy on the synthetic CIN, no connection limit (paper: uniform 7.8/5.3/5.9/75.7/5.8/74.4 ... a=2.0 13.3/7.8/1.4/2.4/1.9/5.9)";
+/// Title printed above Table 5.
+pub const TITLE_TABLE5: &str = "Table 5: as Table 4 with connection limit 1, hunt limit 0 (paper: uniform 11.0/7.0/3.7/47.5/5.8/75.2 ... a=2.0 24.6/14.1/0.7/0.9/1.9/4.8)";
+
 /// The paper's Table 1 reference values `[s, m, t_ave, t_last]` per k.
 pub const PAPER_TABLE1: [[f64; 4]; 5] = [
     [0.18, 1.7, 11.0, 16.8],

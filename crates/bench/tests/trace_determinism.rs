@@ -1,0 +1,65 @@
+//! The acceptance property behind `repro --trace`: trace artifacts carry
+//! no wall-clock fields, and the trial runner returns per-trial results
+//! in trial order — so every artifact must be byte-identical at
+//! `EPIDEMIC_THREADS=1` and `=8`. These tests pin that down at reduced
+//! scale (same code path as the full-size tables, smaller `n`/trials).
+
+use epidemic_bench::tables::table1_with;
+use epidemic_bench::trace::{table_artifacts, traced_table1, traced_table45_on};
+use epidemic_net::topologies::{cin, CinConfig};
+use epidemic_sim::runner::TrialRunner;
+
+#[test]
+fn table1_artifacts_are_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        table_artifacts(TrialRunner::new().threads(threads), "table1", 150, 12, 12)
+            .expect("table1 is traceable")
+    };
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        sequential.jsonl, parallel.jsonl,
+        "trace bytes must not depend on threads"
+    );
+    assert_eq!(sequential.summary, parallel.summary);
+    assert_eq!(sequential.rows, parallel.rows);
+    assert_eq!(sequential.rendered, parallel.rendered);
+}
+
+#[test]
+fn traced_rows_match_untraced_rows_at_any_thread_count() {
+    let (traced, trace) = traced_table1(TrialRunner::new().threads(8), 150, 12);
+    let plain = table1_with(TrialRunner::new().threads(1), 150, 12);
+    assert_eq!(traced, plain, "tracing must not perturb the experiment");
+    assert_eq!(trace.violations, 0);
+}
+
+#[test]
+fn spatial_trace_is_byte_identical_across_thread_counts() {
+    let net = cin(&CinConfig {
+        na_regions: 3,
+        sites_per_region: 8,
+        europe_sites: 8,
+        backbone_chords: 2,
+        seed: 7,
+        ..CinConfig::default()
+    });
+    let run = |threads: usize| {
+        traced_table45_on(
+            TrialRunner::new().threads(threads),
+            &net,
+            8,
+            Some(1),
+            "table5",
+        )
+    };
+    let (rows1, trace1) = run(1);
+    let (rows8, trace8) = run(8);
+    assert_eq!(trace1.jsonl, trace8.jsonl);
+    assert_eq!(rows1, rows8);
+    assert_eq!(
+        trace1.violations, 0,
+        "spatial anti-entropy is invariant-clean"
+    );
+    assert!(trace1.jsonl.contains(r#""distribution":"a = 2.0""#));
+}

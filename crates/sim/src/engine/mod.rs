@@ -29,11 +29,16 @@
 pub mod observer;
 pub mod partner;
 pub mod protocols;
+pub mod trace;
 
 pub use observer::{Observer, SirCounts, SirObserver, SirView};
 pub use partner::{PartnerPolicy, SpatialPartners, UniformPartners};
 pub use protocols::{DirectMailProtocol, ReceiveLog, RouteRecorder, UpdateInjector};
+pub use trace::{InvariantObserver, TraceObserver, TraceView};
 
+use std::time::Instant;
+
+use epidemic_trace::{profile, MetricsSink};
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 
@@ -204,6 +209,36 @@ impl CycleEngine {
         L: PartnerPolicy + ?Sized,
         O: Observer<P>,
     {
+        self.run_instrumented(protocol, policy, rng, observer, &mut ())
+    }
+
+    /// As [`CycleEngine::run`], additionally reporting run metrics and
+    /// phase timings to `sink`.
+    ///
+    /// Counters (`engine.cycles` / `engine.contacts` / `engine.sent` /
+    /// `engine.useful` / `engine.fruitless`) and an `engine.cycle_contacts`
+    /// histogram are emitted once per run; the setup / contact-loop /
+    /// end-of-cycle phases are clocked only when the sink records
+    /// ([`MetricsSink::ENABLED`]) or the global
+    /// [`epidemic_trace::profile`] recorder is on — with the no-op
+    /// sink `()` and profiling off, this monomorphizes to exactly
+    /// [`CycleEngine::run`] (which delegates here).
+    pub fn run_instrumented<P, L, O, S>(
+        &self,
+        protocol: &mut P,
+        policy: &L,
+        rng: &mut StdRng,
+        observer: &mut O,
+        sink: &mut S,
+    ) -> EngineReport
+    where
+        P: EpidemicProtocol,
+        L: PartnerPolicy + ?Sized,
+        O: Observer<P>,
+        S: MetricsSink,
+    {
+        let timed = S::ENABLED || profile::is_enabled();
+        let setup_start = timed.then(Instant::now);
         let n = protocol.site_count();
         let mut order: Vec<usize> = (0..n).collect();
         let mut active: Vec<usize> = Vec::with_capacity(n);
@@ -211,8 +246,13 @@ impl CycleEngine {
         let mut totals = EngineTotals::default();
         let mut cycle = 0u32;
         observer.on_run_start(protocol);
+        let setup_nanos = setup_start.map_or(0, profile::span_nanos);
+        let mut contact_nanos = 0u64;
+        let mut end_nanos = 0u64;
 
         while cycle < self.max_cycles {
+            let cycle_start = timed.then(Instant::now);
+            let contacts_before = totals.contacts;
             active.clear();
             active.extend((0..n).filter(|&i| protocol.is_active(i)));
             if protocol.finished(cycle, &active) {
@@ -253,8 +293,37 @@ impl CycleEngine {
                 }
                 observer.on_contact(cycle, i, j, &stats);
             }
+            let contacts_end = timed.then(Instant::now);
+            if let (Some(start), Some(end)) = (cycle_start, contacts_end) {
+                contact_nanos += u64::try_from((end - start).as_nanos()).unwrap_or(u64::MAX);
+            }
             protocol.end_cycle(cycle, rng);
             observer.on_cycle_end(cycle, protocol);
+            if let Some(end) = contacts_end {
+                end_nanos += profile::span_nanos(end);
+            }
+            if S::ENABLED {
+                sink.observe(
+                    "engine.cycle_contacts",
+                    (totals.contacts - contacts_before) as f64,
+                );
+            }
+        }
+
+        if S::ENABLED {
+            sink.counter("engine.cycles", u64::from(cycle));
+            sink.counter("engine.contacts", totals.contacts);
+            sink.counter("engine.sent", totals.sent);
+            sink.counter("engine.useful", totals.useful);
+            sink.counter("engine.fruitless", totals.fruitless);
+            sink.phase("engine.setup", setup_nanos);
+            sink.phase("engine.contact_loop", contact_nanos);
+            sink.phase("engine.end_of_cycle", end_nanos);
+        }
+        if profile::is_enabled() {
+            profile::record("engine.setup", setup_nanos);
+            profile::record("engine.contact_loop", contact_nanos);
+            profile::record("engine.end_of_cycle", end_nanos);
         }
 
         EngineReport {

@@ -27,6 +27,78 @@ pub trait Observer<P: ?Sized> {
 /// The null observer: observes nothing, costs nothing.
 impl<P: ?Sized> Observer<P> for () {}
 
+/// Forwarding impl so observers can be passed by value or reference
+/// interchangeably (e.g. reusing one observer across several runs).
+impl<P: ?Sized, O: Observer<P>> Observer<P> for &mut O {
+    fn on_run_start(&mut self, protocol: &P) {
+        (**self).on_run_start(protocol);
+    }
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        (**self).on_contact(cycle, i, j, stats);
+    }
+    fn on_cycle_end(&mut self, cycle: u32, protocol: &P) {
+        (**self).on_cycle_end(cycle, protocol);
+    }
+}
+
+/// Pair composition: both observers see every event, `A` first. Nest pairs
+/// or use the 3-tuple for wider fan-out, e.g.
+/// `(&mut sir_observer, &mut invariant_observer)`.
+impl<P: ?Sized, A: Observer<P>, B: Observer<P>> Observer<P> for (A, B) {
+    fn on_run_start(&mut self, protocol: &P) {
+        self.0.on_run_start(protocol);
+        self.1.on_run_start(protocol);
+    }
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        self.0.on_contact(cycle, i, j, stats);
+        self.1.on_contact(cycle, i, j, stats);
+    }
+    fn on_cycle_end(&mut self, cycle: u32, protocol: &P) {
+        self.0.on_cycle_end(cycle, protocol);
+        self.1.on_cycle_end(cycle, protocol);
+    }
+}
+
+/// Triple composition: all three observers see every event, in order.
+impl<P: ?Sized, A: Observer<P>, B: Observer<P>, C: Observer<P>> Observer<P> for (A, B, C) {
+    fn on_run_start(&mut self, protocol: &P) {
+        self.0.on_run_start(protocol);
+        self.1.on_run_start(protocol);
+        self.2.on_run_start(protocol);
+    }
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        self.0.on_contact(cycle, i, j, stats);
+        self.1.on_contact(cycle, i, j, stats);
+        self.2.on_contact(cycle, i, j, stats);
+    }
+    fn on_cycle_end(&mut self, cycle: u32, protocol: &P) {
+        self.0.on_cycle_end(cycle, protocol);
+        self.1.on_cycle_end(cycle, protocol);
+        self.2.on_cycle_end(cycle, protocol);
+    }
+}
+
+/// Homogeneous fan-out: every observer in the vector sees every event, in
+/// vector order. For a dynamic observer count (tuples cover the static
+/// case).
+impl<P: ?Sized, O: Observer<P>> Observer<P> for Vec<O> {
+    fn on_run_start(&mut self, protocol: &P) {
+        for obs in self.iter_mut() {
+            obs.on_run_start(protocol);
+        }
+    }
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        for obs in self.iter_mut() {
+            obs.on_contact(cycle, i, j, stats);
+        }
+    }
+    fn on_cycle_end(&mut self, cycle: u32, protocol: &P) {
+        for obs in self.iter_mut() {
+            obs.on_cycle_end(cycle, protocol);
+        }
+    }
+}
+
 /// Susceptible / infective / removed counts at one instant, as site
 /// counts. Protocols that model a single spreading update expose these via
 /// [`SirView`] so the same trace observer serves them all.
@@ -95,6 +167,68 @@ mod tests {
         fn sir_counts(&self) -> SirCounts {
             self.0
         }
+    }
+
+    /// Counts events, for composition tests.
+    #[derive(Default, Debug, PartialEq, Eq)]
+    struct Counting {
+        starts: u32,
+        contacts: u32,
+        cycles: u32,
+    }
+    impl<P: ?Sized> Observer<P> for Counting {
+        fn on_run_start(&mut self, _protocol: &P) {
+            self.starts += 1;
+        }
+        fn on_contact(&mut self, _cycle: u32, _i: usize, _j: usize, _stats: &ContactStats) {
+            self.contacts += 1;
+        }
+        fn on_cycle_end(&mut self, _cycle: u32, _protocol: &P) {
+            self.cycles += 1;
+        }
+    }
+
+    fn drive<O: Observer<()>>(observer: &mut O) {
+        observer.on_run_start(&());
+        observer.on_contact(1, 0, 1, &ContactStats::default());
+        observer.on_contact(1, 2, 3, &ContactStats::default());
+        observer.on_cycle_end(1, &());
+    }
+
+    #[test]
+    fn tuple_observers_both_see_every_event() {
+        let mut pair = (Counting::default(), Counting::default());
+        drive(&mut pair);
+        let expected = Counting {
+            starts: 1,
+            contacts: 2,
+            cycles: 1,
+        };
+        assert_eq!(pair.0, expected);
+        assert_eq!(pair.1, expected);
+
+        let mut triple = (
+            Counting::default(),
+            Counting::default(),
+            Counting::default(),
+        );
+        drive(&mut triple);
+        for obs in [&triple.0, &triple.1, &triple.2] {
+            assert_eq!(obs.contacts, 2);
+        }
+    }
+
+    #[test]
+    fn vec_and_mut_ref_observers_compose() {
+        let mut many = vec![Counting::default(), Counting::default()];
+        drive(&mut many);
+        assert!(many.iter().all(|c| c.starts == 1 && c.contacts == 2));
+
+        // A `&mut` observer can be composed without giving up ownership.
+        let mut keep = Counting::default();
+        let mut pair = (&mut keep, Counting::default());
+        drive(&mut pair);
+        assert_eq!(keep.cycles, 1);
     }
 
     #[test]

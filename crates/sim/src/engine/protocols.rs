@@ -220,7 +220,11 @@ pub fn random_pair(n: usize, rng: &mut StdRng) -> (usize, usize) {
 /// are the infective sites, pull/push-pull initiators are everyone, and
 /// the synchronous variants judge feedback against start-of-cycle
 /// snapshots captured in `begin_cycle`.
-pub(crate) struct MixingProtocol {
+///
+/// Public so observers can be written against it (it is the `P` of
+/// [`RumorEpidemic::run_observed`](crate::mixing::RumorEpidemic::run_observed));
+/// construction stays crate-internal.
+pub struct MixingProtocol {
     pub(crate) cfg: RumorConfig,
     pub(crate) synchronous: bool,
     pub(crate) sites: Vec<Replica<u32, u32>>,
@@ -375,7 +379,11 @@ impl SirView for MixingProtocol {
 
 /// §1.3 anti-entropy with one bit of state per site: every site initiates
 /// each cycle and differences resolve against the start-of-cycle snapshot.
-pub(crate) struct BitAntiEntropyProtocol {
+///
+/// Public so observers can be written against it (it is the `P` of
+/// [`AntiEntropyEpidemic::run_observed`](crate::mixing::AntiEntropyEpidemic::run_observed));
+/// construction stays crate-internal.
+pub struct BitAntiEntropyProtocol {
     pub(crate) direction: Direction,
     pub(crate) infected: Vec<bool>,
     pub(crate) snapshot: Vec<bool>,
@@ -421,6 +429,18 @@ impl EpidemicProtocol for BitAntiEntropyProtocol {
     }
 }
 
+impl SirView for BitAntiEntropyProtocol {
+    fn sir_counts(&self) -> SirCounts {
+        // Anti-entropy has no removal: every informed site keeps resolving
+        // differences forever, so the removed compartment is always empty.
+        SirCounts {
+            susceptible: self.infected.len() - self.count,
+            infective: self.count,
+            removed: 0,
+        }
+    }
+}
+
 /// §1.1 direct mail as an engine protocol.
 ///
 /// The originating site mails its update to `n - 1` uniformly random
@@ -431,7 +451,7 @@ impl EpidemicProtocol for BitAntiEntropyProtocol {
 /// coverage gap.
 #[derive(Debug)]
 pub struct DirectMailProtocol {
-    sites: Vec<Replica<u32, u32>>,
+    pub(crate) sites: Vec<Replica<u32, u32>>,
     origin: usize,
     remaining: u32,
     received: ReceiveLog<u32>,
@@ -494,6 +514,20 @@ impl EpidemicProtocol for DirectMailProtocol {
         ContactStats {
             sent: 1,
             useful: u64::from(useful),
+        }
+    }
+}
+
+impl SirView for DirectMailProtocol {
+    fn sir_counts(&self) -> SirCounts {
+        // Only the origin ever spreads, and only while its mailing budget
+        // lasts; every other recipient holds the update passively.
+        let have = self.received.received_count();
+        let infective = usize::from(self.remaining > 0);
+        SirCounts {
+            susceptible: self.sites.len() - have,
+            infective,
+            removed: have - infective,
         }
     }
 }

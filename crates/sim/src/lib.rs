@@ -69,8 +69,8 @@ pub mod steady;
 mod util;
 
 pub use engine::{
-    ContactStats, CycleEngine, EngineReport, EpidemicProtocol, Observer, PartnerPolicy,
-    SirObserver, SpatialPartners, UniformPartners,
+    ContactStats, CycleEngine, EngineReport, EpidemicProtocol, InvariantObserver, Observer,
+    PartnerPolicy, SirObserver, SpatialPartners, TraceObserver, TraceView, UniformPartners,
 };
 pub use event::{AsyncAntiEntropySim, AsyncRumorEpidemic, AsyncRumorResult, AsyncRunResult};
 pub use failures::{Churn, ChurnRunResult, ChurnedAntiEntropySim};

@@ -133,7 +133,7 @@ impl RumorEpidemic {
     ///
     /// Panics if `n < 2`.
     pub fn run(&self, n: usize, seed: u64) -> EpidemicResult {
-        self.run_impl(n, seed, &mut ())
+        self.run_observed(n, seed, &mut ())
     }
 
     /// As [`RumorEpidemic::run`], additionally recording the susceptible /
@@ -146,7 +146,7 @@ impl RumorEpidemic {
     /// Panics if `n < 2`.
     pub fn run_traced(&self, n: usize, seed: u64) -> SirTrace {
         let mut observer = SirObserver::new();
-        let result = self.run_impl(n, seed, &mut observer);
+        let result = self.run_observed(n, seed, &mut observer);
         SirTrace {
             points: observer.points,
             result,
@@ -166,12 +166,45 @@ impl RumorEpidemic {
         runner.run(trials, seed_base, |seed| self.run(n, seed))
     }
 
-    fn run_impl<O: Observer<MixingProtocol>>(
+    /// As [`RumorEpidemic::run`], reporting every contact and cycle
+    /// boundary to `observer` — any composition of
+    /// [`Observer<MixingProtocol>`] implementations, e.g. a
+    /// [`TraceObserver`](crate::engine::trace::TraceObserver) paired with
+    /// an [`InvariantObserver`](crate::engine::trace::InvariantObserver).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run_observed<O: Observer<MixingProtocol>>(
         &self,
         n: usize,
         seed: u64,
         observer: &mut O,
     ) -> EpidemicResult {
+        self.run_metered(n, seed, observer, &mut ())
+    }
+
+    /// As [`RumorEpidemic::run_observed`], additionally reporting engine
+    /// counters and phase timings to `sink` (see
+    /// [`CycleEngine::run_instrumented`]). With the no-op sink `()` this
+    /// is exactly [`RumorEpidemic::run_observed`] — the instrumentation
+    /// compiles away — which is what the `metrics_sink` microbenchmark
+    /// pins down.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run_metered<O, S>(
+        &self,
+        n: usize,
+        seed: u64,
+        observer: &mut O,
+        sink: &mut S,
+    ) -> EpidemicResult
+    where
+        O: Observer<MixingProtocol>,
+        S: epidemic_trace::MetricsSink,
+    {
         let policy = UniformPartners::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
@@ -193,7 +226,7 @@ impl RumorEpidemic {
             .connection_limit(self.connection_limit)
             .hunt_limit(self.hunt_limit)
             .max_cycles(self.max_cycles)
-            .run(&mut protocol, &policy, &mut rng, observer);
+            .run_instrumented(&mut protocol, &policy, &mut rng, observer, sink);
 
         let received = protocol.received;
         EpidemicResult {
@@ -410,6 +443,21 @@ impl AntiEntropyEpidemic {
     ///
     /// Panics if `n < 2`.
     pub fn run(&self, n: usize, seed: u64) -> AntiEntropyRun {
+        self.run_observed(n, seed, &mut ())
+    }
+
+    /// As [`AntiEntropyEpidemic::run`], reporting every contact and cycle
+    /// boundary to `observer`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run_observed<O: Observer<BitAntiEntropyProtocol>>(
+        &self,
+        n: usize,
+        seed: u64,
+        observer: &mut O,
+    ) -> AntiEntropyRun {
         let policy = UniformPartners::new(n);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut infected = vec![false; n];
@@ -425,7 +473,7 @@ impl AntiEntropyEpidemic {
             &mut protocol,
             &policy,
             &mut rng,
-            &mut (),
+            observer,
         );
         AntiEntropyRun {
             cycles: report.cycles,

@@ -70,7 +70,20 @@ impl TrialRunner {
 
     /// Runs `trials` trials with seeds `seed_base.wrapping_add(trial)` and
     /// returns their results **in trial order**.
+    ///
+    /// When the global [`profile`](epidemic_trace::profile) recorder is on,
+    /// the whole fan-out (spawn + simulate + join) is clocked under the
+    /// `runner.trials` phase.
     pub fn run<T: Send>(
+        &self,
+        trials: u64,
+        seed_base: u64,
+        run: impl Fn(u64) -> T + Sync,
+    ) -> Vec<T> {
+        epidemic_trace::profile::time("runner.trials", || self.run_inner(trials, seed_base, run))
+    }
+
+    fn run_inner<T: Send>(
         &self,
         trials: u64,
         seed_base: u64,
@@ -114,6 +127,9 @@ impl TrialRunner {
     /// accumulator — sequentially, in trial order, so the aggregate is
     /// bit-identical at any thread count (floating-point addition is not
     /// associative; a fixed fold order sidesteps that entirely).
+    /// When the global [`profile`](epidemic_trace::profile) recorder is on,
+    /// the sequential fold is clocked under the `runner.aggregate` phase
+    /// (the fan-out itself lands under `runner.trials`).
     pub fn fold<T: Send, A>(
         &self,
         trials: u64,
@@ -122,9 +138,8 @@ impl TrialRunner {
         init: A,
         fold: impl FnMut(A, T) -> A,
     ) -> A {
-        self.run(trials, seed_base, run)
-            .into_iter()
-            .fold(init, fold)
+        let results = self.run(trials, seed_base, run);
+        epidemic_trace::profile::time("runner.aggregate", || results.into_iter().fold(init, fold))
     }
 }
 

@@ -129,6 +129,22 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
     /// random site when `None`), push-pull full-database anti-entropy each
     /// cycle, simulated until every site holds the update.
     pub fn run(&self, seed: u64, origin: Option<SiteId>) -> SpatialRunResult {
+        self.run_observed(seed, origin, &mut ())
+    }
+
+    /// As [`AntiEntropySim::run`], reporting every contact and cycle
+    /// boundary to `observer` — e.g. a
+    /// [`TraceObserver`](crate::engine::trace::TraceObserver) or
+    /// [`InvariantObserver`](crate::engine::trace::InvariantObserver).
+    pub fn run_observed<'s, O>(
+        &'s self,
+        seed: u64,
+        origin: Option<SiteId>,
+        observer: &mut O,
+    ) -> SpatialRunResult
+    where
+        O: crate::engine::Observer<SpatialAntiEntropyProtocol<'s>>,
+    {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
@@ -155,7 +171,7 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
                 &mut protocol,
                 &SpatialPartners::new(sites, &self.sampler),
                 &mut rng,
-                &mut (),
+                observer,
             );
 
         SpatialRunResult {
@@ -188,10 +204,13 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
 /// Push-pull full-database anti-entropy over a topology: every site
 /// initiates each cycle, the run ends when every site holds the update,
 /// and each conversation is charged along its shortest route.
-struct SpatialAntiEntropyProtocol<'a> {
+///
+/// Public so observers can be written against it (it is the `P` of
+/// [`AntiEntropySim::run_observed`]); construction stays crate-internal.
+pub struct SpatialAntiEntropyProtocol<'a> {
     exchange: AntiEntropy,
-    sites: &'a [SiteId],
-    replicas: Vec<Replica<u32, u32>>,
+    pub(crate) sites: &'a [SiteId],
+    pub(crate) replicas: Vec<Replica<u32, u32>>,
     received: ReceiveLog<u32>,
     recorder: RouteRecorder<'a>,
 }
@@ -221,6 +240,19 @@ impl EpidemicProtocol for SpatialAntiEntropyProtocol<'_> {
         ContactStats {
             sent: u64::from(flowed),
             useful: u64::from(flowed),
+        }
+    }
+}
+
+impl crate::engine::SirView for SpatialAntiEntropyProtocol<'_> {
+    fn sir_counts(&self) -> crate::engine::SirCounts {
+        // Pure anti-entropy never removes: every informed site keeps
+        // exchanging forever (the run just stops at full coverage).
+        let have = self.received.received_count();
+        crate::engine::SirCounts {
+            susceptible: self.replicas.len() - have,
+            infective: have,
+            removed: 0,
         }
     }
 }

@@ -93,6 +93,22 @@ impl<'a> SpatialRumorSim<'a> {
     /// Runs one epidemic from `origin` (random site when `None`) until no
     /// rumor is hot anywhere.
     pub fn run(&self, seed: u64, origin: Option<SiteId>) -> SpatialRumorResult {
+        self.run_observed(seed, origin, &mut ())
+    }
+
+    /// As [`SpatialRumorSim::run`], reporting every contact and cycle
+    /// boundary to `observer` — e.g. a
+    /// [`TraceObserver`](crate::engine::trace::TraceObserver) or
+    /// [`InvariantObserver`](crate::engine::trace::InvariantObserver).
+    pub fn run_observed<'s, O>(
+        &'s self,
+        seed: u64,
+        origin: Option<SiteId>,
+        observer: &mut O,
+    ) -> SpatialRumorResult
+    where
+        O: crate::engine::Observer<SpatialRumorProtocol<'s>>,
+    {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
@@ -114,7 +130,7 @@ impl<'a> SpatialRumorSim<'a> {
             &mut protocol,
             &SpatialPartners::new(sites, &self.sampler),
             &mut rng,
-            &mut (),
+            observer,
         );
 
         let received = protocol.received;
@@ -149,10 +165,13 @@ impl<'a> SpatialRumorSim<'a> {
 /// sites, pull/push-pull initiators are everyone, and each contact is
 /// charged along its shortest route (one comparison unit per conversation,
 /// one update unit per entry sent).
-struct SpatialRumorProtocol<'a> {
+///
+/// Public so observers can be written against it (it is the `P` of
+/// [`SpatialRumorSim::run_observed`]); construction stays crate-internal.
+pub struct SpatialRumorProtocol<'a> {
     cfg: RumorConfig,
-    sites: &'a [SiteId],
-    replicas: Vec<Replica<u32, u32>>,
+    pub(crate) sites: &'a [SiteId],
+    pub(crate) replicas: Vec<Replica<u32, u32>>,
     received: ReceiveLog<u32>,
     recorder: RouteRecorder<'a>,
 }
@@ -212,6 +231,18 @@ impl EpidemicProtocol for SpatialRumorProtocol<'_> {
             for r in &mut self.replicas {
                 rumor::end_cycle(&self.cfg, r);
             }
+        }
+    }
+}
+
+impl crate::engine::SirView for SpatialRumorProtocol<'_> {
+    fn sir_counts(&self) -> crate::engine::SirCounts {
+        let infective = self.replicas.iter().filter(|r| !r.hot().is_empty()).count();
+        let have = self.received.received_count();
+        crate::engine::SirCounts {
+            susceptible: self.replicas.len() - have,
+            infective,
+            removed: have - infective,
         }
     }
 }

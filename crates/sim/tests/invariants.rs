@@ -1,0 +1,117 @@
+//! The invariant checker must pass cleanly on every shipped driver —
+//! rumor mongering in all three directions, bit anti-entropy, and both
+//! spatial drivers — and the trace observer composed alongside it must
+//! agree with the driver's own accounting.
+
+use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
+use epidemic_net::{topologies, Spatial};
+use epidemic_sim::engine::trace::{InvariantObserver, TraceObserver};
+use epidemic_sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
+use epidemic_sim::spatial_ae::AntiEntropySim;
+use epidemic_sim::spatial_rumor::SpatialRumorSim;
+use epidemic_trace::TraceConfig;
+
+fn rumor_cfg(direction: Direction) -> RumorConfig {
+    RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k: 3 })
+}
+
+#[test]
+fn rumor_mongering_is_invariant_clean_in_every_direction() {
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        for seed in 0..5 {
+            let mut check = InvariantObserver::new();
+            let result =
+                RumorEpidemic::new(rumor_cfg(direction)).run_observed(300, seed, &mut check);
+            assert!(
+                check.is_clean(),
+                "{direction:?} seed {seed}: {}",
+                check.to_jsonl()
+            );
+            assert!(result.cycles > 0);
+        }
+    }
+}
+
+#[test]
+fn blind_coin_rumors_are_invariant_clean() {
+    // The degenerate variant (blind, coin, k = 1) mostly dies early — the
+    // invariants must hold on failed epidemics too.
+    let cfg = RumorConfig::new(Direction::Push, Feedback::Blind, Removal::Coin { k: 1 });
+    for seed in 0..10 {
+        let mut check = InvariantObserver::new();
+        RumorEpidemic::new(cfg).run_observed(200, seed, &mut check);
+        assert!(check.is_clean(), "seed {seed}: {}", check.to_jsonl());
+    }
+}
+
+#[test]
+fn bit_anti_entropy_is_invariant_clean() {
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let mut check = InvariantObserver::new();
+        let run = AntiEntropyEpidemic::new(direction).run_observed(256, 11, &mut check);
+        assert!(run.complete);
+        assert!(check.is_clean(), "{direction:?}: {}", check.to_jsonl());
+    }
+}
+
+#[test]
+fn spatial_anti_entropy_is_invariant_clean() {
+    let topo = topologies::grid(&[6, 6]);
+    let sim = AntiEntropySim::new(&topo, Spatial::QsPower { a: 1.5 });
+    for seed in 0..3 {
+        let mut check = InvariantObserver::new();
+        let r = sim.run_observed(seed, Some(topo.sites()[0]), &mut check);
+        assert!(r.t_last > 0);
+        assert!(check.is_clean(), "seed {seed}: {}", check.to_jsonl());
+    }
+}
+
+#[test]
+fn spatial_rumor_mongering_is_invariant_clean() {
+    let topo = topologies::ring(24);
+    let sim = SpatialRumorSim::new(&topo, Spatial::Uniform, rumor_cfg(Direction::PushPull));
+    for seed in 0..3 {
+        let mut check = InvariantObserver::new();
+        let r = sim.run_observed(seed, Some(topo.sites()[0]), &mut check);
+        assert!(check.is_clean(), "seed {seed}: {}", check.to_jsonl());
+        assert!(r.cycles > 0);
+    }
+}
+
+#[test]
+fn trace_and_invariants_compose_and_agree_with_the_driver() {
+    let mut trace = TraceObserver::new(TraceConfig::full());
+    let mut check = InvariantObserver::new();
+    let result = RumorEpidemic::new(rumor_cfg(Direction::PushPull)).run_observed(
+        150,
+        5,
+        &mut (&mut trace, &mut check),
+    );
+    assert!(check.is_clean(), "{}", check.to_jsonl());
+
+    // The tracer's aggregate totals must reproduce the driver's traffic
+    // figure exactly.
+    let totals = trace.totals();
+    assert!((totals.sent as f64 / 150.0 - result.traffic).abs() < 1e-12);
+
+    let jsonl = trace.finish();
+    let run_end = jsonl.lines().last().expect("trace has a run_end line");
+    assert!(run_end.contains(r#""event":"run_end""#));
+    assert!(run_end.contains(&format!(r#""cycles":{}"#, result.cycles)));
+    // Residue at quiescence: final susceptible count / n.
+    let expected_s = (result.residue * 150.0).round() as u64;
+    assert!(
+        run_end.contains(&format!(r#""s":{expected_s},"i":0"#)),
+        "{run_end}"
+    );
+}
+
+#[test]
+fn trace_is_identical_across_reruns_of_the_same_seed() {
+    let run = || {
+        let mut trace = TraceObserver::new(TraceConfig::full());
+        RumorEpidemic::new(rumor_cfg(Direction::Push)).run_observed(120, 42, &mut trace);
+        trace.finish()
+    };
+    assert_eq!(run(), run());
+}

@@ -1,0 +1,360 @@
+//! Runtime checking of epidemic-protocol invariants.
+//!
+//! [`InvariantChecker`] consumes the same event stream a tracer does
+//! (run start, contacts, cycle snapshots, run end) and verifies the
+//! structural properties every protocol in the paper must uphold. A
+//! violated invariant is *reported*, never panicked on: simulations keep
+//! running and the caller inspects [`InvariantChecker::violations`]
+//! afterwards, so a single bad cycle in trial 400 of 1000 produces a
+//! diagnosable record instead of a dead run.
+//!
+//! Checked invariants:
+//!
+//! 1. **Conservation** — `s + i + r` equals the site count `n` fixed at
+//!    run start (no site appears or vanishes).
+//! 2. **Monotone susceptible** — `s` never increases (a site that has
+//!    heard an update cannot unhear it).
+//! 3. **Monotone removed** — `r` never decreases (removal is permanent in
+//!    every variant of §1.4's rumor mongering).
+//! 4. **Infection needs traffic** — the per-cycle drop in `s` is at most
+//!    the useful units delivered that cycle (nobody learns the update
+//!    without a transmission carrying it).
+//! 5. **Useful ≤ sent** — per contact, a recipient cannot apply more
+//!    units than were sent.
+//! 6. **Totals consistency** — contact-by-contact accumulation matches
+//!    the engine's aggregate report (`contacts`/`sent`/`useful`/
+//!    `fruitless`).
+//! 7. **Coverage ⇒ convergence** — once `s == 0` every site's database
+//!    digest must be identical: with no susceptible sites left, full
+//!    coverage means replica agreement (the paper's consistency goal).
+
+use crate::json::JsonObject;
+use crate::record::TraceTotals;
+use crate::Sir;
+
+/// Cap on stored violations; beyond it only the count grows.
+const MAX_STORED: usize = 100;
+
+/// One detected invariant violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Violation {
+    /// Cycle during which the violation was detected (`0` = run start /
+    /// final report).
+    pub cycle: u64,
+    /// Stable machine-readable rule name (e.g. `"conservation"`).
+    pub rule: &'static str,
+    /// Human-readable specifics.
+    pub detail: String,
+}
+
+impl Violation {
+    /// Serializes the violation as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut obj = JsonObject::new();
+        obj.field_str("event", "violation")
+            .field_u64("cycle", self.cycle)
+            .field_str("rule", self.rule)
+            .field_str("detail", &self.detail);
+        obj.finish()
+    }
+}
+
+/// Streaming invariant checker; see the [module docs](self) for the rule
+/// set.
+#[derive(Debug, Clone, Default)]
+pub struct InvariantChecker {
+    n: Option<u64>,
+    prev: Option<Sir>,
+    cycle_useful: u64,
+    acc: TraceTotals,
+    violations: Vec<Violation>,
+    /// Total violations detected, including ones dropped past the
+    /// storage cap.
+    detected: u64,
+}
+
+impl InvariantChecker {
+    /// A checker with no run started yet.
+    pub fn new() -> Self {
+        InvariantChecker::default()
+    }
+
+    fn report(&mut self, cycle: u64, rule: &'static str, detail: String) {
+        self.detected += 1;
+        if self.violations.len() < MAX_STORED {
+            self.violations.push(Violation {
+                cycle,
+                rule,
+                detail,
+            });
+        }
+    }
+
+    /// Fixes the population size from the initial SIR counts.
+    pub fn start(&mut self, sir: Sir) {
+        self.n = Some((sir.susceptible + sir.infective + sir.removed) as u64);
+        self.prev = Some(sir);
+        self.cycle_useful = 0;
+        self.acc = TraceTotals::default();
+    }
+
+    /// Checks one contact's stats (rule 5) and accumulates totals for
+    /// rule 6.
+    pub fn contact(&mut self, cycle: u64, sent: u64, useful: u64) {
+        self.acc.contacts += 1;
+        self.acc.sent += sent;
+        self.acc.useful += useful;
+        if useful == 0 {
+            self.acc.fruitless += 1;
+        }
+        self.cycle_useful += useful;
+        if useful > sent {
+            self.report(
+                cycle,
+                "useful_le_sent",
+                format!("contact applied {useful} useful units but only {sent} were sent"),
+            );
+        }
+    }
+
+    /// Checks rules 1–4 against the post-cycle SIR counts, and rule 7 if
+    /// per-site database digests are supplied.
+    pub fn cycle(&mut self, cycle: u64, sir: Sir, digests: Option<&[u64]>) {
+        let total = (sir.susceptible + sir.infective + sir.removed) as u64;
+        if let Some(n) = self.n {
+            if total != n {
+                self.report(
+                    cycle,
+                    "conservation",
+                    format!(
+                        "s+i+r = {total} but the run started with {n} sites \
+                         (s={}, i={}, r={})",
+                        sir.susceptible, sir.infective, sir.removed
+                    ),
+                );
+            }
+        }
+        if let Some(prev) = self.prev {
+            if sir.susceptible > prev.susceptible {
+                self.report(
+                    cycle,
+                    "monotone_susceptible",
+                    format!(
+                        "susceptible grew from {} to {}",
+                        prev.susceptible, sir.susceptible
+                    ),
+                );
+            }
+            if sir.removed < prev.removed {
+                self.report(
+                    cycle,
+                    "monotone_removed",
+                    format!("removed shrank from {} to {}", prev.removed, sir.removed),
+                );
+            }
+            let newly_infected = prev.susceptible.saturating_sub(sir.susceptible) as u64;
+            if newly_infected > self.cycle_useful {
+                self.report(
+                    cycle,
+                    "infection_needs_traffic",
+                    format!(
+                        "{newly_infected} sites were infected this cycle but only {} \
+                         useful units were delivered",
+                        self.cycle_useful
+                    ),
+                );
+            }
+        }
+        if sir.susceptible == 0 {
+            if let Some(digests) = digests {
+                self.check_convergence(cycle, digests);
+            }
+        }
+        self.prev = Some(sir);
+        self.cycle_useful = 0;
+    }
+
+    fn check_convergence(&mut self, cycle: u64, digests: &[u64]) {
+        if let Some((&first, rest)) = digests.split_first() {
+            if let Some(pos) = rest.iter().position(|&d| d != first) {
+                self.report(
+                    cycle,
+                    "coverage_convergence",
+                    format!(
+                        "susceptible = 0 but site {} digest {:#x} differs from \
+                         site 0 digest {first:#x}",
+                        pos + 1,
+                        rest[pos]
+                    ),
+                );
+            }
+        }
+    }
+
+    /// Final check: the engine's aggregate totals must match contact-level
+    /// accumulation (rule 6), and, with digests supplied, full coverage
+    /// must mean replica agreement (rule 7).
+    pub fn finish(&mut self, engine: TraceTotals, digests: Option<&[u64]>) {
+        let cycle = 0;
+        if engine != self.acc {
+            self.report(
+                cycle,
+                "totals_consistency",
+                format!(
+                    "engine reported {engine:?} but per-contact accumulation gives {:?}",
+                    self.acc
+                ),
+            );
+        }
+        if self.prev.map(|sir| sir.susceptible) == Some(0) {
+            if let Some(digests) = digests {
+                self.check_convergence(cycle, digests);
+            }
+        }
+    }
+
+    /// `true` when no violation has been detected.
+    pub fn is_clean(&self) -> bool {
+        self.detected == 0
+    }
+
+    /// Violations stored so far (capped at an internal limit; see
+    /// [`InvariantChecker::detected`]).
+    pub fn violations(&self) -> &[Violation] {
+        &self.violations
+    }
+
+    /// Total violations detected, including any dropped past the storage
+    /// cap.
+    pub fn detected(&self) -> u64 {
+        self.detected
+    }
+
+    /// All stored violations as JSONL (one object per line); empty string
+    /// when clean.
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for v in &self.violations {
+            out.push_str(&v.to_json());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sir(s: usize, i: usize, r: usize) -> Sir {
+        Sir {
+            susceptible: s,
+            infective: i,
+            removed: r,
+        }
+    }
+
+    #[test]
+    fn clean_run_reports_nothing() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(3, 1, 0));
+        ck.contact(1, 1, 1);
+        ck.cycle(1, sir(2, 2, 0), None);
+        ck.contact(2, 2, 2);
+        ck.cycle(2, sir(0, 2, 2), Some(&[7, 7, 7, 7]));
+        ck.finish(
+            TraceTotals {
+                contacts: 2,
+                sent: 3,
+                useful: 3,
+                fruitless: 0,
+            },
+            Some(&[7, 7, 7, 7]),
+        );
+        assert!(ck.is_clean(), "{:?}", ck.violations());
+        assert_eq!(ck.to_jsonl(), "");
+    }
+
+    #[test]
+    fn conservation_violation_is_reported_not_panicked() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(4, 1, 0));
+        ck.cycle(1, sir(3, 1, 0), None); // 4 sites — one vanished
+        assert!(!ck.is_clean());
+        assert_eq!(ck.violations()[0].rule, "conservation");
+        assert!(ck.to_jsonl().contains(r#""rule":"conservation""#));
+    }
+
+    #[test]
+    fn monotonicity_violations() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(2, 1, 1));
+        ck.contact(1, 1, 1);
+        ck.contact(1, 1, 1);
+        ck.contact(1, 1, 1);
+        ck.cycle(1, sir(3, 1, 0), None); // s grew AND r shrank
+        let rules: Vec<_> = ck.violations().iter().map(|v| v.rule).collect();
+        assert!(rules.contains(&"monotone_susceptible"), "{rules:?}");
+        assert!(rules.contains(&"monotone_removed"), "{rules:?}");
+    }
+
+    #[test]
+    fn infection_without_traffic_is_caught() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(5, 1, 0));
+        ck.contact(1, 1, 0); // fruitless
+        ck.cycle(1, sir(3, 3, 0), None); // 2 infected with 0 useful units
+        assert_eq!(ck.violations()[0].rule, "infection_needs_traffic");
+    }
+
+    #[test]
+    fn useful_exceeding_sent_is_caught() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(1, 1, 0));
+        ck.contact(1, 1, 2);
+        assert_eq!(ck.violations()[0].rule, "useful_le_sent");
+    }
+
+    #[test]
+    fn totals_mismatch_is_caught() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(1, 1, 0));
+        ck.contact(1, 1, 1);
+        ck.cycle(1, sir(0, 2, 0), None);
+        ck.finish(
+            TraceTotals {
+                contacts: 5,
+                sent: 5,
+                useful: 5,
+                fruitless: 0,
+            },
+            None,
+        );
+        assert_eq!(ck.violations()[0].rule, "totals_consistency");
+    }
+
+    #[test]
+    fn divergent_digests_after_coverage_are_caught() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(1, 1, 0));
+        ck.contact(1, 1, 1);
+        ck.cycle(1, sir(0, 2, 0), Some(&[1, 2]));
+        assert_eq!(ck.violations()[0].rule, "coverage_convergence");
+        // With susceptible sites remaining, digests may differ freely.
+        let mut ok = InvariantChecker::new();
+        ok.start(sir(2, 1, 0));
+        ok.cycle(1, sir(2, 1, 0), Some(&[1, 2, 3]));
+        assert!(ok.is_clean());
+    }
+
+    #[test]
+    fn storage_cap_keeps_counting() {
+        let mut ck = InvariantChecker::new();
+        ck.start(sir(1, 1, 0));
+        for c in 0..150 {
+            ck.contact(c, 0, 1); // useful > sent, every time
+        }
+        assert_eq!(ck.violations().len(), 100);
+        assert_eq!(ck.detected(), 150);
+    }
+}

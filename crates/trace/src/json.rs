@@ -1,0 +1,213 @@
+//! A minimal hand-rolled JSON writer.
+//!
+//! The build environment is offline, so there is no `serde`; trace files
+//! are assembled with this writer instead. It produces deterministic
+//! output by construction: fields appear exactly in the order they are
+//! written, floats use Rust's shortest-roundtrip `Display` (stable across
+//! platforms and thread counts), and non-finite floats — which JSON cannot
+//! represent — serialize as `null`.
+//!
+//! # Example
+//!
+//! ```
+//! use epidemic_trace::json::JsonObject;
+//!
+//! let mut obj = JsonObject::new();
+//! obj.field_str("event", "contact").field_u64("cycle", 3);
+//! assert_eq!(obj.finish(), r#"{"event":"contact","cycle":3}"#);
+//! ```
+
+use std::fmt::Write;
+
+/// Escapes `s` into `out` as JSON string *contents* (no surrounding
+/// quotes).
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                write!(out, "\\u{:04x}", c as u32).expect("writing to String cannot fail");
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// Writes `x` into `out` as a JSON number; non-finite values become
+/// `null` (JSON has no NaN/Infinity).
+pub fn write_f64(out: &mut String, x: f64) {
+    if x.is_finite() {
+        write!(out, "{x}").expect("writing to String cannot fail");
+    } else {
+        out.push_str("null");
+    }
+}
+
+/// An in-progress JSON object; fields are emitted in call order.
+#[derive(Debug, Clone, Default)]
+pub struct JsonObject {
+    buf: String,
+}
+
+impl JsonObject {
+    /// Starts an empty object.
+    pub fn new() -> Self {
+        JsonObject {
+            buf: String::from("{"),
+        }
+    }
+
+    fn key(&mut self, name: &str) -> &mut String {
+        if self.buf.len() > 1 {
+            self.buf.push(',');
+        }
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+        &mut self.buf
+    }
+
+    /// Adds a string field.
+    pub fn field_str(&mut self, name: &str, value: &str) -> &mut Self {
+        let buf = self.key(name);
+        buf.push('"');
+        escape_into(buf, value);
+        buf.push('"');
+        self
+    }
+
+    /// Adds an unsigned integer field.
+    pub fn field_u64(&mut self, name: &str, value: u64) -> &mut Self {
+        let buf = self.key(name);
+        write!(buf, "{value}").expect("writing to String cannot fail");
+        self
+    }
+
+    /// Adds a float field (`null` when non-finite).
+    pub fn field_f64(&mut self, name: &str, value: f64) -> &mut Self {
+        let buf = self.key(name);
+        write_f64(buf, value);
+        self
+    }
+
+    /// Adds a boolean field.
+    pub fn field_bool(&mut self, name: &str, value: bool) -> &mut Self {
+        let buf = self.key(name);
+        buf.push_str(if value { "true" } else { "false" });
+        self
+    }
+
+    /// Adds an array of unsigned integers.
+    pub fn field_u64_array(
+        &mut self,
+        name: &str,
+        values: impl IntoIterator<Item = u64>,
+    ) -> &mut Self {
+        let buf = self.key(name);
+        buf.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            write!(buf, "{v}").expect("writing to String cannot fail");
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds an array of floats (`null` for non-finite elements).
+    pub fn field_f64_array(
+        &mut self,
+        name: &str,
+        values: impl IntoIterator<Item = f64>,
+    ) -> &mut Self {
+        let buf = self.key(name);
+        buf.push('[');
+        for (i, v) in values.into_iter().enumerate() {
+            if i > 0 {
+                buf.push(',');
+            }
+            write_f64(buf, v);
+        }
+        buf.push(']');
+        self
+    }
+
+    /// Adds pre-serialized JSON verbatim (an object, array or literal the
+    /// caller already rendered).
+    pub fn field_raw(&mut self, name: &str, json: &str) -> &mut Self {
+        self.key(name).push_str(json);
+        self
+    }
+
+    /// Closes the object and returns its text.
+    pub fn finish(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Renders a sequence of pre-serialized JSON values as an array.
+pub fn array_of(items: impl IntoIterator<Item = String>) -> String {
+    let mut out = String::from("[");
+    for (i, item) in items.into_iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&item);
+    }
+    out.push(']');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fields_render_in_call_order() {
+        let mut obj = JsonObject::new();
+        obj.field_u64("a", 1)
+            .field_str("b", "x")
+            .field_f64("c", 0.5)
+            .field_bool("d", false);
+        assert_eq!(obj.finish(), r#"{"a":1,"b":"x","c":0.5,"d":false}"#);
+    }
+
+    #[test]
+    fn escapes_control_characters_and_quotes() {
+        let mut obj = JsonObject::new();
+        obj.field_str("s", "a\"b\\c\nd\te\u{1}");
+        assert_eq!(obj.finish(), r#"{"s":"a\"b\\c\nd\te\u0001"}"#);
+    }
+
+    #[test]
+    fn non_finite_floats_become_null() {
+        let mut obj = JsonObject::new();
+        obj.field_f64("nan", f64::NAN)
+            .field_f64("inf", f64::INFINITY)
+            .field_f64_array("xs", [1.0, f64::NEG_INFINITY]);
+        assert_eq!(obj.finish(), r#"{"nan":null,"inf":null,"xs":[1,null]}"#);
+    }
+
+    #[test]
+    fn arrays_and_raw_fields() {
+        let mut obj = JsonObject::new();
+        obj.field_u64_array("counts", [3, 0, 7])
+            .field_raw("nested", r#"{"k":1}"#);
+        assert_eq!(obj.finish(), r#"{"counts":[3,0,7],"nested":{"k":1}}"#);
+        assert_eq!(
+            array_of(["1".to_string(), "2".to_string()]),
+            "[1,2]".to_string()
+        );
+    }
+
+    #[test]
+    fn empty_object_is_braces() {
+        assert_eq!(JsonObject::new().finish(), "{}");
+    }
+}
