@@ -1,0 +1,93 @@
+//! Microbenchmarks of one anti-entropy conversation per §1.3 comparison
+//! strategy, on the two regimes that bracket steady-state behaviour:
+//!
+//! * **converged** — both replicas hold identical databases. This is the
+//!   common case in a running fleet and the tentpole's zero-allocation
+//!   path: the exchange must decide "nothing to do" without cloning a
+//!   single entry. The pair is reused across iterations because a
+//!   converged exchange is a no-op by definition.
+//! * **divergent** — one side holds fresh updates the other lacks, so the
+//!   conversation actually ships entries. Pairs are rebuilt per batch
+//!   (cloned from a template) since the exchange mutates them.
+//!
+//! Both regimes thread one reused [`ExchangeScratch`] through
+//! `exchange_with`, exactly as the steady-state sim drivers do.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeScratch, Replica};
+use epidemic_db::SiteId;
+
+const SHARED: u32 = 1_000;
+const FRESH: u32 = 20;
+/// Window comfortably covering the fresh updates' ages.
+const TAU: u64 = 1_000_000;
+
+fn strategies() -> [(&'static str, Comparison); 4] {
+    [
+        ("full", Comparison::Full),
+        ("checksum", Comparison::Checksum),
+        ("recent_list", Comparison::RecentList { tau: TAU }),
+        ("peel_back", Comparison::PeelBack),
+    ]
+}
+
+/// A pair that has fully converged on `SHARED` entries, with clocks close
+/// enough that the tail of the shared history sits inside the recent
+/// window (so `recent_list` does real list work, not an empty walk).
+fn converged_pair() -> (Replica<u32, u64>, Replica<u32, u64>) {
+    let mut a: Replica<u32, u64> = Replica::new(SiteId::new(0));
+    let mut b: Replica<u32, u64> = Replica::new(SiteId::new(1));
+    for key in 0..SHARED {
+        a.client_update(key, u64::from(key));
+    }
+    AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
+    (a, b)
+}
+
+/// A converged pair plus `FRESH` updates known only to `a`.
+fn divergent_pair() -> (Replica<u32, u64>, Replica<u32, u64>) {
+    let (mut a, b) = converged_pair();
+    for key in 0..FRESH {
+        a.client_update(SHARED + key, 2);
+    }
+    (a, b)
+}
+
+fn bench_converged(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_converged_1k");
+    for (label, comparison) in strategies() {
+        group.bench_function(BenchmarkId::from_parameter(label), |bench| {
+            let protocol = AntiEntropy::new(Direction::PushPull, comparison);
+            let (mut a, mut b) = converged_pair();
+            let mut scratch = ExchangeScratch::new();
+            bench.iter(|| black_box(protocol.exchange_with(&mut a, &mut b, &mut scratch)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_divergent(c: &mut Criterion) {
+    let mut group = c.benchmark_group("exchange_divergent_1k_20_fresh");
+    for (label, comparison) in strategies() {
+        group.bench_function(BenchmarkId::from_parameter(label), |bench| {
+            let protocol = AntiEntropy::new(Direction::PushPull, comparison);
+            let template = divergent_pair();
+            let mut scratch = ExchangeScratch::new();
+            bench.iter_batched(
+                || template.clone(),
+                |(mut a, mut b)| black_box(protocol.exchange_with(&mut a, &mut b, &mut scratch)),
+                criterion::BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = exchange;
+    config = Criterion::default().sample_size(10);
+    targets = bench_converged, bench_divergent
+}
+criterion_main!(exchange);

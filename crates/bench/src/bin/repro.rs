@@ -29,6 +29,7 @@
 //! controlled by the `EPIDEMIC_THREADS` environment variable (see
 //! `epidemic_sim::runner`).
 
+use epidemic_bench::alloc_counter;
 use epidemic_bench::figures;
 use epidemic_bench::tables::{
     print_mixing, print_spatial, table1, table2, table3, table45, PAPER_TABLE1, PAPER_TABLE2,
@@ -37,6 +38,13 @@ use epidemic_bench::tables::{
 use epidemic_bench::trace::table_artifacts;
 use epidemic_sim::runner::TrialRunner;
 use epidemic_trace::profile;
+
+// With the `count-allocs` feature, every heap allocation in this process is
+// counted and `--timings` reports a per-experiment allocation column (see
+// `alloc_counter`). Default builds keep the stock allocator.
+#[cfg(feature = "count-allocs")]
+#[global_allocator]
+static ALLOC: alloc_counter::CountingAlloc = alloc_counter::CountingAlloc;
 
 const N: usize = 1000;
 
@@ -134,22 +142,29 @@ fn write_artifact(dir: &str, file: &str, contents: &str) {
 }
 
 /// Writes the timing report as JSON (hand-rolled: experiment and phase
-/// names come from fixed in-tree lists and need no escaping).
+/// names come from fixed in-tree lists and need no escaping). When the
+/// `count-allocs` feature is active each experiment row additionally
+/// carries its heap-allocation count.
 fn write_timings(
     path: &str,
     threads: usize,
-    timings: &[(String, f64)],
+    timings: &[(String, f64, u64)],
     phases: &[epidemic_trace::PhaseStat],
 ) {
-    let total: f64 = timings.iter().map(|(_, s)| s).sum();
+    let total: f64 = timings.iter().map(|(_, s, _)| s).sum();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     json.push_str("  \"experiments\": [\n");
-    for (i, (name, seconds)) in timings.iter().enumerate() {
+    for (i, (name, seconds, allocations)) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
+        let allocs = if alloc_counter::enabled() {
+            format!(", \"allocations\": {allocations}")
+        } else {
+            String::new()
+        };
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}}}{comma}\n"
+            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}{allocs}}}{comma}\n"
         ));
     }
     json.push_str("  ],\n");
@@ -266,8 +281,9 @@ fn main() {
     if timings_path.is_some() {
         profile::enable();
     }
-    let mut timings: Vec<(String, f64)> = Vec::new();
+    let mut timings: Vec<(String, f64, u64)> = Vec::new();
     for experiment in list {
+        let allocs_before = alloc_counter::allocations();
         let start = std::time::Instant::now();
         let handled = if trace_dir.is_some() || json_dir.is_some() {
             match table_artifacts(
@@ -302,8 +318,13 @@ fn main() {
             std::process::exit(2);
         }
         let seconds = start.elapsed().as_secs_f64();
-        eprintln!("[{experiment}: {seconds:.1}s]");
-        timings.push((experiment.to_string(), seconds));
+        let allocations = alloc_counter::allocations() - allocs_before;
+        if alloc_counter::enabled() {
+            eprintln!("[{experiment}: {seconds:.1}s, {allocations} allocations]");
+        } else {
+            eprintln!("[{experiment}: {seconds:.1}s]");
+        }
+        timings.push((experiment.to_string(), seconds, allocations));
     }
     if let Some(path) = timings_path {
         let phases = profile::take();

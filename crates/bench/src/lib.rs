@@ -7,9 +7,14 @@
 //! implementation. See DESIGN.md for the experiment ↔ paper index and
 //! EXPERIMENTS.md for recorded results.
 
-#![forbid(unsafe_code)]
+// The crate is unsafe-free except for one audited exception: the
+// `count-allocs` feature compiles a `GlobalAlloc` impl (inherently unsafe
+// trait) in `alloc_counter`. Default builds still forbid unsafe outright.
+#![cfg_attr(not(feature = "count-allocs"), forbid(unsafe_code))]
+#![cfg_attr(feature = "count-allocs", deny(unsafe_code))]
 #![warn(missing_docs)]
 
+pub mod alloc_counter;
 pub mod figures;
 pub mod render;
 pub mod tables;

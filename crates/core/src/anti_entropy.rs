@@ -20,6 +20,48 @@ use crate::Direction;
 /// entries to send `b → a`, and the number of entries scanned.
 pub(crate) type DiffResult<K, V> = (Vec<(K, Entry<V>)>, Vec<(K, Entry<V>)>, usize);
 
+/// Reusable buffers for anti-entropy conversations.
+///
+/// A conversation that falls back to a full comparison fills two diff
+/// buffers; peel back snapshots both sides' timestamp indexes. Freshly
+/// allocating those `Vec`s per contact dominates steady-state drivers that
+/// run thousands of conversations, so the engine threads one scratch
+/// through every exchange via [`AntiEntropy::exchange_with`] and the
+/// buffers keep their capacity between conversations.
+///
+/// [`AntiEntropy::exchange`] works on a throwaway scratch — behaviour is
+/// identical, only the buffer reuse is lost.
+#[derive(Debug, Clone)]
+pub struct ExchangeScratch<K, V> {
+    /// Full-comparison diff buffer, `a → b`.
+    a_to_b: Vec<(K, Entry<V>)>,
+    /// Full-comparison diff buffer, `b → a`.
+    b_to_a: Vec<(K, Entry<V>)>,
+    /// Peel-back snapshot of the initiator's timestamp index.
+    peel_a: Vec<(Timestamp, K)>,
+    /// Peel-back snapshot of the partner's timestamp index.
+    peel_b: Vec<(Timestamp, K)>,
+}
+
+impl<K, V> ExchangeScratch<K, V> {
+    /// Creates an empty scratch. No allocation happens until a
+    /// conversation actually needs a buffer.
+    pub fn new() -> Self {
+        ExchangeScratch {
+            a_to_b: Vec::new(),
+            b_to_a: Vec::new(),
+            peel_a: Vec::new(),
+            peel_b: Vec::new(),
+        }
+    }
+}
+
+impl<K, V> Default for ExchangeScratch<K, V> {
+    fn default() -> Self {
+        ExchangeScratch::new()
+    }
+}
+
 /// How two databases are compared before updates flow (§1.3).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Comparison {
@@ -120,29 +162,47 @@ impl AntiEntropy {
         K: Ord + Clone + Hash + Eq,
         V: Clone + Hash + Eq,
     {
+        self.exchange_with(a, b, &mut ExchangeScratch::new())
+    }
+
+    /// As [`AntiEntropy::exchange`], reusing the caller's
+    /// [`ExchangeScratch`] buffers. Steady-state drivers thread one scratch
+    /// through every conversation so diff buffers and peel-back snapshots
+    /// stop allocating per contact. Statistics and database outcomes are
+    /// identical to `exchange`.
+    pub fn exchange_with<K, V>(
+        &self,
+        a: &mut Replica<K, V>,
+        b: &mut Replica<K, V>,
+        scratch: &mut ExchangeScratch<K, V>,
+    ) -> ExchangeStats
+    where
+        K: Ord + Clone + Hash + Eq,
+        V: Clone + Hash + Eq,
+    {
         let mut stats = ExchangeStats::default();
         match self.comparison {
             Comparison::Full => {
                 stats.full_compare = true;
-                full_resolve(self.direction, a, b, &mut stats);
+                full_resolve(self.direction, a, b, scratch, &mut stats);
             }
             Comparison::Checksum => {
                 stats.checksum_exchanges += 1;
                 if a.db().checksum() != b.db().checksum() {
                     stats.full_compare = true;
-                    full_resolve(self.direction, a, b, &mut stats);
+                    full_resolve(self.direction, a, b, scratch, &mut stats);
                 }
             }
             Comparison::RecentList { tau } => {
-                exchange_recent(self.direction, a, b, tau, &mut stats);
+                exchange_recent(self.direction, a, b, tau, scratch, &mut stats);
                 stats.checksum_exchanges += 1;
                 if a.db().checksum() != b.db().checksum() {
                     stats.full_compare = true;
-                    full_resolve(self.direction, a, b, &mut stats);
+                    full_resolve(self.direction, a, b, scratch, &mut stats);
                 }
             }
             Comparison::PeelBack => {
-                peel_back(a, b, &mut stats);
+                peel_back(a, b, scratch, &mut stats);
             }
         }
         stats
@@ -156,6 +216,22 @@ where
     V: Clone + Hash + Eq,
 {
     if to.receive_quietly(key, entry) == OfferOutcome::AwakenedDormant {
+        stats.awakened += 1;
+    }
+}
+
+/// [`offer_counted`] from borrowed data: the receiver clones the entry
+/// only if the offer changes its state.
+fn offer_counted_ref<K, V>(
+    to: &mut Replica<K, V>,
+    key: &K,
+    entry: &Entry<V>,
+    stats: &mut ExchangeStats,
+) where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+{
+    if to.receive_quietly_ref(key, entry) == OfferOutcome::AwakenedDormant {
         stats.awakened += 1;
     }
 }
@@ -176,6 +252,26 @@ where
 {
     let mut a_to_b: Vec<(K, Entry<V>)> = Vec::new();
     let mut b_to_a: Vec<(K, Entry<V>)> = Vec::new();
+    let scanned = diff_into(direction, a, b, &mut a_to_b, &mut b_to_a);
+    (a_to_b, b_to_a, scanned)
+}
+
+/// [`diff`] into caller-provided buffers (cleared first), so a reused
+/// scratch keeps its capacity across conversations. Returns the number of
+/// entries scanned.
+pub(crate) fn diff_into<K, V>(
+    direction: Direction,
+    a: &Replica<K, V>,
+    b: &Replica<K, V>,
+    a_to_b: &mut Vec<(K, Entry<V>)>,
+    b_to_a: &mut Vec<(K, Entry<V>)>,
+) -> usize
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+{
+    a_to_b.clear();
+    b_to_a.clear();
     let mut scanned = 0;
     let mut ia = a.db().iter().peekable();
     let mut ib = b.db().iter().peekable();
@@ -227,7 +323,7 @@ where
         // reports zero entries scanned.
         scanned += 1;
     }
-    (a_to_b, b_to_a, scanned)
+    scanned
 }
 
 /// Complete database comparison and resolution (§1.3's basic algorithm).
@@ -235,54 +331,122 @@ fn full_resolve<K, V>(
     direction: Direction,
     a: &mut Replica<K, V>,
     b: &mut Replica<K, V>,
+    scratch: &mut ExchangeScratch<K, V>,
     stats: &mut ExchangeStats,
 ) where
     K: Ord + Clone + Hash + Eq,
     V: Clone + Hash + Eq,
 {
-    let (a_to_b, b_to_a, scanned) = diff(direction, a, b);
-    stats.entries_scanned += scanned;
-    for (k, e) in a_to_b {
+    stats.entries_scanned += diff_into(direction, a, b, &mut scratch.a_to_b, &mut scratch.b_to_a);
+    for (k, e) in scratch.a_to_b.drain(..) {
         stats.sent_ab += 1;
         offer_counted(b, k, e, stats);
     }
-    for (k, e) in b_to_a {
+    for (k, e) in scratch.b_to_a.drain(..) {
         stats.sent_ba += 1;
         offer_counted(a, k, e, stats);
     }
 }
 
 /// Exchanges recent-update lists (§1.3's refined checksum scheme).
+///
+/// Both lists are walked straight off the peel-back index
+/// ([`Database::recent_index`](epidemic_db::Database::recent_index)):
+/// every listed entry still counts as wire traffic (`sent_ab`/`sent_ba` —
+/// the sender cannot know what the receiver holds), but the receiver's
+/// borrow-only [`would_accept`](epidemic_db::Database::would_accept)
+/// prefilter rejects already-known updates on a single map probe, without
+/// even fetching the sender's entry. Only accepted offers touch the entry
+/// store, and only they clone. The pull-direction list is read after
+/// push-direction offers complete, exactly as the snapshot version did.
 fn exchange_recent<K, V>(
     direction: Direction,
     a: &mut Replica<K, V>,
     b: &mut Replica<K, V>,
     tau: u64,
+    scratch: &mut ExchangeScratch<K, V>,
     stats: &mut ExchangeStats,
 ) where
     K: Ord + Clone + Hash + Eq,
     V: Clone + Hash + Eq,
 {
     if direction.pushes() {
-        let list = a.db().recent_updates(a.local_time(), tau);
-        for (k, e) in list {
-            stats.sent_ab += 1;
-            offer_counted(b, k, e, stats);
-        }
+        stats.sent_ab += offer_recent(a, b, tau, &mut scratch.peel_a, stats);
     }
     if direction.pulls() {
-        let list = b.db().recent_updates(b.local_time(), tau);
-        for (k, e) in list {
-            stats.sent_ba += 1;
-            offer_counted(a, k, e, stats);
+        stats.sent_ba += offer_recent(b, a, tau, &mut scratch.peel_a, stats);
+    }
+}
+
+/// One direction of the recent-list exchange. Returns the number of
+/// entries listed (each is wire traffic whether or not it is accepted).
+///
+/// The receiver's timestamp index is walked in lockstep with the sender's
+/// recent list: both run in descending `(timestamp, key)` order, so an
+/// exactly-matching pair proves the receiver already holds that version
+/// and the offer is rejected with no map probe at all. On a converged
+/// pair every listed entry short-circuits this way. Mismatches fall back
+/// to the borrow-only `would_accept` probe, and the rare accepted offers
+/// are deferred into `pending` (offers touch distinct keys, so deferral
+/// cannot change any outcome) because the receiver cannot be mutated
+/// while its index is being walked. The lockstep shortcut is disabled
+/// when the receiver parks dormant death certificates, since those make
+/// an offer mutate state even for an already-held timestamp.
+fn offer_recent<K, V>(
+    from: &mut Replica<K, V>,
+    to: &mut Replica<K, V>,
+    tau: u64,
+    pending: &mut Vec<(Timestamp, K)>,
+    stats: &mut ExchangeStats,
+) -> usize
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash + Eq,
+{
+    let now = from.local_time();
+    let mut listed = 0;
+    pending.clear();
+    {
+        let from_db = from.db();
+        let to_db = to.db();
+        let lockstep = to_db.dormant_len() == 0;
+        let mut rx = to_db.timestamp_index();
+        let mut rx_cur = rx.next();
+        for (t, k) in from_db.recent_index(now, tau) {
+            listed += 1;
+            if lockstep {
+                while let Some((rt, rk)) = rx_cur {
+                    if (rt, rk) > (t, k) {
+                        rx_cur = rx.next();
+                    } else {
+                        break;
+                    }
+                }
+                if rx_cur == Some((t, k)) {
+                    rx_cur = rx.next();
+                    continue;
+                }
+            }
+            if to_db.would_accept(k, t) {
+                pending.push((t, k.clone()));
+            }
         }
     }
+    for (_, k) in pending.drain(..) {
+        let e = from.db().entry(&k).expect("peel index is consistent");
+        offer_counted_ref(to, &k, e, stats);
+    }
+    listed
 }
 
 /// Peel back (§1.3): ship entries in reverse timestamp order until the
 /// checksums agree. Always bidirectional.
-fn peel_back<K, V>(a: &mut Replica<K, V>, b: &mut Replica<K, V>, stats: &mut ExchangeStats)
-where
+fn peel_back<K, V>(
+    a: &mut Replica<K, V>,
+    b: &mut Replica<K, V>,
+    scratch: &mut ExchangeScratch<K, V>,
+    stats: &mut ExchangeStats,
+) where
     K: Ord + Clone + Hash + Eq,
     V: Clone + Hash + Eq,
 {
@@ -290,19 +454,23 @@ where
     if a.db().checksum() == b.db().checksum() {
         return;
     }
-    // Snapshot both sides' (timestamp, key) indexes, newest first, and walk
-    // the merged order. Snapshots stay valid for the *sending* side because
-    // peel back only installs entries on the receiving side.
-    let av: Vec<(Timestamp, K)> = a
-        .db()
-        .newest_first()
-        .map(|(k, e)| (e.timestamp(), k.clone()))
-        .collect();
-    let bv: Vec<(Timestamp, K)> = b
-        .db()
-        .newest_first()
-        .map(|(k, e)| (e.timestamp(), k.clone()))
-        .collect();
+    // Snapshot both sides' (timestamp, key) indexes into the reused
+    // scratch buffers, newest first, and walk the merged order. Key
+    // snapshots are needed (not borrows) because transfers install entries
+    // on both sides while the walk is in progress.
+    scratch.peel_a.clear();
+    scratch.peel_b.clear();
+    scratch.peel_a.extend(
+        a.db()
+            .newest_first()
+            .map(|(k, e)| (e.timestamp(), k.clone())),
+    );
+    scratch.peel_b.extend(
+        b.db()
+            .newest_first()
+            .map(|(k, e)| (e.timestamp(), k.clone())),
+    );
+    let (av, bv) = (&scratch.peel_a, &scratch.peel_b);
     let (mut i, mut j) = (0, 0);
     while i < av.len() || j < bv.len() {
         // Pick the globally newest unprocessed record.
@@ -311,28 +479,28 @@ where
             (Some(_), None) => true,
             _ => false,
         };
-        let key = if take_a {
-            let k = av[i].1.clone();
+        let key: &K = if take_a {
+            let k = &av[i].1;
             i += 1;
             k
         } else {
-            let k = bv[j].1.clone();
+            let k = &bv[j].1;
             j += 1;
             k
         };
         stats.entries_scanned += 1;
         // Resolve this key against *current* state (an earlier transfer may
         // have already reconciled it).
-        let ta = a.db().entry(&key).map(Entry::timestamp);
-        let tb = b.db().entry(&key).map(Entry::timestamp);
+        let ta = a.db().entry(key).map(Entry::timestamp);
+        let tb = b.db().entry(key).map(Entry::timestamp);
         if ta > tb {
-            let entry = a.db().entry(&key).expect("ta is Some").clone();
+            let entry = a.db().entry(key).expect("ta is Some");
             stats.sent_ab += 1;
-            offer_counted(b, key, entry, stats);
+            offer_counted_ref(b, key, entry, stats);
         } else if tb > ta {
-            let entry = b.db().entry(&key).expect("tb is Some").clone();
+            let entry = b.db().entry(key).expect("tb is Some");
             stats.sent_ba += 1;
-            offer_counted(a, key, entry, stats);
+            offer_counted_ref(a, key, entry, stats);
         }
         stats.checksum_exchanges += 1;
         if a.db().checksum() == b.db().checksum() {
@@ -523,6 +691,36 @@ mod tests {
         AntiEntropy::new(Direction::PushPull, Comparison::Full).exchange(&mut a, &mut b);
         assert_eq!(b.db().get(&"k"), None);
         assert!(b.db().entry(&"k").is_some_and(Entry::is_dead));
+    }
+
+    #[test]
+    fn exchange_with_reused_scratch_matches_exchange() {
+        // One scratch threaded through all four strategies in sequence, so
+        // buffers left over from one conversation feed the next — results
+        // must be indistinguishable from throwaway-scratch exchanges.
+        let mut scratch = ExchangeScratch::new();
+        for comparison in [
+            Comparison::Full,
+            Comparison::Checksum,
+            Comparison::RecentList { tau: 1_000 },
+            Comparison::PeelBack,
+        ] {
+            let build = || {
+                let (mut a, mut b) = pair();
+                a.client_update("x", 1);
+                b.client_update("y", 2);
+                b.client_update("z", 3);
+                (a, b)
+            };
+            let (mut a1, mut b1) = build();
+            let (mut a2, mut b2) = build();
+            let ae = AntiEntropy::new(Direction::PushPull, comparison);
+            let fresh = ae.exchange(&mut a1, &mut b1);
+            let reused = ae.exchange_with(&mut a2, &mut b2, &mut scratch);
+            assert_eq!(fresh, reused, "{comparison:?}");
+            assert_eq!(a1.db(), a2.db());
+            assert_eq!(b1.db(), b2.db());
+        }
     }
 
     #[test]

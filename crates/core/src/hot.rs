@@ -150,6 +150,24 @@ impl<K: Eq + Clone> HotList<K> {
     /// Returns the keys that ceased to be hot.
     pub fn end_cycle(&mut self, k: u32, reset_on_useful: bool) -> Vec<K> {
         let mut deactivated = Vec::new();
+        self.end_cycle_retain(k, reset_on_useful, |key| deactivated.push(key.clone()));
+        deactivated
+    }
+
+    /// [`HotList::end_cycle`] when only the number of deactivations is
+    /// needed: identical bookkeeping, no key collection, no allocation.
+    pub fn end_cycle_count(&mut self, k: u32, reset_on_useful: bool) -> usize {
+        let mut deactivated = 0;
+        self.end_cycle_retain(k, reset_on_useful, |_| deactivated += 1);
+        deactivated
+    }
+
+    fn end_cycle_retain(
+        &mut self,
+        k: u32,
+        reset_on_useful: bool,
+        mut on_deactivate: impl FnMut(&K),
+    ) {
         for item in &mut self.items {
             if item.pending_needed {
                 if reset_on_useful {
@@ -163,13 +181,12 @@ impl<K: Eq + Clone> HotList<K> {
         }
         self.items.retain(|i| {
             if i.counter >= k {
-                deactivated.push(i.key.clone());
+                on_deactivate(&i.key);
                 false
             } else {
                 true
             }
         });
-        deactivated
     }
 }
 

@@ -55,11 +55,11 @@ pub mod replica;
 pub mod rumor;
 pub mod wire;
 
-pub use anti_entropy::{AntiEntropy, Comparison, ExchangeStats};
+pub use anti_entropy::{AntiEntropy, Comparison, ExchangeScratch, ExchangeStats};
 pub use backup::{BackupAntiEntropy, Redistribution};
 pub use direct_mail::{DirectMail, MailConfig, MailSystem};
 pub use replica::Replica;
-pub use rumor::{Feedback, Removal, RumorConfig, RumorStats};
+pub use rumor::{Feedback, Removal, RumorConfig, RumorScratch, RumorStats};
 pub use wire::{handle_request, sync_via, SyncRequest, SyncResponse, Transport};
 
 /// Transfer direction of an exchange (§1.3, §1.4).

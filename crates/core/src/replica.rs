@@ -177,6 +177,23 @@ where
         outcome
     }
 
+    /// [`Replica::receive_quietly`] from borrowed data
+    /// ([`Database::offer_ref`](epidemic_db::Database::offer_ref)): the
+    /// anti-entropy hot path offers entries by reference and lets the
+    /// store clone only those that actually change state. Offered-but-
+    /// rejected entries cost one probe and zero allocations.
+    pub fn receive_quietly_ref(&mut self, key: &K, entry: &Entry<V>) -> OfferOutcome
+    where
+        V: Clone,
+    {
+        let now = self.observation();
+        let outcome = self.db.offer_ref(key, entry, now);
+        if outcome == OfferOutcome::AwakenedDormant {
+            self.hot.insert(key.clone());
+        }
+        outcome
+    }
+
     /// Runs death-certificate garbage collection (§2.1) with this site's
     /// identity and local time.
     pub fn collect_garbage(&mut self, policy: GcPolicy) -> GcStats {

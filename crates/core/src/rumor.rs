@@ -137,21 +137,47 @@ impl RumorStats {
     }
 }
 
-/// Start-of-contact snapshot of a replica's hot keys. The single-update
-/// experiments keep at most one rumor hot per site, so that case borrows
-/// into a stack slot instead of allocating a `Vec` on every contact.
-enum HotKeys<K> {
-    UpToOne(Option<K>),
-    Many(Vec<K>),
+/// Reusable buffers for the hot-key snapshots a rumor contact takes of
+/// each party. Steady-state drivers keep one per protocol and thread it
+/// through [`contact_with`], so a fleet under continuous update load
+/// stops allocating a fresh `Vec` on every multi-rumor contact — the
+/// rumor-side counterpart of `ExchangeScratch`.
+#[derive(Debug, Default)]
+pub struct RumorScratch<K> {
+    /// Snapshot buffer for the initiator's hot keys.
+    pub a_keys: Vec<K>,
+    /// Snapshot buffer for the partner's hot keys.
+    pub b_keys: Vec<K>,
 }
 
-impl<K: Ord + Clone + Hash + Eq> HotKeys<K> {
-    fn snapshot<V: Hash>(replica: &Replica<K, V>) -> Self {
+impl<K> RumorScratch<K> {
+    /// Creates empty buffers. No allocation happens until a contact
+    /// actually snapshots more than one hot rumor.
+    pub fn new() -> Self {
+        RumorScratch {
+            a_keys: Vec::new(),
+            b_keys: Vec::new(),
+        }
+    }
+}
+
+/// Start-of-contact snapshot of a replica's hot keys. The single-update
+/// experiments keep at most one rumor hot per site, so that case borrows
+/// into a stack slot instead of touching the caller's buffer at all.
+enum HotKeys<'s, K> {
+    UpToOne(Option<K>),
+    Many(&'s [K]),
+}
+
+impl<'s, K: Ord + Clone + Hash + Eq> HotKeys<'s, K> {
+    fn snapshot<V: Hash>(replica: &Replica<K, V>, buf: &'s mut Vec<K>) -> Self {
         let hot = replica.hot();
         if hot.len() <= 1 {
             HotKeys::UpToOne(hot.keys().next().cloned())
         } else {
-            HotKeys::Many(hot.keys_snapshot())
+            buf.clear();
+            buf.extend(hot.keys().cloned());
+            HotKeys::Many(buf)
         }
     }
 
@@ -200,8 +226,25 @@ where
     V: Clone + Hash,
     R: Rng + ?Sized,
 {
+    push_contact_with(cfg, sender, receiver, rng, &mut Vec::new())
+}
+
+/// [`push_contact`] with a caller-owned snapshot buffer (see
+/// [`RumorScratch`]).
+pub fn push_contact_with<K, V, R>(
+    cfg: &RumorConfig,
+    sender: &mut Replica<K, V>,
+    receiver: &mut Replica<K, V>,
+    rng: &mut R,
+    buf: &mut Vec<K>,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
     let mut stats = RumorStats::default();
-    let keys = HotKeys::snapshot(sender);
+    let keys = HotKeys::snapshot(sender, buf);
     for key in keys.as_slice() {
         let Some(useful) = offer_rumor(sender, receiver, key) else {
             continue;
@@ -230,8 +273,25 @@ where
     V: Clone + Hash,
     R: Rng + ?Sized,
 {
+    pull_contact_with(cfg, requester, source, rng, &mut Vec::new())
+}
+
+/// [`pull_contact`] with a caller-owned snapshot buffer (see
+/// [`RumorScratch`]).
+pub fn pull_contact_with<K, V, R>(
+    cfg: &RumorConfig,
+    requester: &mut Replica<K, V>,
+    source: &mut Replica<K, V>,
+    rng: &mut R,
+    buf: &mut Vec<K>,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
     let mut stats = RumorStats::default();
-    let keys = HotKeys::snapshot(source);
+    let keys = HotKeys::snapshot(source, buf);
     for key in keys.as_slice() {
         let Some(useful) = offer_rumor(source, requester, key) else {
             continue;
@@ -272,9 +332,27 @@ where
     V: Clone + Hash,
     R: Rng + ?Sized,
 {
+    push_pull_contact_with(cfg, a, b, rng, &mut RumorScratch::new())
+}
+
+/// [`push_pull_contact`] with caller-owned snapshot buffers (see
+/// [`RumorScratch`]).
+pub fn push_pull_contact_with<K, V, R>(
+    cfg: &RumorConfig,
+    a: &mut Replica<K, V>,
+    b: &mut Replica<K, V>,
+    rng: &mut R,
+    scratch: &mut RumorScratch<K>,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
     let mut stats = RumorStats::default();
-    let a_keys = HotKeys::snapshot(a);
-    let b_keys = HotKeys::snapshot(b);
+    let RumorScratch { a_keys, b_keys } = scratch;
+    let a_keys = HotKeys::snapshot(a, a_keys);
+    let b_keys = HotKeys::snapshot(b, b_keys);
 
     for key in a_keys.as_slice() {
         let both_hot = b_keys.as_slice().contains(key);
@@ -328,10 +406,28 @@ where
     V: Clone + Hash,
     R: Rng + ?Sized,
 {
+    contact_with(cfg, initiator, partner, rng, &mut RumorScratch::new())
+}
+
+/// [`contact`] with caller-owned snapshot buffers: the form the
+/// steady-state drivers use, one [`RumorScratch`] per protocol, so
+/// multi-rumor contacts stop allocating a snapshot `Vec` apiece.
+pub fn contact_with<K, V, R>(
+    cfg: &RumorConfig,
+    initiator: &mut Replica<K, V>,
+    partner: &mut Replica<K, V>,
+    rng: &mut R,
+    scratch: &mut RumorScratch<K>,
+) -> RumorStats
+where
+    K: Ord + Clone + Hash + Eq,
+    V: Clone + Hash,
+    R: Rng + ?Sized,
+{
     match cfg.direction {
-        Direction::Push => push_contact(cfg, initiator, partner, rng),
-        Direction::Pull => pull_contact(cfg, initiator, partner, rng),
-        Direction::PushPull => push_pull_contact(cfg, initiator, partner, rng),
+        Direction::Push => push_contact_with(cfg, initiator, partner, rng, &mut scratch.a_keys),
+        Direction::Pull => pull_contact_with(cfg, initiator, partner, rng, &mut scratch.b_keys),
+        Direction::PushPull => push_pull_contact_with(cfg, initiator, partner, rng, scratch),
     }
 }
 
@@ -343,7 +439,7 @@ where
     V: Hash,
 {
     match cfg.removal {
-        Removal::Counter { k } => site.hot_mut().end_cycle(k, cfg.reset_on_useful).len(),
+        Removal::Counter { k } => site.hot_mut().end_cycle_count(k, cfg.reset_on_useful),
         Removal::Coin { .. } => 0,
     }
 }

@@ -200,16 +200,70 @@ where
     /// This is the pure semilattice join; use [`Database::offer`] to also
     /// honor dormant death certificates.
     pub fn apply(&mut self, key: K, entry: Entry<V>) -> ApplyOutcome {
-        match self.entries.get(&key) {
-            Some(current) if !entry.supersedes(current) => {
-                if current.timestamp() == entry.timestamp() {
-                    ApplyOutcome::AlreadyKnown
-                } else {
-                    ApplyOutcome::Obsolete
+        match self.entries.get_mut(&key) {
+            Some(current) => {
+                if !entry.supersedes(current) {
+                    return if current.timestamp() == entry.timestamp() {
+                        ApplyOutcome::AlreadyKnown
+                    } else {
+                        ApplyOutcome::Obsolete
+                    };
                 }
+                Self::replace_slot(
+                    current,
+                    &key,
+                    entry,
+                    &mut self.checksum,
+                    &mut self.peel,
+                    &mut self.live,
+                );
+                ApplyOutcome::Applied
             }
-            _ => {
-                self.install(key, entry);
+            None => {
+                self.checksum.toggle(&(&key, &entry));
+                self.peel.insert(entry.timestamp(), key.clone());
+                if !entry.is_dead() {
+                    self.live += 1;
+                }
+                self.entries.insert(key, entry);
+                ApplyOutcome::Applied
+            }
+        }
+    }
+
+    /// [`Database::apply`] from borrowed data: the entry is cloned only
+    /// when it actually supersedes, so an obsolete or already-known offer
+    /// costs a single `BTreeMap` probe and no ownership transfer.
+    pub fn apply_ref(&mut self, key: &K, entry: &Entry<V>) -> ApplyOutcome
+    where
+        V: Clone,
+    {
+        match self.entries.get_mut(key) {
+            Some(current) => {
+                if !entry.supersedes(current) {
+                    return if current.timestamp() == entry.timestamp() {
+                        ApplyOutcome::AlreadyKnown
+                    } else {
+                        ApplyOutcome::Obsolete
+                    };
+                }
+                Self::replace_slot(
+                    current,
+                    key,
+                    entry.clone(),
+                    &mut self.checksum,
+                    &mut self.peel,
+                    &mut self.live,
+                );
+                ApplyOutcome::Applied
+            }
+            None => {
+                self.checksum.toggle(&(key, entry));
+                self.peel.insert(entry.timestamp(), key.clone());
+                if !entry.is_dead() {
+                    self.live += 1;
+                }
+                self.entries.insert(key.clone(), entry.clone());
                 ApplyOutcome::Applied
             }
         }
@@ -238,22 +292,72 @@ where
         self.apply(key, entry).into()
     }
 
+    /// [`Database::offer`] from borrowed data: the single-probe merge
+    /// senders use on the anti-entropy hot path. Dormant death
+    /// certificates are honored exactly as in `offer`; the entry is cloned
+    /// only when the offer changes this database.
+    pub fn offer_ref(&mut self, key: &K, entry: &Entry<V>, now: Timestamp) -> OfferOutcome
+    where
+        V: Clone,
+    {
+        if let Some(dc) = self.dormant.get(key) {
+            if entry.timestamp() <= dc.deleted_at() {
+                let mut dc = self.dormant.remove(key).expect("checked above");
+                dc.reactivate(now);
+                self.install(key.clone(), Entry::Dead(dc));
+                return OfferOutcome::AwakenedDormant;
+            }
+            self.dormant.remove(key);
+        }
+        self.apply_ref(key, entry).into()
+    }
+
+    /// Overwrites an occupied slot in place, maintaining checksum,
+    /// peel-back index and live count. The caller has already decided the
+    /// replacement (supersession or unconditional install); keeping the
+    /// slot borrowed avoids a second tree walk to re-locate the key.
+    fn replace_slot(
+        slot: &mut Entry<V>,
+        key: &K,
+        new: Entry<V>,
+        checksum: &mut Checksum,
+        peel: &mut PeelBackIndex<K>,
+        live: &mut usize,
+    ) {
+        checksum.toggle(&(key, &*slot));
+        peel.remove(slot.timestamp(), key);
+        if !slot.is_dead() {
+            *live -= 1;
+        }
+        *slot = new;
+        checksum.toggle(&(key, &*slot));
+        peel.insert(slot.timestamp(), key.clone());
+        if !slot.is_dead() {
+            *live += 1;
+        }
+    }
+
     /// Installs an entry unconditionally, maintaining checksum, peel-back
-    /// index and live count. Private: all mutation funnels through here.
+    /// index and live count. Client mutation funnels through here.
     fn install(&mut self, key: K, entry: Entry<V>) {
-        if let Some(old) = self.entries.get(&key) {
-            self.checksum.toggle(&(&key, old));
-            self.peel.remove(old.timestamp(), &key);
-            if !old.is_dead() {
-                self.live -= 1;
+        match self.entries.get_mut(&key) {
+            Some(current) => Self::replace_slot(
+                current,
+                &key,
+                entry,
+                &mut self.checksum,
+                &mut self.peel,
+                &mut self.live,
+            ),
+            None => {
+                self.checksum.toggle(&(&key, &entry));
+                self.peel.insert(entry.timestamp(), key.clone());
+                if !entry.is_dead() {
+                    self.live += 1;
+                }
+                self.entries.insert(key, entry);
             }
         }
-        self.checksum.toggle(&(&key, &entry));
-        self.peel.insert(entry.timestamp(), key.clone());
-        if !entry.is_dead() {
-            self.live += 1;
-        }
-        self.entries.insert(key, entry);
     }
 
     /// Iterates over all `(key, entry)` pairs in key order.
@@ -270,13 +374,44 @@ where
         })
     }
 
+    /// Borrowing form of the *recent update list* (§1.3): iterates all
+    /// entries whose timestamp age relative to `now` is at most `tau`,
+    /// newest first, by reference. The anti-entropy hot path walks this
+    /// instead of materialising a [`RecentUpdates`] snapshot, so a
+    /// conversation over a converged pair allocates nothing.
+    pub fn recent_entries(&self, now: u64, tau: u64) -> impl Iterator<Item = (&K, &Entry<V>)> {
+        self.newest_first()
+            .take_while(move |(_, e)| e.timestamp().age(now) <= tau)
+    }
+
+    /// The recent update list as bare `(timestamp, key)` pairs straight
+    /// off the peel-back index, newest first. This is the cheapest form
+    /// of the §1.3 list: the timestamps live in the index itself, so no
+    /// entry is fetched until a recipient actually
+    /// [`would_accept`](Database::would_accept) it.
+    pub fn recent_index(&self, now: u64, tau: u64) -> impl Iterator<Item = (Timestamp, &K)> {
+        self.peel
+            .newest_first()
+            .take_while(move |(t, _)| t.age(now) <= tau)
+    }
+
+    /// The full inverted timestamp index as bare `(timestamp, key)` pairs,
+    /// newest first — [`Database::recent_index`] without the age cutoff.
+    /// Receivers walk this in lockstep with a sender's recent list to
+    /// recognise already-held versions without a single map probe.
+    pub fn timestamp_index(&self) -> impl Iterator<Item = (Timestamp, &K)> {
+        self.peel.newest_first()
+    }
+
     /// The *recent update list* (§1.3): all entries whose timestamp age
-    /// relative to `now` is at most `tau`, newest first.
+    /// relative to `now` is at most `tau`, newest first, as an owned
+    /// snapshot (e.g. for a wire message). Collected via
+    /// [`Database::recent_entries`].
     pub fn recent_updates(&self, now: u64, tau: u64) -> RecentUpdates<K, V>
     where
         V: Clone,
     {
-        RecentUpdates::collect(self.newest_first(), now, tau)
+        RecentUpdates::collect(self.recent_entries(now, tau), now, tau)
     }
 
     /// Discards or parks death certificates according to `policy`, as
@@ -576,6 +711,90 @@ mod tests {
         assert_eq!(recent.iter().next().unwrap().0, &"new");
         let all = db.recent_updates(101, 1000);
         assert_eq!(all.len(), 2);
+    }
+
+    #[test]
+    fn recent_entries_matches_recent_updates_snapshot() {
+        let mut c = clock(0);
+        let mut db = Database::new();
+        for (i, key) in ["a", "b", "c", "d"].iter().enumerate() {
+            c.advance_to(u64::try_from(i).unwrap() * 40);
+            db.update(*key, i as u32, &mut c);
+        }
+        for tau in [0, 40, 80, 1_000] {
+            let borrowed: Vec<(&str, u32)> = db
+                .recent_entries(130, tau)
+                .map(|(k, e)| (*k, e.timestamp().time() as u32))
+                .collect();
+            let owned: Vec<(&str, u32)> = db
+                .recent_updates(130, tau)
+                .iter()
+                .map(|(k, e)| (*k, e.timestamp().time() as u32))
+                .collect();
+            assert_eq!(borrowed, owned, "tau={tau}");
+        }
+    }
+
+    #[test]
+    fn apply_ref_agrees_with_apply() {
+        // A stream with repeated keys and non-monotone timestamps, so the
+        // applied / already-known / obsolete cases all occur.
+        let ts = |t: u64| Timestamp::new(t, SiteId::new(1));
+        let mut stream: Vec<(u32, Entry<u32>)> = Vec::new();
+        for i in 0..40u32 {
+            let t = u64::from((i * 7) % 13 + 1);
+            let e = if i % 5 == 0 {
+                Entry::dead(ts(t))
+            } else {
+                Entry::live(i, ts(t))
+            };
+            stream.push((i % 6, e));
+        }
+        let mut owned: Database<u32, u32> = Database::new();
+        let mut borrowed: Database<u32, u32> = Database::new();
+        // Replay a prefix so exact duplicates (already-known) occur too.
+        let replay: Vec<_> = stream.iter().take(10).cloned().collect();
+        stream.extend(replay);
+        for (k, e) in &stream {
+            let a = owned.apply(*k, e.clone());
+            let b = borrowed.apply_ref(k, e);
+            assert_eq!(a, b);
+        }
+        assert_eq!(owned, borrowed);
+        assert_eq!(borrowed.checksum(), borrowed.recompute_checksum());
+        assert_eq!(owned.live_len(), borrowed.live_len());
+    }
+
+    #[test]
+    fn offer_ref_awakens_dormant_certificate_like_offer() {
+        let retention = SiteId::new(0);
+        let build = || {
+            let mut c = clock(0);
+            let mut db = Database::new();
+            let t_old = c.now();
+            db.update("k", 1, &mut c);
+            db.delete_with_retention(&"k", vec![retention], &mut c);
+            db.collect_garbage(
+                retention,
+                c.peek() + 50,
+                GcPolicy::Dormant {
+                    tau1: 10,
+                    tau2: 1000,
+                },
+            );
+            (db, t_old, c.peek())
+        };
+        let (mut by_value, t_old, local) = build();
+        let (mut by_ref, _, _) = build();
+        let now = Timestamp::new(local + 50, SiteId::new(9));
+        let offered = Entry::live(1, t_old);
+        let a = by_value.offer("k", offered.clone(), now);
+        let b = by_ref.offer_ref(&"k", &offered, now);
+        assert_eq!(a, OfferOutcome::AwakenedDormant);
+        assert_eq!(a, b);
+        assert_eq!(by_value, by_ref);
+        assert_eq!(by_ref.dormant_len(), 0);
+        assert_eq!(by_ref.checksum(), by_ref.recompute_checksum());
     }
 }
 

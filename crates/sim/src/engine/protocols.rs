@@ -18,7 +18,7 @@
 //! addressing leaves a residue of never-notified sites — the motivating
 //! failure the other two mechanisms repair.
 
-use epidemic_core::rumor::{self, RumorConfig};
+use epidemic_core::rumor::{self, RumorConfig, RumorScratch};
 use epidemic_core::{Direction, Feedback, Removal, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{LinkTraffic, Routes};
@@ -233,6 +233,8 @@ pub struct MixingProtocol {
     pub(crate) state0: Vec<bool>,
     /// Start-of-cycle "is infective" snapshot (pull synchronous).
     pub(crate) hot0: Vec<bool>,
+    /// Reused hot-key snapshot buffers for the sequential contact paths.
+    pub(crate) scratch: RumorScratch<u32>,
 }
 
 impl EpidemicProtocol for MixingProtocol {
@@ -294,7 +296,8 @@ impl EpidemicProtocol for MixingProtocol {
                         useful: u64::from(applied),
                     }
                 } else {
-                    let stats = rumor::push_contact(&self.cfg, a, b, rng);
+                    let stats =
+                        rumor::push_contact_with(&self.cfg, a, b, rng, &mut self.scratch.a_keys);
                     if stats.useful > 0 {
                         self.received.mark(j, cycle);
                     }
@@ -332,7 +335,13 @@ impl EpidemicProtocol for MixingProtocol {
                         useful: u64::from(applied),
                     }
                 } else {
-                    let stats = rumor::pull_contact(&self.cfg, requester, source, rng);
+                    let stats = rumor::pull_contact_with(
+                        &self.cfg,
+                        requester,
+                        source,
+                        rng,
+                        &mut self.scratch.b_keys,
+                    );
                     if stats.useful > 0 {
                         self.received.mark(i, cycle);
                     }
@@ -341,7 +350,7 @@ impl EpidemicProtocol for MixingProtocol {
             }
             Direction::PushPull => {
                 let (a, b) = pair_mut(&mut self.sites, i, j);
-                let stats = rumor::push_pull_contact(&self.cfg, a, b, rng);
+                let stats = rumor::push_pull_contact_with(&self.cfg, a, b, rng, &mut self.scratch);
                 for idx in [i, j] {
                     if self.sites[idx].db().entry(&KEY).is_some() {
                         self.received.mark(idx, cycle);

@@ -112,6 +112,7 @@ impl<'a> AsyncAntiEntropySim<'a> {
             .collect();
 
         let protocol = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let mut scratch = epidemic_core::ExchangeScratch::new();
         let mut recorder = RouteRecorder::new(&self.routes, self.topology.link_count());
         let mut exchanges = 0u64;
         let mut now = 0;
@@ -123,7 +124,7 @@ impl<'a> AsyncAntiEntropySim<'a> {
             now = t;
             let j = policy.attempt(i, &mut rng);
             let (a, b) = crate::util::pair_mut(&mut replicas, i, j);
-            let stats = protocol.exchange(a, b);
+            let stats = protocol.exchange_with(a, b, &mut scratch);
             exchanges += 1;
             let flowed = stats.update_flowed();
             recorder.record(sites[i], sites[j], u64::from(flowed));
@@ -291,6 +292,7 @@ impl AsyncRumorEpidemic {
             .collect();
         let mut sent: u64 = 0;
         let mut events = 0u64;
+        let mut scratch = rumor::RumorScratch::new();
 
         while events < self.max_events {
             // Quiescence: no site is infective.
@@ -303,7 +305,7 @@ impl AsyncRumorEpidemic {
             events += 1;
             let j = policy.attempt(i, &mut rng);
             let (a, b) = crate::util::pair_mut(&mut sites, i, j);
-            let stats = rumor::contact(&self.cfg, a, b, &mut rng);
+            let stats = rumor::contact_with(&self.cfg, a, b, &mut rng, &mut scratch);
             if self.cfg.direction == Direction::Pull {
                 // No cycle boundary exists: apply counters immediately.
                 rumor::end_cycle(&self.cfg, b);

@@ -8,7 +8,7 @@
 //! unreachable servers); anti-entropy's claim is that distribution still
 //! completes, merely stretched by the unavailable capacity.
 
-use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeScratch, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{PartnerSampler, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
@@ -117,6 +117,7 @@ impl<'a> ChurnedAntiEntropySim<'a> {
             have,
             have_count: 1,
             down_cycles: 0,
+            scratch: ExchangeScratch::new(),
         };
         let report = CycleEngine::new().max_cycles(self.max_cycles).run(
             &mut protocol,
@@ -164,6 +165,7 @@ struct ChurnedAntiEntropyProtocol {
     have: Vec<bool>,
     have_count: usize,
     down_cycles: u64,
+    scratch: ExchangeScratch<u32, u32>,
 }
 
 impl EpidemicProtocol for ChurnedAntiEntropyProtocol {
@@ -198,7 +200,7 @@ impl EpidemicProtocol for ChurnedAntiEntropyProtocol {
 
     fn contact(&mut self, _cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
         let (a, b) = pair_mut(&mut self.replicas, i, j);
-        let stats = self.exchange.exchange(a, b);
+        let stats = self.exchange.exchange_with(a, b, &mut self.scratch);
         let flowed = stats.update_flowed();
         if flowed {
             for idx in [i, j] {

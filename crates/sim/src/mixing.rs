@@ -221,6 +221,7 @@ impl RumorEpidemic {
             received,
             state0: vec![false; n],
             hot0: vec![false; n],
+            scratch: epidemic_core::RumorScratch::new(),
         };
         let report = CycleEngine::new()
             .connection_limit(self.connection_limit)

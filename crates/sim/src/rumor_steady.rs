@@ -15,7 +15,7 @@
 //! redundant sends), and the residue of rumors that quiesced before
 //! reaching everyone.
 
-use epidemic_core::rumor::{self, RumorConfig};
+use epidemic_core::rumor::{self, RumorConfig, RumorScratch};
 use epidemic_core::{Direction, Replica};
 use epidemic_db::SiteId;
 use rand::rngs::StdRng;
@@ -111,6 +111,7 @@ impl RumorSteadySim {
             sites,
             inject_cycles: self.config.inject_cycles,
             injector: UpdateInjector::new(self.config.updates_per_cycle),
+            scratch: RumorScratch::new(),
         };
         let report = CycleEngine::new().max_cycles(total_cycles).run(
             &mut protocol,
@@ -151,6 +152,7 @@ struct RumorSteadyProtocol {
     sites: Vec<Replica<u32, u32>>,
     inject_cycles: u32,
     injector: UpdateInjector,
+    scratch: RumorScratch<u32>,
 }
 
 impl EpidemicProtocol for RumorSteadyProtocol {
@@ -190,7 +192,7 @@ impl EpidemicProtocol for RumorSteadyProtocol {
 
     fn contact(&mut self, _cycle: u32, i: usize, j: usize, rng: &mut StdRng) -> ContactStats {
         let (a, b) = pair_mut(&mut self.sites, i, j);
-        rumor::contact(&self.cfg, a, b, rng).into()
+        rumor::contact_with(&self.cfg, a, b, rng, &mut self.scratch).into()
     }
 
     fn end_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {

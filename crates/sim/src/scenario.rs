@@ -276,6 +276,7 @@ impl DormantDeathScenario {
         replicas[down].advance_clock(later);
         let mut awakened = 0;
         let mut obsolete_cancelled = false;
+        let mut scratch = epidemic_core::ExchangeScratch::new();
         for _ in 0..50 * n {
             if replicas.iter().all(|r| r.db().get(&"item").is_none()) {
                 obsolete_cancelled = true;
@@ -283,7 +284,7 @@ impl DormantDeathScenario {
             }
             let (i, j) = random_pair(n, &mut rng);
             let (a, b) = pair_mut(&mut replicas, i, j);
-            awakened += ae.exchange(a, b).awakened;
+            awakened += ae.exchange_with(a, b, &mut scratch).awakened;
         }
         DormantReport {
             awakened,
@@ -296,10 +297,11 @@ impl DormantDeathScenario {
 /// Runs random push-pull anti-entropy rounds until all replicas agree.
 fn converge(replicas: &mut [Replica<&'static str, u32>], ae: &AntiEntropy, rng: &mut StdRng) {
     let n = replicas.len();
+    let mut scratch = epidemic_core::ExchangeScratch::new();
     for _ in 0..50 * n {
         let (i, j) = random_pair(n, rng);
         let (a, b) = pair_mut(replicas, i, j);
-        ae.exchange(a, b);
+        ae.exchange_with(a, b, &mut scratch);
         let first = &replicas[0];
         if replicas[1..].iter().all(|r| r.db() == first.db()) {
             return;
@@ -316,13 +318,14 @@ fn converge_excluding(
     rng: &mut StdRng,
 ) {
     let n = replicas.len();
+    let mut scratch = epidemic_core::ExchangeScratch::new();
     for _ in 0..50 * n {
         let (i, j) = random_pair(n, rng);
         if i == down || j == down {
             continue;
         }
         let (a, b) = pair_mut(replicas, i, j);
-        ae.exchange(a, b);
+        ae.exchange_with(a, b, &mut scratch);
         let up: Vec<_> = (0..n).filter(|&x| x != down).collect();
         let first = &replicas[up[0]];
         if up[1..].iter().all(|&x| replicas[x].db() == first.db()) {
@@ -590,6 +593,7 @@ impl CrashScenario {
 
         // Everyone is back up; run backup anti-entropy to convergence.
         let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+        let mut scratch = epidemic_core::ExchangeScratch::new();
         let mut exchanges = 0;
         let repaired = loop {
             if replicas.iter().all(|r| r.db().entry(&0).is_some()) {
@@ -600,7 +604,7 @@ impl CrashScenario {
             }
             let (i, j) = random_pair(n, &mut rng);
             let (a, b) = pair_mut(&mut replicas, i, j);
-            ae.exchange(a, b);
+            ae.exchange_with(a, b, &mut scratch);
             exchanges += 1;
         };
         CrashReport {

@@ -13,7 +13,7 @@
 //! hunting are the shared [`CycleEngine`]'s, applied to a
 //! [`SpatialPartners`] policy.
 
-use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeScratch, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{LinkTraffic, PartnerSampler, PartnerSelection, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
@@ -162,6 +162,7 @@ impl<'a, S: PartnerSelection> AntiEntropySim<'a, S> {
             replicas,
             received,
             recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+            scratch: ExchangeScratch::new(),
         };
         let report = CycleEngine::new()
             .connection_limit(self.connection_limit)
@@ -213,6 +214,7 @@ pub struct SpatialAntiEntropyProtocol<'a> {
     pub(crate) replicas: Vec<Replica<u32, u32>>,
     received: ReceiveLog<u32>,
     recorder: RouteRecorder<'a>,
+    scratch: ExchangeScratch<u32, u32>,
 }
 
 impl EpidemicProtocol for SpatialAntiEntropyProtocol<'_> {
@@ -226,7 +228,7 @@ impl EpidemicProtocol for SpatialAntiEntropyProtocol<'_> {
 
     fn contact(&mut self, cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
         let (a, b) = pair_mut(&mut self.replicas, i, j);
-        let stats = self.exchange.exchange(a, b);
+        let stats = self.exchange.exchange_with(a, b, &mut self.scratch);
         let flowed = stats.update_flowed();
         self.recorder
             .record(self.sites[i], self.sites[j], u64::from(flowed));

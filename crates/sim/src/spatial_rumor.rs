@@ -125,6 +125,7 @@ impl<'a> SpatialRumorSim<'a> {
             replicas,
             received,
             recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+            scratch: rumor::RumorScratch::new(),
         };
         let report = CycleEngine::new().max_cycles(self.max_cycles).run(
             &mut protocol,
@@ -174,6 +175,7 @@ pub struct SpatialRumorProtocol<'a> {
     pub(crate) replicas: Vec<Replica<u32, u32>>,
     received: ReceiveLog<u32>,
     recorder: RouteRecorder<'a>,
+    scratch: rumor::RumorScratch<u32>,
 }
 
 impl EpidemicProtocol for SpatialRumorProtocol<'_> {
@@ -198,7 +200,7 @@ impl EpidemicProtocol for SpatialRumorProtocol<'_> {
 
     fn contact(&mut self, cycle: u32, i: usize, j: usize, rng: &mut StdRng) -> ContactStats {
         let (a, b) = pair_mut(&mut self.replicas, i, j);
-        let stats = rumor::contact(&self.cfg, a, b, rng);
+        let stats = rumor::contact_with(&self.cfg, a, b, rng, &mut self.scratch);
         self.recorder.record(
             self.sites[i],
             self.sites[j],

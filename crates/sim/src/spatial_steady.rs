@@ -10,7 +10,7 @@
 //! where most conversations carry a handful of recent entries rather than
 //! one epidemic update.
 
-use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeScratch, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{LinkTraffic, PartnerSampler, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
@@ -58,6 +58,10 @@ pub struct SpatialSteadyReport {
     pub entry_traffic: LinkTraffic,
     /// Cycles measured.
     pub measured_cycles: u32,
+    /// Conversations recorded during the measured cycles (the
+    /// denominator behind `full_compare_rate`): exactly
+    /// `sites × measured_cycles` when every site initiates each cycle.
+    pub exchanges: u64,
 }
 
 /// Driver: continuous updates + anti-entropy with spatial partner
@@ -111,6 +115,7 @@ impl<'a> SpatialSteadySim<'a> {
             exchanges: 0,
             full_compares: 0,
             recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+            scratch: ExchangeScratch::new(),
         };
         CycleEngine::new().max_cycles(total).run(
             &mut protocol,
@@ -125,6 +130,7 @@ impl<'a> SpatialSteadySim<'a> {
             full_compare_rate: protocol.full_compares as f64 / protocol.exchanges as f64,
             entry_traffic: protocol.recorder.update,
             measured_cycles: self.config.cycles,
+            exchanges: protocol.exchanges,
         }
     }
 }
@@ -141,6 +147,7 @@ struct SpatialSteadyProtocol<'a> {
     exchanges: u64,
     full_compares: u64,
     recorder: RouteRecorder<'a>,
+    scratch: ExchangeScratch<u32, u64>,
 }
 
 impl EpidemicProtocol for SpatialSteadyProtocol<'_> {
@@ -166,8 +173,12 @@ impl EpidemicProtocol for SpatialSteadyProtocol<'_> {
 
     fn contact(&mut self, cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
         let (a, b) = pair_mut(&mut self.replicas, i, j);
-        let stats = self.exchange.exchange(a, b);
+        let stats = self.exchange.exchange_with(a, b, &mut self.scratch);
         let sent = stats.total_sent() as u64;
+        // Record strictly after the warm-up: contacts run at cycle values
+        // `1..=warmup + cycles`, so `cycle > warmup` admits exactly
+        // `cycles` cycles — the same count `run()` divides by (audited;
+        // pinned by `warmup_boundary_records_exactly_measured_cycles`).
         if cycle > self.warmup {
             self.exchanges += 1;
             self.full_compares += u64::from(stats.full_compare);
@@ -211,6 +222,37 @@ mod tests {
         let uniform = measure(Spatial::Uniform);
         let local = measure(Spatial::QsPower { a: 2.0 });
         assert!(local < uniform / 2.0, "local {local} vs uniform {uniform}");
+    }
+
+    #[test]
+    fn warmup_boundary_records_exactly_measured_cycles() {
+        // Audit of the suspected `cycle > warmup` off-by-one: the engine
+        // runs contacts at cycle values `1..=warmup + cycles` (the counter
+        // increments before `begin_cycle`), so `cycle > warmup` records
+        // cycles `warmup + 1 ..= warmup + cycles` — exactly the `cycles`
+        // count that `run()` divides by. Every site initiates once per
+        // cycle with no connection limit, so the recorded conversation
+        // count pins the boundary: one missed or extra cycle shifts it by
+        // `n_sites`.
+        let topo = topologies::ring(10);
+        for (warmup, cycles) in [(20, 60), (0, 5), (7, 1)] {
+            let sim = SpatialSteadySim::new(
+                &topo,
+                Spatial::Uniform,
+                SpatialSteadyConfig {
+                    warmup,
+                    cycles,
+                    ..SpatialSteadyConfig::default()
+                },
+            );
+            let report = sim.run(4);
+            assert_eq!(
+                report.exchanges,
+                10 * u64::from(cycles),
+                "warmup={warmup} cycles={cycles}"
+            );
+            assert_eq!(report.measured_cycles, cycles);
+        }
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! anti-entropy exchange per site per cycle, reporting how often each
 //! comparison strategy had to fall back to a full database comparison.
 
-use epidemic_core::{AntiEntropy, Comparison, Direction, Replica};
+use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeScratch, Replica};
 use epidemic_db::SiteId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,6 +75,7 @@ impl SteadyStateSim {
             full_compares: 0,
             sent: 0,
             scanned: 0,
+            scratch: ExchangeScratch::new(),
         };
         CycleEngine::new().max_cycles(total).run(
             &mut protocol,
@@ -104,6 +105,7 @@ struct SteadyStateProtocol {
     full_compares: u64,
     sent: u64,
     scanned: u64,
+    scratch: ExchangeScratch<u32, u64>,
 }
 
 impl EpidemicProtocol for SteadyStateProtocol {
@@ -128,7 +130,7 @@ impl EpidemicProtocol for SteadyStateProtocol {
 
     fn contact(&mut self, cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
         let (a, b) = pair_mut(&mut self.replicas, i, j);
-        let stats = self.exchange.exchange(a, b);
+        let stats = self.exchange.exchange_with(a, b, &mut self.scratch);
         let sent = stats.total_sent() as u64;
         if cycle > self.warmup {
             self.exchanges += 1;
