@@ -72,6 +72,7 @@ fn run(experiment: &str, mix_trials: u64, spatial_trials: u64) -> bool {
         "fig-checksum-window" => figures::print_checksum_window(),
         "fig-async" => figures::print_async_ablation(50),
         "fig-cin-steady" => figures::print_cin_steady(20),
+        "fig-cin-steady-sharded" => figures::print_cin_steady_sharded(20),
         "ablation-hierarchy" => figures::print_hierarchy(50),
         "ablation-weighted-cin" => figures::print_weighted_cin(50),
         "ablation-churn" => figures::print_churn(30),
@@ -105,6 +106,7 @@ const ALL: &[&str] = &[
     "fig-checksum-window",
     "fig-async",
     "fig-cin-steady",
+    "fig-cin-steady-sharded",
     "ablation-hierarchy",
     "ablation-weighted-cin",
     "ablation-churn",
@@ -282,6 +284,10 @@ fn main() {
         profile::enable();
     }
     let mut timings: Vec<(String, f64, u64)> = Vec::new();
+    // Figure experiments have no structured trace/json writer; when the
+    // user asked for artifacts we must say so out loud instead of
+    // silently producing nothing (satellite fix: untraced warnings).
+    let mut untraced: Vec<String> = Vec::new();
     for experiment in list {
         let allocs_before = alloc_counter::allocations();
         let start = std::time::Instant::now();
@@ -308,7 +314,17 @@ fn main() {
                     }
                     true
                 }
-                None => run(experiment, mix_trials, spatial_trials),
+                None => {
+                    let handled = run(experiment, mix_trials, spatial_trials);
+                    if handled {
+                        eprintln!(
+                            "[{experiment}: untraced — figure experiments have no \
+                             --trace/--json artifacts; see DESIGN.md §Observability]"
+                        );
+                        untraced.push(experiment.to_string());
+                    }
+                    handled
+                }
             }
         } else {
             run(experiment, mix_trials, spatial_trials)
@@ -325,6 +341,26 @@ fn main() {
             eprintln!("[{experiment}: {seconds:.1}s]");
         }
         timings.push((experiment.to_string(), seconds, allocations));
+    }
+    if !untraced.is_empty() {
+        // A machine-readable record of what was skipped, next to the
+        // artifacts that *were* written. Existing per-table files are
+        // untouched, so byte-diff jobs over table-only selections keep
+        // passing.
+        let mut json = String::from("{\n  \"untraced\": [\n");
+        for (i, name) in untraced.iter().enumerate() {
+            let comma = if i + 1 < untraced.len() { "," } else { "" };
+            json.push_str(&format!("    \"{name}\"{comma}\n"));
+        }
+        json.push_str("  ]\n}");
+        for dir in [&trace_dir, &json_dir].into_iter().flatten() {
+            write_artifact(dir, "untraced.json", &json);
+        }
+        eprintln!(
+            "[{} experiment(s) ran untraced: {}]",
+            untraced.len(),
+            untraced.join(" ")
+        );
     }
     if let Some(path) = timings_path {
         let phases = profile::take();

@@ -902,6 +902,91 @@ pub fn print_cin_steady(trials: u64) {
     );
 }
 
+/// The sharded-engine counterpart of [`print_cin_steady`]'s measurement:
+/// one row per spatial distribution, each trial run on the deterministic
+/// shard-parallel engine. Exposed (with explicit runner/shard/worker
+/// inputs) so the determinism suite can pin that the rendered rows are
+/// byte-identical at any worker count.
+pub fn cin_steady_sharded_rows(
+    runner: TrialRunner,
+    net: &topologies::Cin,
+    trials: u64,
+    shards: usize,
+    workers: usize,
+) -> Vec<Vec<String>> {
+    use epidemic_sim::spatial_steady::{SpatialSteadyConfig, SpatialSteadySim};
+    let config = SpatialSteadyConfig::default();
+    let mut rows = Vec::new();
+    for (label, spatial) in [
+        ("uniform".to_string(), Spatial::Uniform),
+        ("a = 1.2".to_string(), Spatial::QsPower { a: 1.2 }),
+        ("a = 2.0".to_string(), Spatial::QsPower { a: 2.0 }),
+    ] {
+        let sim = SpatialSteadySim::new(&net.topology, spatial, config);
+        let acc = crate::parallel_trials_with(
+            runner,
+            trials,
+            |seed| {
+                let r = sim.run_sharded(seed + 31, shards, workers);
+                (
+                    r.conversations_per_link_cycle,
+                    r.entries_per_link_cycle,
+                    r.entry_traffic.at(net.bushey_link) as f64 / f64::from(r.measured_cycles),
+                    r.full_compare_rate,
+                )
+            },
+            [0.0f64; 4],
+            |mut a, r| {
+                for (x, v) in a.iter_mut().zip([r.0, r.1, r.2, r.3]) {
+                    *x += v;
+                }
+                a
+            },
+        );
+        let t = trials as f64;
+        rows.push(vec![
+            label,
+            fmt(acc[0] / t),
+            fmt(acc[1] / t),
+            fmt(acc[2] / t),
+            fmt(acc[3] / t),
+        ]);
+    }
+    rows
+}
+
+/// As [`print_cin_steady`], but on the deterministic shard-parallel
+/// engine (a different RNG universe — numbers agree statistically, not
+/// byte-for-byte). The thread budget is split between trial fan-out and
+/// per-trial shard workers so nesting never oversubscribes.
+pub fn print_cin_steady_sharded(trials: u64) {
+    let net = cin(&CinConfig::default());
+    let shards = epidemic_sim::engine::default_shards();
+    let runner = TrialRunner::new();
+    let (trial_workers, shard_workers) = runner.split_budget(trials, shards);
+    let rows = cin_steady_sharded_rows(
+        runner.threads(trial_workers),
+        &net,
+        trials,
+        shards,
+        shard_workers,
+    );
+    print_table(
+        &format!(
+            "Steady state on the CIN (sharded engine, {shards} shards): \
+             recent-list anti-entropy, 2 updates/cycle"
+        ),
+        &[
+            "distribution",
+            "conv/link/cycle",
+            "entries/link/cycle",
+            "entries Bushey/cycle",
+            "full-compare rate",
+        ],
+        &rows,
+    );
+}
+
 /// Weighted-CIN ablation: modelling the transatlantic phone lines as
 /// high-cost links. `d`-seen distance pushes `Q_s(d)`'s sorted lists
 /// around, so Europe appears "farther" and crossing traffic falls further

@@ -1,0 +1,97 @@
+//! Integration tests for the `repro` binary's CLI contract: selector
+//! errors must be loud (nonzero exit + the list of valid names), and
+//! figure experiments that produce no `--trace`/`--json` artifacts must
+//! say so instead of silently writing nothing.
+
+use std::path::PathBuf;
+use std::process::{Command, Output};
+
+fn repro(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(args)
+        .output()
+        .expect("repro binary runs")
+}
+
+/// A unique scratch directory per test (no tempfile dependency).
+fn scratch(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("repro-cli-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+#[test]
+fn only_with_no_match_exits_nonzero_and_lists_names() {
+    let out = repro(&["--only", "no-such-experiment"]);
+    assert_eq!(out.status.code(), Some(2), "zero-match --only must fail");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("matches no experiment"),
+        "stderr must explain the empty match: {stderr}"
+    );
+    // The valid names must be offered so the user can fix the selector.
+    for name in ["table1", "fig-cin-steady", "ablation-churn"] {
+        assert!(stderr.contains(name), "stderr must list {name}: {stderr}");
+    }
+}
+
+#[test]
+fn unknown_experiment_exits_nonzero_and_lists_names() {
+    let out = repro(&["definitely-not-real"]);
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("unknown experiment"), "{stderr}");
+    assert!(stderr.contains("table1"), "{stderr}");
+}
+
+#[test]
+fn trace_with_empty_selection_is_a_usage_error() {
+    // `--trace DIR` with neither experiments nor selectors would write
+    // nothing at all; that must be a usage error, not a silent no-op.
+    let dir = scratch("empty-trace");
+    let out = repro(&["--trace", dir.to_str().unwrap()]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(
+        !dir.exists(),
+        "an empty selection must not create the artifact directory"
+    );
+}
+
+#[test]
+fn untraced_figures_warn_and_are_listed_in_summary_json() {
+    let dir = scratch("untraced");
+    let dir_str = dir.to_str().unwrap();
+    let out = repro(&["--json", dir_str, "fig-line-traffic"]);
+    assert!(out.status.success(), "fig-line-traffic runs");
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fig-line-traffic: untraced"),
+        "per-experiment warning expected: {stderr}"
+    );
+    assert!(
+        stderr.contains("1 experiment(s) ran untraced: fig-line-traffic"),
+        "summary line expected: {stderr}"
+    );
+    let summary = std::fs::read_to_string(dir.join("untraced.json"))
+        .expect("untraced.json written next to the artifacts");
+    assert!(
+        summary.contains("\"fig-line-traffic\""),
+        "skipped names recorded: {summary}"
+    );
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn traced_tables_do_not_emit_untraced_artifacts() {
+    // A table-only selection must keep the artifact directory exactly as
+    // before the untraced-warning fix (CI byte-diffs such directories).
+    let dir = scratch("tables-only");
+    let dir_str = dir.to_str().unwrap();
+    let out = repro(&["--trials", "1", "--json", dir_str, "table1"]);
+    assert!(out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("untraced"), "{stderr}");
+    assert!(!dir.join("untraced.json").exists());
+    assert!(dir.join("table1.rows.json").exists());
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,40 @@
+//! The sharded CIN steady-state figure must be byte-identical at any
+//! worker count: trial fan-out returns results in trial order, and each
+//! trial's sharded run is a pure function of `(seed, shards)`. This is the
+//! bench-layer counterpart of `epidemic-sim`'s `sharded_equivalence`
+//! suite, exercised through the exact row-building code the `repro`
+//! binary renders.
+
+use epidemic_bench::figures::cin_steady_sharded_rows;
+use epidemic_net::topologies::{cin, CinConfig};
+use epidemic_sim::runner::TrialRunner;
+
+#[test]
+fn cin_steady_sharded_rows_are_worker_invariant() {
+    // A small CIN keeps the test fast; determinism does not depend on
+    // topology size.
+    let net = cin(&CinConfig {
+        na_regions: 3,
+        sites_per_region: 6,
+        europe_sites: 6,
+        backbone_chords: 1,
+        transatlantic_cost: 1,
+        seed: 42,
+    });
+    let trials = 3;
+    let shards = 4;
+    let reference = cin_steady_sharded_rows(TrialRunner::new().threads(1), &net, trials, shards, 1);
+    assert!(!reference.is_empty());
+    for workers in [2usize, 8] {
+        // Vary the trial-runner thread count and the intra-trial shard
+        // worker count together: neither may affect the rendered rows.
+        let rows = cin_steady_sharded_rows(
+            TrialRunner::new().threads(workers),
+            &net,
+            trials,
+            shards,
+            workers,
+        );
+        assert_eq!(rows, reference, "rows differ at {workers} workers");
+    }
+}

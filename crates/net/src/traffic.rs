@@ -96,6 +96,12 @@ impl LinkTraffic {
     pub fn counts(&self) -> &[u64] {
         &self.counts
     }
+
+    /// Resets every counter to zero, keeping the link count (for reusable
+    /// per-shard accumulators that drain into a total each cycle).
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+    }
 }
 
 #[cfg(test)]

@@ -29,11 +29,16 @@
 pub mod observer;
 pub mod partner;
 pub mod protocols;
+pub mod sharded;
 pub mod trace;
 
 pub use observer::{Observer, SirCounts, SirObserver, SirView};
 pub use partner::{PartnerPolicy, SpatialPartners, UniformPartners};
 pub use protocols::{DirectMailProtocol, ReceiveLog, RouteRecorder, UpdateInjector};
+pub use sharded::{
+    default_shards, ContactPair, ShardableProtocol, ShardedCycleEngine, DEFAULT_SHARDS,
+    SHARDS_ENV_VAR,
+};
 pub use trace::{InvariantObserver, TraceObserver, TraceView};
 
 use std::time::Instant;
@@ -53,9 +58,12 @@ pub struct ContactStats {
 
 impl From<epidemic_core::rumor::RumorStats> for ContactStats {
     fn from(stats: epidemic_core::rumor::RumorStats) -> Self {
+        // Saturate instead of panicking: `usize > u64` only exists on
+        // 128-bit targets, but the conversion sits on the hot path and a
+        // megascale run must degrade to a clamped counter, not abort.
         ContactStats {
-            sent: u64::try_from(stats.sent).expect("sent count fits u64"),
-            useful: u64::try_from(stats.useful).expect("useful count fits u64"),
+            sent: u64::try_from(stats.sent).unwrap_or(u64::MAX),
+            useful: u64::try_from(stats.useful).unwrap_or(u64::MAX),
         }
     }
 }
@@ -237,6 +245,11 @@ impl CycleEngine {
         O: Observer<P>,
         S: MetricsSink,
     {
+        // Audited: `Instant::now` is reached only when the sink records
+        // (`S::ENABLED`) or the global profile recorder is on. With the
+        // no-op sink and profiling off every `timed.then(..)` below is
+        // `None` and the hot loop performs no clock syscalls — pinned by
+        // `uninstrumented_run_reads_no_clocks_and_records_no_phases`.
         let timed = S::ENABLED || profile::is_enabled();
         let setup_start = timed.then(Instant::now);
         let n = protocol.site_count();
@@ -244,6 +257,8 @@ impl CycleEngine {
         let mut active: Vec<usize> = Vec::with_capacity(n);
         let mut accepted: Vec<u32> = vec![0; n];
         let mut totals = EngineTotals::default();
+        // `cycle` cannot overflow: it only increments while strictly below
+        // `max_cycles`, itself a `u32`, so the counter tops out there.
         let mut cycle = 0u32;
         observer.on_run_start(protocol);
         let setup_nanos = setup_start.map_or(0, profile::span_nanos);
@@ -500,5 +515,91 @@ mod tests {
             &mut (),
         );
         assert_eq!(report.cycles, 17);
+    }
+
+    /// Regression (hot-path sweep): a six-figure cycle bound must run to
+    /// completion with an exact cycle count — the `u32` counter is bounded
+    /// by `max_cycles` and cannot wrap or misreport on long runs.
+    #[test]
+    fn long_runs_keep_an_exact_cycle_count() {
+        struct Idle;
+        impl EpidemicProtocol for Idle {
+            fn site_count(&self) -> usize {
+                2
+            }
+            fn roster(&self) -> Roster {
+                Roster::Active
+            }
+            fn is_active(&self, _i: usize) -> bool {
+                false // empty roster: cycles tick with zero contacts
+            }
+            fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
+                false
+            }
+            fn contact(
+                &mut self,
+                _cycle: u32,
+                _i: usize,
+                _j: usize,
+                _rng: &mut StdRng,
+            ) -> ContactStats {
+                unreachable!("no site is active")
+            }
+        }
+        let mut rng = StdRng::seed_from_u64(0);
+        let report = CycleEngine::new().max_cycles(250_000).run(
+            &mut Idle,
+            &UniformPartners::new(2),
+            &mut rng,
+            &mut (),
+        );
+        assert_eq!(report.cycles, 250_000);
+        assert_eq!(report.totals.contacts, 0);
+    }
+
+    /// Regression (hot-path sweep): converting pathological `RumorStats`
+    /// saturates instead of panicking — `ContactStats::from` sits on the
+    /// per-contact path and must never abort a run.
+    #[test]
+    fn contact_stats_conversion_saturates_on_huge_counts() {
+        let stats = epidemic_core::rumor::RumorStats {
+            sent: usize::MAX,
+            useful: usize::MAX,
+            deactivated: 0,
+        };
+        let converted = ContactStats::from(stats);
+        assert_eq!(
+            converted.sent,
+            u64::try_from(usize::MAX).unwrap_or(u64::MAX)
+        );
+        assert_eq!(converted.useful, converted.sent);
+    }
+
+    /// Audit pin (hot-path sweep): with the no-op sink and the global
+    /// profile recorder off, the engine performs no phase timing at all —
+    /// no `engine.*` phases appear in the profile table afterwards. (The
+    /// `timed` gate in `run_instrumented` is what keeps `Instant::now`
+    /// off the uninstrumented hot path.)
+    #[test]
+    fn uninstrumented_run_reads_no_clocks_and_records_no_phases() {
+        assert!(
+            !profile::is_enabled(),
+            "test assumes the global recorder is off"
+        );
+        let mut protocol = BitPush {
+            infected: {
+                let mut v = vec![false; 16];
+                v[0] = true;
+                v
+            },
+            contact_log: Vec::new(),
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        CycleEngine::new().run(&mut protocol, &UniformPartners::new(16), &mut rng, &mut ());
+        let phases = profile::snapshot();
+        assert!(
+            phases.iter().all(|p| !p.name.starts_with("engine.")),
+            "uninstrumented runs must record no engine phases: {phases:?}"
+        );
     }
 }

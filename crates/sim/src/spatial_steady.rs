@@ -17,7 +17,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::engine::{
-    ContactStats, CycleEngine, EpidemicProtocol, RouteRecorder, SpatialPartners, UpdateInjector,
+    ContactPair, ContactStats, CycleEngine, EpidemicProtocol, RouteRecorder, ShardableProtocol,
+    ShardedCycleEngine, SpatialPartners, UpdateInjector,
 };
 use crate::util::pair_mut;
 
@@ -133,6 +134,46 @@ impl<'a> SpatialSteadySim<'a> {
             exchanges: protocol.exchanges,
         }
     }
+
+    /// As [`SpatialSteadySim::run`] on the deterministic shard-parallel
+    /// engine: the output is a pure function of `(seed, shards)` and never
+    /// of `workers` — but it is a *different* RNG universe from
+    /// [`SpatialSteadySim::run`] (see
+    /// [`engine::sharded`](crate::engine::sharded)).
+    pub fn run_sharded(&self, seed: u64, shards: usize, workers: usize) -> SpatialSteadyReport {
+        let sites = self.topology.sites();
+        let replicas: Vec<Replica<u32, u64>> = sites.iter().map(|&s| Replica::new(s)).collect();
+        let total = self.config.warmup + self.config.cycles;
+        let mut protocol = SpatialSteadyProtocol {
+            exchange: AntiEntropy::new(Direction::PushPull, self.config.comparison),
+            sites,
+            replicas,
+            injector: UpdateInjector::new(self.config.updates_per_cycle),
+            warmup: self.config.warmup,
+            exchanges: 0,
+            full_compares: 0,
+            recorder: RouteRecorder::new(&self.routes, self.topology.link_count()),
+            scratch: ExchangeScratch::new(),
+        };
+        ShardedCycleEngine::new(shards)
+            .workers(workers)
+            .max_cycles(total)
+            .run(
+                &mut protocol,
+                &SpatialPartners::new(sites, &self.sampler),
+                seed,
+                &mut (),
+            );
+        let measured = f64::from(self.config.cycles);
+        SpatialSteadyReport {
+            conversations_per_link_cycle: protocol.recorder.compare.mean_per_link() / measured,
+            entries_per_link_cycle: protocol.recorder.update.mean_per_link() / measured,
+            full_compare_rate: protocol.full_compares as f64 / protocol.exchanges as f64,
+            entry_traffic: protocol.recorder.update,
+            measured_cycles: self.config.cycles,
+            exchanges: protocol.exchanges,
+        }
+    }
 }
 
 /// Steady-state push-pull anti-entropy on a topology: continuous update
@@ -185,6 +226,93 @@ impl EpidemicProtocol for SpatialSteadyProtocol<'_> {
             self.recorder.record(self.sites[i], self.sites[j], sent);
         }
         ContactStats { sent, useful: sent }
+    }
+}
+
+/// Read-only cycle context for the sharded steady-state path.
+struct SpatialSteadyCtx<'p> {
+    exchange: AntiEntropy,
+    sites: &'p [SiteId],
+    routes: &'p Routes,
+    warmup: u32,
+}
+
+/// Per-shard accumulator: one exchange scratch per shard plus shard-local
+/// exchange counters and traffic.
+struct SpatialSteadyShard {
+    scratch: ExchangeScratch<u32, u64>,
+    exchanges: u64,
+    full_compares: u64,
+    compare: LinkTraffic,
+    update: LinkTraffic,
+}
+
+impl ShardableProtocol for SpatialSteadyProtocol<'_> {
+    type Site = Replica<u32, u64>;
+    type Ctx<'p>
+        = SpatialSteadyCtx<'p>
+    where
+        Self: 'p;
+    type Shard = SpatialSteadyShard;
+
+    fn make_shard(&self) -> SpatialSteadyShard {
+        SpatialSteadyShard {
+            scratch: ExchangeScratch::new(),
+            exchanges: 0,
+            full_compares: 0,
+            compare: LinkTraffic::new(self.recorder.compare.link_count()),
+            update: LinkTraffic::new(self.recorder.update.link_count()),
+        }
+    }
+
+    fn split(&mut self) -> (SpatialSteadyCtx<'_>, &mut [Replica<u32, u64>]) {
+        (
+            SpatialSteadyCtx {
+                exchange: self.exchange,
+                sites: self.sites,
+                routes: self.recorder.routes(),
+                warmup: self.warmup,
+            },
+            &mut self.replicas,
+        )
+    }
+
+    fn contact_sharded(
+        ctx: &SpatialSteadyCtx<'_>,
+        shard: &mut SpatialSteadyShard,
+        cycle: u32,
+        pair: ContactPair<'_, Replica<u32, u64>>,
+        _rng: &mut StdRng,
+    ) -> ContactStats {
+        let ContactPair { i, a, j, b } = pair;
+        let stats = ctx.exchange.exchange_with(a, b, &mut shard.scratch);
+        let sent = stats.total_sent() as u64;
+        // Same warm-up boundary as the sequential path (`cycle > warmup`
+        // admits exactly `cycles` measured cycles).
+        if cycle > ctx.warmup {
+            shard.exchanges += 1;
+            shard.full_compares += u64::from(stats.full_compare);
+            shard
+                .compare
+                .record_route(ctx.routes, ctx.sites[i], ctx.sites[j]);
+            for _ in 0..sent {
+                shard
+                    .update
+                    .record_route(ctx.routes, ctx.sites[i], ctx.sites[j]);
+            }
+        }
+        ContactStats { sent, useful: sent }
+    }
+
+    fn absorb(&mut self, shard: &mut SpatialSteadyShard) {
+        self.exchanges += shard.exchanges;
+        self.full_compares += shard.full_compares;
+        shard.exchanges = 0;
+        shard.full_compares = 0;
+        self.recorder.compare.merge(&shard.compare);
+        self.recorder.update.merge(&shard.update);
+        shard.compare.clear();
+        shard.update.clear();
     }
 }
 

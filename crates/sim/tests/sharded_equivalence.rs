@@ -1,0 +1,331 @@
+//! Determinism and agreement suite for the shard-parallel engine.
+//!
+//! The sharded engine is a *new RNG universe*: its outputs are a pure
+//! function of `(protocol, policy, seed, shards)` and legitimately differ
+//! from the sequential engine's (whose outputs the golden tables and
+//! `engine_equivalence.txt` pin). What this suite pins instead:
+//!
+//! 1. **Worker invariance, to the byte** — every shipped sharded driver
+//!    produces identical results *and an identical per-contact event
+//!    stream* at 1, 2 and 8 workers (1 worker is the sequential-reference
+//!    mode: tasks run inline on the caller's thread).
+//! 2. **Statistical agreement** — sharded and sequential runs simulate
+//!    the same epidemic, so their trial means must agree within
+//!    self-calibrated Monte-Carlo error bands (5 standard errors).
+//! 3. **Invariant cleanliness** — the `InvariantObserver` rule set holds
+//!    on sharded runs exactly as on sequential ones.
+//!
+//! See DESIGN.md §Deterministic parallel cycle for the two-phase
+//! roster/merge construction that makes (1) hold by design rather than
+//! by scheduling luck.
+
+use epidemic_core::{Comparison, Direction, Feedback, Removal, RumorConfig};
+use epidemic_net::{topologies, Spatial};
+use epidemic_sim::engine::{ContactStats, InvariantObserver, Observer};
+use epidemic_sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
+use epidemic_sim::spatial_ae::AntiEntropySim;
+use epidemic_sim::spatial_rumor::SpatialRumorSim;
+use epidemic_sim::spatial_steady::{SpatialSteadyConfig, SpatialSteadySim};
+
+const WORKERS: [usize; 3] = [1, 2, 8];
+const SHARDS: usize = 4;
+
+/// Records every contact the engine reports, in delivery order. Two runs
+/// are byte-identical iff their results *and* these logs match.
+#[derive(Default, PartialEq, Eq, Debug)]
+struct EventLog {
+    events: Vec<(u32, usize, usize, u64, u64)>,
+}
+
+impl<P: ?Sized> Observer<P> for EventLog {
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        self.events.push((cycle, i, j, stats.sent, stats.useful));
+    }
+}
+
+/// Runs `run(workers)` at every worker count and asserts the `{:?}`
+/// rendering (round-trip exact for `f64`) never changes.
+fn assert_worker_invariant<R: std::fmt::Debug>(tag: &str, run: impl Fn(usize) -> (R, EventLog)) {
+    let (reference, reference_log) = run(WORKERS[0]);
+    let reference = format!("{reference:?}");
+    assert!(
+        !reference_log.events.is_empty(),
+        "{tag}: a run with no contacts proves nothing"
+    );
+    for workers in &WORKERS[1..] {
+        let (result, log) = run(*workers);
+        assert_eq!(
+            format!("{result:?}"),
+            reference,
+            "{tag}: result differs at {workers} workers"
+        );
+        assert_eq!(
+            log, reference_log,
+            "{tag}: event stream differs at {workers} workers"
+        );
+    }
+}
+
+#[test]
+fn mixing_rumor_is_worker_invariant() {
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        for synchronous in [true, false] {
+            let epidemic = RumorEpidemic::new(RumorConfig::new(
+                direction,
+                Feedback::Feedback,
+                Removal::Counter { k: 2 },
+            ))
+            .synchronous(synchronous);
+            for seed in 0..3u64 {
+                assert_worker_invariant(
+                    &format!("rumor/{direction:?}/sync={synchronous}/seed={seed}"),
+                    |workers| {
+                        let mut log = EventLog::default();
+                        let r = epidemic.run_sharded_observed(48, seed, SHARDS, workers, &mut log);
+                        (r, log)
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn mixing_anti_entropy_is_worker_invariant() {
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let epidemic = AntiEntropyEpidemic::new(direction);
+        for seed in 0..3u64 {
+            assert_worker_invariant(&format!("ae/{direction:?}/seed={seed}"), |workers| {
+                let mut log = EventLog::default();
+                let r = epidemic.run_sharded_observed(48, seed, SHARDS, workers, &mut log);
+                (r, log)
+            });
+        }
+    }
+}
+
+#[test]
+fn spatial_anti_entropy_is_worker_invariant() {
+    let grid = topologies::grid(&[4, 4]);
+    let ring = topologies::ring(12);
+    for (topo_tag, topo) in [("grid4x4", &grid), ("ring12", &ring)] {
+        for (sp_tag, spatial) in [
+            ("uniform", Spatial::Uniform),
+            ("qs2", Spatial::QsPower { a: 2.0 }),
+        ] {
+            let sim = AntiEntropySim::new(topo, spatial);
+            for seed in 0..2u64 {
+                assert_worker_invariant(
+                    &format!("spatial-ae/{topo_tag}/{sp_tag}/seed={seed}"),
+                    |workers| {
+                        let mut log = EventLog::default();
+                        let r = sim.run_sharded_observed(seed, None, SHARDS, workers, &mut log);
+                        (
+                            (
+                                r.t_last,
+                                r.t_ave,
+                                r.cycles,
+                                r.compare_traffic,
+                                r.update_traffic,
+                            ),
+                            log,
+                        )
+                    },
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn spatial_rumor_is_worker_invariant() {
+    let ring = topologies::ring(12);
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let cfg = RumorConfig::new(direction, Feedback::Feedback, Removal::Counter { k: 2 });
+        let sim = SpatialRumorSim::new(&ring, Spatial::QsPower { a: 1.5 }, cfg);
+        for seed in 0..2u64 {
+            assert_worker_invariant(
+                &format!("spatial-rumor/{direction:?}/seed={seed}"),
+                |workers| {
+                    let mut log = EventLog::default();
+                    let r = sim.run_sharded_observed(seed, None, SHARDS, workers, &mut log);
+                    (
+                        (
+                            r.complete,
+                            r.residue,
+                            r.t_last,
+                            r.t_ave,
+                            r.cycles,
+                            r.susceptible_sites.clone(),
+                            r.compare_traffic.clone(),
+                            r.update_traffic.clone(),
+                        ),
+                        log,
+                    )
+                },
+            );
+        }
+    }
+}
+
+#[test]
+fn spatial_steady_is_worker_invariant() {
+    let ring = topologies::ring(12);
+    let sim = SpatialSteadySim::new(
+        &ring,
+        Spatial::QsPower { a: 1.5 },
+        SpatialSteadyConfig {
+            updates_per_cycle: 1.0,
+            comparison: Comparison::RecentList { tau: 400 },
+            warmup: 4,
+            cycles: 8,
+        },
+    );
+    // No observer entry point here: the report itself (per-link traffic
+    // included) is the byte-identity witness.
+    for seed in 0..2u64 {
+        let reference = format!("{:?}", sim.run_sharded(seed, SHARDS, 1));
+        for workers in &WORKERS[1..] {
+            assert_eq!(
+                format!("{:?}", sim.run_sharded(seed, SHARDS, *workers)),
+                reference,
+                "spatial-steady/seed={seed}: report differs at {workers} workers"
+            );
+        }
+    }
+}
+
+#[test]
+fn shard_count_defines_the_rng_universe() {
+    // The shard count is part of the seed derivation: changing it changes
+    // the run (while staying deterministic for each fixed value). This is
+    // why `EPIDEMIC_SHARDS` must stay fixed across machines when comparing
+    // artifacts — only `EPIDEMIC_THREADS` is free.
+    let epidemic = AntiEntropyEpidemic::new(Direction::PushPull);
+    let a = epidemic.run_sharded(48, 7, 2, 1);
+    let b = epidemic.run_sharded(48, 7, 8, 1);
+    let a2 = epidemic.run_sharded(48, 7, 2, 1);
+    assert_eq!(format!("{a:?}"), format!("{a2:?}"), "fixed shards: stable");
+    assert_ne!(
+        format!("{a:?}"),
+        format!("{b:?}"),
+        "different shard counts draw from different streams"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Statistical agreement: sharded and sequential engines simulate the same
+// epidemic, so Monte-Carlo means must agree within sampling error.
+// ---------------------------------------------------------------------
+
+/// Asserts `|mean(a) - mean(b)|` is within `5 × stderr` of the pooled
+/// samples — a self-calibrating band: no hand-tuned tolerances to rot.
+fn assert_means_agree(tag: &str, a: &[f64], b: &[f64]) {
+    let mean = |xs: &[f64]| xs.iter().sum::<f64>() / xs.len() as f64;
+    let var = |xs: &[f64], m: f64| {
+        xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / (xs.len() - 1) as f64
+    };
+    let (ma, mb) = (mean(a), mean(b));
+    let stderr = (var(a, ma) / a.len() as f64 + var(b, mb) / b.len() as f64).sqrt();
+    // The epsilon keeps zero-variance metrics (e.g. "always complete")
+    // from demanding exact equality of means.
+    assert!(
+        (ma - mb).abs() <= 5.0 * stderr + 1e-9,
+        "{tag}: sequential mean {ma} vs sharded mean {mb} (stderr {stderr})"
+    );
+}
+
+#[test]
+fn rumor_sharded_agrees_with_sequential_statistics() {
+    let epidemic = RumorEpidemic::new(RumorConfig::new(
+        Direction::Push,
+        Feedback::Feedback,
+        Removal::Counter { k: 2 },
+    ));
+    let trials = 60u64;
+    let n = 64;
+    let sequential: Vec<_> = (0..trials).map(|s| epidemic.run(n, s)).collect();
+    let sharded: Vec<_> = (0..trials)
+        .map(|s| epidemic.run_sharded(n, s, SHARDS, 2))
+        .collect();
+    let residue = |rs: &[epidemic_sim::mixing::EpidemicResult]| {
+        rs.iter().map(|r| r.residue).collect::<Vec<_>>()
+    };
+    let traffic = |rs: &[epidemic_sim::mixing::EpidemicResult]| {
+        rs.iter().map(|r| r.traffic).collect::<Vec<_>>()
+    };
+    let t_ave = |rs: &[epidemic_sim::mixing::EpidemicResult]| {
+        rs.iter().map(|r| r.t_ave).collect::<Vec<_>>()
+    };
+    assert_means_agree("rumor residue", &residue(&sequential), &residue(&sharded));
+    assert_means_agree("rumor traffic", &traffic(&sequential), &traffic(&sharded));
+    assert_means_agree("rumor t_ave", &t_ave(&sequential), &t_ave(&sharded));
+}
+
+#[test]
+fn anti_entropy_sharded_agrees_with_sequential_statistics() {
+    let epidemic = AntiEntropyEpidemic::new(Direction::PushPull);
+    let trials = 40u64;
+    let cycles = |runs: &[f64]| runs.to_vec();
+    let sequential: Vec<f64> = (0..trials)
+        .map(|s| f64::from(epidemic.run(64, s).cycles))
+        .collect();
+    let sharded: Vec<f64> = (0..trials)
+        .map(|s| f64::from(epidemic.run_sharded(64, s, SHARDS, 2).cycles))
+        .collect();
+    assert_means_agree("ae cycles", &cycles(&sequential), &cycles(&sharded));
+}
+
+#[test]
+fn spatial_steady_sharded_agrees_with_sequential_statistics() {
+    let ring = topologies::ring(16);
+    let sim = SpatialSteadySim::new(
+        &ring,
+        Spatial::Uniform,
+        SpatialSteadyConfig {
+            updates_per_cycle: 1.0,
+            comparison: Comparison::RecentList { tau: 400 },
+            warmup: 5,
+            cycles: 10,
+        },
+    );
+    let trials = 30u64;
+    let sequential: Vec<f64> = (0..trials)
+        .map(|s| sim.run(s).conversations_per_link_cycle)
+        .collect();
+    let sharded: Vec<f64> = (0..trials)
+        .map(|s| sim.run_sharded(s, SHARDS, 2).conversations_per_link_cycle)
+        .collect();
+    assert_means_agree("steady conversations", &sequential, &sharded);
+}
+
+// ---------------------------------------------------------------------
+// Invariant cleanliness on the sharded path.
+// ---------------------------------------------------------------------
+
+#[test]
+fn sharded_runs_pass_the_invariant_checker() {
+    for direction in [Direction::Push, Direction::Pull, Direction::PushPull] {
+        let epidemic = RumorEpidemic::new(RumorConfig::new(
+            direction,
+            Feedback::Feedback,
+            Removal::Counter { k: 2 },
+        ));
+        let mut check = InvariantObserver::new();
+        epidemic.run_sharded_observed(48, 11, SHARDS, 8, &mut check);
+        assert!(
+            check.is_clean(),
+            "rumor/{direction:?} sharded run violated invariants: {}",
+            check.to_jsonl()
+        );
+    }
+    let ring = topologies::ring(12);
+    let sim = AntiEntropySim::new(&ring, Spatial::QsPower { a: 1.5 });
+    let mut check = InvariantObserver::new();
+    sim.run_sharded_observed(11, None, SHARDS, 8, &mut check);
+    assert!(
+        check.is_clean(),
+        "spatial-ae sharded run violated invariants: {}",
+        check.to_jsonl()
+    );
+}
