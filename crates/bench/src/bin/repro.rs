@@ -73,6 +73,7 @@ fn run(experiment: &str, mix_trials: u64, spatial_trials: u64) -> bool {
         "fig-async" => figures::print_async_ablation(50),
         "fig-cin-steady" => figures::print_cin_steady(20),
         "fig-cin-steady-sharded" => figures::print_cin_steady_sharded(20),
+        "fig-megascale" => figures::print_megascale(),
         "ablation-hierarchy" => figures::print_hierarchy(50),
         "ablation-weighted-cin" => figures::print_weighted_cin(50),
         "ablation-churn" => figures::print_churn(30),
@@ -107,6 +108,7 @@ const ALL: &[&str] = &[
     "fig-async",
     "fig-cin-steady",
     "fig-cin-steady-sharded",
+    "fig-megascale",
     "ablation-hierarchy",
     "ablation-weighted-cin",
     "ablation-churn",
@@ -146,19 +148,21 @@ fn write_artifact(dir: &str, file: &str, contents: &str) {
 /// Writes the timing report as JSON (hand-rolled: experiment and phase
 /// names come from fixed in-tree lists and need no escaping). When the
 /// `count-allocs` feature is active each experiment row additionally
-/// carries its heap-allocation count.
+/// carries its heap-allocation count. `peak_rss_kb` is the process
+/// high-water mark sampled right after the experiment finished — monotone
+/// across rows, 0 on platforms without `/proc` (see `epidemic_bench::rss`).
 fn write_timings(
     path: &str,
     threads: usize,
-    timings: &[(String, f64, u64)],
+    timings: &[(String, f64, u64, u64)],
     phases: &[epidemic_trace::PhaseStat],
 ) {
-    let total: f64 = timings.iter().map(|(_, s, _)| s).sum();
+    let total: f64 = timings.iter().map(|(_, s, _, _)| s).sum();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     json.push_str("  \"experiments\": [\n");
-    for (i, (name, seconds, allocations)) in timings.iter().enumerate() {
+    for (i, (name, seconds, allocations, peak_rss_kb)) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
         let allocs = if alloc_counter::enabled() {
             format!(", \"allocations\": {allocations}")
@@ -166,7 +170,8 @@ fn write_timings(
             String::new()
         };
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}{allocs}}}{comma}\n"
+            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}{allocs}, \
+             \"peak_rss_kb\": {peak_rss_kb}}}{comma}\n"
         ));
     }
     json.push_str("  ],\n");
@@ -283,7 +288,7 @@ fn main() {
     if timings_path.is_some() {
         profile::enable();
     }
-    let mut timings: Vec<(String, f64, u64)> = Vec::new();
+    let mut timings: Vec<(String, f64, u64, u64)> = Vec::new();
     // Figure experiments have no structured trace/json writer; when the
     // user asked for artifacts we must say so out loud instead of
     // silently producing nothing (satellite fix: untraced warnings).
@@ -335,12 +340,13 @@ fn main() {
         }
         let seconds = start.elapsed().as_secs_f64();
         let allocations = alloc_counter::allocations() - allocs_before;
+        let peak_rss_kb = epidemic_bench::rss::peak_rss_kb();
         if alloc_counter::enabled() {
             eprintln!("[{experiment}: {seconds:.1}s, {allocations} allocations]");
         } else {
             eprintln!("[{experiment}: {seconds:.1}s]");
         }
-        timings.push((experiment.to_string(), seconds, allocations));
+        timings.push((experiment.to_string(), seconds, allocations, peak_rss_kb));
     }
     if !untraced.is_empty() {
         // A machine-readable record of what was skipped, next to the

@@ -1266,6 +1266,122 @@ pub fn print_pull_vs_push_rate(trials: u64) {
     );
 }
 
+/// Environment variable capping the largest `n` in the megascale sweep.
+///
+/// The full sweep runs to 10⁶ sites, which is minutes of wall clock and
+/// hundreds of MB of RSS — right for `repro`, wrong for a test or a CI
+/// smoke job. Setting e.g. `EPIDEMIC_MEGASCALE_MAX_N=10000` keeps only
+/// the points with `n ≤ 10⁴`.
+pub const MEGASCALE_MAX_N_ENV: &str = "EPIDEMIC_MEGASCALE_MAX_N";
+
+fn megascale_max_n() -> usize {
+    match std::env::var(MEGASCALE_MAX_N_ENV) {
+        Ok(v) => v
+            .parse()
+            .unwrap_or_else(|_| panic!("{MEGASCALE_MAX_N_ENV} must be an integer, got {v:?}")),
+        Err(_) => 1_000_000,
+    }
+}
+
+/// Fig-megascale: the paper's workhorse rumor variant (push, feedback,
+/// coin `k=4`) at 10⁴–10⁶ sites, on uniform complete mixing and on a
+/// Barabási–Albert scale-free contact graph (`m = 2`), crossed with the
+/// storage backend.
+///
+/// The backends are observationally equivalent, so at each `(n,
+/// topology)` point the protocol columns (residue, `t_last`, traffic,
+/// cycles) are identical across backends and only the cost columns —
+/// seconds, allocations, peak RSS — differ. `n = 10⁴` runs on **both**
+/// backends to make that comparison explicit; the larger points run flat
+/// only (the BTree backend at 10⁶ is exactly the slow case the flat
+/// backend exists to replace). The allocations column needs the
+/// `count-allocs` build (it reads "n/a" otherwise) and peak RSS is the
+/// *process* high-water mark, monotone across rows — see
+/// [`crate::rss`].
+pub fn megascale(max_n: usize) -> Vec<Vec<String>> {
+    use epidemic_db::Backend;
+    use epidemic_net::DegreeGraph;
+    use epidemic_sim::MegascaleSim;
+
+    let sim = MegascaleSim::new();
+    let mut rows = Vec::new();
+    for n in [10_000usize, 100_000, 1_000_000] {
+        if n > max_n {
+            continue;
+        }
+        let backends: &[Backend] = if n == 10_000 {
+            &[Backend::BTree, Backend::Flat]
+        } else {
+            &[Backend::Flat]
+        };
+        for scale_free in [false, true] {
+            // One graph per (n, topology) point, shared across backends so
+            // the runs are literally the same epidemic.
+            let graph = scale_free.then(|| DegreeGraph::scale_free(n, 2, 1987));
+            let seed = 1987 ^ n as u64;
+            for &backend in backends {
+                let allocs_before = crate::alloc_counter::allocations();
+                let start = std::time::Instant::now();
+                let r = match &graph {
+                    Some(g) => sim.run_scale_free(g, seed, backend),
+                    None => sim.run_uniform(n, seed, backend),
+                };
+                let seconds = start.elapsed().as_secs_f64();
+                let allocations = crate::alloc_counter::allocations() - allocs_before;
+                rows.push(vec![
+                    n.to_string(),
+                    if scale_free {
+                        "scale-free m=2"
+                    } else {
+                        "uniform"
+                    }
+                    .to_string(),
+                    match backend {
+                        Backend::BTree => "btree",
+                        Backend::Flat => "flat",
+                    }
+                    .to_string(),
+                    fmt(r.residue),
+                    fmt(r.t_last),
+                    fmt(r.traffic),
+                    r.cycles.to_string(),
+                    format!("{seconds:.2}"),
+                    if crate::alloc_counter::enabled() {
+                        allocations.to_string()
+                    } else {
+                        "n/a".to_string()
+                    },
+                    (crate::rss::peak_rss_kb() / 1024).to_string(),
+                ]);
+            }
+        }
+    }
+    rows
+}
+
+/// Prints [`megascale`], honoring [`MEGASCALE_MAX_N_ENV`].
+pub fn print_megascale() {
+    let max_n = megascale_max_n();
+    let rows = megascale(max_n);
+    print_table(
+        "Fig: megascale rumor epidemics (push, feedback, coin k=4) — \
+         n x topology x storage backend",
+        &[
+            "n",
+            "topology",
+            "backend",
+            "residue",
+            "t_last",
+            "traffic m",
+            "cycles",
+            "seconds",
+            "allocations",
+            "peak RSS MB",
+        ],
+        &rows,
+    );
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -17,6 +17,7 @@
 pub mod alloc_counter;
 pub mod figures;
 pub mod render;
+pub mod rss;
 pub mod tables;
 pub mod trace;
 

@@ -1,0 +1,78 @@
+//! Peak resident-set-size sampling for the benchmark reports.
+//!
+//! Wall-clock and allocation counts say how hard an experiment worked;
+//! they say nothing about whether it *fits*. The megascale sweep exists
+//! precisely to show a million-site fleet fitting in memory, so the
+//! `repro --timings` report records the process peak RSS alongside each
+//! experiment's seconds and allocations.
+//!
+//! The only portable-enough source for this is the kernel's own
+//! accounting: `VmHWM` ("high water mark") in `/proc/self/status`, the
+//! peak resident set over the process lifetime, in kB. Two consequences
+//! callers must keep in mind:
+//!
+//! * the value is **process-wide and monotone** — sampling after each
+//!   experiment yields a non-decreasing sequence, and an experiment's own
+//!   footprint is visible only when it pushes the high-water mark past
+//!   everything that ran before it (the repro binary therefore reports
+//!   the *peak so far*, not a per-experiment delta);
+//! * on non-Linux hosts there is no `/proc`, and the helper returns 0 —
+//!   "unknown", never a guess.
+
+/// The process's peak resident set size in kB (`VmHWM`), or 0 when the
+/// platform does not expose it.
+pub fn peak_rss_kb() -> u64 {
+    read_vm_hwm().unwrap_or(0)
+}
+
+#[cfg(target_os = "linux")]
+fn read_vm_hwm() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    parse_vm_hwm(&status)
+}
+
+#[cfg(not(target_os = "linux"))]
+fn read_vm_hwm() -> Option<u64> {
+    None
+}
+
+/// Parses the `VmHWM:   1234 kB` line out of a `/proc/<pid>/status` body.
+#[cfg_attr(not(target_os = "linux"), allow(dead_code))]
+fn parse_vm_hwm(status: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    line["VmHWM:".len()..]
+        .trim()
+        .trim_end_matches("kB")
+        .trim()
+        .parse()
+        .ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_kernel_format() {
+        let status = "Name:\trepro\nVmPeak:\t  200 kB\nVmHWM:\t   86172 kB\nThreads:\t1\n";
+        assert_eq!(parse_vm_hwm(status), Some(86172));
+    }
+
+    #[test]
+    fn missing_field_is_none() {
+        assert_eq!(parse_vm_hwm("Name:\trepro\nThreads:\t1\n"), None);
+    }
+
+    #[test]
+    fn sampling_is_monotone_and_positive_on_linux() {
+        let before = peak_rss_kb();
+        // Touch a few MB so the high-water mark is certainly nonzero.
+        let v: Vec<u64> = (0..500_000).collect();
+        assert_eq!(v.len(), 500_000);
+        let after = peak_rss_kb();
+        if cfg!(target_os = "linux") {
+            assert!(before > 0, "VmHWM readable");
+        }
+        assert!(after >= before, "high-water mark never shrinks");
+    }
+}

@@ -1,0 +1,39 @@
+//! Golden byte-identity on the flat storage backend.
+//!
+//! `golden.rs` pins Table 1's rendered text on the default backend; this
+//! binary reruns the same experiment with `EPIDEMIC_BACKEND=flat` and
+//! asserts the *same* golden file matches byte for byte. That is the
+//! strongest cheap statement of the tentpole's equivalence claim: every
+//! RNG draw, every timestamp comparison and every rendered digit survives
+//! the storage swap.
+//!
+//! The backend choice is read from the environment once, at the first
+//! `Database` construction, and cached for the process lifetime — so the
+//! variable must be set before any replica exists. That is why this is a
+//! dedicated test binary with exactly one test: a sibling test could
+//! construct a `Database` first and freeze the default backend.
+
+use epidemic_bench::tables::{render_mixing, table1_with, PAPER_TABLE1};
+use epidemic_db::{Backend, BACKEND_ENV_VAR};
+use epidemic_sim::runner::TrialRunner;
+
+const TABLE1_GOLDEN: &str = include_str!("golden/table1.txt");
+
+#[test]
+fn table1_on_flat_backend_matches_the_btree_golden() {
+    std::env::set_var(BACKEND_ENV_VAR, "flat");
+    assert_eq!(
+        Backend::from_env(),
+        Backend::Flat,
+        "env override must be read before any Database is built"
+    );
+    let rendered = render_mixing(
+        "Table 1 (golden): push, feedback, counter, n=200, 16 trials",
+        &table1_with(TrialRunner::new().threads(1), 200, 16),
+        &PAPER_TABLE1,
+    );
+    assert_eq!(
+        rendered, TABLE1_GOLDEN,
+        "flat backend changed Table 1's bytes"
+    );
+}

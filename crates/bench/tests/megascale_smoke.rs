@@ -1,0 +1,75 @@
+//! CI smoke for the megascale sweep: the `n = 10⁴` point of
+//! fig-megascale, under the counting allocator, with a wall-clock budget.
+//!
+//! This pins the tentpole's two load-bearing claims at a size CI can
+//! afford:
+//!
+//! * the flat backend runs the *same epidemic* as the BTree backend
+//!   (identical `EpidemicResult` on the same seed), and
+//! * it asks the allocator for strictly less while doing so.
+//!
+//! Like `zero_alloc.rs`, this file owns its test binary: it registers
+//! [`CountingAlloc`] as the global allocator, so it holds exactly one
+//! test and is compiled out without the `count-allocs` feature. Run it
+//! with
+//!
+//! ```text
+//! cargo test -p epidemic-bench --features count-allocs --test megascale_smoke --release
+//! ```
+
+#![cfg(feature = "count-allocs")]
+
+use std::time::{Duration, Instant};
+
+use epidemic_bench::alloc_counter::{allocations, CountingAlloc};
+use epidemic_db::Backend;
+use epidemic_net::DegreeGraph;
+use epidemic_sim::MegascaleSim;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+const N: usize = 10_000;
+/// Generous even for an unoptimized single-CPU debug run; a release build
+/// finishes the whole test in a couple of seconds. The budget exists to
+/// catch complexity regressions (an accidentally quadratic path at 10⁴
+/// sites blows straight past it), not to benchmark.
+const BUDGET: Duration = Duration::from_secs(300);
+
+#[test]
+fn flat_backend_matches_btree_and_allocates_strictly_less() {
+    let start = Instant::now();
+    let sim = MegascaleSim::new();
+    let seed = 1987 ^ N as u64;
+
+    let before = allocations();
+    let tree = sim.run_uniform(N, seed, Backend::BTree);
+    let tree_allocs = allocations() - before;
+
+    let before = allocations();
+    let flat = sim.run_uniform(N, seed, Backend::Flat);
+    let flat_allocs = allocations() - before;
+
+    // Same seed, same RNG stream, observationally equivalent storage:
+    // the epidemic itself must be identical to the last bit.
+    assert_eq!(tree, flat, "backends diverged on the same epidemic");
+    assert!(tree.residue < 0.05, "epidemic failed to spread: {tree:?}");
+    assert!(
+        flat_allocs < tree_allocs,
+        "flat backend allocated {flat_allocs} times, btree {tree_allocs} — \
+         the flat backend must allocate strictly less at n = 10^4"
+    );
+
+    // Scale-free topology exercises the NeighborPartners + DegreeGraph
+    // path the big sweep uses; same equivalence requirement.
+    let graph = DegreeGraph::scale_free(N, 2, 1987);
+    let tree = sim.run_scale_free(&graph, seed, Backend::BTree);
+    let flat = sim.run_scale_free(&graph, seed, Backend::Flat);
+    assert_eq!(tree, flat, "backends diverged on the scale-free epidemic");
+
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < BUDGET,
+        "megascale smoke took {elapsed:?}, budget {BUDGET:?}"
+    );
+}

@@ -82,6 +82,45 @@ fn untraced_figures_warn_and_are_listed_in_summary_json() {
 }
 
 #[test]
+fn list_knows_fig_megascale() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(
+        stdout.lines().any(|l| l == "fig-megascale"),
+        "--list must include fig-megascale: {stdout}"
+    );
+}
+
+#[test]
+fn megascale_honors_the_max_n_cap_and_reports_untraced() {
+    // EPIDEMIC_MEGASCALE_MAX_N=0 keeps the sweep empty, so the CLI
+    // contract (selection, untraced warning, artifact summary) is testable
+    // without paying for a real epidemic.
+    let dir = scratch("megascale");
+    let dir_str = dir.to_str().unwrap();
+    let out = Command::new(env!("CARGO_BIN_EXE_repro"))
+        .args(["--json", dir_str, "--only", "fig-megascale"])
+        .env("EPIDEMIC_MEGASCALE_MAX_N", "0")
+        .output()
+        .expect("repro binary runs");
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        stderr.contains("fig-megascale: untraced"),
+        "figure experiments warn when asked for artifacts: {stderr}"
+    );
+    let summary = std::fs::read_to_string(dir.join("untraced.json"))
+        .expect("untraced.json written next to the artifacts");
+    assert!(summary.contains("\"fig-megascale\""), "{summary}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn traced_tables_do_not_emit_untraced_artifacts() {
     // A table-only selection must keep the artifact directory exactly as
     // before the untraced-warning fix (CI byte-diffs such directories).

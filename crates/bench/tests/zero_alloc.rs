@@ -148,4 +148,43 @@ fn converged_exchanges_do_not_allocate() {
         delta, 0,
         "per-shard scratch: converged steady-state exchanges allocated {delta} times"
     );
+
+    // The *engine* around those exchanges must be allocation-free per cycle
+    // too. The sharded engine's single-worker path used to assemble
+    // per-round slice/rng/state/task Vecs on every round of every cycle,
+    // which is why fig-cin-steady-sharded out-allocated its sequential twin
+    // (954,625 vs 783,861). With the borrows now carved inline, two
+    // identical steady-state runs differing only in `max_cycles` must
+    // allocate *identically*: the longer run is a strict single-threaded
+    // superset of the shorter one, so any difference is per-cycle engine
+    // overhead. Zero update injection keeps the replicas converged-empty
+    // (isolating the engine), and the two-site line forces deterministic
+    // partner choice so the per-pair event buckets reach their high-water
+    // capacity in cycle one of both runs — with two shards of one site
+    // each, every cycle still runs both the self-pair and the cross-pair
+    // inline branches the fix rewrote.
+    let topo = epidemic_net::topologies::line(2);
+    let run_allocs = |cycles: u32| {
+        let sim = epidemic_sim::spatial_steady::SpatialSteadySim::new(
+            &topo,
+            epidemic_net::Spatial::Uniform,
+            epidemic_sim::spatial_steady::SpatialSteadyConfig {
+                updates_per_cycle: 0.0,
+                warmup: 4,
+                cycles,
+                ..Default::default()
+            },
+        );
+        min_allocations(5, || {
+            black_box(sim.run_sharded(11, 2, 1));
+        })
+    };
+    let short = run_allocs(6);
+    let long = run_allocs(56);
+    assert_eq!(
+        long,
+        short,
+        "sharded engine allocated {} times over 50 extra steady-state cycles",
+        long.saturating_sub(short)
+    );
 }

@@ -41,16 +41,22 @@
 
 pub mod checksum;
 pub mod death;
+pub mod flat;
+pub mod interner;
 pub mod item;
 pub mod peelback;
 pub mod recent;
+pub mod storage;
 pub mod store;
 pub mod timestamp;
 
 pub use checksum::Checksum;
 pub use death::{DeathCertificate, GcPolicy, GcStats};
+pub use flat::FlatStore;
+pub use interner::KeyInterner;
 pub use item::{ApplyOutcome, Entry};
 pub use peelback::PeelBackIndex;
 pub use recent::RecentUpdates;
+pub use storage::{Aux, BTreeBackend, Backend, Storage, BACKEND_ENV_VAR};
 pub use store::{Database, OfferOutcome};
 pub use timestamp::{Clock, SimClock, SiteId, SkewedClock, Timestamp};

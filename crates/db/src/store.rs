@@ -5,21 +5,30 @@ use std::hash::Hash;
 
 use crate::checksum::Checksum;
 use crate::death::{DeathCertificate, DeathStage, GcPolicy, GcStats};
+use crate::flat::{self, FlatStore};
 use crate::item::{ApplyOutcome, Entry};
-use crate::peelback::PeelBackIndex;
 use crate::recent::RecentUpdates;
+use crate::storage::{Aux, BTreeBackend, Backend, Storage};
 use crate::timestamp::{Clock, SiteId, Timestamp};
 
 /// One replica of the database: the time-varying partial function
 /// `ValueOf : K → (v ∪ NIL, t)` of §1.1.
 ///
-/// The store maintains three auxiliary structures the paper's protocols
+/// The replica maintains three auxiliary structures the paper's protocols
 /// need, all kept consistent incrementally:
 ///
 /// * an order-independent [`Checksum`] of all entries (§1.3),
-/// * a [`PeelBackIndex`] — entries inverted by timestamp (§1.3),
+/// * an inverted timestamp (peel-back) order over the entries (§1.3) —
+///   maintained as an index or derived from the storage layout, depending
+///   on the backend,
 /// * a side store of *dormant* death certificates (§2.1) that are held but
 ///   neither counted in the checksum nor propagated.
+///
+/// The main store itself lives behind a [`Backend`]: the reference
+/// `BTreeMap` layout or the flat column layout of
+/// [`FlatStore`] (see [`crate::storage`]). Backends are observationally
+/// equivalent; [`Database::new`] picks the one selected by the
+/// `EPIDEMIC_BACKEND` environment variable.
 ///
 /// # Example
 ///
@@ -38,11 +47,53 @@ use crate::timestamp::{Clock, SiteId, Timestamp};
 /// ```
 #[derive(Debug, Clone)]
 pub struct Database<K, V> {
-    entries: BTreeMap<K, Entry<V>>,
+    store: Store<K, V>,
     dormant: BTreeMap<K, DeathCertificate>,
     checksum: Checksum,
-    peel: PeelBackIndex<K>,
     live: usize,
+}
+
+/// The closed set of main-store backends. Enum dispatch (rather than a
+/// boxed trait object) keeps every hot-path operation monomorphic and
+/// branch-predictable: one discriminant test, then straight-line backend
+/// code.
+#[derive(Debug, Clone)]
+enum Store<K, V> {
+    BTree(BTreeBackend<K, V>),
+    Flat(FlatStore<K, V>),
+}
+
+/// Dispatches a read-only storage operation over the backend enum.
+macro_rules! with_store {
+    ($db:expr, $s:ident => $e:expr) => {
+        match &$db.store {
+            Store::BTree($s) => $e,
+            Store::Flat($s) => $e,
+        }
+    };
+}
+
+/// Dispatches a mutating storage operation, handing the backend an [`Aux`]
+/// view of the checksum and live count.
+macro_rules! with_store_aux {
+    ($db:expr, $s:ident, $aux:ident => $e:expr) => {{
+        let Database {
+            store,
+            checksum,
+            live,
+            ..
+        } = $db;
+        match store {
+            Store::BTree($s) => {
+                let $aux = Aux { checksum, live };
+                $e
+            }
+            Store::Flat($s) => {
+                let $aux = Aux { checksum, live };
+                $e
+            }
+        }
+    }};
 }
 
 /// Outcome of [`Database::offer`], which adds dormant-death-certificate
@@ -84,25 +135,45 @@ where
     K: Ord + Clone + Hash,
     V: Hash,
 {
-    /// Creates an empty replica.
+    /// Creates an empty replica on the backend selected by the
+    /// `EPIDEMIC_BACKEND` environment variable ([`Backend::from_env`]);
+    /// the default is the reference B-tree layout.
     pub fn new() -> Self {
+        Database::with_backend(Backend::from_env())
+    }
+
+    /// Creates an empty replica on an explicit storage backend,
+    /// independent of the environment — e.g. for side-by-side backend
+    /// comparisons in one process.
+    pub fn with_backend(backend: Backend) -> Self {
+        let store = match backend {
+            Backend::BTree => Store::BTree(BTreeBackend::new()),
+            Backend::Flat => Store::Flat(FlatStore::new()),
+        };
         Database {
-            entries: BTreeMap::new(),
+            store,
             dormant: BTreeMap::new(),
             checksum: Checksum::new(),
-            peel: PeelBackIndex::new(),
             live: 0,
+        }
+    }
+
+    /// The storage backend this replica runs on.
+    pub fn backend(&self) -> Backend {
+        match &self.store {
+            Store::BTree(_) => Backend::BTree,
+            Store::Flat(_) => Backend::Flat,
         }
     }
 
     /// Number of entries, live values plus (non-dormant) death certificates.
     pub fn len(&self) -> usize {
-        self.entries.len()
+        with_store!(self, s => s.len())
     }
 
     /// Whether the replica holds no entries at all.
     pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+        self.len() == 0
     }
 
     /// Number of live (non-deleted) values.
@@ -112,7 +183,7 @@ where
 
     /// Number of death certificates held in the main store.
     pub fn dead_len(&self) -> usize {
-        self.entries.len() - self.live
+        self.len() - self.live
     }
 
     /// Number of dormant death certificates held in the side store.
@@ -124,12 +195,12 @@ where
     /// for keys with a death certificate (§1.1: a NIL pair "is the same as
     /// `ValueOf[k]` is undefined" from a client's perspective).
     pub fn get(&self, key: &K) -> Option<&V> {
-        self.entries.get(key).and_then(Entry::value)
+        self.entry(key).and_then(Entry::value)
     }
 
     /// The full versioned entry for `key`, including death certificates.
     pub fn entry(&self, key: &K) -> Option<&Entry<V>> {
-        self.entries.get(key)
+        with_store!(self, s => s.get(key))
     }
 
     /// The dormant death certificate for `key`, if this site retains one.
@@ -148,7 +219,7 @@ where
             // supersedes and drops it — a state change either way.
             return true;
         }
-        match self.entries.get(key) {
+        match self.entry(key) {
             Some(current) => timestamp > current.timestamp(),
             None => true,
         }
@@ -200,73 +271,17 @@ where
     /// This is the pure semilattice join; use [`Database::offer`] to also
     /// honor dormant death certificates.
     pub fn apply(&mut self, key: K, entry: Entry<V>) -> ApplyOutcome {
-        match self.entries.get_mut(&key) {
-            Some(current) => {
-                if !entry.supersedes(current) {
-                    return if current.timestamp() == entry.timestamp() {
-                        ApplyOutcome::AlreadyKnown
-                    } else {
-                        ApplyOutcome::Obsolete
-                    };
-                }
-                Self::replace_slot(
-                    current,
-                    &key,
-                    entry,
-                    &mut self.checksum,
-                    &mut self.peel,
-                    &mut self.live,
-                );
-                ApplyOutcome::Applied
-            }
-            None => {
-                self.checksum.toggle(&(&key, &entry));
-                self.peel.insert(entry.timestamp(), key.clone());
-                if !entry.is_dead() {
-                    self.live += 1;
-                }
-                self.entries.insert(key, entry);
-                ApplyOutcome::Applied
-            }
-        }
+        with_store_aux!(self, s, aux => s.apply(key, entry, aux))
     }
 
     /// [`Database::apply`] from borrowed data: the entry is cloned only
     /// when it actually supersedes, so an obsolete or already-known offer
-    /// costs a single `BTreeMap` probe and no ownership transfer.
+    /// costs a single store probe and no ownership transfer.
     pub fn apply_ref(&mut self, key: &K, entry: &Entry<V>) -> ApplyOutcome
     where
         V: Clone,
     {
-        match self.entries.get_mut(key) {
-            Some(current) => {
-                if !entry.supersedes(current) {
-                    return if current.timestamp() == entry.timestamp() {
-                        ApplyOutcome::AlreadyKnown
-                    } else {
-                        ApplyOutcome::Obsolete
-                    };
-                }
-                Self::replace_slot(
-                    current,
-                    key,
-                    entry.clone(),
-                    &mut self.checksum,
-                    &mut self.peel,
-                    &mut self.live,
-                );
-                ApplyOutcome::Applied
-            }
-            None => {
-                self.checksum.toggle(&(key, entry));
-                self.peel.insert(entry.timestamp(), key.clone());
-                if !entry.is_dead() {
-                    self.live += 1;
-                }
-                self.entries.insert(key.clone(), entry.clone());
-                ApplyOutcome::Applied
-            }
-        }
+        with_store_aux!(self, s, aux => s.apply_ref(key, entry, aux))
     }
 
     /// Merges a received entry, first consulting the dormant
@@ -312,66 +327,29 @@ where
         self.apply_ref(key, entry).into()
     }
 
-    /// Overwrites an occupied slot in place, maintaining checksum,
-    /// peel-back index and live count. The caller has already decided the
-    /// replacement (supersession or unconditional install); keeping the
-    /// slot borrowed avoids a second tree walk to re-locate the key.
-    fn replace_slot(
-        slot: &mut Entry<V>,
-        key: &K,
-        new: Entry<V>,
-        checksum: &mut Checksum,
-        peel: &mut PeelBackIndex<K>,
-        live: &mut usize,
-    ) {
-        checksum.toggle(&(key, &*slot));
-        peel.remove(slot.timestamp(), key);
-        if !slot.is_dead() {
-            *live -= 1;
-        }
-        *slot = new;
-        checksum.toggle(&(key, &*slot));
-        peel.insert(slot.timestamp(), key.clone());
-        if !slot.is_dead() {
-            *live += 1;
-        }
-    }
-
     /// Installs an entry unconditionally, maintaining checksum, peel-back
-    /// index and live count. Client mutation funnels through here.
+    /// order and live count. Client mutation funnels through here.
     fn install(&mut self, key: K, entry: Entry<V>) {
-        match self.entries.get_mut(&key) {
-            Some(current) => Self::replace_slot(
-                current,
-                &key,
-                entry,
-                &mut self.checksum,
-                &mut self.peel,
-                &mut self.live,
-            ),
-            None => {
-                self.checksum.toggle(&(&key, &entry));
-                self.peel.insert(entry.timestamp(), key.clone());
-                if !entry.is_dead() {
-                    self.live += 1;
-                }
-                self.entries.insert(key, entry);
-            }
-        }
+        with_store_aux!(self, s, aux => s.install(key, entry, aux))
     }
 
     /// Iterates over all `(key, entry)` pairs in key order.
-    pub fn iter(&self) -> impl Iterator<Item = (&K, &Entry<V>)> {
-        self.entries.iter()
+    pub fn iter(&self) -> Iter<'_, K, V> {
+        Iter {
+            inner: match &self.store {
+                Store::BTree(b) => Either::L(b.iter()),
+                Store::Flat(f) => Either::R(f.iter()),
+            },
+        }
     }
 
     /// Iterates over entries in **reverse timestamp order** — the *peel
     /// back* order of §1.3/§1.5.
     pub fn newest_first(&self) -> impl Iterator<Item = (&K, &Entry<V>)> {
-        self.peel.newest_first().map(move |(_, k)| {
-            let entry = self.entries.get(k).expect("peel index is consistent");
-            (k, entry)
-        })
+        match &self.store {
+            Store::BTree(b) => Either::L(b.newest_first()),
+            Store::Flat(f) => Either::R(f.newest_first()),
+        }
     }
 
     /// Borrowing form of the *recent update list* (§1.3): iterates all
@@ -385,13 +363,12 @@ where
     }
 
     /// The recent update list as bare `(timestamp, key)` pairs straight
-    /// off the peel-back index, newest first. This is the cheapest form
-    /// of the §1.3 list: the timestamps live in the index itself, so no
-    /// entry is fetched until a recipient actually
+    /// off the peel-back order, newest first. This is the cheapest form
+    /// of the §1.3 list: the timestamps live in the index (or column)
+    /// itself, so no entry is fetched until a recipient actually
     /// [`would_accept`](Database::would_accept) it.
     pub fn recent_index(&self, now: u64, tau: u64) -> impl Iterator<Item = (Timestamp, &K)> {
-        self.peel
-            .newest_first()
+        self.timestamp_index()
             .take_while(move |(t, _)| t.age(now) <= tau)
     }
 
@@ -400,7 +377,10 @@ where
     /// Receivers walk this in lockstep with a sender's recent list to
     /// recognise already-held versions without a single map probe.
     pub fn timestamp_index(&self) -> impl Iterator<Item = (Timestamp, &K)> {
-        self.peel.newest_first()
+        match &self.store {
+            Store::BTree(b) => Either::L(b.timestamp_index()),
+            Store::Flat(f) => Either::R(f.timestamp_index()),
+        }
     }
 
     /// The *recent update list* (§1.3): all entries whose timestamp age
@@ -425,7 +405,7 @@ where
         let mut stats = GcStats::default();
         let mut discard = Vec::new();
         let mut park = Vec::new();
-        for (key, entry) in &self.entries {
+        for (key, entry) in self.iter() {
             let Entry::Dead(dc) = entry else { continue };
             match policy {
                 GcPolicy::KeepForever => stats.active += 1,
@@ -468,23 +448,69 @@ where
     /// Used by garbage collection; ordinary deletion goes through
     /// [`Database::delete`] so that a death certificate is left behind.
     fn remove_entry(&mut self, key: &K) -> Option<Entry<V>> {
-        let entry = self.entries.remove(key)?;
-        self.checksum.toggle(&(key, &entry));
-        self.peel.remove(entry.timestamp(), key);
-        if !entry.is_dead() {
-            self.live -= 1;
-        }
-        Some(entry)
+        with_store_aux!(self, s, aux => s.remove(key, aux))
     }
 
     /// Recomputes the checksum from scratch. Exposed for tests and
     /// invariant audits; always equals [`Database::checksum`].
     pub fn recompute_checksum(&self) -> Checksum {
         let mut sum = Checksum::new();
-        for (k, e) in &self.entries {
+        for (k, e) in self.iter() {
             sum.toggle(&(k, e));
         }
         sum
+    }
+}
+
+/// Key-order iterator over a [`Database`]'s main store — the concrete type
+/// behind [`Database::iter`] and `(&Database).into_iter()`.
+#[derive(Debug, Clone)]
+pub struct Iter<'a, K, V> {
+    inner: Either<std::collections::btree_map::Iter<'a, K, Entry<V>>, flat::KeyOrderIter<'a, K, V>>,
+}
+
+impl<'a, K, V> Iterator for Iter<'a, K, V> {
+    type Item = (&'a K, &'a Entry<V>);
+
+    fn next(&mut self) -> Option<Self::Item> {
+        self.inner.next()
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        self.inner.size_hint()
+    }
+}
+
+impl<K, V> ExactSizeIterator for Iter<'_, K, V> {}
+
+/// Two-armed iterator: the storage backends return different concrete
+/// iterator types for the same logical walk, and `impl Trait` needs a
+/// single one.
+#[derive(Debug, Clone)]
+enum Either<L, R> {
+    L(L),
+    R(R),
+}
+
+impl<L, R> Iterator for Either<L, R>
+where
+    L: Iterator,
+    R: Iterator<Item = L::Item>,
+{
+    type Item = L::Item;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        match self {
+            Either::L(l) => l.next(),
+            Either::R(r) => r.next(),
+        }
+    }
+
+    fn size_hint(&self) -> (usize, Option<usize>) {
+        match self {
+            Either::L(l) => l.size_hint(),
+            Either::R(r) => r.size_hint(),
+        }
     }
 }
 
@@ -505,8 +531,10 @@ where
 {
     /// Two replicas are equal when their main stores agree — the
     /// convergence goal `∀ s, s′ : s.ValueOf = s′.ValueOf` of §1.1.
+    /// Backend-agnostic: a flat replica equals a B-tree replica holding
+    /// the same entries.
     fn eq(&self, other: &Self) -> bool {
-        self.entries == other.entries
+        self.len() == other.len() && self.iter().eq(other.iter())
     }
 }
 
@@ -796,6 +824,26 @@ mod tests {
         assert_eq!(by_ref.dormant_len(), 0);
         assert_eq!(by_ref.checksum(), by_ref.recompute_checksum());
     }
+
+    #[test]
+    fn backends_are_interchangeable_and_comparable() {
+        let mut c = clock(0);
+        let mut tree: Database<&str, u32> = Database::with_backend(Backend::BTree);
+        let mut flat: Database<&str, u32> = Database::with_backend(Backend::Flat);
+        assert_eq!(tree.backend(), Backend::BTree);
+        assert_eq!(flat.backend(), Backend::Flat);
+        for (key, value) in [("b", 1), ("a", 2), ("c", 3), ("a", 4)] {
+            let t = tree.update(key, value, &mut c);
+            flat.apply(key, Entry::live(value, t));
+        }
+        tree.delete(&"c", &mut c);
+        flat.apply("c", tree.entry(&"c").unwrap().clone());
+        assert_eq!(tree, flat);
+        assert_eq!(tree.checksum(), flat.checksum());
+        assert_eq!(tree.live_len(), flat.live_len());
+        assert!(tree.newest_first().eq(flat.newest_first()));
+        assert!(tree.timestamp_index().eq(flat.timestamp_index()));
+    }
 }
 
 impl<K, V> Extend<(K, Entry<V>)> for Database<K, V>
@@ -832,10 +880,10 @@ where
     V: Hash,
 {
     type Item = (&'a K, &'a Entry<V>);
-    type IntoIter = std::collections::btree_map::Iter<'a, K, Entry<V>>;
+    type IntoIter = Iter<'a, K, V>;
 
     fn into_iter(self) -> Self::IntoIter {
-        self.entries.iter()
+        self.iter()
     }
 }
 
@@ -890,15 +938,13 @@ where
 {
     /// Iterates the keys in order (live and deleted alike).
     pub fn keys(&self) -> impl Iterator<Item = &K> {
-        self.entries.keys()
+        self.iter().map(|(k, _)| k)
     }
 
     /// Iterates only the live `(key, value)` pairs, skipping death
     /// certificates — the client-visible contents of the replica.
     pub fn live_entries(&self) -> impl Iterator<Item = (&K, &V)> {
-        self.entries
-            .iter()
-            .filter_map(|(k, e)| e.value().map(|v| (k, v)))
+        self.iter().filter_map(|(k, e)| e.value().map(|v| (k, v)))
     }
 }
 

@@ -38,6 +38,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod degree;
 pub mod graph;
 pub mod hierarchy;
 pub mod routing;
@@ -45,6 +46,7 @@ pub mod spatial;
 pub mod topologies;
 pub mod traffic;
 
+pub use degree::DegreeGraph;
 pub use graph::{LinkId, Topology, TopologyBuilder, TopologyError};
 pub use hierarchy::{HierarchicalSampler, PartnerSelection};
 pub use routing::Routes;

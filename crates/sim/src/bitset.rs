@@ -1,0 +1,135 @@
+//! A packed fixed-length bitset for per-site infection state.
+//!
+//! The synchronous protocols snapshot one bit per site at the start of
+//! every cycle (`state0`, `hot0`, the anti-entropy `snapshot`). As
+//! `Vec<bool>` those snapshots cost a byte per site; at the `fig-megascale`
+//! scale of 10⁶ sites that is a megabyte re-touched every cycle. Packed
+//! into `u64` words the same snapshot is 64× smaller, sits in a handful of
+//! cache lines for CIN-scale runs, and copies word-at-a-time.
+
+/// A fixed-length bitset backed by `u64` words.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BitSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl BitSet {
+    /// A set of `len` bits, all false.
+    pub fn new(len: usize) -> Self {
+        BitSet {
+            words: vec![0; len.div_ceil(64)],
+            len,
+        }
+    }
+
+    /// Number of bits.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set has zero bits.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The bit at `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len` (same contract as slice indexing).
+    pub fn get(&self, i: usize) -> bool {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        self.words[i / 64] & (1 << (i % 64)) != 0
+    }
+
+    /// Sets the bit at `i` to `value`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= len`.
+    pub fn set(&mut self, i: usize, value: bool) {
+        assert!(i < self.len, "bit {i} out of range (len {})", self.len);
+        let mask = 1 << (i % 64);
+        if value {
+            self.words[i / 64] |= mask;
+        } else {
+            self.words[i / 64] &= !mask;
+        }
+    }
+
+    /// Clears every bit.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+
+    /// Repacks a `bool`-per-site slice into this set, 64 sites per word —
+    /// the start-of-cycle snapshot operation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bools.len() != self.len()`.
+    pub fn copy_from_bools(&mut self, bools: &[bool]) {
+        assert_eq!(bools.len(), self.len, "snapshot length mismatch");
+        for (word, chunk) in self.words.iter_mut().zip(bools.chunks(64)) {
+            let mut packed = 0u64;
+            for (bit, &b) in chunk.iter().enumerate() {
+                packed |= u64::from(b) << bit;
+            }
+            *word = packed;
+        }
+    }
+
+    /// Number of set bits.
+    pub fn count_ones(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn set_get_roundtrip_across_word_boundaries() {
+        let mut bits = BitSet::new(130);
+        for i in [0, 1, 63, 64, 65, 127, 128, 129] {
+            assert!(!bits.get(i));
+            bits.set(i, true);
+            assert!(bits.get(i));
+        }
+        assert_eq!(bits.count_ones(), 8);
+        bits.set(64, false);
+        assert!(!bits.get(64));
+        assert_eq!(bits.count_ones(), 7);
+        bits.clear();
+        assert_eq!(bits.count_ones(), 0);
+    }
+
+    #[test]
+    fn copy_from_bools_matches_per_bit_sets() {
+        let n = 200;
+        let bools: Vec<bool> = (0..n).map(|i| i % 3 == 0 || i % 7 == 0).collect();
+        let mut packed = BitSet::new(n);
+        packed.copy_from_bools(&bools);
+        let mut reference = BitSet::new(n);
+        for (i, &b) in bools.iter().enumerate() {
+            reference.set(i, b);
+        }
+        assert_eq!(packed, reference);
+        assert_eq!(packed.count_ones(), bools.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn get_past_len_panics() {
+        BitSet::new(10).get(10);
+    }
+
+    #[test]
+    fn zero_length_set_is_empty() {
+        let bits = BitSet::new(0);
+        assert!(bits.is_empty());
+        assert_eq!(bits.count_ones(), 0);
+    }
+}

@@ -33,7 +33,7 @@ pub mod sharded;
 pub mod trace;
 
 pub use observer::{Observer, SirCounts, SirObserver, SirView};
-pub use partner::{PartnerPolicy, SpatialPartners, UniformPartners};
+pub use partner::{NeighborPartners, PartnerPolicy, SpatialPartners, UniformPartners};
 pub use protocols::{DirectMailProtocol, ReceiveLog, RouteRecorder, UpdateInjector};
 pub use sharded::{
     default_shards, ContactPair, ShardableProtocol, ShardedCycleEngine, DEFAULT_SHARDS,

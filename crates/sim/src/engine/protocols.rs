@@ -29,6 +29,7 @@ use super::{
     ContactPair, ContactStats, EpidemicProtocol, Roster, ShardableProtocol, SirCounts, SirView,
     UniformPartners,
 };
+use crate::bitset::BitSet;
 use crate::engine::PartnerPolicy;
 use crate::util::pair_mut;
 
@@ -243,10 +244,12 @@ pub struct MixingProtocol {
     pub(crate) synchronous: bool,
     pub(crate) sites: Vec<Replica<u32, u32>>,
     pub(crate) received: ReceiveLog<u32>,
-    /// Start-of-cycle "holds the update" snapshot (push/pull synchronous).
-    pub(crate) state0: Vec<bool>,
-    /// Start-of-cycle "is infective" snapshot (pull synchronous).
-    pub(crate) hot0: Vec<bool>,
+    /// Start-of-cycle "holds the update" snapshot (push/pull synchronous),
+    /// packed one bit per site.
+    pub(crate) state0: BitSet,
+    /// Start-of-cycle "is infective" snapshot (pull synchronous), packed
+    /// one bit per site.
+    pub(crate) hot0: BitSet,
     /// Reused hot-key snapshot buffers for the sequential contact paths.
     pub(crate) scratch: RumorScratch<u32>,
 }
@@ -274,16 +277,14 @@ impl EpidemicProtocol for MixingProtocol {
     fn begin_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {
         match self.cfg.direction {
             Direction::Push => {
-                for (slot, site) in self.state0.iter_mut().zip(&self.sites) {
-                    *slot = site.db().entry(&KEY).is_some();
+                for (idx, site) in self.sites.iter().enumerate() {
+                    self.state0.set(idx, site.db().entry(&KEY).is_some());
                 }
             }
             Direction::Pull => {
-                for (slot, site) in self.state0.iter_mut().zip(&self.sites) {
-                    *slot = site.db().entry(&KEY).is_some();
-                }
-                for (slot, site) in self.hot0.iter_mut().zip(&self.sites) {
-                    *slot = site.is_infective(&KEY);
+                for (idx, site) in self.sites.iter().enumerate() {
+                    self.state0.set(idx, site.db().entry(&KEY).is_some());
+                    self.hot0.set(idx, site.is_infective(&KEY));
                 }
             }
             Direction::PushPull => {}
@@ -301,7 +302,7 @@ impl EpidemicProtocol for MixingProtocol {
                         return ContactStats::default();
                     };
                     let applied = b.receive_rumor(KEY, entry).was_useful();
-                    rumor::record_feedback(&self.cfg, a, &KEY, !self.state0[j], rng);
+                    rumor::record_feedback(&self.cfg, a, &KEY, !self.state0.get(j), rng);
                     if applied {
                         self.received.mark(j, cycle);
                     }
@@ -322,7 +323,7 @@ impl EpidemicProtocol for MixingProtocol {
                 let (requester, source) = pair_mut(&mut self.sites, i, j);
                 if self.synchronous {
                     // Serve from the source's start-of-cycle state.
-                    if !self.hot0[j] {
+                    if !self.hot0.get(j) {
                         return ContactStats::default();
                     }
                     let Some(entry) = source.db().entry(&KEY).cloned() else {
@@ -330,7 +331,7 @@ impl EpidemicProtocol for MixingProtocol {
                     };
                     let applied = requester.receive_rumor(KEY, entry).was_useful();
                     let needed = match self.cfg.feedback {
-                        Feedback::Feedback => !self.state0[i],
+                        Feedback::Feedback => !self.state0.get(i),
                         Feedback::Blind => false,
                     };
                     match self.cfg.removal {
@@ -389,8 +390,8 @@ impl EpidemicProtocol for MixingProtocol {
 pub struct MixingCtx<'p> {
     cfg: &'p RumorConfig,
     synchronous: bool,
-    state0: &'p [bool],
-    hot0: &'p [bool],
+    state0: &'p BitSet,
+    hot0: &'p BitSet,
 }
 
 /// Per-shard accumulator for the sharded mixing path: one rumor scratch
@@ -441,7 +442,7 @@ impl ShardableProtocol for MixingProtocol {
                         return ContactStats::default();
                     };
                     let applied = b.receive_rumor(KEY, entry).was_useful();
-                    rumor::record_feedback(ctx.cfg, a, &KEY, !ctx.state0[j], rng);
+                    rumor::record_feedback(ctx.cfg, a, &KEY, !ctx.state0.get(j), rng);
                     if applied {
                         shard.marks.push((j, cycle));
                     }
@@ -461,7 +462,7 @@ impl ShardableProtocol for MixingProtocol {
             Direction::Pull => {
                 let (requester, source) = (a, b);
                 if ctx.synchronous {
-                    if !ctx.hot0[j] {
+                    if !ctx.hot0.get(j) {
                         return ContactStats::default();
                     }
                     let Some(entry) = source.db().entry(&KEY).cloned() else {
@@ -469,7 +470,7 @@ impl ShardableProtocol for MixingProtocol {
                     };
                     let applied = requester.receive_rumor(KEY, entry).was_useful();
                     let needed = match ctx.cfg.feedback {
-                        Feedback::Feedback => !ctx.state0[i],
+                        Feedback::Feedback => !ctx.state0.get(i),
                         Feedback::Blind => false,
                     };
                     match ctx.cfg.removal {
@@ -549,7 +550,7 @@ impl SirView for MixingProtocol {
 pub struct BitAntiEntropyProtocol {
     pub(crate) direction: Direction,
     pub(crate) infected: Vec<bool>,
-    pub(crate) snapshot: Vec<bool>,
+    pub(crate) snapshot: BitSet,
     pub(crate) count: usize,
     pub(crate) trace: Vec<f64>,
 }
@@ -565,17 +566,17 @@ impl EpidemicProtocol for BitAntiEntropyProtocol {
 
     fn begin_cycle(&mut self, _cycle: u32, _rng: &mut StdRng) {
         // Synchronous semantics: resolve against start-of-cycle state.
-        self.snapshot.clone_from(&self.infected);
+        self.snapshot.copy_from_bools(&self.infected);
     }
 
     fn contact(&mut self, _cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
         let mut useful = 0;
-        if self.direction.pushes() && self.snapshot[i] && !self.infected[j] {
+        if self.direction.pushes() && self.snapshot.get(i) && !self.infected[j] {
             self.infected[j] = true;
             self.count += 1;
             useful += 1;
         }
-        if self.direction.pulls() && self.snapshot[j] && !self.infected[i] {
+        if self.direction.pulls() && self.snapshot.get(j) && !self.infected[i] {
             self.infected[i] = true;
             self.count += 1;
             useful += 1;
@@ -595,7 +596,7 @@ impl EpidemicProtocol for BitAntiEntropyProtocol {
 /// Read-only cycle context for the sharded bit-anti-entropy path.
 pub struct BitAeCtx<'p> {
     direction: Direction,
-    snapshot: &'p [bool],
+    snapshot: &'p BitSet,
 }
 
 impl ShardableProtocol for BitAntiEntropyProtocol {
@@ -627,12 +628,12 @@ impl ShardableProtocol for BitAntiEntropyProtocol {
     ) -> ContactStats {
         let ContactPair { i, a, j, b } = pair;
         let mut useful = 0;
-        if ctx.direction.pushes() && ctx.snapshot[i] && !*b {
+        if ctx.direction.pushes() && ctx.snapshot.get(i) && !*b {
             *b = true;
             *shard += 1;
             useful += 1;
         }
-        if ctx.direction.pulls() && ctx.snapshot[j] && !*a {
+        if ctx.direction.pulls() && ctx.snapshot.get(j) && !*a {
             *a = true;
             *shard += 1;
             useful += 1;

@@ -505,43 +505,86 @@ impl ShardedCycleEngine {
                 debug_assert_eq!(sites.len(), n, "split() must expose every site");
                 for (r, pairs) in rounds.iter().enumerate() {
                     let events = &mut round_events[r];
-                    let mut slices = shard_slices(&mut *sites, &layout);
-                    let mut rngs: Vec<Option<&mut StdRng>> =
-                        shard_rngs.iter_mut().map(Some).collect();
-                    let mut states: Vec<Option<&mut P::Shard>> =
-                        shard_states.iter_mut().map(Some).collect();
-                    let mut tasks: Vec<PairTask<'_, P::Site, P::Shard>> = pairs
-                        .iter()
-                        .zip(events.iter_mut())
-                        .map(|(&(a, b), events)| {
+                    if self.workers <= 1 || pairs.len() <= 1 {
+                        // Sequential reference mode: identical draw order,
+                        // no spawns. Each pair-task's exclusive borrows are
+                        // carved on the fly instead of staging per-round
+                        // option vectors, so a steady-state cycle allocates
+                        // nothing on this path (pinned by `zero_alloc.rs`).
+                        for (&(a, b), events) in pairs.iter().zip(events.iter_mut()) {
                             events.clear();
-                            let cross = a != b;
-                            PairTask {
-                                a,
-                                b,
-                                base_a: layout.start(a),
-                                base_b: layout.start(b),
-                                sites_a: slices[a].take().expect("shard used once per round"),
-                                sites_b: cross
-                                    .then(|| slices[b].take().expect("shard used once per round")),
-                                rng_a: rngs[a].take().expect("stream used once per round"),
-                                rng_b: cross
-                                    .then(|| rngs[b].take().expect("stream used once per round")),
-                                shard_a: states[a].take().expect("accumulator used once per round"),
-                                shard_b: cross.then(|| {
-                                    states[b].take().expect("accumulator used once per round")
-                                }),
-                                events,
+                            if a == b {
+                                let mut task = PairTask {
+                                    a,
+                                    b,
+                                    base_a: layout.start(a),
+                                    base_b: layout.start(b),
+                                    sites_a: &mut sites[layout.range(a)],
+                                    sites_b: None,
+                                    rng_a: &mut shard_rngs[a],
+                                    rng_b: None,
+                                    shard_a: &mut shard_states[a],
+                                    shard_b: None,
+                                    events,
+                                };
+                                run_pair::<P>(&ctx, &buckets, cycle, &mut task);
+                            } else {
+                                // Cross pairs are ordered (a < b), so the
+                                // two shard ranges split cleanly.
+                                let (head, tail) = sites.split_at_mut(layout.start(b));
+                                let (rng_a, rng_b) = pair_mut(&mut shard_rngs, a, b);
+                                let (shard_a, shard_b) = pair_mut(&mut shard_states, a, b);
+                                let mut task = PairTask {
+                                    a,
+                                    b,
+                                    base_a: layout.start(a),
+                                    base_b: layout.start(b),
+                                    sites_a: &mut head[layout.range(a)],
+                                    sites_b: Some(&mut tail[..layout.range(b).len()]),
+                                    rng_a,
+                                    rng_b: Some(rng_b),
+                                    shard_a,
+                                    shard_b: Some(shard_b),
+                                    events,
+                                };
+                                run_pair::<P>(&ctx, &buckets, cycle, &mut task);
                             }
-                        })
-                        .collect();
-                    if self.workers <= 1 || tasks.len() <= 1 {
-                        // Sequential reference mode: identical draw order, no
-                        // spawns.
-                        for task in tasks.iter_mut() {
-                            run_pair::<P>(&ctx, &buckets, cycle, task);
                         }
                     } else {
+                        let mut slices = shard_slices(&mut *sites, &layout);
+                        let mut rngs: Vec<Option<&mut StdRng>> =
+                            shard_rngs.iter_mut().map(Some).collect();
+                        let mut states: Vec<Option<&mut P::Shard>> =
+                            shard_states.iter_mut().map(Some).collect();
+                        let mut tasks: Vec<PairTask<'_, P::Site, P::Shard>> = pairs
+                            .iter()
+                            .zip(events.iter_mut())
+                            .map(|(&(a, b), events)| {
+                                events.clear();
+                                let cross = a != b;
+                                PairTask {
+                                    a,
+                                    b,
+                                    base_a: layout.start(a),
+                                    base_b: layout.start(b),
+                                    sites_a: slices[a].take().expect("shard used once per round"),
+                                    sites_b: cross.then(|| {
+                                        slices[b].take().expect("shard used once per round")
+                                    }),
+                                    rng_a: rngs[a].take().expect("stream used once per round"),
+                                    rng_b: cross.then(|| {
+                                        rngs[b].take().expect("stream used once per round")
+                                    }),
+                                    shard_a: states[a]
+                                        .take()
+                                        .expect("accumulator used once per round"),
+                                    shard_b: cross.then(|| {
+                                        states[b].take().expect("accumulator used once per round")
+                                    }),
+                                    events,
+                                }
+                            })
+                            .collect();
                         let ctx = &ctx;
                         let buckets = &buckets;
                         let per_worker = tasks.len().div_ceil(self.workers);

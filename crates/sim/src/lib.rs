@@ -13,6 +13,9 @@
 //! * [`spatial_rumor`] — rumor mongering on a topology (§3.2), including
 //!   the minimal-`k` search used to match Table 4 and the Figure 1/2
 //!   pathology demonstrations;
+//! * [`megascale`] — the single-update rumor epidemic at 10⁴–10⁶ sites on
+//!   uniform and scale-free topologies, parameterised by storage backend
+//!   (the fig-megascale sweep);
 //! * [`scenario`] — end-to-end workloads: direct mail with anti-entropy
 //!   backup (the Clearinghouse configuration), deletion with death
 //!   certificates, dormant-certificate reactivation, partitions, crashes;
@@ -54,9 +57,11 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bitset;
 pub mod engine;
 pub mod event;
 pub mod failures;
+pub mod megascale;
 pub mod mixing;
 pub mod rumor_steady;
 pub mod runner;
@@ -68,12 +73,15 @@ pub mod stats;
 pub mod steady;
 mod util;
 
+pub use bitset::BitSet;
 pub use engine::{
-    ContactStats, CycleEngine, EngineReport, EpidemicProtocol, InvariantObserver, Observer,
-    PartnerPolicy, SirObserver, SpatialPartners, TraceObserver, TraceView, UniformPartners,
+    ContactStats, CycleEngine, EngineReport, EpidemicProtocol, InvariantObserver, NeighborPartners,
+    Observer, PartnerPolicy, SirObserver, SpatialPartners, TraceObserver, TraceView,
+    UniformPartners,
 };
 pub use event::{AsyncAntiEntropySim, AsyncRumorEpidemic, AsyncRumorResult, AsyncRunResult};
 pub use failures::{Churn, ChurnRunResult, ChurnedAntiEntropySim};
+pub use megascale::MegascaleSim;
 pub use mixing::{EpidemicResult, RumorEpidemic};
 pub use rumor_steady::{RumorSteadyConfig, RumorSteadyReport, RumorSteadySim};
 pub use runner::TrialRunner;

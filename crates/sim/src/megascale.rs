@@ -1,0 +1,185 @@
+//! Million-site epidemic sweeps (the `fig-megascale` experiment).
+//!
+//! The paper validates rumor mongering at CIN scale (n ≈ 1000–3000). The
+//! complex-networks literature that followed (Moreno–Nekovee–Vespignani)
+//! shows residue and delay behave qualitatively differently at 10⁵–10⁶
+//! sites on heterogeneous-degree topologies — hubs both accelerate spread
+//! and concentrate fruitless contacts. This driver reruns the §1.4
+//! single-update rumor epidemic at that scale:
+//!
+//! * **uniform** — complete mixing, the Tables 1–3 model, via
+//!   [`UniformPartners`];
+//! * **scale-free** — partners drawn uniformly from the initiator's
+//!   neighbors on a Barabási–Albert [`DegreeGraph`], via
+//!   [`NeighborPartners`].
+//!
+//! The protocol is fixed at the paper's workhorse variant — push, feedback,
+//! coin removal with `k = 4` — so the sweep varies only scale, topology and
+//! storage [`Backend`]. Replicas are constructed on an explicit backend
+//! ([`Replica::with_backend`]); running the same `(n, topology, seed)`
+//! point on both backends is the apples-to-apples comparison behind the
+//! flat-storage claims, and the backends' observational equivalence means
+//! the two runs produce identical results (only speed and footprint
+//! differ).
+
+use epidemic_core::rumor::{RumorConfig, RumorScratch};
+use epidemic_core::{Direction, Feedback, Removal, Replica};
+use epidemic_db::{Backend, SiteId};
+use epidemic_net::DegreeGraph;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::bitset::BitSet;
+use crate::engine::protocols::{MixingProtocol, ReceiveLog};
+use crate::engine::{CycleEngine, NeighborPartners, PartnerPolicy, UniformPartners};
+use crate::mixing::EpidemicResult;
+
+/// The single key the megascale update spreads under.
+const KEY: u32 = 0;
+
+/// Single-update rumor epidemics at 10⁴–10⁶ sites; see the module docs.
+#[derive(Debug, Clone, Copy)]
+pub struct MegascaleSim {
+    cfg: RumorConfig,
+    max_cycles: u32,
+}
+
+impl Default for MegascaleSim {
+    fn default() -> Self {
+        MegascaleSim::new()
+    }
+}
+
+impl MegascaleSim {
+    /// The fixed sweep protocol: push, feedback, coin removal with
+    /// `k = 4` — high-coverage and cheap per contact, so the interesting
+    /// variation is scale and topology.
+    pub fn new() -> Self {
+        MegascaleSim {
+            cfg: RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Coin { k: 4 }),
+            max_cycles: 100_000,
+        }
+    }
+
+    /// Safety bound on simulated cycles.
+    #[must_use]
+    pub fn max_cycles(mut self, max: u32) -> Self {
+        self.max_cycles = max;
+        self
+    }
+
+    /// One epidemic over `n` uniformly mixing sites on `backend` storage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run_uniform(&self, n: usize, seed: u64, backend: Backend) -> EpidemicResult {
+        self.run_with_policy(n, &UniformPartners::new(n), seed, backend)
+    }
+
+    /// One epidemic over the sites of `graph`, each initiator gossiping
+    /// with a uniform random neighbor, on `backend` storage. The update
+    /// starts at site 0 — a member of the Barabási–Albert seed clique, so
+    /// scale-free runs start from the well-connected core.
+    pub fn run_scale_free(
+        &self,
+        graph: &DegreeGraph,
+        seed: u64,
+        backend: Backend,
+    ) -> EpidemicResult {
+        self.run_with_policy(
+            graph.site_count(),
+            &NeighborPartners::new(graph),
+            seed,
+            backend,
+        )
+    }
+
+    fn run_with_policy<L: PartnerPolicy + ?Sized>(
+        &self,
+        n: usize,
+        policy: &L,
+        seed: u64,
+        backend: Backend,
+    ) -> EpidemicResult {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut sites: Vec<Replica<u32, u32>> = (0..n)
+            .map(|i| {
+                Replica::with_backend(
+                    SiteId::new(u32::try_from(i).expect("site count fits u32")),
+                    backend,
+                )
+            })
+            .collect();
+        sites[0].client_update(KEY, 1);
+        let mut received = ReceiveLog::new(n);
+        received.mark(0, 0);
+
+        let mut protocol = MixingProtocol {
+            cfg: self.cfg,
+            synchronous: false,
+            sites,
+            received,
+            state0: BitSet::new(n),
+            hot0: BitSet::new(n),
+            scratch: RumorScratch::new(),
+        };
+        let report = CycleEngine::new().max_cycles(self.max_cycles).run(
+            &mut protocol,
+            policy,
+            &mut rng,
+            &mut (),
+        );
+
+        let received = protocol.received;
+        EpidemicResult {
+            n,
+            residue: received.residue(),
+            traffic: report.totals.sent as f64 / n as f64,
+            t_ave: received.t_ave_received(),
+            t_last: f64::from(received.t_last().unwrap_or(0)),
+            cycles: report.cycles,
+            complete: received.complete(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backends_produce_identical_results() {
+        let sim = MegascaleSim::new();
+        for seed in [1, 2] {
+            let tree = sim.run_uniform(300, seed, Backend::BTree);
+            let flat = sim.run_uniform(300, seed, Backend::Flat);
+            assert_eq!(tree, flat, "uniform seed={seed}");
+        }
+        let graph = DegreeGraph::scale_free(300, 2, 7);
+        let tree = sim.run_scale_free(&graph, 3, Backend::BTree);
+        let flat = sim.run_scale_free(&graph, 3, Backend::Flat);
+        assert_eq!(tree, flat, "scale-free");
+    }
+
+    #[test]
+    fn epidemic_reaches_nearly_everyone() {
+        let sim = MegascaleSim::new();
+        let uniform = sim.run_uniform(500, 11, Backend::Flat);
+        assert!(uniform.residue < 0.05, "residue {}", uniform.residue);
+        assert!(uniform.cycles > 0 && uniform.t_last > 0.0);
+        let graph = DegreeGraph::scale_free(500, 2, 11);
+        let sf = sim.run_scale_free(&graph, 11, Backend::Flat);
+        assert!(sf.residue < 0.20, "residue {}", sf.residue);
+    }
+
+    #[test]
+    fn runs_are_deterministic_per_seed() {
+        let sim = MegascaleSim::new();
+        let a = sim.run_uniform(200, 5, Backend::Flat);
+        let b = sim.run_uniform(200, 5, Backend::Flat);
+        assert_eq!(a, b);
+        let c = sim.run_uniform(200, 6, Backend::Flat);
+        assert_ne!(a, c, "different seeds explore different streams");
+    }
+}

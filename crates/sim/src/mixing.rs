@@ -24,6 +24,7 @@ use epidemic_db::SiteId;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::bitset::BitSet;
 use crate::engine::protocols::{BitAntiEntropyProtocol, MixingProtocol};
 use crate::engine::{
     CycleEngine, Observer, ReceiveLog, ShardedCycleEngine, SirObserver, UniformPartners,
@@ -221,8 +222,8 @@ impl RumorEpidemic {
             synchronous: self.synchronous,
             sites,
             received,
-            state0: vec![false; n],
-            hot0: vec![false; n],
+            state0: BitSet::new(n),
+            hot0: BitSet::new(n),
             scratch: epidemic_core::RumorScratch::new(),
         };
         let report = CycleEngine::new()
@@ -290,8 +291,8 @@ impl RumorEpidemic {
             synchronous: self.synchronous,
             sites,
             received,
-            state0: vec![false; n],
-            hot0: vec![false; n],
+            state0: BitSet::new(n),
+            hot0: BitSet::new(n),
             scratch: epidemic_core::RumorScratch::new(),
         };
         let report = ShardedCycleEngine::new(shards)
@@ -536,7 +537,7 @@ impl AntiEntropyEpidemic {
         let mut protocol = BitAntiEntropyProtocol {
             direction: self.direction,
             infected,
-            snapshot: vec![false; n],
+            snapshot: BitSet::new(n),
             count: 1,
             trace: Vec::new(),
         };
@@ -588,7 +589,7 @@ impl AntiEntropyEpidemic {
         let mut protocol = BitAntiEntropyProtocol {
             direction: self.direction,
             infected,
-            snapshot: vec![false; n],
+            snapshot: BitSet::new(n),
             count: 1,
             trace: Vec::new(),
         };
