@@ -10,17 +10,20 @@
 //! cargo run -p epidemic-bench --release --bin repro -- --only table1 --trace out/
 //! ```
 //!
-//! `--list` prints every experiment name, one per line, and exits.
+//! `--list` prints every experiment name, one per line, grouped under
+//! `[tables]` / `[figures]` / `[scenarios]` headers, and exits.
 //! `--only <selector>` runs the experiments whose name equals or starts
 //! with the selector — `--only table` runs the five tables, `--only fig`
-//! the figures, `--only table4` exactly one experiment.
+//! the figures, `--only scenario-` the bundled declarative scenarios,
+//! `--only table4` exactly one experiment.
 //!
-//! `--trace <dir>` additionally writes, for each of the five tables, a
-//! structured run trace (`<name>.jsonl`, one JSON object per line, no
-//! wall-clock fields — byte-identical at any `EPIDEMIC_THREADS`) and a
-//! summary record (`<name>.summary.json`). `--json <dir>` writes just the
-//! machine-readable table rows (`<name>.rows.json`). Both leave figure
-//! experiments untouched — see DESIGN.md §Observability.
+//! `--trace <dir>` additionally writes, for each of the five tables and
+//! every scenario experiment, a structured run trace (`<name>.jsonl`, one
+//! JSON object per line, no wall-clock fields — byte-identical at any
+//! `EPIDEMIC_THREADS`) and a summary record (`<name>.summary.json`).
+//! `--json <dir>` writes just the machine-readable rows
+//! (`<name>.rows.json`). Both leave figure experiments untouched — see
+//! DESIGN.md §Observability.
 //!
 //! `--timings [PATH]` additionally records per-experiment wall-clock
 //! seconds, a per-phase breakdown (engine setup / contact loop /
@@ -31,6 +34,7 @@
 
 use epidemic_bench::alloc_counter;
 use epidemic_bench::figures;
+use epidemic_bench::scenarios::{print_scenarios, scenario_artifacts};
 use epidemic_bench::tables::{
     print_mixing, print_spatial, table1, table2, table3, table45, PAPER_TABLE1, PAPER_TABLE2,
     PAPER_TABLE3, TITLE_TABLE1, TITLE_TABLE2, TITLE_TABLE3, TITLE_TABLE4, TITLE_TABLE5,
@@ -83,9 +87,32 @@ fn run(experiment: &str, mix_trials: u64, spatial_trials: u64) -> bool {
         "ablation-hunting" => figures::print_ablation_hunting(N, MIX_TRIALS),
         "ablation-comparison" => figures::print_ablation_comparison(),
         "ablation-redistribution" => figures::print_ablation_redistribution(20),
-        _ => return false,
+        // Scenario experiments (fig-scenarios and scenario-<name>) print
+        // the same sweep table the traced path renders; unknown names
+        // return false and surface the usual error.
+        other => return print_scenarios(other, scenario_trials(mix_trials)),
     }
     true
+}
+
+/// Scenario sweeps carry full fault timelines per trial, so they run far
+/// fewer seeds than the mixing tables: capped at 10 unless `--trials`
+/// asks for less.
+fn scenario_trials(mix_trials: u64) -> u64 {
+    mix_trials.min(10)
+}
+
+/// Experiment grouping for `--list`: tables (numbered paper tables),
+/// scenarios (declarative `.scenario` sweeps), figures (everything else,
+/// including ablations).
+fn kind(name: &str) -> &'static str {
+    if name.starts_with("table") {
+        "tables"
+    } else if name == "fig-scenarios" || name.starts_with("scenario-") {
+        "scenarios"
+    } else {
+        "figures"
+    }
 }
 
 const ALL: &[&str] = &[
@@ -118,6 +145,14 @@ const ALL: &[&str] = &[
     "ablation-hunting",
     "ablation-comparison",
     "ablation-redistribution",
+    "fig-scenarios",
+    "scenario-clearinghouse",
+    "scenario-dormant-death",
+    "scenario-partition",
+    "scenario-crash",
+    "scenario-churn",
+    "scenario-flash-crowd-lossy",
+    "scenario-churn-partition-heal",
 ];
 
 /// Writes `contents` (with a guaranteed trailing newline) to
@@ -207,8 +242,11 @@ fn take_dir_flag(args: &mut Vec<String>, flag: &str) -> Option<String> {
 fn main() {
     let mut args: Vec<String> = std::env::args().skip(1).collect();
     if args.iter().any(|a| a == "--list") {
-        for name in ALL {
-            println!("{name}");
+        for group in ["tables", "figures", "scenarios"] {
+            println!("[{group}]");
+            for name in ALL.iter().filter(|name| kind(name) == group) {
+                println!("{name}");
+            }
         }
         return;
     }
@@ -303,7 +341,10 @@ fn main() {
                 N,
                 mix_trials,
                 spatial_trials,
-            ) {
+            )
+            .or_else(|| {
+                scenario_artifacts(TrialRunner::new(), experiment, scenario_trials(mix_trials))
+            }) {
                 Some(artifacts) => {
                     print!("{}", artifacts.rendered);
                     if let Some(dir) = &trace_dir {

@@ -11,7 +11,7 @@ use epidemic_net::topologies::{self, cin, CinConfig};
 use epidemic_net::Spatial;
 use epidemic_sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
 use epidemic_sim::runner::TrialRunner;
-use epidemic_sim::scenario::{
+use epidemic_sim::scenario::legacy::{
     resurrection_without_certificates, ClearinghouseScenario, DormantDeathScenario,
 };
 use epidemic_sim::spatial_rumor::{failure_probability, minimum_k_with, SpatialRumorSim};

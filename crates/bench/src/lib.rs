@@ -18,6 +18,7 @@ pub mod alloc_counter;
 pub mod figures;
 pub mod render;
 pub mod rss;
+pub mod scenarios;
 pub mod tables;
 pub mod trace;
 

@@ -1,0 +1,265 @@
+//! The `fig-scenarios` sweep: runs every bundled declarative scenario
+//! (`crates/sim/scenarios/*.scenario`) through the
+//! [`ScenarioEngine`] and aggregates per-trial reports with
+//! [`Summary`] statistics.
+//!
+//! Scenario experiments produce the same artifact kinds as the traced
+//! tables — `<name>.jsonl` run traces and a `<name>.summary.json` record,
+//! byte-identical at any `EPIDEMIC_THREADS` — via [`scenario_artifacts`].
+//! Unlike the tables there is no invariant tally: scenario workloads
+//! inject and delete keys mid-run, so the SIR-monotonicity rules the
+//! [`InvariantObserver`](epidemic_sim::engine::InvariantObserver) checks
+//! do not apply (coverage legitimately drops when a flash crowd lands).
+
+use epidemic_sim::engine::TraceObserver;
+use epidemic_sim::runner::TrialRunner;
+use epidemic_sim::scenario::{bundled, Scenario, ScenarioEngine};
+use epidemic_sim::stats::Summary;
+use epidemic_trace::json::{array_of, JsonObject};
+use epidemic_trace::{RunTracer, TraceConfig};
+
+use crate::parallel_trials_with;
+use crate::render::{fmt, render_table};
+use crate::trace::TableArtifacts;
+
+/// Title of the `fig-scenarios` sweep table.
+pub const TITLE_SCENARIOS: &str = "Scenario sweep (bundled .scenario files)";
+
+/// Aggregates over one scenario's trials. Every distribution-valued
+/// column routes through [`Summary`] (mean over trials; the JSON rows
+/// also carry min/max where informative).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioRow {
+    /// Scenario name (the `scenario` directive / file stem).
+    pub name: String,
+    /// Trials aggregated.
+    pub trials: u64,
+    /// Trials that reached their stop rule before the cycle bound.
+    pub converged: u64,
+    /// Cycles to completion.
+    pub cycles: Summary,
+    /// Residue (fraction of site×key coverage still missing at the end).
+    pub residue: Summary,
+    /// Updates sent per site.
+    pub traffic: Summary,
+    /// Mean injection-to-coverage delay, over trials that closed a key.
+    pub delay: Summary,
+}
+
+/// The per-trial seed transform for scenario sweeps, following the table
+/// convention (golden-ratio multiply, XOR with the sweep parameter).
+fn seed_for(scenario_idx: u64, trial: u64) -> u64 {
+    trial.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ scenario_idx
+}
+
+/// Runs `trials` seeds of one scenario, tracing every trial; returns the
+/// aggregate row and the concatenated JSONL (in trial order, so the bytes
+/// are thread-count independent).
+pub fn traced_scenario_sweep(
+    runner: TrialRunner,
+    experiment: &str,
+    scenario_idx: u64,
+    spec: &Scenario,
+    trials: u64,
+) -> (ScenarioRow, String) {
+    let engine = ScenarioEngine::new(spec.clone()).expect("bundled scenarios validate");
+    type Acc = (Summary, Summary, Summary, Summary, u64, String);
+    let (cycles, residue, traffic, delay, converged, jsonl) = parallel_trials_with(
+        runner,
+        trials,
+        |trial| {
+            let tracer = RunTracer::new(TraceConfig::cycles_only())
+                .label_str("experiment", experiment)
+                .label_str("scenario", &engine.spec().name)
+                .label_u64("trial", trial);
+            let mut trace = TraceObserver::with_tracer(tracer);
+            let report = engine.run_observed(seed_for(scenario_idx, trial), &mut trace);
+            (report, trace.finish())
+        },
+        (
+            Summary::new(),
+            Summary::new(),
+            Summary::new(),
+            Summary::new(),
+            0u64,
+            String::new(),
+        ),
+        |acc: Acc, (report, text)| {
+            let (mut cycles, mut residue, mut traffic, mut delay, mut converged, mut jsonl) = acc;
+            cycles.push(f64::from(report.cycles));
+            residue.push(report.residue);
+            traffic.push(report.traffic_per_site);
+            if report.delay.count() > 0 {
+                delay.push(report.delay.mean());
+            }
+            converged += u64::from(report.converged_at.is_some());
+            jsonl.push_str(&text);
+            (cycles, residue, traffic, delay, converged, jsonl)
+        },
+    );
+    (
+        ScenarioRow {
+            name: spec.name.clone(),
+            trials,
+            converged,
+            cycles,
+            residue,
+            traffic,
+            delay,
+        },
+        jsonl,
+    )
+}
+
+/// Sweeps the given scenarios, returning aggregate rows and the
+/// concatenated trace.
+pub fn scenario_sweep(
+    runner: TrialRunner,
+    experiment: &str,
+    specs: &[Scenario],
+    trials: u64,
+) -> (Vec<ScenarioRow>, String) {
+    let mut jsonl = String::new();
+    let rows = specs
+        .iter()
+        .enumerate()
+        .map(|(idx, spec)| {
+            let (row, text) = traced_scenario_sweep(runner, experiment, idx as u64, spec, trials);
+            jsonl.push_str(&text);
+            row
+        })
+        .collect();
+    (rows, jsonl)
+}
+
+/// Renders the sweep as a fixed-width text table.
+pub fn render_scenarios(rows: &[ScenarioRow]) -> String {
+    let table: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.name.clone(),
+                r.trials.to_string(),
+                format!("{}/{}", r.converged, r.trials),
+                fmt(r.cycles.mean()),
+                fmt(r.cycles.max().unwrap_or(0.0)),
+                fmt(r.residue.mean()),
+                fmt(r.traffic.mean()),
+                fmt(r.delay.mean()),
+            ]
+        })
+        .collect();
+    render_table(
+        TITLE_SCENARIOS,
+        &[
+            "scenario", "trials", "done", "cycles", "worst", "residue", "traffic", "delay",
+        ],
+        &table,
+    )
+}
+
+fn scenario_row_json(r: &ScenarioRow) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("scenario", &r.name)
+        .field_u64("trials", r.trials)
+        .field_u64("converged", r.converged)
+        .field_f64("cycles_mean", r.cycles.mean())
+        .field_f64("cycles_max", r.cycles.max().unwrap_or(0.0))
+        .field_f64("residue_mean", r.residue.mean())
+        .field_f64("traffic_mean", r.traffic.mean())
+        .field_f64("delay_mean", r.delay.mean());
+    o.finish()
+}
+
+/// Machine-readable rows for a scenario sweep (`repro --json`).
+pub fn scenario_rows_json(experiment: &str, trials: u64, rows: &[ScenarioRow]) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("experiment", experiment)
+        .field_u64("trials", trials)
+        .field_raw("rows", &array_of(rows.iter().map(scenario_row_json)));
+    o.finish()
+}
+
+/// Resolves an experiment name to the scenarios it sweeps:
+/// `fig-scenarios` is every bundled spec, `scenario-<name>` exactly one.
+/// `None` for anything else (including unknown `scenario-` suffixes, so
+/// the caller falls through to its unknown-experiment error).
+fn specs_for(name: &str) -> Option<Vec<Scenario>> {
+    if name == "fig-scenarios" {
+        return Some(bundled::all());
+    }
+    let spec = bundled::by_name(name.strip_prefix("scenario-")?)?;
+    Some(vec![spec])
+}
+
+/// Runs a scenario experiment traced, returning the same artifact bundle
+/// shape as the traced tables; `None` when `name` is not a scenario
+/// experiment.
+pub fn scenario_artifacts(runner: TrialRunner, name: &str, trials: u64) -> Option<TableArtifacts> {
+    let specs = specs_for(name)?;
+    let (rows, jsonl) = scenario_sweep(runner, name, &specs, trials);
+    let rows_json = scenario_rows_json(name, trials, &rows);
+    let mut summary = JsonObject::new();
+    summary
+        .field_raw("table", &rows_json)
+        .field_u64("trace_lines", jsonl.lines().count() as u64);
+    Some(TableArtifacts {
+        rendered: render_scenarios(&rows),
+        jsonl,
+        summary: summary.finish(),
+        rows: rows_json,
+    })
+}
+
+/// The untraced `repro` path for scenario experiments: prints the sweep
+/// table. Returns `false` for non-scenario names.
+pub fn print_scenarios(name: &str, trials: u64) -> bool {
+    let Some(specs) = specs_for(name) else {
+        return false;
+    };
+    let (rows, _) = scenario_sweep(TrialRunner::new(), name, &specs, trials);
+    print!("{}", render_scenarios(&rows));
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig_scenarios_covers_every_bundled_spec() {
+        let a = scenario_artifacts(TrialRunner::new(), "fig-scenarios", 2)
+            .expect("fig-scenarios is a scenario experiment");
+        for (name, _) in bundled::SOURCES {
+            assert!(
+                a.rows.contains(&format!("\"scenario\":\"{name}\"")),
+                "{name} missing from rows: {}",
+                a.rows
+            );
+        }
+        assert!(a.rendered.starts_with(&format!("\n## {TITLE_SCENARIOS}")));
+        assert!(a.summary.contains(r#""trace_lines":"#));
+        assert!(!a.jsonl.is_empty());
+    }
+
+    #[test]
+    fn single_scenario_selector_resolves_and_unknown_does_not() {
+        let a = scenario_artifacts(TrialRunner::new(), "scenario-partition", 2)
+            .expect("scenario-partition resolves");
+        assert!(a.rows.contains(r#""scenario":"partition""#));
+        assert!(a.jsonl.contains(r#""scenario":"partition""#));
+        assert!(scenario_artifacts(TrialRunner::new(), "scenario-nope", 1).is_none());
+        assert!(scenario_artifacts(TrialRunner::new(), "table1", 1).is_none());
+    }
+
+    #[test]
+    fn legacy_drivers_converge_under_the_sweep_seeds() {
+        // The four historical scenarios must actually complete (not hit
+        // their cycle bounds) under the sweep's seed transform.
+        let (rows, _) = scenario_sweep(TrialRunner::new(), "fig-scenarios", &bundled::all(), 3);
+        for legacy in ["clearinghouse", "dormant-death", "partition", "crash"] {
+            let row = rows.iter().find(|r| r.name == legacy).expect("swept");
+            assert_eq!(row.converged, row.trials, "{legacy} must finish: {row:?}");
+        }
+    }
+}

@@ -93,6 +93,86 @@ fn list_knows_fig_megascale() {
 }
 
 #[test]
+fn list_groups_experiments_by_kind() {
+    let out = repro(&["--list"]);
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    let lines: Vec<&str> = stdout.lines().collect();
+    let header = |h: &str| {
+        lines
+            .iter()
+            .position(|l| *l == h)
+            .unwrap_or_else(|| panic!("--list must print a {h} header: {stdout}"))
+    };
+    let (tables, figures, scenarios) = (
+        header("[tables]"),
+        header("[figures]"),
+        header("[scenarios]"),
+    );
+    assert!(
+        tables < figures && figures < scenarios,
+        "groups in tables/figures/scenarios order: {stdout}"
+    );
+    // Bare names stay on their own lines, sorted into the right group.
+    let position = |name: &str| {
+        lines
+            .iter()
+            .position(|l| *l == name)
+            .unwrap_or_else(|| panic!("--list must include {name}: {stdout}"))
+    };
+    assert!(position("table4") > tables && position("table4") < figures);
+    assert!(position("fig-sir-curve") > figures && position("fig-sir-curve") < scenarios);
+    assert!(position("fig-scenarios") > scenarios);
+    assert!(position("scenario-churn-partition-heal") > scenarios);
+}
+
+#[test]
+fn scenario_prefix_selection_writes_artifacts_without_untraced_json() {
+    // `--only scenario-` must prefix-match every bundled scenario and
+    // write the full artifact trio per experiment; none of them run
+    // untraced.
+    let dir = scratch("scenario-prefix");
+    let dir_str = dir.to_str().unwrap();
+    let out = repro(&[
+        "--trials",
+        "2",
+        "--trace",
+        dir_str,
+        "--json",
+        dir_str,
+        "--only",
+        "scenario-",
+    ]);
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(!stderr.contains("untraced"), "{stderr}");
+    assert!(!dir.join("untraced.json").exists());
+    for name in [
+        "scenario-clearinghouse",
+        "scenario-dormant-death",
+        "scenario-partition",
+        "scenario-crash",
+        "scenario-churn",
+        "scenario-flash-crowd-lossy",
+        "scenario-churn-partition-heal",
+    ] {
+        for ext in ["jsonl", "summary.json", "rows.json"] {
+            assert!(
+                dir.join(format!("{name}.{ext}")).exists(),
+                "{name}.{ext} must be written"
+            );
+        }
+    }
+    let rows = std::fs::read_to_string(dir.join("scenario-partition.rows.json")).unwrap();
+    assert!(rows.contains(r#""scenario":"partition""#), "{rows}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn megascale_honors_the_max_n_cap_and_reports_untraced() {
     // EPIDEMIC_MEGASCALE_MAX_N=0 keeps the sweep empty, so the CLI
     // contract (selection, untraced warning, artifact summary) is testable

@@ -1,0 +1,51 @@
+//! Thread-count determinism for scenario artifacts: the `fig-scenarios`
+//! sweep and single-scenario selections must produce byte-identical
+//! traces, rows and summaries whether trials run on one worker or eight.
+//! (The CI `scenario-smoke` job re-checks the same property end-to-end
+//! through the `repro` binary with `diff -r`.)
+
+use epidemic_bench::scenarios::scenario_artifacts;
+use epidemic_sim::runner::TrialRunner;
+
+fn artifacts_at(threads: usize, name: &str, trials: u64) -> epidemic_bench::trace::TableArtifacts {
+    scenario_artifacts(TrialRunner::new().threads(threads), name, trials)
+        .unwrap_or_else(|| panic!("{name} is a scenario experiment"))
+}
+
+#[test]
+fn fig_scenarios_artifacts_are_thread_count_invariant() {
+    let one = artifacts_at(1, "fig-scenarios", 4);
+    let eight = artifacts_at(8, "fig-scenarios", 4);
+    assert_eq!(
+        one.jsonl, eight.jsonl,
+        "trace bytes must not depend on threads"
+    );
+    assert_eq!(one.rows, eight.rows);
+    assert_eq!(one.summary, eight.summary);
+    assert_eq!(one.rendered, eight.rendered);
+}
+
+#[test]
+fn single_scenario_artifacts_are_thread_count_invariant() {
+    for name in ["scenario-churn", "scenario-flash-crowd-lossy"] {
+        let one = artifacts_at(1, name, 6);
+        let eight = artifacts_at(8, name, 6);
+        assert_eq!(one.jsonl, eight.jsonl, "{name}");
+        assert_eq!(one.rows, eight.rows, "{name}");
+        assert_eq!(one.summary, eight.summary, "{name}");
+        assert_eq!(one.rendered, eight.rendered, "{name}");
+    }
+}
+
+#[test]
+fn scenario_traces_carry_no_wall_clock_fields() {
+    // The determinism contract extends to content: no timestamps or
+    // durations may leak into the artifact bytes.
+    let a = artifacts_at(2, "fig-scenarios", 2);
+    for needle in ["time", "seconds", "duration"] {
+        assert!(
+            !a.jsonl.contains(needle),
+            "trace must stay wall-clock free, found {needle:?}"
+        );
+    }
+}

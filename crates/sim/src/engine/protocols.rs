@@ -198,22 +198,39 @@ impl UpdateInjector {
     /// `place(site, key)` for each new update. Returns how many updates
     /// were injected this cycle.
     pub fn inject(&mut self, n: usize, rng: &mut StdRng, mut place: impl FnMut(usize, u32)) -> u32 {
-        let mut injected = 0;
+        let due = self.due();
+        for _ in 0..due {
+            let site = rng.random_range(0..n);
+            let key = self.alloc_key();
+            place(site, key);
+        }
+        due
+    }
+
+    /// Advances the carry accumulator by one cycle and returns how many
+    /// operations are due, for callers that place updates themselves
+    /// (e.g. a weighted workload mix choosing among update/delete/read).
+    pub fn due(&mut self) -> u32 {
+        let mut due = 0;
         self.carry += self.rate;
         while self.carry >= 1.0 {
             self.carry -= 1.0;
-            let site = rng.random_range(0..n);
-            place(site, self.next_key);
-            // Checked-with-context rather than a silent debug-only wrap: a
-            // steady-state run long enough to mint 2^32 keys would start
-            // recycling update identities, corrupting every receive log.
-            self.next_key = self
-                .next_key
-                .checked_add(1)
-                .expect("update key space (u32) exhausted; shorten the run or widen the key type");
-            injected += 1;
+            due += 1;
         }
-        injected
+        due
+    }
+
+    /// Mints the next sequential key without drawing a site.
+    pub fn alloc_key(&mut self) -> u32 {
+        let key = self.next_key;
+        // Checked-with-context rather than a silent debug-only wrap: a
+        // steady-state run long enough to mint 2^32 keys would start
+        // recycling update identities, corrupting every receive log.
+        self.next_key = self
+            .next_key
+            .checked_add(1)
+            .expect("update key space (u32) exhausted; shorten the run or widen the key type");
+        key
     }
 
     /// Total updates injected so far (equivalently, the next unused key).

@@ -7,16 +7,24 @@
 //! conversations (connections to it simply fail, like the paper's
 //! unreachable servers); anti-entropy's claim is that distribution still
 //! completes, merely stretched by the unavailable capacity.
+//!
+//! Since the scenario refactor this driver is a thin adapter: the churn
+//! model is a two-line fault timeline (`at 0 update …`, `at 0 churn …`)
+//! lowered through [`ScenarioEngine::run_with_policy`] with this module's
+//! spatial partner sampler. The lowering is RNG-identical to the
+//! hand-rolled protocol it replaced — same per-site churn draws at cycle
+//! start, same roster shuffle, same partner draws, failed connections to
+//! down sites still paid for — pinned exactly by
+//! `tests/scenario_equivalence.rs`.
 
-use epidemic_core::{AntiEntropy, Comparison, Direction, ExchangeScratch, Replica};
 use epidemic_db::SiteId;
 use epidemic_net::{PartnerSampler, Routes, Spatial, Topology};
 use rand::rngs::StdRng;
 use rand::seq::IndexedRandom;
-use rand::{RngExt, SeedableRng};
+use rand::SeedableRng;
 
-use crate::engine::{ContactStats, CycleEngine, EpidemicProtocol, SpatialPartners};
-use crate::util::pair_mut;
+use crate::engine::SpatialPartners;
+use crate::scenario::{AntiEntropySpec, FaultEvent, FaultKind, Scenario, ScenarioEngine, StopRule};
 
 /// Churn model: per-cycle transition probabilities of the two-state
 /// up/down Markov chain at each site.
@@ -74,8 +82,6 @@ pub struct ChurnedAntiEntropySim<'a> {
     max_cycles: u32,
 }
 
-const KEY: u32 = 0;
-
 impl<'a> ChurnedAntiEntropySim<'a> {
     /// Builds the simulator.
     pub fn new(topology: &'a Topology, spatial: Spatial, churn: Churn) -> Self {
@@ -95,45 +101,60 @@ impl<'a> ChurnedAntiEntropySim<'a> {
         &self.routes
     }
 
+    /// The declarative spec this simulator lowers to, given the dense
+    /// index of the originating site (the topology itself is supplied at
+    /// run time via [`ScenarioEngine::run_with_policy`], so the spec's
+    /// `topology` line is the placeholder default).
+    pub fn to_scenario(&self, origin_idx: usize) -> Scenario {
+        let mut spec = Scenario::new("churn", self.topology.sites().len());
+        spec.protocol.anti_entropy = Some(AntiEntropySpec {
+            every: 1,
+            from: 0,
+            redistribution: epidemic_core::Redistribution::None,
+        });
+        spec.events = vec![
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::Update {
+                    site: Some(origin_idx),
+                    count: 1,
+                },
+            },
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::Churn {
+                    fail: self.churn.fail,
+                    recover: self.churn.recover,
+                },
+            },
+        ];
+        spec.until = StopRule::Coverage;
+        spec.max_cycles = self.max_cycles;
+        spec
+    }
+
     /// Runs one experiment: single update at `origin` (random when
     /// `None`), push-pull anti-entropy each cycle among *up* sites.
     pub fn run(&self, seed: u64, origin: Option<SiteId>) -> ChurnRunResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let sites = self.topology.sites();
         let n = sites.len();
-        let mut replicas: Vec<Replica<u32, u32>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let origin = origin.unwrap_or_else(|| *sites.choose(&mut rng).expect("sites"));
         let origin_idx = sites.binary_search(&origin).expect("site exists");
-        replicas[origin_idx].client_update(KEY, 1);
-        replicas[origin_idx].hot_mut().clear();
-        let mut have = vec![false; n];
-        have[origin_idx] = true;
-
-        let mut protocol = ChurnedAntiEntropyProtocol {
-            exchange: AntiEntropy::new(Direction::PushPull, Comparison::Full),
-            churn: self.churn,
-            replicas,
-            up: vec![true; n],
-            have,
-            have_count: 1,
-            down_cycles: 0,
-            scratch: ExchangeScratch::new(),
-        };
-        let report = CycleEngine::new().max_cycles(self.max_cycles).run(
-            &mut protocol,
-            &SpatialPartners::new(sites, &self.sampler),
+        let engine = ScenarioEngine::new(self.to_scenario(origin_idx)).expect("churn spec valid");
+        let report = engine.run_with_policy(
             &mut rng,
+            &SpatialPartners::new(sites, &self.sampler),
+            Some(sites),
             &mut (),
         );
-
-        let cycle = report.cycles;
         ChurnRunResult {
-            t_last: cycle,
-            complete: protocol.have_count == n,
-            observed_down_fraction: if cycle == 0 {
+            t_last: report.cycles,
+            complete: report.residue == 0.0,
+            observed_down_fraction: if report.cycles == 0 {
                 0.0
             } else {
-                protocol.down_cycles as f64 / (f64::from(cycle) * n as f64)
+                report.down_site_cycles as f64 / (f64::from(report.cycles) * n as f64)
             },
         }
     }
@@ -150,70 +171,6 @@ impl<'a> ChurnedAntiEntropySim<'a> {
         origin: Option<SiteId>,
     ) -> Vec<ChurnRunResult> {
         runner.run(trials, seed_base, |seed| self.run(seed, origin))
-    }
-}
-
-/// Push-pull anti-entropy among *up* sites: churn transitions run at the
-/// start of each cycle, a down site neither initiates nor admits, and a
-/// connection to a down partner fails after the partner draw (the RNG cost
-/// is paid, matching unreachable servers).
-struct ChurnedAntiEntropyProtocol {
-    exchange: AntiEntropy,
-    churn: Churn,
-    replicas: Vec<Replica<u32, u32>>,
-    up: Vec<bool>,
-    have: Vec<bool>,
-    have_count: usize,
-    down_cycles: u64,
-    scratch: ExchangeScratch<u32, u32>,
-}
-
-impl EpidemicProtocol for ChurnedAntiEntropyProtocol {
-    fn site_count(&self) -> usize {
-        self.replicas.len()
-    }
-
-    fn finished(&self, _cycle: u32, _active: &[usize]) -> bool {
-        self.have_count == self.replicas.len()
-    }
-
-    fn begin_cycle(&mut self, _cycle: u32, rng: &mut StdRng) {
-        for status in self.up.iter_mut() {
-            if *status {
-                if rng.random::<f64>() < self.churn.fail {
-                    *status = false;
-                }
-            } else if rng.random::<f64>() < self.churn.recover {
-                *status = true;
-            }
-        }
-        self.down_cycles += self.up.iter().filter(|&&u| !u).count() as u64;
-    }
-
-    fn initiates(&self, i: usize) -> bool {
-        self.up[i]
-    }
-
-    fn admits(&self, j: usize) -> bool {
-        self.up[j]
-    }
-
-    fn contact(&mut self, _cycle: u32, i: usize, j: usize, _rng: &mut StdRng) -> ContactStats {
-        let (a, b) = pair_mut(&mut self.replicas, i, j);
-        let stats = self.exchange.exchange_with(a, b, &mut self.scratch);
-        let flowed = stats.update_flowed();
-        if flowed {
-            for idx in [i, j] {
-                if !self.have[idx] && self.replicas[idx].db().entry(&KEY).is_some() {
-                    self.have[idx] = true;
-                    self.have_count += 1;
-                }
-            }
-        }
-        ContactStats {
-            sent: u64::from(flowed),
-            useful: u64::from(flowed),
-        }
     }
 }
 

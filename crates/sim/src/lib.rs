@@ -16,9 +16,12 @@
 //! * [`megascale`] — the single-update rumor epidemic at 10⁴–10⁶ sites on
 //!   uniform and scale-free topologies, parameterised by storage backend
 //!   (the fig-megascale sweep);
-//! * [`scenario`] — end-to-end workloads: direct mail with anti-entropy
-//!   backup (the Clearinghouse configuration), deletion with death
-//!   certificates, dormant-certificate reactivation, partitions, crashes;
+//! * [`scenario`] — the declarative scenario subsystem: a parsed
+//!   [`scenario::Scenario`] spec (site count, protocol, weighted workload
+//!   mix, fault-event timeline) lowered onto the cycle engine by
+//!   [`scenario::ScenarioEngine`], with the historical end-to-end drivers
+//!   (Clearinghouse, death certificates, partitions, crashes) kept as thin
+//!   adapters in [`scenario::legacy`] over bundled `.scenario` files;
 //! * [`steady`] — steady-state anti-entropy under continuous updates: the
 //!   §1.3 checksum/recent-list window trade-off;
 //! * [`event`] — a discrete-event, per-site-timer driver ablating the
@@ -85,6 +88,7 @@ pub use megascale::MegascaleSim;
 pub use mixing::{EpidemicResult, RumorEpidemic};
 pub use rumor_steady::{RumorSteadyConfig, RumorSteadyReport, RumorSteadySim};
 pub use runner::TrialRunner;
+pub use scenario::{Scenario, ScenarioEngine, ScenarioReport};
 pub use spatial_ae::{AntiEntropySim, SpatialRunResult};
 pub use spatial_rumor::SpatialRumorSim;
 pub use spatial_steady::{SpatialSteadyConfig, SpatialSteadyReport, SpatialSteadySim};

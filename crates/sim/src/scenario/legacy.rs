@@ -1,0 +1,579 @@
+//! The four historical scenario drivers, re-expressed as declarative
+//! specs (paper §1.2, §1.5, §2).
+//!
+//! Each public type below used to hand-roll its own simulation loop;
+//! now each is a thin adapter: its `to_scenario` builds the
+//! equivalent [`Scenario`] spec (byte-identical to the bundled
+//! `.scenario` file of the same name — pinned in [`super::bundled`]) and
+//! `run` maps the [`super::ScenarioReport`] back onto the original report
+//! shape. The behavioral assertions the old drivers carried (goldened
+//! thresholds, not RNG streams — the bespoke loops drew randomness in
+//! driver-specific orders no shared engine could reproduce) live on in
+//! this module's tests.
+
+use epidemic_core::rumor::{Feedback, Removal, RumorConfig};
+use epidemic_core::{AntiEntropy, Comparison, Direction, MailConfig, Redistribution, Replica};
+use epidemic_db::SiteId;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use super::engine::ScenarioEngine;
+use super::spec::{
+    AntiEntropySpec, FaultEvent, FaultKind, Scenario, SiteSet, StopRule, Workload, WorkloadMix,
+};
+use crate::engine::protocols::random_pair;
+use crate::util::pair_mut;
+
+/// An update-only workload injecting `rate` updates per cycle until
+/// `budget` have been placed.
+fn update_workload(rate: f64, budget: u64) -> Workload {
+    Workload {
+        rate,
+        budget: Some(budget),
+        retention: 1,
+        mix: WorkloadMix {
+            update: 1,
+            delete: 0,
+            read: 0,
+        },
+    }
+}
+
+/// Configuration for the Clearinghouse-style workload (§1.5): direct mail
+/// for initial distribution (fallible), periodic anti-entropy as the
+/// backup, with a configurable redistribution policy.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClearinghouseScenario {
+    /// Number of database sites.
+    pub sites: usize,
+    /// Failure model of the mail transport.
+    pub mail: MailConfig,
+    /// Client updates injected, one per cycle starting at cycle 1, each at
+    /// a random site.
+    pub updates: usize,
+    /// Anti-entropy runs every this many cycles (0 disables it).
+    pub anti_entropy_every: u32,
+    /// What anti-entropy does with discovered updates (§1.5).
+    pub redistribution: Redistribution,
+    /// When `Some(k)`, sites run push rumor mongering with feedback
+    /// counters at threshold `k` — the initial-distribution role rumors
+    /// play in §1.5, and what makes [`Redistribution::Rumor`] actually
+    /// spread rediscovered updates.
+    pub rumor_k: Option<u32>,
+    /// Safety bound on simulated cycles.
+    pub max_cycles: u32,
+}
+
+impl Default for ClearinghouseScenario {
+    fn default() -> Self {
+        ClearinghouseScenario {
+            sites: 50,
+            mail: MailConfig {
+                loss_probability: 0.05,
+                queue_capacity: 1_000,
+            },
+            updates: 20,
+            anti_entropy_every: 5,
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 10_000,
+        }
+    }
+}
+
+/// Outcome of a Clearinghouse workload run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClearinghouseReport {
+    /// First cycle at which every replica was identical (after all updates
+    /// were injected); `None` if never within the bound.
+    pub consistent_at: Option<u32>,
+    /// Mail messages lost or dropped by overflow.
+    pub mail_failures: usize,
+    /// Mail messages delivered.
+    pub mail_delivered: usize,
+    /// Entries shipped by anti-entropy (the repairs).
+    pub ae_repairs: usize,
+}
+
+impl ClearinghouseScenario {
+    /// The equivalent declarative spec.
+    pub fn to_scenario(&self) -> Scenario {
+        let mut spec = Scenario::new("clearinghouse", self.sites);
+        spec.protocol.mail = Some(self.mail);
+        if self.anti_entropy_every > 0 {
+            spec.protocol.anti_entropy = Some(AntiEntropySpec {
+                every: self.anti_entropy_every,
+                from: 0,
+                redistribution: self.redistribution,
+            });
+        }
+        spec.protocol.rumor = self
+            .rumor_k
+            .map(|k| RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Counter { k }));
+        spec.workload = update_workload(1.0, self.updates as u64);
+        spec.until = StopRule::Converged;
+        spec.max_cycles = self.max_cycles;
+        spec
+    }
+
+    /// Runs the workload to consistency (or the cycle bound).
+    pub fn run(&self, seed: u64) -> ClearinghouseReport {
+        let report = ScenarioEngine::new(self.to_scenario())
+            .expect("clearinghouse spec is valid")
+            .run(seed);
+        let mail = report.mail.expect("clearinghouse always mails");
+        ClearinghouseReport {
+            consistent_at: report.converged_at,
+            mail_failures: mail.lost + mail.overflowed,
+            mail_delivered: mail.delivered,
+            ae_repairs: usize::try_from(report.ae_sent).unwrap_or(usize::MAX),
+        }
+    }
+}
+
+/// Demonstrates §2's motivating failure: if a site deletes an item by
+/// simply forgetting it (no death certificate), anti-entropy resurrects the
+/// item from the other replicas. Returns `true` if the item is back at the
+/// deleting site afterwards (it always is).
+///
+/// This one deliberately stays a hand-written loop: its "deletion" is
+/// rebuilding a replica without the item — an operation outside any sane
+/// spec vocabulary, which is rather the point of the demonstration.
+pub fn resurrection_without_certificates(sites: usize, seed: u64) -> bool {
+    assert!(sites >= 3);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut replicas: Vec<Replica<&str, u32>> = (0..sites)
+        .map(|i| Replica::new(SiteId::new(u32::try_from(i).expect("site count fits u32"))))
+        .collect();
+    let ae = AntiEntropy::new(Direction::PushPull, Comparison::Full);
+    replicas[0].client_update("item", 7);
+    converge(&mut replicas, &ae, &mut rng);
+
+    // "Delete" at site 0 by rebuilding its replica without the item — the
+    // naive removal the paper warns against.
+    let fresh = Replica::new(SiteId::new(0));
+    replicas[0] = fresh;
+
+    converge(&mut replicas, &ae, &mut rng);
+    replicas[0].db().get(&"item") == Some(&7)
+}
+
+/// Runs random push-pull anti-entropy rounds until all replicas agree.
+fn converge(replicas: &mut [Replica<&'static str, u32>], ae: &AntiEntropy, rng: &mut StdRng) {
+    let n = replicas.len();
+    let mut scratch = epidemic_core::ExchangeScratch::new();
+    for _ in 0..50 * n {
+        let (i, j) = random_pair(n, rng);
+        let (a, b) = pair_mut(replicas, i, j);
+        ae.exchange_with(a, b, &mut scratch);
+        let first = &replicas[0];
+        if replicas[1..].iter().all(|r| r.db() == first.db()) {
+            return;
+        }
+    }
+    panic!("replicas failed to converge within the exchange budget");
+}
+
+/// Configuration for the dormant-death-certificate scenario (§2.1–2.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DormantDeathScenario {
+    /// Number of sites (including the one that goes down).
+    pub sites: usize,
+    /// Active retention window `τ₁` in ticks.
+    pub tau1: u64,
+    /// Dormant retention window `τ₂` in ticks.
+    pub tau2: u64,
+    /// Number of retention sites `r` for the certificate.
+    pub retention: usize,
+}
+
+impl Default for DormantDeathScenario {
+    fn default() -> Self {
+        DormantDeathScenario {
+            sites: 20,
+            tau1: 50,
+            tau2: 100_000,
+            retention: 2,
+        }
+    }
+}
+
+/// Outcome of the dormant-certificate run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DormantReport {
+    /// Dormant certificates awakened during the rejoin.
+    pub awakened: usize,
+    /// Whether the obsolete item was cancelled everywhere at the end.
+    pub obsolete_cancelled: bool,
+    /// Sites still holding a (non-dormant) death certificate after GC —
+    /// should be 0 once `τ₁` has passed.
+    pub certificates_active_after_gc: usize,
+}
+
+impl DormantDeathScenario {
+    /// The equivalent declarative spec:
+    ///
+    /// 1. all sites converge on an item (anti-entropy every cycle);
+    /// 2. the last site goes down;
+    /// 3. the item is deleted with `r` retention sites; the deletion
+    ///    propagates and the `gc` event garbage-collects past `τ₁`
+    ///    (dormant copies remain only at retention sites);
+    /// 4. the down site rejoins with its obsolete copy — a dormant
+    ///    certificate must awaken and cancel it everywhere.
+    pub fn to_scenario(&self) -> Scenario {
+        let mut spec = Scenario::new("dormant-death", self.sites);
+        spec.protocol.anti_entropy = Some(AntiEntropySpec {
+            every: 1,
+            from: 0,
+            redistribution: Redistribution::None,
+        });
+        spec.events = vec![
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::Update {
+                    site: Some(0),
+                    count: 1,
+                },
+            },
+            FaultEvent {
+                cycle: 10,
+                kind: FaultKind::Crash(SiteSet::Last(1)),
+            },
+            FaultEvent {
+                cycle: 12,
+                kind: FaultKind::Delete {
+                    site: 0,
+                    key: 0,
+                    retention: u32::try_from(self.retention).expect("retention fits u32"),
+                },
+            },
+            FaultEvent {
+                cycle: 26,
+                kind: FaultKind::Gc {
+                    tau1: self.tau1,
+                    tau2: self.tau2,
+                },
+            },
+            FaultEvent {
+                cycle: 28,
+                kind: FaultKind::Recover(SiteSet::All),
+            },
+        ];
+        spec.until = StopRule::Cancelled;
+        spec.max_cycles = 400;
+        spec
+    }
+
+    /// Runs the scenario.
+    pub fn run(&self, seed: u64) -> DormantReport {
+        assert!(self.sites >= 4);
+        assert!(self.retention >= 1 && self.retention < self.sites - 1);
+        let report = ScenarioEngine::new(self.to_scenario())
+            .expect("dormant-death spec is valid")
+            .run(seed);
+        DormantReport {
+            awakened: usize::try_from(report.awakened).unwrap_or(usize::MAX),
+            obsolete_cancelled: report.cancelled,
+            certificates_active_after_gc: usize::try_from(report.certs_after_gc.unwrap_or(0))
+                .unwrap_or(usize::MAX),
+        }
+    }
+}
+
+/// §1.5's partition claim: the peel-back ∪ rumor (activity list) protocol
+/// "behaves well when a network partitions and rejoins". Two halves evolve
+/// independently while partitioned; after the rejoin the fresh updates are
+/// exchanged first and the fleet converges with bounded traffic.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionScenario {
+    /// Sites per partition half.
+    pub half: usize,
+    /// Updates injected in each half while partitioned (the declarative
+    /// workload injects `2 ×` this many at uniformly random sites, which
+    /// the partition confines to their halves).
+    pub updates_per_half: usize,
+    /// Batch size for the activity-list exchanges.
+    pub batch: usize,
+}
+
+impl Default for PartitionScenario {
+    fn default() -> Self {
+        PartitionScenario {
+            half: 8,
+            updates_per_half: 12,
+            batch: 4,
+        }
+    }
+}
+
+/// Outcome of [`PartitionScenario::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PartitionReport {
+    /// Whether all replicas converged after the rejoin.
+    pub converged: bool,
+    /// Peel-back contacts after the heal (blocked cross-cut attempts
+    /// included — they pay a connection like everything else).
+    pub exchanges_after_rejoin: usize,
+    /// Entries shipped after the heal.
+    pub entries_after_rejoin: usize,
+}
+
+impl PartitionScenario {
+    /// The equivalent declarative spec: partition from cycle 0, a
+    /// 2-update-per-cycle workload while split, heal, then run to
+    /// convergence.
+    pub fn to_scenario(&self) -> Scenario {
+        let updates = 2 * self.updates_per_half as u64;
+        let heal = u32::try_from(self.updates_per_half + 4).expect("heal cycle fits u32");
+        let mut spec = Scenario::new("partition", 2 * self.half);
+        spec.protocol.peel_back = Some(self.batch);
+        spec.workload = update_workload(2.0, updates);
+        spec.events = vec![
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::Partition(2),
+            },
+            FaultEvent {
+                cycle: heal,
+                kind: FaultKind::Heal,
+            },
+        ];
+        spec.until = StopRule::Converged;
+        spec.max_cycles = 500;
+        spec
+    }
+
+    /// Runs the scenario with the given seed.
+    pub fn run(&self, seed: u64) -> PartitionReport {
+        assert!(self.half >= 2);
+        let report = ScenarioEngine::new(self.to_scenario())
+            .expect("partition spec is valid")
+            .run(seed);
+        let at_heal = report
+            .milestone("heal")
+            .copied()
+            .expect("the heal event always fires");
+        PartitionReport {
+            converged: report.converged_at.is_some(),
+            exchanges_after_rejoin: usize::try_from(report.totals.contacts - at_heal.contacts)
+                .unwrap_or(usize::MAX),
+            entries_after_rejoin: usize::try_from(report.totals.sent - at_heal.sent)
+                .unwrap_or(usize::MAX),
+        }
+    }
+}
+
+/// Failure injection: a fraction of sites is down during the initial rumor
+/// spreading and comes back only for the anti-entropy backup phase —
+/// combining §1.4's failure mode with §1.5's remedy.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CrashScenario {
+    /// Total sites.
+    pub sites: usize,
+    /// Fraction of sites down during rumor spreading.
+    pub down_fraction: f64,
+    /// Rumor counter parameter `k`.
+    pub k: u32,
+}
+
+impl Default for CrashScenario {
+    fn default() -> Self {
+        CrashScenario {
+            sites: 40,
+            down_fraction: 0.3,
+            k: 2,
+        }
+    }
+}
+
+/// Outcome of [`CrashScenario::run`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CrashReport {
+    /// Sites missing the update when the crashed sites recovered.
+    pub missed_by_rumor: usize,
+    /// Whether backup anti-entropy achieved full coverage afterwards.
+    pub repaired: bool,
+}
+
+impl CrashScenario {
+    /// The cycle at which the crashed sites recover and anti-entropy takes
+    /// over (generous headroom for the rumor to quiesce first; quiescent
+    /// rumor cycles cost nothing).
+    const RECOVER_AT: u32 = 100;
+
+    /// The equivalent declarative spec: push rumor with feedback counters
+    /// spreads while a site fraction is down, then everyone recovers and
+    /// per-cycle anti-entropy repairs to full coverage.
+    pub fn to_scenario(&self) -> Scenario {
+        let mut spec = Scenario::new("crash", self.sites);
+        spec.protocol.rumor = Some(RumorConfig::new(
+            Direction::Push,
+            Feedback::Feedback,
+            Removal::Counter { k: self.k },
+        ));
+        spec.protocol.anti_entropy = Some(AntiEntropySpec {
+            every: 1,
+            from: Self::RECOVER_AT,
+            redistribution: Redistribution::None,
+        });
+        spec.events = vec![
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::Update {
+                    site: Some(0),
+                    count: 1,
+                },
+            },
+            FaultEvent {
+                cycle: 0,
+                kind: FaultKind::Crash(SiteSet::Fraction(self.down_fraction)),
+            },
+            FaultEvent {
+                cycle: Self::RECOVER_AT,
+                kind: FaultKind::Recover(SiteSet::All),
+            },
+        ];
+        spec.until = StopRule::Coverage;
+        spec.max_cycles = 2_000;
+        spec
+    }
+
+    /// Runs the scenario with the given seed.
+    pub fn run(&self, seed: u64) -> CrashReport {
+        assert!(self.sites >= 4);
+        let report = ScenarioEngine::new(self.to_scenario())
+            .expect("crash spec is valid")
+            .run(seed);
+        let at_recover = report
+            .milestone("recover")
+            .copied()
+            .expect("the recover event always fires");
+        CrashReport {
+            missed_by_rumor: self.sites - at_recover.covered,
+            repaired: report.residue == 0.0,
+        }
+    }
+}
+
+/// Re-exported for report post-processing (adapters above return it
+/// pre-digested; direct [`ScenarioEngine`] users get the full report).
+pub use super::engine::ScenarioReport as FullReport;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clearinghouse_reaches_consistency_despite_lossy_mail() {
+        let scenario = ClearinghouseScenario {
+            sites: 30,
+            mail: MailConfig {
+                loss_probability: 0.2,
+                queue_capacity: 100,
+            },
+            updates: 10,
+            anti_entropy_every: 3,
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 2_000,
+        };
+        let report = scenario.run(11);
+        assert!(report.consistent_at.is_some());
+        assert!(report.mail_failures > 0, "the mail should actually fail");
+        assert!(report.ae_repairs > 0, "anti-entropy should repair losses");
+    }
+
+    #[test]
+    fn without_anti_entropy_lossy_mail_leaves_holes() {
+        let scenario = ClearinghouseScenario {
+            sites: 30,
+            mail: MailConfig {
+                loss_probability: 0.2,
+                queue_capacity: 100,
+            },
+            updates: 10,
+            anti_entropy_every: 0, // disabled
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 300,
+        };
+        let report = scenario.run(11);
+        assert_eq!(report.consistent_at, None);
+    }
+
+    #[test]
+    fn perfect_mail_needs_no_repairs() {
+        let scenario = ClearinghouseScenario {
+            sites: 20,
+            mail: MailConfig::default(),
+            updates: 5,
+            anti_entropy_every: 4,
+            redistribution: Redistribution::None,
+            rumor_k: None,
+            max_cycles: 500,
+        };
+        let report = scenario.run(3);
+        assert!(report.consistent_at.is_some());
+        assert_eq!(report.mail_failures, 0);
+    }
+
+    #[test]
+    fn naive_deletion_resurrects() {
+        assert!(resurrection_without_certificates(10, 5));
+    }
+
+    #[test]
+    fn dormant_certificates_cancel_rejoining_obsolete_data() {
+        let report = DormantDeathScenario::default().run(17);
+        assert!(report.awakened >= 1, "a dormant certificate must awaken");
+        assert!(report.obsolete_cancelled);
+        assert_eq!(
+            report.certificates_active_after_gc, 0,
+            "no active certificates should remain after tau1"
+        );
+    }
+
+    #[test]
+    fn partition_rejoin_converges_with_bounded_traffic() {
+        let report = PartitionScenario::default().run(21);
+        assert!(report.converged);
+        // Each update must cross to 8 other sites: entries shipped is
+        // bounded by a small multiple of updates x sites.
+        assert!(report.entries_after_rejoin < 24 * 16 * 4);
+    }
+
+    #[test]
+    fn partition_rejoin_handles_conflicts() {
+        // Concurrent writes race on both sides of the partition:
+        // timestamps decide, and both halves agree after rejoin.
+        let scenario = PartitionScenario {
+            updates_per_half: 6,
+            ..PartitionScenario::default()
+        };
+        for seed in 0..3 {
+            assert!(scenario.run(seed).converged);
+        }
+    }
+
+    #[test]
+    fn downed_sites_miss_rumors_but_backup_repairs() {
+        let report = CrashScenario::default().run(5);
+        assert!(
+            report.missed_by_rumor >= 12,
+            "the down sites cannot hear the rumor: {report:?}"
+        );
+        assert!(report.repaired);
+    }
+
+    #[test]
+    fn crash_free_run_misses_almost_nobody() {
+        let report = CrashScenario {
+            sites: 40,
+            down_fraction: 0.0,
+            k: 4,
+        }
+        .run(6);
+        assert!(report.missed_by_rumor <= 2, "{report:?}");
+        assert!(report.repaired);
+    }
+}

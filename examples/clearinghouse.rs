@@ -11,7 +11,7 @@
 //! disabled never converges.
 
 use epidemics::core::{MailConfig, Redistribution};
-use epidemics::sim::scenario::ClearinghouseScenario;
+use epidemics::sim::scenario::legacy::ClearinghouseScenario;
 
 fn main() {
     let lossy_mail = MailConfig {

@@ -6,7 +6,7 @@
 //! ```
 
 use epidemics::db::GcPolicy;
-use epidemics::sim::scenario::{resurrection_without_certificates, DormantDeathScenario};
+use epidemics::sim::scenario::legacy::{resurrection_without_certificates, DormantDeathScenario};
 
 fn main() {
     // 1. The failure that motivates §2: naive deletion is undone by the

@@ -15,7 +15,7 @@ use epidemics::core::{Direction, Feedback, Removal, RumorConfig};
 use epidemics::net::topologies::{cin, CinConfig};
 use epidemics::net::Spatial;
 use epidemics::sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
-use epidemics::sim::scenario::{resurrection_without_certificates, DormantDeathScenario};
+use epidemics::sim::scenario::legacy::{resurrection_without_certificates, DormantDeathScenario};
 use epidemics::sim::spatial_ae::AntiEntropySim;
 
 fn main() {

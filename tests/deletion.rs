@@ -2,7 +2,7 @@
 
 use epidemics::core::{AntiEntropy, Comparison, Direction, Replica};
 use epidemics::db::{Entry, GcPolicy, SiteId};
-use epidemics::sim::scenario::{resurrection_without_certificates, DormantDeathScenario};
+use epidemics::sim::scenario::legacy::{resurrection_without_certificates, DormantDeathScenario};
 use rand::rngs::StdRng;
 use rand::{RngExt, SeedableRng};
 
