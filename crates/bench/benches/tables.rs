@@ -116,28 +116,33 @@ fn bench_table5(c: &mut Criterion) {
 }
 
 fn bench_figures(c: &mut Criterion) {
-    figures::print_rumor_ode(N, TRIALS);
-    figures::print_residue_traffic(N, TRIALS);
-    figures::print_ae_convergence(10);
-    figures::print_line_traffic();
-    figures::print_figure1(100);
-    figures::print_figure2(100);
-    figures::print_death_certificates();
-    figures::print_dc_scaling(20);
-    figures::print_spatial_rumor(10, 20);
-    figures::print_ablation_counter_reset(N, TRIALS);
-    figures::print_ablation_hunting(N, TRIALS);
-    figures::print_ablation_comparison();
-    figures::print_ablation_redistribution(5);
-    figures::print_checksum_window();
-    figures::print_sir_curve(N, TRIALS);
-    figures::print_async_ablation(10);
-    figures::print_hierarchy(10);
-    figures::print_cin_steady(3);
-    figures::print_weighted_cin(5);
-    figures::print_churn(5);
-    figures::print_topology_robustness(5);
-    figures::print_pull_vs_push_rate(3);
+    // The dispatcher (`figures::print_figure`) pins full-fidelity trial
+    // counts, so figures whose count the bench reduces call their table
+    // builders directly and print the same `FigTable`s.
+    figures::print_figure("fig-rumor-ode", N, TRIALS);
+    figures::print_figure("fig-residue-traffic", N, TRIALS);
+    figures::print_figure("fig-ae-convergence", N, TRIALS);
+    figures::line_traffic_table().print();
+    figures::figure1_table(100).print();
+    figures::figure2_table(100).print();
+    for table in figures::death_certificates_tables() {
+        table.print();
+    }
+    figures::dc_scaling_table(20).print();
+    figures::spatial_rumor_table(figures::spatial_rumor(10, 20)).print();
+    figures::counter_reset_table(N, TRIALS).print();
+    figures::hunting_table(N, TRIALS).print();
+    figures::comparison_table().print();
+    figures::redistribution_table(5).print();
+    figures::checksum_window_table().print();
+    figures::sir_curve_table(N, TRIALS).print();
+    figures::async_ablation_table(10).print();
+    figures::hierarchy_table(10).print();
+    figures::cin_steady_table(3).print();
+    figures::weighted_cin_table(5).print();
+    figures::churn_table(5).print();
+    figures::topology_robustness_table(5).print();
+    figures::pull_vs_push_rate_table(3).print();
     c.bench_function("figures/rumor_ode_residue", |b| {
         b.iter(|| black_box(epidemic_analysis::RumorOde::new(4).final_residue()))
     });

@@ -1,0 +1,539 @@
+//! Consumers for the run-analytics artifacts: the `.agg.json` percentile
+//! report and the `BENCH_repro.json` regression gate.
+//!
+//! Both consumers parse their inputs with the dependency-free
+//! [`epidemic_trace::json`] parser, so they accept exactly what the
+//! producers ([`crate::trace::agg_json`] and `repro --bench`) emit.
+//!
+//! * [`report`] renders one `.agg.json` file as a human-readable
+//!   percentile report: per-entry contact totals, delay quantiles
+//!   (p50/p90/p99/max), link-traffic summary, and predicted-vs-observed
+//!   lines against the closed forms in `epidemic-analysis`.
+//! * [`bench_diff`] compares two `BENCH_repro.json` records experiment by
+//!   experiment and flags ratio blowups in seconds, allocations, and
+//!   peak RSS, subject to [`DiffThresholds`]. The `epidemic-analyze`
+//!   binary exits non-zero when any regression is flagged.
+
+use epidemic_analysis::residue_from_traffic;
+use epidemic_trace::json::{parse, Value};
+
+/// Ratio thresholds for [`bench_diff`]. A candidate metric regresses when
+/// `candidate / baseline` exceeds the matching ratio; the `min_seconds`
+/// noise floor exempts experiments whose candidate wall-clock is too small
+/// to measure reliably from the seconds gate.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffThresholds {
+    /// Maximum allowed `candidate.seconds / baseline.seconds`.
+    pub max_seconds_ratio: f64,
+    /// Maximum allowed `candidate.allocations / baseline.allocations`.
+    pub max_alloc_ratio: f64,
+    /// Maximum allowed `candidate.peak_rss_kb / baseline.peak_rss_kb`.
+    pub max_rss_ratio: f64,
+    /// Seconds gate noise floor: experiments where both sides run faster
+    /// than this are never flagged on wall-clock (timer jitter dominates).
+    pub min_seconds: f64,
+}
+
+impl Default for DiffThresholds {
+    /// Gate only on 3x blowups, ignoring sub-quarter-second wall-clocks.
+    fn default() -> Self {
+        DiffThresholds {
+            max_seconds_ratio: 3.0,
+            max_alloc_ratio: 3.0,
+            max_rss_ratio: 3.0,
+            min_seconds: 0.25,
+        }
+    }
+}
+
+/// Outcome of a [`bench_diff`] comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct BenchDiff {
+    /// Human-readable comparison table plus any regression lines.
+    pub rendered: String,
+    /// One line per flagged regression; empty means the gate passes.
+    pub regressions: Vec<String>,
+}
+
+impl BenchDiff {
+    /// `true` when no metric breached its threshold.
+    pub fn passed(&self) -> bool {
+        self.regressions.is_empty()
+    }
+}
+
+fn num(v: &Value, key: &str) -> Option<f64> {
+    v.get(key).and_then(Value::as_f64)
+}
+
+fn require_num(v: &Value, key: &str, ctx: &str) -> Result<f64, String> {
+    num(v, key).ok_or_else(|| format!("{ctx}: missing numeric field {key:?}"))
+}
+
+/// One experiment row from a `BENCH_repro.json` record.
+#[derive(Debug, Clone, PartialEq)]
+struct BenchRow {
+    name: String,
+    seconds: f64,
+    allocations: Option<f64>,
+    peak_rss_kb: Option<f64>,
+}
+
+fn parse_bench(text: &str, ctx: &str) -> Result<(f64, Vec<BenchRow>), String> {
+    let root = parse(text).map_err(|e| format!("{ctx}: {e}"))?;
+    let total = require_num(&root, "total_seconds", ctx)?;
+    let experiments = root
+        .get("experiments")
+        .and_then(Value::as_array)
+        .ok_or_else(|| format!("{ctx}: missing \"experiments\" array"))?;
+    let mut rows = Vec::with_capacity(experiments.len());
+    for e in experiments {
+        let name = e
+            .get("name")
+            .and_then(Value::as_str)
+            .ok_or_else(|| format!("{ctx}: experiment without a \"name\""))?
+            .to_string();
+        rows.push(BenchRow {
+            seconds: require_num(e, "seconds", &format!("{ctx}: {name}"))?,
+            allocations: num(e, "allocations"),
+            peak_rss_kb: num(e, "peak_rss_kb"),
+            name,
+        });
+    }
+    Ok((total, rows))
+}
+
+fn ratio(base: f64, cand: f64) -> f64 {
+    if base <= 0.0 {
+        if cand <= 0.0 {
+            1.0
+        } else {
+            f64::INFINITY
+        }
+    } else {
+        cand / base
+    }
+}
+
+/// Compares two `BENCH_repro.json` records (baseline first). Experiments
+/// present on only one side are reported but never flagged — the gate
+/// exists to catch perf blowups, not roster drift.
+pub fn bench_diff(
+    baseline: &str,
+    candidate: &str,
+    thresholds: &DiffThresholds,
+) -> Result<BenchDiff, String> {
+    let (base_total, base_rows) = parse_bench(baseline, "baseline")?;
+    let (cand_total, cand_rows) = parse_bench(candidate, "candidate")?;
+    let mut out = String::new();
+    let mut regressions = Vec::new();
+    out.push_str(&format!(
+        "bench-diff: total_seconds {base_total:.3} -> {cand_total:.3} ({:.2}x)\n",
+        ratio(base_total, cand_total)
+    ));
+    out.push_str(&format!(
+        "{:<24} {:>10} {:>10} {:>7}  {:>9} {:>9}\n",
+        "experiment", "base s", "cand s", "s x", "alloc x", "rss x"
+    ));
+    for cand in &cand_rows {
+        let Some(base) = base_rows.iter().find(|b| b.name == cand.name) else {
+            out.push_str(&format!("{:<24} (new experiment, not gated)\n", cand.name));
+            continue;
+        };
+        let s_ratio = ratio(base.seconds, cand.seconds);
+        let alloc_ratio = match (base.allocations, cand.allocations) {
+            (Some(b), Some(c)) => Some(ratio(b, c)),
+            _ => None,
+        };
+        let rss_ratio = match (base.peak_rss_kb, cand.peak_rss_kb) {
+            (Some(b), Some(c)) => Some(ratio(b, c)),
+            _ => None,
+        };
+        let opt = |r: Option<f64>| r.map_or_else(|| "-".to_string(), |x| format!("{x:.2}"));
+        out.push_str(&format!(
+            "{:<24} {:>10.3} {:>10.3} {:>6.2}x {:>9} {:>9}\n",
+            cand.name,
+            base.seconds,
+            cand.seconds,
+            s_ratio,
+            opt(alloc_ratio),
+            opt(rss_ratio),
+        ));
+        let above_floor =
+            base.seconds >= thresholds.min_seconds || cand.seconds >= thresholds.min_seconds;
+        if above_floor && s_ratio > thresholds.max_seconds_ratio {
+            regressions.push(format!(
+                "{}: seconds {:.3} -> {:.3} ({s_ratio:.2}x > {:.2}x)",
+                cand.name, base.seconds, cand.seconds, thresholds.max_seconds_ratio
+            ));
+        }
+        if let Some(r) = alloc_ratio {
+            if r > thresholds.max_alloc_ratio {
+                regressions.push(format!(
+                    "{}: allocations {:.0} -> {:.0} ({r:.2}x > {:.2}x)",
+                    cand.name,
+                    base.allocations.unwrap_or(0.0),
+                    cand.allocations.unwrap_or(0.0),
+                    thresholds.max_alloc_ratio
+                ));
+            }
+        }
+        if let Some(r) = rss_ratio {
+            if r > thresholds.max_rss_ratio {
+                regressions.push(format!(
+                    "{}: peak_rss_kb {:.0} -> {:.0} ({r:.2}x > {:.2}x)",
+                    cand.name,
+                    base.peak_rss_kb.unwrap_or(0.0),
+                    cand.peak_rss_kb.unwrap_or(0.0),
+                    thresholds.max_rss_ratio
+                ));
+            }
+        }
+    }
+    for base in &base_rows {
+        if !cand_rows.iter().any(|c| c.name == base.name) {
+            out.push_str(&format!(
+                "{:<24} (missing from candidate, not gated)\n",
+                base.name
+            ));
+        }
+    }
+    if regressions.is_empty() {
+        out.push_str("PASS: no metric exceeded its threshold\n");
+    } else {
+        out.push_str(&format!("FAIL: {} regression(s)\n", regressions.len()));
+        for r in &regressions {
+            out.push_str(&format!("  {r}\n"));
+        }
+    }
+    Ok(BenchDiff {
+        rendered: out,
+        regressions,
+    })
+}
+
+fn push_line(out: &mut String, s: &str) {
+    out.push_str(s);
+    out.push('\n');
+}
+
+fn fmt_pairs(v: &Value) -> String {
+    v.as_object().map_or_else(String::new, |fields| {
+        fields
+            .iter()
+            .map(|(k, val)| match val {
+                Value::Str(s) => format!("{k}={s}"),
+                Value::Num(x) => format!("{k}={}", crate::render::fmt(*x)),
+                other => format!("{k}={other:?}"),
+            })
+            .collect::<Vec<_>>()
+            .join(" ")
+    })
+}
+
+fn report_entry(out: &mut String, entry: &Value, ctx: &str) -> Result<(), String> {
+    let label = entry
+        .get("label")
+        .and_then(Value::as_str)
+        .ok_or_else(|| format!("{ctx}: aggregate entry without a \"label\""))?;
+    push_line(out, &format!("## {label}"));
+    if let Some(params) = entry.get("params") {
+        let rendered = fmt_pairs(params);
+        if !rendered.is_empty() {
+            push_line(out, &format!("  params: {rendered}"));
+        }
+    }
+    let agg = entry
+        .get("aggregate")
+        .ok_or_else(|| format!("{ctx}: {label}: missing \"aggregate\""))?;
+    let runs = require_num(agg, "runs", ctx)?;
+    let sites = require_num(agg, "sites", ctx)?;
+    push_line(
+        out,
+        &format!(
+            "  runs={runs} sites={sites} max_cycle={}",
+            require_num(agg, "max_cycle", ctx)?
+        ),
+    );
+    let totals = agg
+        .get("totals")
+        .ok_or_else(|| format!("{ctx}: {label}: missing \"totals\""))?;
+    let sent = require_num(totals, "sent", ctx)?;
+    push_line(
+        out,
+        &format!(
+            "  contacts={} sent={sent} useful={} fruitless={}",
+            require_num(totals, "contacts", ctx)?,
+            require_num(totals, "useful", ctx)?,
+            require_num(totals, "fruitless", ctx)?
+        ),
+    );
+    let delay = agg
+        .get("delay")
+        .ok_or_else(|| format!("{ctx}: {label}: missing \"delay\""))?;
+    push_line(
+        out,
+        &format!(
+            "  delay: count={} mean={:.3} p50={:.3} p90={:.3} p99={:.3} max={}",
+            require_num(delay, "count", ctx)?,
+            require_num(delay, "mean", ctx)?,
+            require_num(delay, "p50", ctx)?,
+            require_num(delay, "p90", ctx)?,
+            require_num(delay, "p99", ctx)?,
+            require_num(delay, "max", ctx)?
+        ),
+    );
+    if let Some(links) = agg.get("links") {
+        let link_totals = links
+            .get("totals")
+            .ok_or_else(|| format!("{ctx}: {label}: links without \"totals\""))?;
+        let truncated = links
+            .get("truncated")
+            .and_then(|v| match v {
+                Value::Bool(b) => Some(*b),
+                _ => None,
+            })
+            .unwrap_or(false);
+        push_line(
+            out,
+            &format!(
+                "  links: tracked_pairs={} contacts={} sent={}{}",
+                require_num(links, "tracked_pairs", ctx)?,
+                require_num(link_totals, "contacts", ctx)?,
+                require_num(link_totals, "sent", ctx)?,
+                if truncated { " (truncated)" } else { "" }
+            ),
+        );
+    }
+    if let Some(observed) = entry.get("observed") {
+        let rendered = fmt_pairs(observed);
+        if !rendered.is_empty() {
+            push_line(out, &format!("  observed: {rendered}"));
+        }
+        // Predicted-vs-observed against the paper's closed forms. The
+        // e^-m residue law applies whenever the aggregate saw traffic;
+        // producer-embedded predictions (ode_residue, predicted_log2_ln)
+        // pair with their observed columns when present.
+        if runs > 0.0 && sites > 0.0 {
+            let m = sent / (runs * sites);
+            let observed_residue =
+                num(observed, "residue").or_else(|| num(observed, "residue_mean"));
+            push_line(
+                out,
+                &format!(
+                    "  residue vs e^-m: m={m:.4} predicted={:.6} observed={}",
+                    residue_from_traffic(m),
+                    observed_residue.map_or_else(|| "-".to_string(), |r| format!("{r:.6}"))
+                ),
+            );
+        }
+        if let (Some(pred), Some(obs)) = (
+            num(observed, "predicted_log2_ln"),
+            num(observed, "cycles_mean"),
+        ) {
+            push_line(
+                out,
+                &format!("  push cover time: predicted log2(n)+ln(n)={pred:.3} observed={obs:.3}"),
+            );
+        }
+        if let (Some(pred), Some(obs)) = (num(observed, "ode_residue"), num(observed, "residue")) {
+            push_line(
+                out,
+                &format!("  rumor ODE residue: predicted={pred:.6} observed={obs:.6}"),
+            );
+        }
+    }
+    Ok(())
+}
+
+/// Renders one `.agg.json` document (as produced by `repro --trace` /
+/// `--json`) as a percentile report with predicted-vs-observed lines.
+pub fn report(text: &str) -> Result<String, String> {
+    let root = parse(text).map_err(|e| format!("agg.json: {e}"))?;
+    let experiment = root
+        .get("experiment")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "agg.json: missing \"experiment\"".to_string())?;
+    let kind = root
+        .get("kind")
+        .and_then(Value::as_str)
+        .ok_or_else(|| "agg.json: missing \"kind\"".to_string())?;
+    let entries = root
+        .get("aggregates")
+        .and_then(Value::as_array)
+        .ok_or_else(|| "agg.json: missing \"aggregates\" array".to_string())?;
+    let mut out = String::new();
+    push_line(
+        &mut out,
+        &format!("# {experiment} ({kind}) — {} aggregate(s)", entries.len()),
+    );
+    for entry in entries {
+        report_entry(&mut out, entry, experiment)?;
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{agg_json, AggEntry};
+    use epidemic_trace::{AggregatingSink, Sir};
+
+    fn bench(total: f64, rows: &[(&str, f64, f64, f64)]) -> String {
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|(name, s, a, r)| {
+                format!(
+                    r#"{{"name": "{name}", "seconds": {s}, "allocations": {a}, "peak_rss_kb": {r}}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"threads": 1, "total_seconds": {total}, "experiments": [{}], "phases": []}}"#,
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn identical_benches_pass() {
+        let text = bench(10.0, &[("table1", 1.0, 1000.0, 5000.0)]);
+        let diff = bench_diff(&text, &text, &DiffThresholds::default()).unwrap();
+        assert!(diff.passed(), "{}", diff.rendered);
+        assert!(diff.rendered.contains("PASS"));
+    }
+
+    #[test]
+    fn injected_seconds_regression_is_flagged() {
+        let base = bench(10.0, &[("table1", 1.0, 1000.0, 5000.0)]);
+        let cand = bench(40.0, &[("table1", 4.0, 1000.0, 5000.0)]);
+        let diff = bench_diff(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert!(!diff.passed());
+        assert_eq!(diff.regressions.len(), 1);
+        assert!(diff.regressions[0].contains("table1: seconds"), "{diff:?}");
+        assert!(diff.rendered.contains("FAIL: 1 regression(s)"));
+    }
+
+    #[test]
+    fn sub_floor_wall_clock_jitter_is_not_flagged() {
+        // 10x blowup, but both sides are under the noise floor.
+        let base = bench(0.1, &[("fig-line-traffic", 0.001, 100.0, 500.0)]);
+        let cand = bench(0.1, &[("fig-line-traffic", 0.010, 100.0, 500.0)]);
+        let diff = bench_diff(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert!(diff.passed(), "{}", diff.rendered);
+    }
+
+    #[test]
+    fn alloc_and_rss_regressions_are_flagged_independently() {
+        let base = bench(10.0, &[("table1", 1.0, 1000.0, 5000.0)]);
+        let cand = bench(10.0, &[("table1", 1.0, 9000.0, 25000.0)]);
+        let diff = bench_diff(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert_eq!(diff.regressions.len(), 2, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("allocations"));
+        assert!(diff.regressions[1].contains("peak_rss_kb"));
+    }
+
+    #[test]
+    fn roster_drift_is_reported_but_not_gated() {
+        let base = bench(10.0, &[("old-exp", 1.0, 1000.0, 5000.0)]);
+        let cand = bench(10.0, &[("new-exp", 1.0, 1000.0, 5000.0)]);
+        let diff = bench_diff(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert!(diff.passed(), "{}", diff.rendered);
+        assert!(diff.rendered.contains("new-exp"));
+        assert!(diff.rendered.contains("missing from candidate"));
+    }
+
+    #[test]
+    fn custom_thresholds_tighten_the_gate() {
+        let base = bench(10.0, &[("table1", 1.0, 1000.0, 5000.0)]);
+        let cand = bench(10.0, &[("table1", 1.5, 1000.0, 5000.0)]);
+        let tight = DiffThresholds {
+            max_seconds_ratio: 1.2,
+            ..DiffThresholds::default()
+        };
+        assert!(!bench_diff(&base, &cand, &tight).unwrap().passed());
+        assert!(bench_diff(&base, &cand, &DiffThresholds::default())
+            .unwrap()
+            .passed());
+    }
+
+    #[test]
+    fn malformed_bench_json_is_a_readable_error() {
+        let err = bench_diff("{nope", "{}", &DiffThresholds::default()).unwrap_err();
+        assert!(err.starts_with("baseline:"), "{err}");
+        let err = bench_diff(
+            &bench(1.0, &[]),
+            r#"{"total_seconds": 1.0}"#,
+            &DiffThresholds::default(),
+        )
+        .unwrap_err();
+        assert!(err.contains("candidate"), "{err}");
+    }
+
+    /// Builds a small real aggregate: 2 runs over 4 sites, with one
+    /// useful contact each so the delay histogram is non-empty.
+    fn sample_entry() -> AggEntry {
+        let mut sink = AggregatingSink::new();
+        for run in 0..2u32 {
+            sink.run_start(Sir {
+                susceptible: 3,
+                infective: 1,
+                removed: 0,
+            });
+            sink.contact(1, 0, 1, 2, 1);
+            sink.cycle(
+                1,
+                Sir {
+                    susceptible: 2,
+                    infective: 2,
+                    removed: 0,
+                },
+            );
+            sink.contact(2, 1, 2, 1, u64::from(run));
+            sink.cycle(
+                2,
+                Sir {
+                    susceptible: 1,
+                    infective: 3,
+                    removed: 0,
+                },
+            );
+        }
+        AggEntry {
+            label: "k=1".to_string(),
+            params: vec![("k".to_string(), "1".to_string())],
+            observed: vec![
+                ("residue".to_string(), 0.25),
+                ("ode_residue".to_string(), 0.2032),
+            ],
+            agg: sink.finish(),
+        }
+    }
+
+    #[test]
+    fn report_prints_percentiles_and_predicted_vs_observed() {
+        let text = agg_json("fig-rumor-ode", "figure", &[sample_entry()]);
+        let rendered = report(&text).unwrap();
+        assert!(
+            rendered.starts_with("# fig-rumor-ode (figure) — 1 aggregate(s)"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("## k=1"), "{rendered}");
+        assert!(rendered.contains("p50="), "{rendered}");
+        assert!(rendered.contains("p99="), "{rendered}");
+        assert!(rendered.contains("residue vs e^-m: m="), "{rendered}");
+        assert!(rendered.contains("observed=0.250000"), "{rendered}");
+        assert!(
+            rendered.contains("rumor ODE residue: predicted=0.203200 observed=0.250000"),
+            "{rendered}"
+        );
+        assert!(rendered.contains("links: tracked_pairs="), "{rendered}");
+    }
+
+    #[test]
+    fn report_rejects_malformed_documents() {
+        assert!(report("[]").unwrap_err().contains("experiment"));
+        assert!(report("{oops").unwrap_err().starts_with("agg.json:"));
+        let no_aggs = r#"{"experiment": "x", "kind": "table"}"#;
+        assert!(report(no_aggs).unwrap_err().contains("aggregates"));
+    }
+}

@@ -17,13 +17,19 @@
 //! the figures, `--only scenario-` the bundled declarative scenarios,
 //! `--only table4` exactly one experiment.
 //!
-//! `--trace <dir>` additionally writes, for each of the five tables and
-//! every scenario experiment, a structured run trace (`<name>.jsonl`, one
-//! JSON object per line, no wall-clock fields — byte-identical at any
-//! `EPIDEMIC_THREADS`) and a summary record (`<name>.summary.json`).
-//! `--json <dir>` writes just the machine-readable rows
-//! (`<name>.rows.json`). Both leave figure experiments untouched — see
-//! DESIGN.md §Observability.
+//! `--trace <dir>` writes structured artifacts for **every** experiment:
+//! a summary record (`<name>.summary.json`) and a streaming-aggregate
+//! report (`<name>.agg.json` — mergeable delay histograms with
+//! quantiles, the bounded link-traffic matrix, S/I/R curves and contact
+//! totals; see `epidemic_trace::RunAggregate`). Tables and scenarios
+//! additionally write a per-contact run trace (`<name>.jsonl`, one JSON
+//! object per line); figures have no per-contact trace and skip the
+//! file. `--json <dir>` writes the machine-readable rows
+//! (`<name>.rows.json`) plus the same `<name>.agg.json`. Both modes add
+//! a top-level `manifest.json` naming the experiments run and the
+//! threads / storage-backend / shard configuration. No artifact carries
+//! wall-clock fields, so every written byte is identical at any
+//! `EPIDEMIC_THREADS`. `epidemic-analyze` consumes these artifacts.
 //!
 //! `--timings [PATH]` additionally records per-experiment wall-clock
 //! seconds, a per-phase breakdown (engine setup / contact loop /
@@ -41,6 +47,7 @@ use epidemic_bench::tables::{
 };
 use epidemic_bench::trace::table_artifacts;
 use epidemic_sim::runner::TrialRunner;
+use epidemic_trace::json::{array_of, JsonObject};
 use epidemic_trace::profile;
 
 // With the `count-allocs` feature, every heap allocation in this process is
@@ -63,34 +70,14 @@ fn run(experiment: &str, mix_trials: u64, spatial_trials: u64) -> bool {
         "table3" => print_mixing(TITLE_TABLE3, &table3(N, MIX_TRIALS), &PAPER_TABLE3),
         "table4" => print_spatial(TITLE_TABLE4, &table45(SPATIAL_TRIALS, None)),
         "table5" => print_spatial(TITLE_TABLE5, &table45(SPATIAL_TRIALS, Some(1))),
-        "fig-rumor-ode" => figures::print_rumor_ode(N, MIX_TRIALS),
-        "fig-residue-traffic" => figures::print_residue_traffic(N, MIX_TRIALS),
-        "fig-ae-convergence" => figures::print_ae_convergence(50),
-        "fig-line-traffic" => figures::print_line_traffic(),
-        "fig1-pathology" => figures::print_figure1(500),
-        "fig2-pathology" => figures::print_figure2(500),
-        "death-certs" => figures::print_death_certificates(),
-        "fig-dc-scaling" => figures::print_dc_scaling(200),
-        "fig-spatial-rumor" => figures::print_spatial_rumor(50, 100),
-        "fig-sir-curve" => figures::print_sir_curve(N, MIX_TRIALS),
-        "fig-checksum-window" => figures::print_checksum_window(),
-        "fig-async" => figures::print_async_ablation(50),
-        "fig-cin-steady" => figures::print_cin_steady(20),
-        "fig-cin-steady-sharded" => figures::print_cin_steady_sharded(20),
-        "fig-megascale" => figures::print_megascale(),
-        "ablation-hierarchy" => figures::print_hierarchy(50),
-        "ablation-weighted-cin" => figures::print_weighted_cin(50),
-        "ablation-churn" => figures::print_churn(30),
-        "fig-topology-robustness" => figures::print_topology_robustness(40),
-        "fig-pull-vs-push-rate" => figures::print_pull_vs_push_rate(20),
-        "ablation-counter-reset" => figures::print_ablation_counter_reset(N, MIX_TRIALS),
-        "ablation-hunting" => figures::print_ablation_hunting(N, MIX_TRIALS),
-        "ablation-comparison" => figures::print_ablation_comparison(),
-        "ablation-redistribution" => figures::print_ablation_redistribution(20),
-        // Scenario experiments (fig-scenarios and scenario-<name>) print
-        // the same sweep table the traced path renders; unknown names
-        // return false and surface the usual error.
-        other => return print_scenarios(other, scenario_trials(mix_trials)),
+        // Figure experiments (one dispatcher, fixed per-figure trial
+        // counts) and scenario experiments (fig-scenarios and
+        // scenario-<name>); unknown names return false and surface the
+        // usual error.
+        other => {
+            return figures::print_figure(other, N, MIX_TRIALS)
+                || print_scenarios(other, scenario_trials(MIX_TRIALS))
+        }
     }
     true
 }
@@ -178,6 +165,28 @@ fn write_artifact(dir: &str, file: &str, contents: &str) {
             std::process::exit(1);
         }
     }
+}
+
+/// The top-level `manifest.json` written to every `--trace`/`--json`
+/// directory: which experiments ran (in order) and the deterministic run
+/// configuration — worker threads, storage backend, shard count. The
+/// thread count documents the parallelism used; the artifacts themselves
+/// are byte-identical at any value of it.
+fn manifest_json(experiments: &[&str]) -> String {
+    let backend = match epidemic_db::Backend::from_env() {
+        epidemic_db::Backend::BTree => "btree",
+        epidemic_db::Backend::Flat => "flat",
+    };
+    let mut o = JsonObject::new();
+    // Experiment names come from the fixed in-tree list: no escaping.
+    o.field_raw(
+        "experiments",
+        &array_of(experiments.iter().map(|name| format!("\"{name}\""))),
+    )
+    .field_u64("threads", epidemic_sim::runner::default_threads() as u64)
+    .field_str("backend", backend)
+    .field_u64("shards", epidemic_sim::engine::default_shards() as u64);
+    o.finish()
 }
 
 /// Writes the timing report as JSON (hand-rolled: experiment and phase
@@ -327,14 +336,14 @@ fn main() {
         profile::enable();
     }
     let mut timings: Vec<(String, f64, u64, u64)> = Vec::new();
-    // Figure experiments have no structured trace/json writer; when the
-    // user asked for artifacts we must say so out loud instead of
-    // silently producing nothing (satellite fix: untraced warnings).
-    let mut untraced: Vec<String> = Vec::new();
+    let mut ran: Vec<&str> = Vec::new();
     for experiment in list {
         let allocs_before = alloc_counter::allocations();
         let start = std::time::Instant::now();
         let handled = if trace_dir.is_some() || json_dir.is_some() {
+            // Every experiment kind has an artifact writer: traced tables,
+            // scenario sweeps, figures. A None from all three means the
+            // name is unknown.
             match table_artifacts(
                 TrialRunner::new(),
                 experiment,
@@ -344,33 +353,31 @@ fn main() {
             )
             .or_else(|| {
                 scenario_artifacts(TrialRunner::new(), experiment, scenario_trials(mix_trials))
-            }) {
+            })
+            .or_else(|| figures::figure_artifacts(TrialRunner::new(), experiment, N, mix_trials))
+            {
                 Some(artifacts) => {
                     print!("{}", artifacts.rendered);
                     if let Some(dir) = &trace_dir {
-                        write_artifact(dir, &format!("{experiment}.jsonl"), &artifacts.jsonl);
+                        // Figures have no per-contact trace; skip the
+                        // empty .jsonl rather than writing a blank file.
+                        if !artifacts.jsonl.is_empty() {
+                            write_artifact(dir, &format!("{experiment}.jsonl"), &artifacts.jsonl);
+                        }
                         write_artifact(
                             dir,
                             &format!("{experiment}.summary.json"),
                             &artifacts.summary,
                         );
+                        write_artifact(dir, &format!("{experiment}.agg.json"), &artifacts.agg);
                     }
                     if let Some(dir) = &json_dir {
                         write_artifact(dir, &format!("{experiment}.rows.json"), &artifacts.rows);
+                        write_artifact(dir, &format!("{experiment}.agg.json"), &artifacts.agg);
                     }
                     true
                 }
-                None => {
-                    let handled = run(experiment, mix_trials, spatial_trials);
-                    if handled {
-                        eprintln!(
-                            "[{experiment}: untraced — figure experiments have no \
-                             --trace/--json artifacts; see DESIGN.md §Observability]"
-                        );
-                        untraced.push(experiment.to_string());
-                    }
-                    handled
-                }
+                None => false,
             }
         } else {
             run(experiment, mix_trials, spatial_trials)
@@ -379,6 +386,7 @@ fn main() {
             eprintln!("unknown experiment: {experiment}\nknown: {}", ALL.join(" "));
             std::process::exit(2);
         }
+        ran.push(experiment);
         let seconds = start.elapsed().as_secs_f64();
         let allocations = alloc_counter::allocations() - allocs_before;
         let peak_rss_kb = epidemic_bench::rss::peak_rss_kb();
@@ -389,25 +397,11 @@ fn main() {
         }
         timings.push((experiment.to_string(), seconds, allocations, peak_rss_kb));
     }
-    if !untraced.is_empty() {
-        // A machine-readable record of what was skipped, next to the
-        // artifacts that *were* written. Existing per-table files are
-        // untouched, so byte-diff jobs over table-only selections keep
-        // passing.
-        let mut json = String::from("{\n  \"untraced\": [\n");
-        for (i, name) in untraced.iter().enumerate() {
-            let comma = if i + 1 < untraced.len() { "," } else { "" };
-            json.push_str(&format!("    \"{name}\"{comma}\n"));
-        }
-        json.push_str("  ]\n}");
+    if trace_dir.is_some() || json_dir.is_some() {
+        let manifest = manifest_json(&ran);
         for dir in [&trace_dir, &json_dir].into_iter().flatten() {
-            write_artifact(dir, "untraced.json", &json);
+            write_artifact(dir, "manifest.json", &manifest);
         }
-        eprintln!(
-            "[{} experiment(s) ran untraced: {}]",
-            untraced.len(),
-            untraced.join(" ")
-        );
     }
     if let Some(path) = timings_path {
         let phases = profile::take();

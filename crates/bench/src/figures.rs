@@ -1,5 +1,11 @@
 //! Reproductions of the paper's figures, displayed equations and ablation
 //! studies (everything in the evaluation that is not a numbered table).
+//!
+//! Every figure is expressed as one or more [`FigTable`]s plus (for the
+//! statistically deep sweeps) streaming [`AggEntry`] aggregates, behind a
+//! single [`figure_data`] dispatcher. `repro` prints through
+//! [`print_figure`] and writes `--trace`/`--json` artifacts through
+//! [`figure_artifacts`], so no experiment is ever untraced.
 
 use epidemic_analysis::{
     mean_line_traffic, pull_cycles_until, push_epidemic_time, residue_from_traffic, RumorOde,
@@ -9,49 +15,69 @@ use epidemic_core::{Direction, Feedback, Removal, Replica, RumorConfig};
 use epidemic_db::SiteId;
 use epidemic_net::topologies::{self, cin, CinConfig};
 use epidemic_net::Spatial;
+use epidemic_sim::engine::AggregateObserver;
 use epidemic_sim::mixing::{AntiEntropyEpidemic, RumorEpidemic};
 use epidemic_sim::runner::TrialRunner;
 use epidemic_sim::scenario::legacy::{
     resurrection_without_certificates, ClearinghouseScenario, DormantDeathScenario,
 };
 use epidemic_sim::spatial_rumor::{failure_probability, minimum_k_with, SpatialRumorSim};
+use epidemic_trace::RunAggregate;
 
-use crate::render::{fmt, print_table};
-use crate::tables::mixing_sweep;
+use crate::render::{fmt, FigTable};
+use crate::tables::mixing_sweep_aggregated;
+use crate::trace::{agg_json, AggEntry, TableArtifacts};
 use crate::{parallel_trials, parallel_trials_with};
 
 /// §1.4 rumor ODE: predicted residue `s = e^{-(k+1)(1-s)}` versus the
-/// simulated feedback+coin epidemic.
-pub fn rumor_ode(n: usize, trials: u64) -> Vec<Vec<String>> {
+/// simulated feedback+coin epidemic. Returns the formatted rows plus one
+/// merged streaming aggregate per `k` (observers never touch the RNG, so
+/// the rows are identical to an unobserved sweep's).
+pub fn rumor_ode_data(
+    runner: TrialRunner,
+    n: usize,
+    trials: u64,
+) -> (Vec<Vec<String>>, Vec<AggEntry>) {
     let ks = [1, 2, 3, 4, 5, 6, 7, 8];
-    let sim = mixing_sweep(n, trials, &ks, |k| {
+    let swept = mixing_sweep_aggregated(runner, n, trials, &ks, |k| {
         RumorEpidemic::new(RumorConfig::new(
             Direction::Push,
             Feedback::Feedback,
             Removal::Coin { k },
         ))
     });
-    ks.iter()
-        .zip(&sim)
-        .map(|(&k, row)| {
-            vec![
-                k.to_string(),
-                fmt(RumorOde::new(k).final_residue()),
-                fmt(row.residue),
-                fmt(row.traffic),
-            ]
-        })
-        .collect()
+    let mut rows = Vec::new();
+    let mut aggregates = Vec::new();
+    for (row, agg) in swept {
+        let k = row.k;
+        let ode = RumorOde::new(k).final_residue();
+        rows.push(vec![
+            k.to_string(),
+            fmt(ode),
+            fmt(row.residue),
+            fmt(row.traffic),
+        ]);
+        aggregates.push(AggEntry {
+            label: format!("k={k}"),
+            params: vec![
+                ("n".to_string(), n.to_string()),
+                ("trials".to_string(), trials.to_string()),
+                ("k".to_string(), k.to_string()),
+            ],
+            observed: vec![
+                ("ode_residue".to_string(), ode),
+                ("residue".to_string(), row.residue),
+                ("traffic".to_string(), row.traffic),
+            ],
+            agg,
+        });
+    }
+    (rows, aggregates)
 }
 
-/// Prints [`rumor_ode`].
-pub fn print_rumor_ode(n: usize, trials: u64) {
-    let rows = rumor_ode(n, trials);
-    print_table(
-        "Fig: rumor ODE residue s = e^-(k+1)(1-s) vs simulation (push, feedback, coin)",
-        &["k", "ODE residue", "sim residue", "sim traffic m"],
-        &rows,
-    );
+/// The rows of [`rumor_ode_data`] on a default runner (pinned by tests).
+pub fn rumor_ode(n: usize, trials: u64) -> Vec<Vec<String>> {
+    rumor_ode_data(TrialRunner::new(), n, trials).0
 }
 
 /// §1.4 `s = e^{-m}` law: measured (m, s) pairs for several push variants
@@ -117,61 +143,71 @@ pub fn residue_traffic(n: usize, trials: u64) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Prints [`residue_traffic`].
-pub fn print_residue_traffic(n: usize, trials: u64) {
-    let rows = residue_traffic(n, trials);
-    print_table(
-        "Fig: residue vs traffic — s = e^-m law and connection-limited variants",
-        &["variant", "m", "s (sim)", "e^-m", "e^-1.582m"],
-        &rows,
-    );
-}
-
 /// §1.3 anti-entropy convergence: measured cover time for push vs the
-/// `log₂n + ln n` prediction, and pull's doubly-exponential tail.
-pub fn ae_convergence(trials: u64) -> Vec<Vec<String>> {
-    [100usize, 300, 1000, 3000, 10_000]
-        .iter()
-        .map(|&n| {
-            let mean = |direction| {
-                parallel_trials(
-                    trials,
-                    |seed| f64::from(AntiEntropyEpidemic::new(direction).run(n, seed).cycles),
-                    0.0,
-                    |a, x| a + x,
-                ) / trials as f64
-            };
-            let push = mean(Direction::Push);
-            let pull = mean(Direction::Pull);
-            let pushpull = mean(Direction::PushPull);
-            vec![
-                n.to_string(),
-                fmt(push),
-                fmt(push_epidemic_time(n as f64)),
-                fmt(pull),
-                fmt(pushpull),
-                // Pull tail: cycles from 10% susceptible to < 1/n by p².
-                fmt(f64::from(pull_cycles_until(0.1, 1.0 / n as f64))),
-            ]
-        })
-        .collect()
+/// `log₂n + ln n` prediction, and pull's doubly-exponential tail. The
+/// push direction (the one the closed form predicts) streams through an
+/// [`AggregateObserver`], yielding one merged aggregate per `n`.
+pub fn ae_convergence_data(runner: TrialRunner, trials: u64) -> (Vec<Vec<String>>, Vec<AggEntry>) {
+    let mut rows = Vec::new();
+    let mut aggregates = Vec::new();
+    for &n in &[100usize, 300, 1000, 3000, 10_000] {
+        let (push_sum, agg) = parallel_trials_with(
+            runner,
+            trials,
+            |seed| {
+                let mut sink = AggregateObserver::new();
+                let r = AntiEntropyEpidemic::new(Direction::Push).run_observed(n, seed, &mut sink);
+                (f64::from(r.cycles), sink.finish())
+            },
+            (0.0f64, RunAggregate::default()),
+            |(sum, mut agg), (cycles, trial_agg)| {
+                agg.merge(&trial_agg);
+                (sum + cycles, agg)
+            },
+        );
+        let push = push_sum / trials as f64;
+        let mean = |direction| {
+            parallel_trials_with(
+                runner,
+                trials,
+                |seed| f64::from(AntiEntropyEpidemic::new(direction).run(n, seed).cycles),
+                0.0,
+                |a, x| a + x,
+            ) / trials as f64
+        };
+        let pull = mean(Direction::Pull);
+        let pushpull = mean(Direction::PushPull);
+        let predicted = push_epidemic_time(n as f64);
+        rows.push(vec![
+            n.to_string(),
+            fmt(push),
+            fmt(predicted),
+            fmt(pull),
+            fmt(pushpull),
+            // Pull tail: cycles from 10% susceptible to < 1/n by p².
+            fmt(f64::from(pull_cycles_until(0.1, 1.0 / n as f64))),
+        ]);
+        aggregates.push(AggEntry {
+            label: format!("push n={n}"),
+            params: vec![
+                ("n".to_string(), n.to_string()),
+                ("trials".to_string(), trials.to_string()),
+                ("direction".to_string(), "push".to_string()),
+            ],
+            observed: vec![
+                ("cycles_mean".to_string(), push),
+                ("predicted_log2_ln".to_string(), predicted),
+            ],
+            agg,
+        });
+    }
+    (rows, aggregates)
 }
 
-/// Prints [`ae_convergence`].
-pub fn print_ae_convergence(trials: u64) {
-    let rows = ae_convergence(trials);
-    print_table(
-        "Fig: anti-entropy cover time — push vs log2(n)+ln(n), pull, push-pull",
-        &[
-            "n",
-            "push (sim)",
-            "log2+ln",
-            "pull (sim)",
-            "push-pull (sim)",
-            "pull tail p^2",
-        ],
-        &rows,
-    );
+/// The rows of [`ae_convergence_data`] on a default runner (pinned by
+/// tests).
+pub fn ae_convergence(trials: u64) -> Vec<Vec<String>> {
+    ae_convergence_data(TrialRunner::new(), trials).0
 }
 
 /// §3 line-traffic scaling `T(n)` for `d^-a`: exact expectation per regime.
@@ -190,14 +226,13 @@ pub fn line_traffic() -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Prints [`line_traffic`].
-pub fn print_line_traffic() {
-    let rows = line_traffic();
-    print_table(
+/// [`line_traffic`] as a [`FigTable`].
+pub fn line_traffic_table() -> FigTable {
+    FigTable::new(
         "Fig: T(n), expected traffic/link on a line for p ~ d^-a (O(n), n/log n, n^(2-a), log n, O(1))",
         &["n", "a=0 (uniform)", "a=1", "a=1.5", "a=2", "a=3"],
-        &rows,
-    );
+        line_traffic(),
+    )
 }
 
 /// Figure 1 pathology: failure probability of push and pull rumor
@@ -233,14 +268,13 @@ pub fn figure1(trials: u32) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Prints [`figure1`].
-pub fn print_figure1(trials: u32) {
-    let rows = figure1(trials);
-    print_table(
+/// [`figure1`] as a [`FigTable`].
+pub fn figure1_table(trials: u32) -> FigTable {
+    FigTable::new(
         "Fig 1: failure probability on the s-t pathology (m=30, Qs^-2), update injected at s",
         &["k", "push Qs^-2", "pull Qs^-2", "push uniform"],
-        &rows,
-    );
+        figure1(trials),
+    )
 }
 
 /// Figure 2 pathology: probability that the distant site `s` misses a
@@ -273,19 +307,18 @@ pub fn figure2(trials: u32) -> Vec<Vec<String>> {
         .collect()
 }
 
-/// Prints [`figure2`].
-pub fn print_figure2(trials: u32) {
-    let rows = figure2(trials);
-    print_table(
+/// [`figure2`] as a [`FigTable`].
+pub fn figure2_table(trials: u32) -> FigTable {
+    FigTable::new(
         "Fig 2: binary tree + distant site s (push, Qs^-2), update injected at the root",
         &["k", "P(distant s missed)", "P(any failure)"],
-        &rows,
-    );
+        figure2(trials),
+    )
 }
 
 /// §2 death certificates: the equal-space law, the resurrection failure
-/// and the dormant-certificate immune response.
-pub fn print_death_certificates() {
+/// and the dormant-certificate immune response (two tables).
+pub fn death_certificates_tables() -> Vec<FigTable> {
     // Equal-space law τ₂ = (τ - τ₁)·n/r (§2.1).
     let rows: Vec<Vec<String>> = [
         (30u64, 15u64, 300u64, 4u64),
@@ -303,18 +336,18 @@ pub fn print_death_certificates() {
         ]
     })
     .collect();
-    print_table(
+    let equal_space = FigTable::new(
         "§2.1: dormant window τ2 = (τ-τ1)n/r at equal space",
         &["τ", "τ1", "n", "r", "τ2"],
-        &rows,
+        rows,
     );
 
     let resurrected = resurrection_without_certificates(12, 3);
     let report = DormantDeathScenario::default().run(11);
-    print_table(
+    let semantics = FigTable::new(
         "§2: deletion semantics",
         &["scenario", "outcome"],
-        &[
+        vec![
             vec![
                 "naive delete (no certificate)".into(),
                 format!("item resurrected = {resurrected}"),
@@ -328,6 +361,7 @@ pub fn print_death_certificates() {
             ],
         ],
     );
+    vec![equal_space, semantics]
 }
 
 /// §3.2: push-pull rumor mongering on the CIN with a spatial distribution —
@@ -417,15 +451,9 @@ pub fn spatial_rumor_on(
     rows
 }
 
-/// Prints [`spatial_rumor`].
-pub fn print_spatial_rumor(trials: u32, measure_runs: u64) {
-    let rows = spatial_rumor(trials, measure_runs);
-    print!("{}", render_spatial_rumor(&rows));
-}
-
-/// Renders [`spatial_rumor`]-shaped rows to a `String` (golden tests).
-pub fn render_spatial_rumor(rows: &[Vec<String>]) -> String {
-    crate::render::render_table(
+/// [`spatial_rumor`]-shaped rows as a [`FigTable`].
+pub fn spatial_rumor_table(rows: Vec<Vec<String>>) -> FigTable {
+    FigTable::new(
         "§3.2: push-pull rumor mongering on the CIN — minimal k for 100% distribution",
         &[
             "distribution",
@@ -439,13 +467,18 @@ pub fn render_spatial_rumor(rows: &[Vec<String>]) -> String {
     )
 }
 
+/// Renders [`spatial_rumor`]-shaped rows to a `String` (golden tests).
+pub fn render_spatial_rumor(rows: &[Vec<String>]) -> String {
+    spatial_rumor_table(rows.to_vec()).render()
+}
+
 /// Ablation: Table 3's counter-reset-on-useful-contact rule versus
 /// monotone counters (pull, feedback, counter).
-pub fn print_ablation_counter_reset(n: usize, trials: u64) {
+pub fn counter_reset_table(n: usize, trials: u64) -> FigTable {
     let rows: Vec<Vec<String>> = [true, false]
         .iter()
         .map(|&reset| {
-            let rows = mixing_sweep(n, trials, &[1, 2, 3], |k| {
+            let rows = crate::tables::mixing_sweep(n, trials, &[1, 2, 3], |k| {
                 RumorEpidemic::new(
                     RumorConfig::new(Direction::Pull, Feedback::Feedback, Removal::Counter { k })
                         .with_reset_on_useful(reset),
@@ -465,16 +498,16 @@ pub fn print_ablation_counter_reset(n: usize, trials: u64) {
             row
         })
         .collect();
-    print_table(
+    FigTable::new(
         "Ablation: pull counter semantics (residue, traffic per k)",
         &["rule", "s k=1", "m k=1", "s k=2", "m k=2", "s k=3", "m k=3"],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Ablation: hunting under connection limit 1 (§1.4: infinite hunting
 /// makes push and pull equivalent to a complete permutation).
-pub fn print_ablation_hunting(n: usize, trials: u64) {
+pub fn hunting_table(n: usize, trials: u64) -> FigTable {
     let rows: Vec<Vec<String>> = [0u32, 1, 4, 16, u32::MAX]
         .iter()
         .map(|&hunt| {
@@ -505,16 +538,16 @@ pub fn print_ablation_hunting(n: usize, trials: u64) {
             ]
         })
         .collect();
-    print_table(
+    FigTable::new(
         "Ablation: hunt limit under connection limit 1 (push, feedback, counter k=2)",
         &["hunt limit", "residue", "traffic m"],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Ablation: comparison strategies (§1.3) on a pair of replicas with a
 /// large shared history and a small fresh divergence.
-pub fn print_ablation_comparison() {
+pub fn comparison_table() -> FigTable {
     let rows: Vec<Vec<String>> = [
         ("full", Comparison::Full),
         ("checksum", Comparison::Checksum),
@@ -547,7 +580,7 @@ pub fn print_ablation_comparison() {
         ]
     })
     .collect();
-    print_table(
+    FigTable::new(
         "Ablation: §1.3 comparison strategies (500 shared entries, 3 fresh updates)",
         &[
             "strategy",
@@ -556,12 +589,12 @@ pub fn print_ablation_comparison() {
             "checksums",
             "full compare",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Ablation: §1.5 redistribution policies in the Clearinghouse workload.
-pub fn print_ablation_redistribution(trials: u64) {
+pub fn redistribution_table(trials: u64) -> FigTable {
     use epidemic_core::{MailConfig, Redistribution};
     let rows: Vec<Vec<String>> = [
         ("none (conservative)", Redistribution::None),
@@ -604,7 +637,7 @@ pub fn print_ablation_redistribution(trials: u64) {
         ]
     })
     .collect();
-    print_table(
+    FigTable::new(
         "Ablation: §1.5 redistribution policy (30% mail loss, 40 sites, 15 updates)",
         &[
             "policy",
@@ -612,15 +645,15 @@ pub fn print_ablation_redistribution(trials: u64) {
             "mail delivered",
             "AE repairs",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// §1.3 checksum-window experiment: full-comparison rate and traffic as a
 /// function of the recent-update-list window `τ` under a steady update
 /// rate. The paper: choose `τ` below the distribution time and "checksum
 /// comparisons will usually fail".
-pub fn print_checksum_window() {
+pub fn checksum_window_table() -> FigTable {
     use epidemic_sim::steady::SteadyStateSim;
     let sim = SteadyStateSim::default();
     let mut rows: Vec<Vec<String>> = Vec::new();
@@ -654,16 +687,16 @@ pub fn print_checksum_window() {
         fmt(peel.entries_per_exchange),
         fmt(peel.scanned_per_exchange),
     ]);
-    print_table(
+    FigTable::new(
         "§1.3: checksum window — 60 sites, 1 update/cycle (10 ticks/cycle), distribution time ≈ 100 ticks",
         &["strategy", "full-compare rate", "entries/exchange", "scanned/exchange"],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Ablation of the synchronous-cycle assumption: the Table 4 experiment
 /// re-run on the event-driven simulator with per-site jittered timers.
-pub fn print_async_ablation(trials: u64) {
+pub fn async_ablation_table(trials: u64) -> FigTable {
     use epidemic_sim::event::AsyncAntiEntropySim;
     use epidemic_sim::spatial_ae::AntiEntropySim;
     let net = cin(&CinConfig::default());
@@ -703,7 +736,7 @@ pub fn print_async_ablation(trials: u64) {
             fmt(acc[3] / t),
         ]);
     }
-    print_table(
+    FigTable::new(
         "Ablation: synchronous cycles vs event-driven timers (±30% jitter) on the CIN",
         &[
             "distribution",
@@ -712,13 +745,13 @@ pub fn print_async_ablation(trials: u64) {
             "cmp/link/cycle sync",
             "cmp/link/period async",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// §4 future work: the dynamic hierarchy against flat spatial selection on
 /// the CIN — convergence, average traffic and the Bushey hot spot.
-pub fn print_hierarchy(trials: u64) {
+pub fn hierarchy_table(trials: u64) -> FigTable {
     use epidemic_net::{HierarchicalSampler, Routes};
     use epidemic_sim::spatial_ae::AntiEntropySim;
     let net = cin(&CinConfig::default());
@@ -775,7 +808,7 @@ pub fn print_hierarchy(trials: u64) {
             sim.run(seed, None)
         });
     }
-    print_table(
+    FigTable::new(
         "§4 future work: dynamic hierarchy vs flat spatial selection (CIN)",
         &[
             "strategy",
@@ -783,14 +816,14 @@ pub fn print_hierarchy(trials: u64) {
             "cmp avg/link/cycle",
             "cmp Bushey/cycle",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// The §1.4 epidemic trajectory: the simulated infective fraction along
 /// the phase curve `i(s)` against the ODE's closed form, sampled at fixed
 /// susceptible fractions.
-pub fn print_sir_curve(n: usize, trials: u64) {
+pub fn sir_curve_table(n: usize, trials: u64) -> FigTable {
     let k = 2;
     let cfg = RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Coin { k });
     let driver = RumorEpidemic::new(cfg);
@@ -840,17 +873,17 @@ pub fn print_sir_curve(n: usize, trials: u64) {
             ]
         })
         .collect();
-    print_table(
+    FigTable::new(
         "Fig: S/I/R phase curve i(s) — ODE vs simulation (push, feedback, coin, k=2)",
         &["s", "i(s) ODE", "i(s) sim", "trials reaching s"],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Steady-state anti-entropy on the CIN with recent-update lists: entry
 /// traffic (the wire-cost proxy) per link under each distribution — the
 /// production Clearinghouse configuration.
-pub fn print_cin_steady(trials: u64) {
+pub fn cin_steady_table(trials: u64) -> FigTable {
     use epidemic_sim::spatial_steady::{SpatialSteadyConfig, SpatialSteadySim};
     let net = cin(&CinConfig::default());
     let config = SpatialSteadyConfig::default();
@@ -889,7 +922,7 @@ pub fn print_cin_steady(trials: u64) {
             fmt(acc[3] / t),
         ]);
     }
-    print_table(
+    FigTable::new(
         "Steady state on the CIN: recent-list anti-entropy, 2 updates/cycle",
         &[
             "distribution",
@@ -898,11 +931,11 @@ pub fn print_cin_steady(trials: u64) {
             "entries Bushey/cycle",
             "full-compare rate",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
-/// The sharded-engine counterpart of [`print_cin_steady`]'s measurement:
+/// The sharded-engine counterpart of [`cin_steady_table`]'s measurement:
 /// one row per spatial distribution, each trial run on the deterministic
 /// shard-parallel engine. Exposed (with explicit runner/shard/worker
 /// inputs) so the determinism suite can pin that the rendered rows are
@@ -914,64 +947,101 @@ pub fn cin_steady_sharded_rows(
     shards: usize,
     workers: usize,
 ) -> Vec<Vec<String>> {
+    cin_steady_sharded_data(runner, net, trials, shards, workers).0
+}
+
+/// As [`cin_steady_sharded_rows`], additionally streaming every trial
+/// through an [`AggregateObserver`] — one merged entry per distribution.
+/// The aggregate is a pure function of `(seed, shards)` and never of
+/// `workers` or thread count, so the serialized bytes are identical at
+/// any parallelism budget.
+pub fn cin_steady_sharded_data(
+    runner: TrialRunner,
+    net: &topologies::Cin,
+    trials: u64,
+    shards: usize,
+    workers: usize,
+) -> (Vec<Vec<String>>, Vec<AggEntry>) {
     use epidemic_sim::spatial_steady::{SpatialSteadyConfig, SpatialSteadySim};
     let config = SpatialSteadyConfig::default();
     let mut rows = Vec::new();
+    let mut aggregates = Vec::new();
     for (label, spatial) in [
         ("uniform".to_string(), Spatial::Uniform),
         ("a = 1.2".to_string(), Spatial::QsPower { a: 1.2 }),
         ("a = 2.0".to_string(), Spatial::QsPower { a: 2.0 }),
     ] {
         let sim = SpatialSteadySim::new(&net.topology, spatial, config);
-        let acc = crate::parallel_trials_with(
+        let (acc, agg) = crate::parallel_trials_with(
             runner,
             trials,
             |seed| {
-                let r = sim.run_sharded(seed + 31, shards, workers);
+                let mut sink = AggregateObserver::new();
+                let r = sim.run_sharded_observed(seed + 31, shards, workers, &mut sink);
                 (
-                    r.conversations_per_link_cycle,
-                    r.entries_per_link_cycle,
-                    r.entry_traffic.at(net.bushey_link) as f64 / f64::from(r.measured_cycles),
-                    r.full_compare_rate,
+                    [
+                        r.conversations_per_link_cycle,
+                        r.entries_per_link_cycle,
+                        r.entry_traffic.at(net.bushey_link) as f64 / f64::from(r.measured_cycles),
+                        r.full_compare_rate,
+                    ],
+                    sink.finish(),
                 )
             },
-            [0.0f64; 4],
-            |mut a, r| {
-                for (x, v) in a.iter_mut().zip([r.0, r.1, r.2, r.3]) {
+            ([0.0f64; 4], RunAggregate::default()),
+            |(mut a, mut agg), (r, trial_agg)| {
+                for (x, v) in a.iter_mut().zip(r) {
                     *x += v;
                 }
-                a
+                agg.merge(&trial_agg);
+                (a, agg)
             },
         );
         let t = trials as f64;
         rows.push(vec![
-            label,
+            label.clone(),
             fmt(acc[0] / t),
             fmt(acc[1] / t),
             fmt(acc[2] / t),
             fmt(acc[3] / t),
         ]);
+        aggregates.push(AggEntry {
+            label: label.clone(),
+            params: vec![
+                ("distribution".to_string(), label),
+                ("trials".to_string(), trials.to_string()),
+                ("shards".to_string(), shards.to_string()),
+            ],
+            observed: vec![
+                ("conversations_per_link_cycle".to_string(), acc[0] / t),
+                ("entries_per_link_cycle".to_string(), acc[1] / t),
+                ("entries_bushey_per_cycle".to_string(), acc[2] / t),
+                ("full_compare_rate".to_string(), acc[3] / t),
+            ],
+            agg,
+        });
     }
-    rows
+    (rows, aggregates)
 }
 
-/// As [`print_cin_steady`], but on the deterministic shard-parallel
-/// engine (a different RNG universe — numbers agree statistically, not
-/// byte-for-byte). The thread budget is split between trial fan-out and
-/// per-trial shard workers so nesting never oversubscribes.
-pub fn print_cin_steady_sharded(trials: u64) {
+/// [`cin_steady_sharded_data`] at the default shard count, the thread
+/// budget split between trial fan-out and per-trial shard workers so
+/// nesting never oversubscribes (a different RNG universe from
+/// [`cin_steady_table`] — numbers agree statistically, not
+/// byte-for-byte).
+pub fn cin_steady_sharded_default(trials: u64) -> (FigTable, Vec<AggEntry>) {
     let net = cin(&CinConfig::default());
     let shards = epidemic_sim::engine::default_shards();
     let runner = TrialRunner::new();
     let (trial_workers, shard_workers) = runner.split_budget(trials, shards);
-    let rows = cin_steady_sharded_rows(
+    let (rows, aggregates) = cin_steady_sharded_data(
         runner.threads(trial_workers),
         &net,
         trials,
         shards,
         shard_workers,
     );
-    print_table(
+    let table = FigTable::new(
         &format!(
             "Steady state on the CIN (sharded engine, {shards} shards): \
              recent-list anti-entropy, 2 updates/cycle"
@@ -983,15 +1053,16 @@ pub fn print_cin_steady_sharded(trials: u64) {
             "entries Bushey/cycle",
             "full-compare rate",
         ],
-        &rows,
+        rows,
     );
+    (table, aggregates)
 }
 
 /// Weighted-CIN ablation: modelling the transatlantic phone lines as
 /// high-cost links. `d`-seen distance pushes `Q_s(d)`'s sorted lists
 /// around, so Europe appears "farther" and crossing traffic falls further
 /// still — at the price of slower transatlantic convergence.
-pub fn print_weighted_cin(trials: u64) {
+pub fn weighted_cin_table(trials: u64) -> FigTable {
     use epidemic_sim::spatial_ae::AntiEntropySim;
     let mut rows = Vec::new();
     for cost in [1u32, 3, 6] {
@@ -1027,7 +1098,7 @@ pub fn print_weighted_cin(trials: u64) {
             fmt(acc[2] / t),
         ]);
     }
-    print_table(
+    FigTable::new(
         "Ablation: transatlantic link cost under Qs^-2 anti-entropy (CIN)",
         &[
             "transatlantic cost",
@@ -1035,15 +1106,15 @@ pub fn print_weighted_cin(trials: u64) {
             "cmp avg/link/cycle",
             "cmp Bushey/cycle",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// §2.1's scaling warning: dormant death certificates fail catastrophically
 /// once the expected propagation time exceeds `τ₁`, so `τ₁` (and the space
 /// at each server) "eventually must grow as O(log n)". We estimate
 /// `P(cover time > τ₁)` for push-pull anti-entropy across network sizes.
-pub fn print_dc_scaling(trials: u64) {
+pub fn dc_scaling_table(trials: u64) -> FigTable {
     let taus = [8u32, 10, 12, 14];
     let rows: Vec<Vec<String>> = [64usize, 256, 1024, 4096]
         .iter()
@@ -1071,7 +1142,7 @@ pub fn print_dc_scaling(trials: u64) {
             row
         })
         .collect();
-    print_table(
+    FigTable::new(
         "§2.1: P(propagation time > τ1) vs n — why τ1 must grow as O(log n)",
         &[
             "n",
@@ -1081,15 +1152,15 @@ pub fn print_dc_scaling(trials: u64) {
             "P(>12)",
             "P(>14)",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Churn ablation: spatial anti-entropy on the CIN while a fraction of the
 /// fleet is down at any moment (§2's hours-to-days outages). Anti-entropy
 /// completes regardless; convergence stretches roughly like 1/(up
 /// fraction)².
-pub fn print_churn(trials: u64) {
+pub fn churn_table(trials: u64) -> FigTable {
     use epidemic_sim::failures::{Churn, ChurnedAntiEntropySim};
     let net = cin(&CinConfig::default());
     let mut rows = Vec::new();
@@ -1145,7 +1216,7 @@ pub fn print_churn(trials: u64) {
             fmt(acc.2 / t),
         ]);
     }
-    print_table(
+    FigTable::new(
         "Ablation: site churn under Qs^-2 anti-entropy (CIN)",
         &[
             "churn",
@@ -1153,14 +1224,14 @@ pub fn print_churn(trials: u64) {
             "t_last",
             "completion rate",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// §4 asks to "characterize the pathological topologies": sweep topology
 /// families and report how uniform vs `Q_s(d)^-2` anti-entropy behaves on
 /// each — convergence time and the hottest link's load.
-pub fn print_topology_robustness(trials: u64) {
+pub fn topology_robustness_table(trials: u64) -> FigTable {
     use epidemic_net::topologies::{binary_tree, grid, line, random_connected, ring, waxman};
     use epidemic_sim::spatial_ae::AntiEntropySim;
     let topos: Vec<(&str, epidemic_net::Topology)> = vec![
@@ -1196,7 +1267,7 @@ pub fn print_topology_robustness(trials: u64) {
         }
         rows.push(cells);
     }
-    print_table(
+    FigTable::new(
         "Fig: topology robustness — anti-entropy across families (64 sites)",
         &[
             "topology",
@@ -1205,15 +1276,15 @@ pub fn print_topology_robustness(trials: u64) {
             "t_last Qs^-2",
             "hot link Qs^-2",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// §1.4's update-rate trade-off: push goes silent on a quiescent network
 /// while pull keeps polling; under load, pull's polls almost always find
 /// rumors and its superior residue pays off — "our own CIN application has
 /// a high enough update rate to warrant the use of pull".
-pub fn print_pull_vs_push_rate(trials: u64) {
+pub fn pull_vs_push_rate_table(trials: u64) -> FigTable {
     use epidemic_sim::rumor_steady::{RumorSteadyConfig, RumorSteadySim};
     let mut rows = Vec::new();
     for rate in [0.0f64, 0.25, 1.0, 4.0] {
@@ -1253,7 +1324,7 @@ pub fn print_pull_vs_push_rate(trials: u64) {
             ]);
         }
     }
-    print_table(
+    FigTable::new(
         "§1.4: push vs pull across update rates (200 sites, k=2)",
         &[
             "workload",
@@ -1262,8 +1333,8 @@ pub fn print_pull_vs_push_rate(trials: u64) {
             "fruitless/cycle",
             "contacts/cycle",
         ],
-        &rows,
-    );
+        rows,
+    )
 }
 
 /// Environment variable capping the largest `n` in the megascale sweep.
@@ -1299,12 +1370,23 @@ fn megascale_max_n() -> usize {
 /// *process* high-water mark, monotone across rows — see
 /// [`crate::rss`].
 pub fn megascale(max_n: usize) -> Vec<Vec<String>> {
+    megascale_data(max_n).0
+}
+
+/// As [`megascale`], streaming every run through an
+/// [`AggregateObserver`] — bounded memory even at n = 10⁶ — and
+/// returning one entry per `(n, topology, backend)` point. The aggregate
+/// carries no wall-clock fields; the cost columns (seconds, allocations,
+/// peak RSS) live only in the rendered rows and are marked volatile in
+/// [`megascale_fig`]'s JSON export.
+pub fn megascale_data(max_n: usize) -> (Vec<Vec<String>>, Vec<AggEntry>) {
     use epidemic_db::Backend;
     use epidemic_net::DegreeGraph;
     use epidemic_sim::MegascaleSim;
 
     let sim = MegascaleSim::new();
     let mut rows = Vec::new();
+    let mut aggregates = Vec::new();
     for n in [10_000usize, 100_000, 1_000_000] {
         if n > max_n {
             continue;
@@ -1319,28 +1401,29 @@ pub fn megascale(max_n: usize) -> Vec<Vec<String>> {
             // the runs are literally the same epidemic.
             let graph = scale_free.then(|| DegreeGraph::scale_free(n, 2, 1987));
             let seed = 1987 ^ n as u64;
+            let topology = if scale_free {
+                "scale-free m=2"
+            } else {
+                "uniform"
+            };
             for &backend in backends {
+                let backend_name = match backend {
+                    Backend::BTree => "btree",
+                    Backend::Flat => "flat",
+                };
                 let allocs_before = crate::alloc_counter::allocations();
                 let start = std::time::Instant::now();
+                let mut sink = AggregateObserver::new();
                 let r = match &graph {
-                    Some(g) => sim.run_scale_free(g, seed, backend),
-                    None => sim.run_uniform(n, seed, backend),
+                    Some(g) => sim.run_scale_free_observed(g, seed, backend, &mut sink),
+                    None => sim.run_uniform_observed(n, seed, backend, &mut sink),
                 };
                 let seconds = start.elapsed().as_secs_f64();
                 let allocations = crate::alloc_counter::allocations() - allocs_before;
                 rows.push(vec![
                     n.to_string(),
-                    if scale_free {
-                        "scale-free m=2"
-                    } else {
-                        "uniform"
-                    }
-                    .to_string(),
-                    match backend {
-                        Backend::BTree => "btree",
-                        Backend::Flat => "flat",
-                    }
-                    .to_string(),
+                    topology.to_string(),
+                    backend_name.to_string(),
                     fmt(r.residue),
                     fmt(r.t_last),
                     fmt(r.traffic),
@@ -1353,17 +1436,34 @@ pub fn megascale(max_n: usize) -> Vec<Vec<String>> {
                     },
                     (crate::rss::peak_rss_kb() / 1024).to_string(),
                 ]);
+                aggregates.push(AggEntry {
+                    label: format!("n={n} {topology} {backend_name}"),
+                    params: vec![
+                        ("n".to_string(), n.to_string()),
+                        ("topology".to_string(), topology.to_string()),
+                        ("backend".to_string(), backend_name.to_string()),
+                    ],
+                    observed: vec![
+                        ("residue".to_string(), r.residue),
+                        ("t_last".to_string(), r.t_last),
+                        ("traffic".to_string(), r.traffic),
+                        ("cycles".to_string(), f64::from(r.cycles)),
+                    ],
+                    agg: sink.finish(),
+                });
             }
         }
     }
-    rows
+    (rows, aggregates)
 }
 
-/// Prints [`megascale`], honoring [`MEGASCALE_MAX_N_ENV`].
-pub fn print_megascale() {
-    let max_n = megascale_max_n();
-    let rows = megascale(max_n);
-    print_table(
+/// [`megascale_data`] as a [`FigTable`] plus aggregates, honoring
+/// [`MEGASCALE_MAX_N_ENV`]. The wall-clock columns (seconds, allocations,
+/// peak RSS) are volatile: present in the rendered text, dropped from the
+/// JSON artifact so `--trace`/`--json` output stays byte-reproducible.
+pub fn megascale_fig() -> (FigTable, Vec<AggEntry>) {
+    let (rows, aggregates) = megascale_data(megascale_max_n());
+    let table = FigTable::new(
         "Fig: megascale rumor epidemics (push, feedback, coin k=4) — \
          n x topology x storage backend",
         &[
@@ -1378,8 +1478,158 @@ pub fn print_megascale() {
             "allocations",
             "peak RSS MB",
         ],
-        &rows,
-    );
+        rows,
+    )
+    .volatile(&[7, 8, 9]);
+    (table, aggregates)
+}
+
+/// One figure experiment's complete output: its rendered tables plus the
+/// streaming aggregates of its statistically deep sweeps (empty for
+/// figures whose value is a handful of derived numbers rather than a
+/// delay/traffic distribution).
+#[derive(Debug, Clone)]
+pub struct FigData {
+    /// The figure's tables, in print order.
+    pub tables: Vec<FigTable>,
+    /// Merged per-configuration streaming aggregates (may be empty).
+    pub aggregates: Vec<AggEntry>,
+}
+
+impl FigData {
+    fn table(table: FigTable) -> Self {
+        FigData {
+            tables: vec![table],
+            aggregates: Vec::new(),
+        }
+    }
+
+    fn with_aggregates((table, aggregates): (FigTable, Vec<AggEntry>)) -> Self {
+        FigData {
+            tables: vec![table],
+            aggregates,
+        }
+    }
+}
+
+/// The single dispatcher behind every figure experiment: resolves `name`
+/// to its tables (and aggregates), or `None` for non-figure names. The
+/// per-figure trial counts are fixed here — the same counts `repro` has
+/// always used — except for the sweeps that scale with `--trials`
+/// (`mix_trials`, on `n` sites).
+pub fn figure_data(runner: TrialRunner, name: &str, n: usize, mix_trials: u64) -> Option<FigData> {
+    let data = match name {
+        "fig-rumor-ode" => {
+            let (rows, aggregates) = rumor_ode_data(runner, n, mix_trials);
+            FigData::with_aggregates((
+                FigTable::new(
+                    "Fig: rumor ODE residue s = e^-(k+1)(1-s) vs simulation (push, feedback, coin)",
+                    &["k", "ODE residue", "sim residue", "sim traffic m"],
+                    rows,
+                ),
+                aggregates,
+            ))
+        }
+        "fig-residue-traffic" => FigData::table(FigTable::new(
+            "Fig: residue vs traffic — s = e^-m law and connection-limited variants",
+            &["variant", "m", "s (sim)", "e^-m", "e^-1.582m"],
+            residue_traffic(n, mix_trials),
+        )),
+        "fig-ae-convergence" => {
+            let (rows, aggregates) = ae_convergence_data(runner, 50);
+            FigData::with_aggregates((
+                FigTable::new(
+                    "Fig: anti-entropy cover time — push vs log2(n)+ln(n), pull, push-pull",
+                    &[
+                        "n",
+                        "push (sim)",
+                        "log2+ln",
+                        "pull (sim)",
+                        "push-pull (sim)",
+                        "pull tail p^2",
+                    ],
+                    rows,
+                ),
+                aggregates,
+            ))
+        }
+        "fig-line-traffic" => FigData::table(line_traffic_table()),
+        "fig1-pathology" => FigData::table(figure1_table(500)),
+        "fig2-pathology" => FigData::table(figure2_table(500)),
+        "death-certs" => FigData {
+            tables: death_certificates_tables(),
+            aggregates: Vec::new(),
+        },
+        "fig-dc-scaling" => FigData::table(dc_scaling_table(200)),
+        "fig-spatial-rumor" => FigData::table(spatial_rumor_table(spatial_rumor(50, 100))),
+        "fig-sir-curve" => FigData::table(sir_curve_table(n, mix_trials)),
+        "fig-checksum-window" => FigData::table(checksum_window_table()),
+        "fig-async" => FigData::table(async_ablation_table(50)),
+        "fig-cin-steady" => FigData::table(cin_steady_table(20)),
+        "fig-cin-steady-sharded" => FigData::with_aggregates(cin_steady_sharded_default(20)),
+        "fig-megascale" => FigData::with_aggregates(megascale_fig()),
+        "ablation-hierarchy" => FigData::table(hierarchy_table(50)),
+        "ablation-weighted-cin" => FigData::table(weighted_cin_table(50)),
+        "ablation-churn" => FigData::table(churn_table(30)),
+        "fig-topology-robustness" => FigData::table(topology_robustness_table(40)),
+        "fig-pull-vs-push-rate" => FigData::table(pull_vs_push_rate_table(20)),
+        "ablation-counter-reset" => FigData::table(counter_reset_table(n, mix_trials)),
+        "ablation-hunting" => FigData::table(hunting_table(n, mix_trials)),
+        "ablation-comparison" => FigData::table(comparison_table()),
+        "ablation-redistribution" => FigData::table(redistribution_table(20)),
+        _ => return None,
+    };
+    Some(data)
+}
+
+/// The plain `repro` path: prints a figure's tables to stdout. `false`
+/// for non-figure names.
+pub fn print_figure(name: &str, n: usize, mix_trials: u64) -> bool {
+    match figure_data(TrialRunner::new(), name, n, mix_trials) {
+        Some(data) => {
+            for table in &data.tables {
+                table.print();
+            }
+            true
+        }
+        None => false,
+    }
+}
+
+/// Runs a figure experiment and packages it in the same artifact-bundle
+/// shape as the traced tables and scenarios, so `repro --trace/--json`
+/// covers every experiment. Figures have no per-contact JSONL trace
+/// (`jsonl` is empty and `repro` skips the file); their machine-readable
+/// rows exclude volatile wall-clock columns, so every written byte is
+/// reproducible at any thread count.
+pub fn figure_artifacts(
+    runner: TrialRunner,
+    name: &str,
+    n: usize,
+    mix_trials: u64,
+) -> Option<TableArtifacts> {
+    use epidemic_trace::json::{array_of, JsonObject};
+    let data = figure_data(runner, name, n, mix_trials)?;
+    let rendered: String = data.tables.iter().map(FigTable::render).collect();
+    let mut rows = JsonObject::new();
+    rows.field_str("experiment", name)
+        .field_str("kind", "figure")
+        .field_raw(
+            "tables",
+            &array_of(data.tables.iter().map(FigTable::to_json)),
+        );
+    let rows = rows.finish();
+    let mut summary = JsonObject::new();
+    summary
+        .field_raw("table", &rows)
+        .field_u64("trace_lines", 0);
+    Some(TableArtifacts {
+        rendered,
+        jsonl: String::new(),
+        summary: summary.finish(),
+        rows,
+        agg: agg_json(name, "figure", &data.aggregates),
+    })
 }
 
 #[cfg(test)]

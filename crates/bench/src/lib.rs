@@ -15,6 +15,7 @@
 #![warn(missing_docs)]
 
 pub mod alloc_counter;
+pub mod analyze;
 pub mod figures;
 pub mod render;
 pub mod rss;

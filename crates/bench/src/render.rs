@@ -50,6 +50,85 @@ pub fn render_table(title: &str, headers: &[&str], rows: &[Vec<String>]) -> Stri
     out
 }
 
+/// One figure table: the unit both the stdout path and the artifact path
+/// consume. `render`/`print` produce the classic fixed-width text;
+/// [`FigTable::to_json`] produces the machine-readable form written to
+/// `<name>.rows.json`, with [`FigTable::volatile_cols`] (wall-clock
+/// columns: seconds, allocations, RSS) dropped so the artifact bytes are
+/// reproducible at any thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FigTable {
+    /// Table title (the `## …` heading).
+    pub title: String,
+    /// Column headers.
+    pub headers: Vec<String>,
+    /// Data rows, already formatted as the rendered table shows them.
+    pub rows: Vec<Vec<String>>,
+    /// Indices of wall-clock-derived columns excluded from the JSON
+    /// export (empty for most figures; megascale's cost columns).
+    pub volatile_cols: Vec<usize>,
+}
+
+impl FigTable {
+    /// A table with no volatile columns.
+    pub fn new(title: &str, headers: &[&str], rows: Vec<Vec<String>>) -> Self {
+        FigTable {
+            title: title.to_string(),
+            headers: headers.iter().map(|h| h.to_string()).collect(),
+            rows,
+            volatile_cols: Vec::new(),
+        }
+    }
+
+    /// Marks columns as wall-clock derived (dropped from
+    /// [`FigTable::to_json`], kept in the rendered text).
+    #[must_use]
+    pub fn volatile(mut self, cols: &[usize]) -> Self {
+        self.volatile_cols = cols.to_vec();
+        self
+    }
+
+    /// The fixed-width text table, exactly as [`print_table`] prints it.
+    pub fn render(&self) -> String {
+        let headers: Vec<&str> = self.headers.iter().map(String::as_str).collect();
+        render_table(&self.title, &headers, &self.rows)
+    }
+
+    /// Prints [`FigTable::render`] to stdout.
+    pub fn print(&self) {
+        print!("{}", self.render());
+    }
+
+    /// `{"title": …, "headers": […], "rows": [[…], …]}` with the volatile
+    /// columns removed from both headers and rows.
+    pub fn to_json(&self) -> String {
+        use epidemic_trace::json::{array_of, JsonObject};
+        let keep = |idx: &usize| !self.volatile_cols.contains(idx);
+        let string_array = |cells: &[String]| {
+            array_of(
+                cells
+                    .iter()
+                    .enumerate()
+                    .filter(|(i, _)| keep(i))
+                    .map(|(_, cell)| {
+                        let mut quoted = String::from("\"");
+                        epidemic_trace::json::escape_into(&mut quoted, cell);
+                        quoted.push('"');
+                        quoted
+                    }),
+            )
+        };
+        let mut o = JsonObject::new();
+        o.field_str("title", &self.title)
+            .field_raw("headers", &string_array(&self.headers))
+            .field_raw(
+                "rows",
+                &array_of(self.rows.iter().map(|row| string_array(row))),
+            );
+        o.finish()
+    }
+}
+
 /// Formats a float with three significant-ish decimals, trimming noise.
 pub fn fmt(x: f64) -> String {
     if x == 0.0 {
@@ -68,6 +147,21 @@ pub fn fmt(x: f64) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn fig_table_json_drops_volatile_columns() {
+        let t = FigTable::new(
+            "Demo",
+            &["k", "residue", "seconds"],
+            vec![vec!["1".into(), "0.18".into(), "3.20".into()]],
+        )
+        .volatile(&[2]);
+        assert!(t.render().contains("seconds"));
+        assert_eq!(
+            t.to_json(),
+            r#"{"title":"Demo","headers":["k","residue"],"rows":[["1","0.18"]]}"#
+        );
+    }
 
     #[test]
     fn fmt_scales_precision() {

@@ -11,16 +11,16 @@
 //! [`InvariantObserver`](epidemic_sim::engine::InvariantObserver) checks
 //! do not apply (coverage legitimately drops when a flash crowd lands).
 
-use epidemic_sim::engine::TraceObserver;
+use epidemic_sim::engine::{AggregateObserver, TraceObserver};
 use epidemic_sim::runner::TrialRunner;
 use epidemic_sim::scenario::{bundled, Scenario, ScenarioEngine};
 use epidemic_sim::stats::Summary;
 use epidemic_trace::json::{array_of, JsonObject};
-use epidemic_trace::{RunTracer, TraceConfig};
+use epidemic_trace::{RunAggregate, RunTracer, TraceConfig};
 
 use crate::parallel_trials_with;
 use crate::render::{fmt, render_table};
-use crate::trace::TableArtifacts;
+use crate::trace::{agg_json, AggEntry, TableArtifacts};
 
 /// Title of the `fig-scenarios` sweep table.
 pub const TITLE_SCENARIOS: &str = "Scenario sweep (bundled .scenario files)";
@@ -53,18 +53,26 @@ fn seed_for(scenario_idx: u64, trial: u64) -> u64 {
 }
 
 /// Runs `trials` seeds of one scenario, tracing every trial; returns the
-/// aggregate row and the concatenated JSONL (in trial order, so the bytes
-/// are thread-count independent).
+/// aggregate row, the concatenated JSONL (in trial order, so the bytes
+/// are thread-count independent), and the merged streaming aggregate.
 pub fn traced_scenario_sweep(
     runner: TrialRunner,
     experiment: &str,
     scenario_idx: u64,
     spec: &Scenario,
     trials: u64,
-) -> (ScenarioRow, String) {
+) -> (ScenarioRow, String, AggEntry) {
     let engine = ScenarioEngine::new(spec.clone()).expect("bundled scenarios validate");
-    type Acc = (Summary, Summary, Summary, Summary, u64, String);
-    let (cycles, residue, traffic, delay, converged, jsonl) = parallel_trials_with(
+    type Acc = (
+        Summary,
+        Summary,
+        Summary,
+        Summary,
+        u64,
+        String,
+        RunAggregate,
+    );
+    let (cycles, residue, traffic, delay, converged, jsonl, agg) = parallel_trials_with(
         runner,
         trials,
         |trial| {
@@ -73,8 +81,10 @@ pub fn traced_scenario_sweep(
                 .label_str("scenario", &engine.spec().name)
                 .label_u64("trial", trial);
             let mut trace = TraceObserver::with_tracer(tracer);
-            let report = engine.run_observed(seed_for(scenario_idx, trial), &mut trace);
-            (report, trace.finish())
+            let mut sink = AggregateObserver::new();
+            let report =
+                engine.run_observed(seed_for(scenario_idx, trial), &mut (&mut trace, &mut sink));
+            (report, trace.finish(), sink.finish())
         },
         (
             Summary::new(),
@@ -83,9 +93,18 @@ pub fn traced_scenario_sweep(
             Summary::new(),
             0u64,
             String::new(),
+            RunAggregate::default(),
         ),
-        |acc: Acc, (report, text)| {
-            let (mut cycles, mut residue, mut traffic, mut delay, mut converged, mut jsonl) = acc;
+        |acc: Acc, (report, text, trial_agg)| {
+            let (
+                mut cycles,
+                mut residue,
+                mut traffic,
+                mut delay,
+                mut converged,
+                mut jsonl,
+                mut agg,
+            ) = acc;
             cycles.push(f64::from(report.cycles));
             residue.push(report.residue);
             traffic.push(report.traffic_per_site);
@@ -94,42 +113,58 @@ pub fn traced_scenario_sweep(
             }
             converged += u64::from(report.converged_at.is_some());
             jsonl.push_str(&text);
-            (cycles, residue, traffic, delay, converged, jsonl)
+            agg.merge(&trial_agg);
+            (cycles, residue, traffic, delay, converged, jsonl, agg)
         },
     );
-    (
-        ScenarioRow {
-            name: spec.name.clone(),
-            trials,
-            converged,
-            cycles,
-            residue,
-            traffic,
-            delay,
-        },
-        jsonl,
-    )
+    let row = ScenarioRow {
+        name: spec.name.clone(),
+        trials,
+        converged,
+        cycles,
+        residue,
+        traffic,
+        delay,
+    };
+    let entry = AggEntry {
+        label: spec.name.clone(),
+        params: vec![
+            ("scenario".to_string(), spec.name.clone()),
+            ("trials".to_string(), trials.to_string()),
+        ],
+        observed: vec![
+            ("cycles_mean".to_string(), row.cycles.mean()),
+            ("residue_mean".to_string(), row.residue.mean()),
+            ("traffic_mean".to_string(), row.traffic.mean()),
+            ("delay_mean".to_string(), row.delay.mean()),
+        ],
+        agg,
+    };
+    (row, jsonl, entry)
 }
 
-/// Sweeps the given scenarios, returning aggregate rows and the
-/// concatenated trace.
+/// Sweeps the given scenarios, returning aggregate rows, the concatenated
+/// trace, and one merged [`AggEntry`] per scenario.
 pub fn scenario_sweep(
     runner: TrialRunner,
     experiment: &str,
     specs: &[Scenario],
     trials: u64,
-) -> (Vec<ScenarioRow>, String) {
+) -> (Vec<ScenarioRow>, String, Vec<AggEntry>) {
     let mut jsonl = String::new();
+    let mut aggregates = Vec::with_capacity(specs.len());
     let rows = specs
         .iter()
         .enumerate()
         .map(|(idx, spec)| {
-            let (row, text) = traced_scenario_sweep(runner, experiment, idx as u64, spec, trials);
+            let (row, text, entry) =
+                traced_scenario_sweep(runner, experiment, idx as u64, spec, trials);
             jsonl.push_str(&text);
+            aggregates.push(entry);
             row
         })
         .collect();
-    (rows, jsonl)
+    (rows, jsonl, aggregates)
 }
 
 /// Renders the sweep as a fixed-width text table.
@@ -197,7 +232,7 @@ fn specs_for(name: &str) -> Option<Vec<Scenario>> {
 /// experiment.
 pub fn scenario_artifacts(runner: TrialRunner, name: &str, trials: u64) -> Option<TableArtifacts> {
     let specs = specs_for(name)?;
-    let (rows, jsonl) = scenario_sweep(runner, name, &specs, trials);
+    let (rows, jsonl, aggregates) = scenario_sweep(runner, name, &specs, trials);
     let rows_json = scenario_rows_json(name, trials, &rows);
     let mut summary = JsonObject::new();
     summary
@@ -208,6 +243,7 @@ pub fn scenario_artifacts(runner: TrialRunner, name: &str, trials: u64) -> Optio
         jsonl,
         summary: summary.finish(),
         rows: rows_json,
+        agg: agg_json(name, "scenario", &aggregates),
     })
 }
 
@@ -217,7 +253,7 @@ pub fn print_scenarios(name: &str, trials: u64) -> bool {
     let Some(specs) = specs_for(name) else {
         return false;
     };
-    let (rows, _) = scenario_sweep(TrialRunner::new(), name, &specs, trials);
+    let (rows, _, _) = scenario_sweep(TrialRunner::new(), name, &specs, trials);
     print!("{}", render_scenarios(&rows));
     true
 }
@@ -240,6 +276,13 @@ mod tests {
         assert!(a.rendered.starts_with(&format!("\n## {TITLE_SCENARIOS}")));
         assert!(a.summary.contains(r#""trace_lines":"#));
         assert!(!a.jsonl.is_empty());
+        assert!(
+            a.agg
+                .starts_with(r#"{"experiment":"fig-scenarios","kind":"scenario""#),
+            "agg header: {}",
+            &a.agg[..120.min(a.agg.len())]
+        );
+        assert!(a.agg.contains(r#""p50":"#), "agg carries quantiles");
     }
 
     #[test]
@@ -256,7 +299,7 @@ mod tests {
     fn legacy_drivers_converge_under_the_sweep_seeds() {
         // The four historical scenarios must actually complete (not hit
         // their cycle bounds) under the sweep's seed transform.
-        let (rows, _) = scenario_sweep(TrialRunner::new(), "fig-scenarios", &bundled::all(), 3);
+        let (rows, _, _) = scenario_sweep(TrialRunner::new(), "fig-scenarios", &bundled::all(), 3);
         for legacy in ["clearinghouse", "dormant-death", "partition", "crash"] {
             let row = rows.iter().find(|r| r.name == legacy).expect("swept");
             assert_eq!(row.converged, row.trials, "{legacy} must finish: {row:?}");

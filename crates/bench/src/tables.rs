@@ -69,6 +69,57 @@ pub fn mixing_sweep_with(
         .collect()
 }
 
+/// As [`mixing_sweep_with`], additionally streaming every trial through
+/// an [`AggregateObserver`](epidemic_sim::engine::AggregateObserver) and
+/// merging the per-trial aggregates in trial order — one
+/// [`RunAggregate`](epidemic_trace::RunAggregate) per `k`, deterministic
+/// at any thread count. Observers never touch the RNG, so the returned
+/// [`MixRow`]s are identical to [`mixing_sweep_with`]'s.
+pub fn mixing_sweep_aggregated(
+    runner: TrialRunner,
+    n: usize,
+    trials: u64,
+    ks: &[u32],
+    make: impl Fn(u32) -> RumorEpidemic + Sync,
+) -> Vec<(MixRow, epidemic_trace::RunAggregate)> {
+    use epidemic_sim::engine::AggregateObserver;
+    ks.iter()
+        .map(|&k| {
+            let driver = make(k);
+            let (residue, traffic, t_ave, t_last, agg) = parallel_trials_with(
+                runner,
+                trials,
+                |seed| {
+                    let mut sink = AggregateObserver::new();
+                    let r = driver.run_observed(
+                        n,
+                        seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ u64::from(k),
+                        &mut sink,
+                    );
+                    (r.residue, r.traffic, r.t_ave, r.t_last, sink.finish())
+                },
+                (0.0, 0.0, 0.0, 0.0, epidemic_trace::RunAggregate::default()),
+                |acc, r| {
+                    let (residue, traffic, t_ave, t_last, mut agg) = acc;
+                    agg.merge(&r.4);
+                    (residue + r.0, traffic + r.1, t_ave + r.2, t_last + r.3, agg)
+                },
+            );
+            let t = trials as f64;
+            (
+                MixRow {
+                    k,
+                    residue: residue / t,
+                    traffic: traffic / t,
+                    t_ave: t_ave / t,
+                    t_last: t_last / t,
+                },
+                agg,
+            )
+        })
+        .collect()
+}
+
 /// Table 1: push rumor mongering with feedback and counters, n sites.
 pub fn table1(n: usize, trials: u64) -> Vec<MixRow> {
     table1_with(TrialRunner::new(), n, trials)
@@ -344,6 +395,26 @@ mod tests {
         let rows = table3(300, 40);
         assert!(rows[0].residue < 0.08);
         assert!(rows[1].residue < rows[0].residue + 1e-9);
+    }
+
+    #[test]
+    fn aggregated_sweep_matches_plain_rows() {
+        let make = |k| {
+            RumorEpidemic::new(RumorConfig::new(
+                Direction::Push,
+                Feedback::Feedback,
+                Removal::Counter { k },
+            ))
+        };
+        let plain = mixing_sweep(150, 6, &[1, 3], make);
+        let agged = mixing_sweep_aggregated(TrialRunner::new(), 150, 6, &[1, 3], make);
+        assert_eq!(plain.len(), agged.len());
+        for (p, (row, agg)) in plain.iter().zip(&agged) {
+            assert_eq!(p, row, "observer must not perturb k={}", p.k);
+            assert_eq!(agg.runs(), 6);
+            assert_eq!(agg.sites(), 150);
+            assert!((agg.totals().sent as f64 / (6.0 * 150.0) - row.traffic).abs() < 1e-9);
+        }
     }
 
     #[test]

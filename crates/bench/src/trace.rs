@@ -23,12 +23,12 @@
 
 use epidemic_core::{Direction, Feedback, Removal, RumorConfig};
 use epidemic_net::topologies::{cin, Cin, CinConfig};
-use epidemic_sim::engine::trace::{InvariantObserver, TraceObserver};
+use epidemic_sim::engine::trace::{AggregateObserver, InvariantObserver, TraceObserver};
 use epidemic_sim::mixing::RumorEpidemic;
 use epidemic_sim::runner::TrialRunner;
 use epidemic_sim::spatial_ae::AntiEntropySim;
 use epidemic_trace::json::{array_of, JsonObject};
-use epidemic_trace::{RunTracer, TraceConfig};
+use epidemic_trace::{RunAggregate, RunTracer, TraceConfig};
 
 use crate::parallel_trials_with;
 use crate::tables::{
@@ -37,14 +37,70 @@ use crate::tables::{
     TITLE_TABLE5,
 };
 
-/// The JSONL trace and invariant tally accumulated over one table sweep.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// One labelled streaming aggregate inside a `.agg.json` artifact: which
+/// sub-configuration of the experiment it covers (`params`), the scalar
+/// observations the rendered table reports for that configuration
+/// (`observed` — what the analytics report lines up against the
+/// closed-form predictions), and the full [`RunAggregate`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AggEntry {
+    /// Human-readable entry label (e.g. `k=2`, `uniform`, `n=10000 flat`).
+    pub label: String,
+    /// Sweep parameters as `(name, value)` strings.
+    pub params: Vec<(String, String)>,
+    /// Scalar observations for this configuration (table-row values).
+    pub observed: Vec<(String, f64)>,
+    /// The streaming aggregate folded over every trial, in trial order.
+    pub agg: RunAggregate,
+}
+
+impl AggEntry {
+    /// Serializes the entry as one JSON object.
+    pub fn to_json(&self) -> String {
+        let mut params = JsonObject::new();
+        for (name, value) in &self.params {
+            params.field_str(name, value);
+        }
+        let mut observed = JsonObject::new();
+        for (name, value) in &self.observed {
+            observed.field_f64(name, *value);
+        }
+        let mut o = JsonObject::new();
+        o.field_str("label", &self.label)
+            .field_raw("params", &params.finish())
+            .field_raw("observed", &observed.finish())
+            .field_raw("aggregate", &self.agg.to_json());
+        o.finish()
+    }
+}
+
+/// The `<name>.agg.json` document for one experiment: every streaming
+/// aggregate the run produced, in sweep order. Deterministic and free of
+/// wall-clock fields, so the bytes are identical at any
+/// `EPIDEMIC_THREADS` (see DESIGN.md §Run analytics).
+pub fn agg_json(experiment: &str, kind: &str, entries: &[AggEntry]) -> String {
+    let mut o = JsonObject::new();
+    o.field_str("experiment", experiment)
+        .field_str("kind", kind)
+        .field_raw(
+            "aggregates",
+            &array_of(entries.iter().map(AggEntry::to_json)),
+        );
+    o.finish()
+}
+
+/// The JSONL trace, invariant tally and streaming aggregates accumulated
+/// over one table sweep.
+#[derive(Debug, Clone, PartialEq)]
 pub struct TableTrace {
     /// Per-trial run traces concatenated in deterministic order.
     pub jsonl: String,
     /// Total invariant violations recorded across all trials (0 on a
     /// healthy sweep).
     pub violations: u64,
+    /// One streaming aggregate per swept configuration (per `k` for the
+    /// mixing tables, per spatial distribution for Tables 4–5).
+    pub aggregates: Vec<AggEntry>,
 }
 
 /// As [`crate::tables::mixing_sweep_with`], with a cycle-granularity
@@ -60,11 +116,12 @@ pub fn traced_mixing_sweep(
 ) -> (Vec<MixRow>, TableTrace) {
     let mut jsonl = String::new();
     let mut violations = 0u64;
+    let mut aggregates = Vec::new();
     let rows = ks
         .iter()
         .map(|&k| {
             let driver = make(k);
-            let (acc, text, viols) = parallel_trials_with(
+            let (acc, text, viols, agg) = parallel_trials_with(
                 runner,
                 trials,
                 |trial| {
@@ -75,36 +132,68 @@ pub fn traced_mixing_sweep(
                         .label_u64("trial", trial);
                     let mut trace = TraceObserver::with_tracer(tracer);
                     let mut check = InvariantObserver::new();
-                    let r = driver.run_observed(n, seed, &mut (&mut trace, &mut check));
+                    let mut sink = AggregateObserver::new();
+                    let r = driver.run_observed(n, seed, &mut (&mut trace, &mut check, &mut sink));
                     (
                         (r.residue, r.traffic, r.t_ave, r.t_last),
                         trace.finish(),
                         check.violations().len() as u64,
+                        sink.finish(),
                     )
                 },
-                ((0.0, 0.0, 0.0, 0.0), String::new(), 0u64),
-                |(acc, mut text, viols), (r, t, v)| {
+                (
+                    (0.0, 0.0, 0.0, 0.0),
+                    String::new(),
+                    0u64,
+                    RunAggregate::new(),
+                ),
+                |(acc, mut text, viols, mut agg), (r, t, v, a)| {
                     text.push_str(&t);
+                    agg.merge(&a);
                     (
                         (acc.0 + r.0, acc.1 + r.1, acc.2 + r.2, acc.3 + r.3),
                         text,
                         viols + v,
+                        agg,
                     )
                 },
             );
             jsonl.push_str(&text);
             violations += viols;
             let t = trials as f64;
-            MixRow {
+            let row = MixRow {
                 k,
                 residue: acc.0 / t,
                 traffic: acc.1 / t,
                 t_ave: acc.2 / t,
                 t_last: acc.3 / t,
-            }
+            };
+            aggregates.push(AggEntry {
+                label: format!("k={k}"),
+                params: vec![
+                    ("n".to_string(), n.to_string()),
+                    ("trials".to_string(), trials.to_string()),
+                    ("k".to_string(), k.to_string()),
+                ],
+                observed: vec![
+                    ("residue".to_string(), row.residue),
+                    ("traffic".to_string(), row.traffic),
+                    ("t_ave".to_string(), row.t_ave),
+                    ("t_last".to_string(), row.t_last),
+                ],
+                agg,
+            });
+            row
         })
         .collect();
-    (rows, TableTrace { jsonl, violations })
+    (
+        rows,
+        TableTrace {
+            jsonl,
+            violations,
+            aggregates,
+        },
+    )
 }
 
 /// Traced Table 1 (push, feedback, counter) — same rows as
@@ -151,12 +240,13 @@ pub fn traced_table45_on(
 ) -> (Vec<SpatialRow>, TableTrace) {
     let mut jsonl = String::new();
     let mut violations = 0u64;
+    let mut aggregates = Vec::new();
     let rows = table45_distributions()
         .into_iter()
         .map(|(label, spatial)| {
             let sim =
                 AntiEntropySim::new(&net.topology, spatial).connection_limit(connection_limit);
-            let (acc, text, viols) = parallel_trials_with(
+            let (acc, text, viols, agg) = parallel_trials_with(
                 runner,
                 trials,
                 |trial| {
@@ -167,7 +257,8 @@ pub fn traced_table45_on(
                         .label_u64("trial", trial);
                     let mut trace = TraceObserver::with_tracer(tracer);
                     let mut check = InvariantObserver::new();
-                    let r = sim.run_observed(seed, None, &mut (&mut trace, &mut check));
+                    let mut sink = AggregateObserver::new();
+                    let r = sim.run_observed(seed, None, &mut (&mut trace, &mut check, &mut sink));
                     let cycles = f64::from(r.cycles.max(1));
                     (
                         [
@@ -180,21 +271,23 @@ pub fn traced_table45_on(
                         ],
                         trace.finish(),
                         check.violations().len() as u64,
+                        sink.finish(),
                     )
                 },
-                ([0.0f64; 6], String::new(), 0u64),
-                |(mut acc, mut text, viols), (r, t, v)| {
+                ([0.0f64; 6], String::new(), 0u64, RunAggregate::new()),
+                |(mut acc, mut text, viols, mut agg), (r, t, v, trial_agg)| {
                     for (a, x) in acc.iter_mut().zip(r) {
                         *a += x;
                     }
                     text.push_str(&t);
-                    (acc, text, viols + v)
+                    agg.merge(&trial_agg);
+                    (acc, text, viols + v, agg)
                 },
             );
             jsonl.push_str(&text);
             violations += viols;
             let t = trials as f64;
-            SpatialRow {
+            let row = SpatialRow {
                 label,
                 t_last: acc[0] / t,
                 t_ave: acc[1] / t,
@@ -202,10 +295,36 @@ pub fn traced_table45_on(
                 cmp_bushey: acc[3] / t,
                 upd_avg: acc[4] / t,
                 upd_bushey: acc[5] / t,
-            }
+            };
+            aggregates.push(AggEntry {
+                label: row.label.clone(),
+                params: vec![
+                    ("trials".to_string(), trials.to_string()),
+                    ("distribution".to_string(), row.label.clone()),
+                    (
+                        "connection_limit".to_string(),
+                        connection_limit.map_or("none".to_string(), |l| l.to_string()),
+                    ),
+                ],
+                observed: vec![
+                    ("t_last".to_string(), row.t_last),
+                    ("t_ave".to_string(), row.t_ave),
+                    ("cmp_avg".to_string(), row.cmp_avg),
+                    ("cmp_bushey".to_string(), row.cmp_bushey),
+                ],
+                agg,
+            });
+            row
         })
         .collect();
-    (rows, TableTrace { jsonl, violations })
+    (
+        rows,
+        TableTrace {
+            jsonl,
+            violations,
+            aggregates,
+        },
+    )
 }
 
 fn mix_row_json(r: &MixRow) -> String {
@@ -266,25 +385,30 @@ fn summary_json(rows_json: &str, trace: &TableTrace) -> String {
     o.finish()
 }
 
-/// Everything `repro` writes for one traced table: the rendered text
-/// table (identical to the untraced path's), the JSONL trace, the
-/// summary record, and the bare rows.
+/// Everything `repro` writes for one traced experiment: the rendered
+/// text table (identical to the untraced path's), the JSONL trace (empty
+/// for figure experiments, which aggregate instead of tracing), the
+/// summary record, the bare rows, and the streaming-aggregate document.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TableArtifacts {
     /// The text table, exactly as the untraced repro path prints it.
     pub rendered: String,
-    /// `<name>.jsonl` contents.
+    /// `<name>.jsonl` contents (empty when the experiment emits no
+    /// per-trial trace — `repro` then skips the file).
     pub jsonl: String,
     /// `<name>.summary.json` contents.
     pub summary: String,
     /// `<name>.rows.json` contents.
     pub rows: String,
+    /// `<name>.agg.json` contents (see [`agg_json`]).
+    pub agg: String,
 }
 
 /// Runs `name` traced if it is one of the five tables, returning its
-/// artifacts; `None` for every other experiment (the figure drivers do
-/// not go through the engine observer seam at table granularity — see
-/// DESIGN.md §Observability).
+/// artifacts; `None` for every other experiment (`repro` then falls
+/// through to [`crate::scenarios::scenario_artifacts`] and
+/// [`crate::figures::figure_artifacts`], so every experiment produces
+/// artifacts — see DESIGN.md §Observability).
 pub fn table_artifacts(
     runner: TrialRunner,
     name: &str,
@@ -301,6 +425,7 @@ pub fn table_artifacts(
             rendered: render_mixing(title, &rows, paper),
             summary: summary_json(&rows_json, &trace),
             rows: rows_json,
+            agg: agg_json(name, "table", &trace.aggregates),
             jsonl: trace.jsonl,
         }
     };
@@ -313,6 +438,7 @@ pub fn table_artifacts(
             rendered: render_spatial(title, &rows),
             summary: summary_json(&rows_json, &trace),
             rows: rows_json,
+            agg: agg_json(name, "table", &trace.aggregates),
             jsonl: trace.jsonl,
         }
     };
@@ -387,6 +513,37 @@ mod tests {
     }
 
     #[test]
+    fn traced_sweep_aggregates_per_k() {
+        let (rows, trace) = small_table1(TrialRunner::new());
+        assert_eq!(trace.aggregates.len(), 2);
+        let entry = &trace.aggregates[0];
+        assert_eq!(entry.label, "k=1");
+        assert_eq!(entry.agg.runs(), 8);
+        assert_eq!(entry.agg.sites(), 120);
+        // The sink sees the same contact stream the result totals came
+        // from: mean traffic per site must agree with the table row.
+        let m = entry.agg.totals().sent as f64 / (8.0 * 120.0);
+        assert!(
+            (m - rows[0].traffic).abs() < 1e-9,
+            "{m} vs {}",
+            rows[0].traffic
+        );
+        let json = agg_json("table1", "table", &trace.aggregates);
+        assert!(
+            json.starts_with(
+                r#"{"experiment":"table1","kind":"table","aggregates":[{"label":"k=1""#
+            ),
+            "{json}"
+        );
+        for forbidden in ["seconds", "nanos", "rss"] {
+            assert!(
+                !json.contains(forbidden),
+                "{forbidden} leaked into agg json"
+            );
+        }
+    }
+
+    #[test]
     fn rows_json_is_well_formed() {
         let rows = vec![MixRow {
             k: 2,
@@ -430,5 +587,9 @@ mod tests {
         assert!(a.summary.contains(r#""trace_lines":"#));
         assert!(a.rows.starts_with(r#"{"experiment":"table1""#));
         assert!(!a.jsonl.is_empty());
+        assert!(a
+            .agg
+            .starts_with(r#"{"experiment":"table1","kind":"table""#));
+        assert!(a.agg.contains(r#""p50":"#), "{}", a.agg);
     }
 }

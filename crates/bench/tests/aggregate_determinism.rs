@@ -1,0 +1,111 @@
+//! The acceptance property behind the `.agg.json` artifacts: streaming
+//! aggregates are pure functions of the experiment's seed universe, so
+//! the serialized bytes must be identical at any `EPIDEMIC_THREADS`
+//! budget — and, for the sharded engine, at any worker count for a fixed
+//! shard count. They must also carry no wall-clock, allocation, or RSS
+//! fields, or the byte-identity above would be unachievable.
+
+use epidemic_bench::figures::{cin_steady_sharded_data, figure_artifacts};
+use epidemic_bench::scenarios::scenario_artifacts;
+use epidemic_bench::trace::{agg_json, table_artifacts};
+use epidemic_net::topologies::{cin, CinConfig};
+use epidemic_sim::runner::TrialRunner;
+
+/// Aggregates describe simulated cycles only; any of these substrings in
+/// the serialized document would smuggle a machine-dependent measurement
+/// into an artifact that CI diffs byte-for-byte.
+fn assert_no_wall_clock_fields(agg: &str) {
+    for needle in ["seconds", "alloc", "rss", "wall_clock", "elapsed"] {
+        assert!(
+            !agg.contains(needle),
+            "agg.json leaks a host-dependent field ({needle:?})"
+        );
+    }
+}
+
+#[test]
+fn table_aggregate_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        table_artifacts(TrialRunner::new().threads(threads), "table1", 150, 12, 12)
+            .expect("table1 is traceable")
+    };
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(
+        sequential.agg, parallel.agg,
+        "aggregate bytes must not depend on threads"
+    );
+    assert!(sequential.agg.contains(r#""kind":"table""#));
+    assert!(sequential.agg.contains(r#""p50":"#));
+    assert_no_wall_clock_fields(&sequential.agg);
+}
+
+#[test]
+fn figure_aggregate_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        figure_artifacts(TrialRunner::new().threads(threads), "fig-rumor-ode", 150, 8)
+            .expect("fig-rumor-ode is a figure")
+    };
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(sequential.agg, parallel.agg);
+    assert_eq!(
+        sequential, parallel,
+        "every artifact must match, not just agg"
+    );
+    assert!(sequential.agg.contains(r#""kind":"figure""#));
+    assert!(sequential.agg.contains(r#""p99":"#));
+    assert!(
+        sequential.jsonl.is_empty(),
+        "figures aggregate instead of tracing"
+    );
+    assert_no_wall_clock_fields(&sequential.agg);
+}
+
+#[test]
+fn scenario_aggregate_is_byte_identical_across_thread_counts() {
+    let run = |threads: usize| {
+        scenario_artifacts(TrialRunner::new().threads(threads), "scenario-partition", 4)
+            .expect("scenario-partition resolves")
+    };
+    let sequential = run(1);
+    let parallel = run(8);
+    assert_eq!(sequential.agg, parallel.agg);
+    assert!(sequential.agg.contains(r#""kind":"scenario""#));
+    assert_no_wall_clock_fields(&sequential.agg);
+}
+
+#[test]
+fn sharded_aggregate_is_worker_invariant_at_each_shard_count() {
+    // A small CIN keeps the test fast; determinism does not depend on
+    // topology size.
+    let net = cin(&CinConfig {
+        na_regions: 3,
+        sites_per_region: 6,
+        europe_sites: 6,
+        backbone_chords: 1,
+        transatlantic_cost: 1,
+        seed: 42,
+    });
+    for shards in [4usize, 8] {
+        let run = |threads: usize, workers: usize| {
+            let (_, aggregates) = cin_steady_sharded_data(
+                TrialRunner::new().threads(threads),
+                &net,
+                3,
+                shards,
+                workers,
+            );
+            agg_json("fig-cin-steady-sharded", "figure", &aggregates)
+        };
+        let reference = run(1, 1);
+        // Vary the trial fan-out and the intra-trial worker pool
+        // together: the aggregate is a pure function of (seed, shards).
+        assert_eq!(
+            run(8, 2),
+            reference,
+            "aggregate differs across workers at {shards} shards"
+        );
+        assert_no_wall_clock_fields(&reference);
+    }
+}

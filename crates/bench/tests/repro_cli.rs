@@ -1,7 +1,9 @@
 //! Integration tests for the `repro` binary's CLI contract: selector
-//! errors must be loud (nonzero exit + the list of valid names), and
-//! figure experiments that produce no `--trace`/`--json` artifacts must
-//! say so instead of silently writing nothing.
+//! errors must be loud (nonzero exit + the list of valid names), every
+//! experiment — tables, figures, scenarios — must write `--trace`/`--json`
+//! artifacts (no experiment runs untraced), and each artifact directory
+//! must carry a `manifest.json` recording what ran and under which
+//! parallelism/backend knobs.
 
 use std::path::PathBuf;
 use std::process::{Command, Output};
@@ -58,26 +60,35 @@ fn trace_with_empty_selection_is_a_usage_error() {
 }
 
 #[test]
-fn untraced_figures_warn_and_are_listed_in_summary_json() {
-    let dir = scratch("untraced");
+fn figures_write_artifacts_and_a_manifest() {
+    let dir = scratch("figure-artifacts");
     let dir_str = dir.to_str().unwrap();
-    let out = repro(&["--json", dir_str, "fig-line-traffic"]);
+    let out = repro(&["--trace", dir_str, "--json", dir_str, "fig-line-traffic"]);
     assert!(out.status.success(), "fig-line-traffic runs");
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(
-        stderr.contains("fig-line-traffic: untraced"),
-        "per-experiment warning expected: {stderr}"
-    );
-    assert!(
-        stderr.contains("1 experiment(s) ran untraced: fig-line-traffic"),
-        "summary line expected: {stderr}"
-    );
-    let summary = std::fs::read_to_string(dir.join("untraced.json"))
-        .expect("untraced.json written next to the artifacts");
-    assert!(
-        summary.contains("\"fig-line-traffic\""),
-        "skipped names recorded: {summary}"
-    );
+    assert!(!stderr.contains("untraced"), "{stderr}");
+    assert!(!dir.join("untraced.json").exists());
+    for ext in ["rows.json", "agg.json", "summary.json"] {
+        assert!(
+            dir.join(format!("fig-line-traffic.{ext}")).exists(),
+            "fig-line-traffic.{ext} must be written"
+        );
+    }
+    // Figures stream into aggregates instead of tracing per cycle, so an
+    // empty .jsonl is skipped rather than written.
+    assert!(!dir.join("fig-line-traffic.jsonl").exists());
+    let rows = std::fs::read_to_string(dir.join("fig-line-traffic.rows.json")).unwrap();
+    assert!(rows.contains(r#""kind":"figure""#), "{rows}");
+    let manifest = std::fs::read_to_string(dir.join("manifest.json"))
+        .expect("manifest.json written next to the artifacts");
+    for key in [
+        "\"fig-line-traffic\"",
+        "\"threads\"",
+        "\"shards\"",
+        "\"backend\"",
+    ] {
+        assert!(manifest.contains(key), "manifest records {key}: {manifest}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 
@@ -160,23 +171,25 @@ fn scenario_prefix_selection_writes_artifacts_without_untraced_json() {
         "scenario-flash-crowd-lossy",
         "scenario-churn-partition-heal",
     ] {
-        for ext in ["jsonl", "summary.json", "rows.json"] {
+        for ext in ["jsonl", "summary.json", "rows.json", "agg.json"] {
             assert!(
                 dir.join(format!("{name}.{ext}")).exists(),
                 "{name}.{ext} must be written"
             );
         }
     }
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"scenario-crash\""), "{manifest}");
     let rows = std::fs::read_to_string(dir.join("scenario-partition.rows.json")).unwrap();
     assert!(rows.contains(r#""scenario":"partition""#), "{rows}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn megascale_honors_the_max_n_cap_and_reports_untraced() {
+fn megascale_honors_the_max_n_cap_and_still_writes_artifacts() {
     // EPIDEMIC_MEGASCALE_MAX_N=0 keeps the sweep empty, so the CLI
-    // contract (selection, untraced warning, artifact summary) is testable
-    // without paying for a real epidemic.
+    // contract (selection, artifact trio, manifest) is testable without
+    // paying for a real epidemic.
     let dir = scratch("megascale");
     let dir_str = dir.to_str().unwrap();
     let out = Command::new(env!("CARGO_BIN_EXE_repro"))
@@ -190,20 +203,21 @@ fn megascale_honors_the_max_n_cap_and_reports_untraced() {
         String::from_utf8_lossy(&out.stderr)
     );
     let stderr = String::from_utf8_lossy(&out.stderr);
-    assert!(
-        stderr.contains("fig-megascale: untraced"),
-        "figure experiments warn when asked for artifacts: {stderr}"
-    );
-    let summary = std::fs::read_to_string(dir.join("untraced.json"))
-        .expect("untraced.json written next to the artifacts");
-    assert!(summary.contains("\"fig-megascale\""), "{summary}");
+    assert!(!stderr.contains("untraced"), "{stderr}");
+    assert!(!dir.join("untraced.json").exists());
+    let rows = std::fs::read_to_string(dir.join("fig-megascale.rows.json"))
+        .expect("capped sweep still writes rows");
+    assert!(rows.contains(r#""experiment":"fig-megascale""#), "{rows}");
+    let agg = std::fs::read_to_string(dir.join("fig-megascale.agg.json"))
+        .expect("capped sweep still writes aggregates");
+    assert!(agg.contains(r#""aggregates":[]"#), "empty sweep: {agg}");
+    let manifest = std::fs::read_to_string(dir.join("manifest.json")).unwrap();
+    assert!(manifest.contains("\"fig-megascale\""), "{manifest}");
     let _ = std::fs::remove_dir_all(&dir);
 }
 
 #[test]
-fn traced_tables_do_not_emit_untraced_artifacts() {
-    // A table-only selection must keep the artifact directory exactly as
-    // before the untraced-warning fix (CI byte-diffs such directories).
+fn traced_tables_write_rows_and_aggregates() {
     let dir = scratch("tables-only");
     let dir_str = dir.to_str().unwrap();
     let out = repro(&["--trials", "1", "--json", dir_str, "table1"]);
@@ -212,5 +226,11 @@ fn traced_tables_do_not_emit_untraced_artifacts() {
     assert!(!stderr.contains("untraced"), "{stderr}");
     assert!(!dir.join("untraced.json").exists());
     assert!(dir.join("table1.rows.json").exists());
+    let agg = std::fs::read_to_string(dir.join("table1.agg.json")).unwrap();
+    assert!(agg.contains(r#""kind":"table""#), "{agg}");
+    assert!(
+        agg.contains(r#""p90":"#),
+        "aggregates carry quantiles: {agg}"
+    );
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -39,7 +39,7 @@ pub use sharded::{
     default_shards, ContactPair, ShardableProtocol, ShardedCycleEngine, DEFAULT_SHARDS,
     SHARDS_ENV_VAR,
 };
-pub use trace::{InvariantObserver, TraceObserver, TraceView};
+pub use trace::{AggregateObserver, InvariantObserver, TraceObserver, TraceView};
 
 use std::time::Instant;
 

@@ -24,7 +24,10 @@
 //! assert!(jsonl.lines().count() as u32 >= result.cycles);
 //! ```
 
-use epidemic_trace::{InvariantChecker, RunTracer, Sir, TraceConfig, TraceTotals, Violation};
+use epidemic_trace::{
+    AggregatingSink, InvariantChecker, RunAggregate, RunTracer, Sir, TraceConfig, TraceTotals,
+    Violation,
+};
 
 use super::observer::{Observer, SirCounts, SirView};
 use super::protocols::{BitAntiEntropyProtocol, DirectMailProtocol, MixingProtocol};
@@ -142,6 +145,47 @@ impl<P: SirView + ?Sized> Observer<P> for TraceObserver {
 
     fn on_cycle_end(&mut self, cycle: u32, protocol: &P) {
         self.tracer.cycle(u64::from(cycle), sir_of(protocol));
+    }
+}
+
+/// Folds a run into a bounded-memory [`RunAggregate`] through the
+/// engine's observer seam. Works with any [`SirView`] protocol; wraps
+/// [`epidemic_trace::AggregatingSink`]. Unlike [`TraceObserver`] the
+/// memory footprint does not grow with run length, so this is the
+/// observer the megascale sweep can afford.
+#[derive(Debug, Clone, Default)]
+pub struct AggregateObserver {
+    sink: AggregatingSink,
+}
+
+impl AggregateObserver {
+    /// An observer with an empty aggregate.
+    pub fn new() -> Self {
+        AggregateObserver::default()
+    }
+
+    /// A view of the aggregate accumulated so far.
+    pub fn aggregate(&self) -> &RunAggregate {
+        self.sink.aggregate()
+    }
+
+    /// Consumes the observer, returning its aggregate.
+    pub fn finish(self) -> RunAggregate {
+        self.sink.finish()
+    }
+}
+
+impl<P: SirView + ?Sized> Observer<P> for AggregateObserver {
+    fn on_run_start(&mut self, protocol: &P) {
+        self.sink.run_start(sir_of(protocol));
+    }
+
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        self.sink.contact(cycle, i, j, stats.sent, stats.useful);
+    }
+
+    fn on_cycle_end(&mut self, cycle: u32, protocol: &P) {
+        self.sink.cycle(cycle, sir_of(protocol));
     }
 }
 

@@ -31,7 +31,7 @@ use rand::SeedableRng;
 
 use crate::bitset::BitSet;
 use crate::engine::protocols::{MixingProtocol, ReceiveLog};
-use crate::engine::{CycleEngine, NeighborPartners, PartnerPolicy, UniformPartners};
+use crate::engine::{CycleEngine, NeighborPartners, Observer, PartnerPolicy, UniformPartners};
 use crate::mixing::EpidemicResult;
 
 /// The single key the megascale update spreads under.
@@ -74,7 +74,23 @@ impl MegascaleSim {
     ///
     /// Panics if `n < 2`.
     pub fn run_uniform(&self, n: usize, seed: u64, backend: Backend) -> EpidemicResult {
-        self.run_with_policy(n, &UniformPartners::new(n), seed, backend)
+        self.run_uniform_observed(n, seed, backend, &mut ())
+    }
+
+    /// As [`MegascaleSim::run_uniform`], streaming the run through
+    /// `observer` (e.g. an
+    /// [`AggregateObserver`](crate::engine::AggregateObserver), whose
+    /// bounded memory is what makes observing n=10⁶ affordable).
+    /// Observers never touch the RNG, so the [`EpidemicResult`] is
+    /// identical to the unobserved run's.
+    pub fn run_uniform_observed<O: Observer<MixingProtocol>>(
+        &self,
+        n: usize,
+        seed: u64,
+        backend: Backend,
+        observer: &mut O,
+    ) -> EpidemicResult {
+        self.run_with_policy(n, &UniformPartners::new(n), seed, backend, observer)
     }
 
     /// One epidemic over the sites of `graph`, each initiator gossiping
@@ -87,20 +103,34 @@ impl MegascaleSim {
         seed: u64,
         backend: Backend,
     ) -> EpidemicResult {
+        self.run_scale_free_observed(graph, seed, backend, &mut ())
+    }
+
+    /// As [`MegascaleSim::run_scale_free`], streaming the run through
+    /// `observer` (see [`MegascaleSim::run_uniform_observed`]).
+    pub fn run_scale_free_observed<O: Observer<MixingProtocol>>(
+        &self,
+        graph: &DegreeGraph,
+        seed: u64,
+        backend: Backend,
+        observer: &mut O,
+    ) -> EpidemicResult {
         self.run_with_policy(
             graph.site_count(),
             &NeighborPartners::new(graph),
             seed,
             backend,
+            observer,
         )
     }
 
-    fn run_with_policy<L: PartnerPolicy + ?Sized>(
+    fn run_with_policy<L: PartnerPolicy + ?Sized, O: Observer<MixingProtocol>>(
         &self,
         n: usize,
         policy: &L,
         seed: u64,
         backend: Backend,
+        observer: &mut O,
     ) -> EpidemicResult {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut sites: Vec<Replica<u32, u32>> = (0..n)
@@ -128,7 +158,7 @@ impl MegascaleSim {
             &mut protocol,
             policy,
             &mut rng,
-            &mut (),
+            observer,
         );
 
         let received = protocol.received;
@@ -171,6 +201,26 @@ mod tests {
         let graph = DegreeGraph::scale_free(500, 2, 11);
         let sf = sim.run_scale_free(&graph, 11, Backend::Flat);
         assert!(sf.residue < 0.20, "residue {}", sf.residue);
+    }
+
+    #[test]
+    fn observed_run_matches_unobserved_and_aggregates() {
+        use crate::engine::AggregateObserver;
+        let sim = MegascaleSim::new();
+        let plain = sim.run_uniform(300, 9, Backend::Flat);
+        let mut obs = AggregateObserver::new();
+        let observed = sim.run_uniform_observed(300, 9, Backend::Flat, &mut obs);
+        assert_eq!(plain, observed, "observers must not perturb the run");
+        let agg = obs.finish();
+        assert_eq!(agg.sites(), 300);
+        assert_eq!(agg.runs(), 1);
+        assert!(
+            agg.delay().count() >= 250,
+            "nearly every site records a delay: {}",
+            agg.delay().count()
+        );
+        assert!((agg.totals().sent as f64 / 300.0 - plain.traffic).abs() < 1e-12);
+        assert_eq!(agg.max_cycle(), u64::from(plain.cycles));
     }
 
     #[test]

@@ -17,8 +17,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 use crate::engine::{
-    ContactPair, ContactStats, CycleEngine, EpidemicProtocol, RouteRecorder, ShardableProtocol,
-    ShardedCycleEngine, SpatialPartners, UpdateInjector,
+    ContactPair, ContactStats, CycleEngine, EpidemicProtocol, Observer, RouteRecorder,
+    ShardableProtocol, ShardedCycleEngine, SirCounts, SirView, SpatialPartners, UpdateInjector,
 };
 use crate::util::pair_mut;
 
@@ -141,6 +141,22 @@ impl<'a> SpatialSteadySim<'a> {
     /// [`SpatialSteadySim::run`] (see
     /// [`engine::sharded`](crate::engine::sharded)).
     pub fn run_sharded(&self, seed: u64, shards: usize, workers: usize) -> SpatialSteadyReport {
+        self.run_sharded_observed(seed, shards, workers, &mut ())
+    }
+
+    /// As [`SpatialSteadySim::run_sharded`], streaming every contact
+    /// through `observer` (e.g. an
+    /// [`AggregateObserver`](crate::engine::AggregateObserver)). The
+    /// sharded engine replays observer events in deterministic
+    /// site-sweep order, so the observer's state — like the report — is a
+    /// pure function of `(seed, shards)`, never of `workers`.
+    pub fn run_sharded_observed<O: for<'b> Observer<SpatialSteadyProtocol<'b>>>(
+        &self,
+        seed: u64,
+        shards: usize,
+        workers: usize,
+        observer: &mut O,
+    ) -> SpatialSteadyReport {
         let sites = self.topology.sites();
         let replicas: Vec<Replica<u32, u64>> = sites.iter().map(|&s| Replica::new(s)).collect();
         let total = self.config.warmup + self.config.cycles;
@@ -162,7 +178,7 @@ impl<'a> SpatialSteadySim<'a> {
                 &mut protocol,
                 &SpatialPartners::new(sites, &self.sampler),
                 seed,
-                &mut (),
+                observer,
             );
         let measured = f64::from(self.config.cycles);
         SpatialSteadyReport {
@@ -179,7 +195,11 @@ impl<'a> SpatialSteadySim<'a> {
 /// Steady-state push-pull anti-entropy on a topology: continuous update
 /// injection, spatial partner selection, and per-link traffic recorded
 /// only after the warm-up period.
-struct SpatialSteadyProtocol<'a> {
+///
+/// Public only so observers can be written against it (see
+/// [`SpatialSteadySim::run_sharded_observed`]); it is constructed
+/// exclusively by [`SpatialSteadySim`].
+pub struct SpatialSteadyProtocol<'a> {
     exchange: AntiEntropy,
     sites: &'a [SiteId],
     replicas: Vec<Replica<u32, u64>>,
@@ -189,6 +209,21 @@ struct SpatialSteadyProtocol<'a> {
     full_compares: u64,
     recorder: RouteRecorder<'a>,
     scratch: ExchangeScratch<u32, u64>,
+}
+
+/// Steady-state runs have no single-update SIR notion — keys inject and
+/// retire continuously — so the projection is the degenerate
+/// all-infective one: every site is permanently exchanging. Observers
+/// that track per-update delay still work (the first *useful* contact
+/// marks a site), while the SIR curve is deliberately flat.
+impl SirView for SpatialSteadyProtocol<'_> {
+    fn sir_counts(&self) -> SirCounts {
+        SirCounts {
+            susceptible: 0,
+            infective: self.replicas.len(),
+            removed: 0,
+        }
+    }
 }
 
 impl EpidemicProtocol for SpatialSteadyProtocol<'_> {
@@ -230,7 +265,7 @@ impl EpidemicProtocol for SpatialSteadyProtocol<'_> {
 }
 
 /// Read-only cycle context for the sharded steady-state path.
-struct SpatialSteadyCtx<'p> {
+pub struct SpatialSteadyCtx<'p> {
     exchange: AntiEntropy,
     sites: &'p [SiteId],
     routes: &'p Routes,
@@ -239,7 +274,7 @@ struct SpatialSteadyCtx<'p> {
 
 /// Per-shard accumulator: one exchange scratch per shard plus shard-local
 /// exchange counters and traffic.
-struct SpatialSteadyShard {
+pub struct SpatialSteadyShard {
     scratch: ExchangeScratch<u32, u64>,
     exchanges: u64,
     full_compares: u64,
@@ -381,6 +416,29 @@ mod tests {
             );
             assert_eq!(report.measured_cycles, cycles);
         }
+    }
+
+    #[test]
+    fn sharded_observer_state_is_worker_independent() {
+        use crate::engine::AggregateObserver;
+        let topo = topologies::grid(&[4, 4]);
+        let sim = SpatialSteadySim::new(&topo, Spatial::Uniform, SpatialSteadyConfig::default());
+        let plain = sim.run_sharded(5, 4, 1);
+        let mut obs1 = AggregateObserver::new();
+        let r1 = sim.run_sharded_observed(5, 4, 1, &mut obs1);
+        let mut obs2 = AggregateObserver::new();
+        let r2 = sim.run_sharded_observed(5, 4, 2, &mut obs2);
+        // Same shard count, different worker counts: identical observer
+        // bytes and identical reports.
+        assert_eq!(obs1.aggregate().to_json(), obs2.aggregate().to_json());
+        assert_eq!(r1.exchanges, r2.exchanges);
+        assert_eq!(r1.full_compare_rate, r2.full_compare_rate);
+        // The observer must not perturb the run itself.
+        assert_eq!(plain.exchanges, r1.exchanges);
+        assert_eq!(plain.entries_per_link_cycle, r1.entries_per_link_cycle);
+        let agg = obs1.finish();
+        assert_eq!(agg.sites(), 16);
+        assert!(agg.totals().contacts > 0);
     }
 
     #[test]

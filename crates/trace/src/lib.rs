@@ -2,7 +2,7 @@
 //!
 //! This crate has **no dependencies** — not even on the sibling
 //! simulation crates — so every layer of the workspace can use it without
-//! cycles. It provides four pillars:
+//! cycles. It provides five pillars:
 //!
 //! * [`metrics`] — a deterministic metrics registry (counters, gauges,
 //!   fixed-bucket histograms) behind the [`MetricsSink`] trait. The no-op
@@ -12,6 +12,11 @@
 //!   events, per-cycle SIR snapshots and a per-link traffic matrix into
 //!   JSONL with *no* wall-clock fields, making trace files byte-identical
 //!   across worker-thread counts.
+//! * [`aggregate`] — streaming run analytics: [`AggregatingSink`] folds
+//!   the same event stream into a bounded-memory [`RunAggregate`]
+//!   (delay-percentile histogram, capped link-traffic matrix, SIR curves)
+//!   with a deterministic `merge`, usable where full JSONL would not be
+//!   (megascale runs).
 //! * [`invariant`] — [`InvariantChecker`] verifies protocol invariants
 //!   (SIR conservation, monotone removal, traffic consistency,
 //!   coverage ⇒ replica agreement) as a run streams by, reporting
@@ -26,12 +31,14 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod aggregate;
 pub mod invariant;
 pub mod json;
 pub mod metrics;
 pub mod profile;
 pub mod record;
 
+pub use aggregate::{AggregatingSink, LinkAggregate, LinkCell, RunAggregate, DELAY_BUCKETS};
 pub use invariant::{InvariantChecker, Violation};
 pub use metrics::{Histogram, MetricsSink, Registry, DEFAULT_BUCKETS};
 pub use profile::PhaseStat;

@@ -112,6 +112,63 @@ impl Histogram {
     pub fn bounds(&self) -> &'static [f64] {
         self.bounds
     }
+
+    /// Estimates the `q`-quantile (`0.0 ..= 1.0`) by linear interpolation
+    /// inside the containing bucket.
+    ///
+    /// The continuous target rank is `q * count`. Walking the cumulative
+    /// bucket counts, the first bucket whose cumulative count reaches the
+    /// rank contains the quantile; the estimate interpolates linearly
+    /// between that bucket's lower and upper bound (the first bucket's
+    /// lower bound is `0.0`). When the rank lands exactly on a bucket's
+    /// cumulative boundary the bucket's upper bound is returned — bucket
+    /// edges are exact. Observations in the overflow bucket have no upper
+    /// bound, so quantiles resolving there return the last configured
+    /// bound (a lower bound on the true quantile). An empty histogram
+    /// returns `0.0`.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.total == 0 || self.bounds.is_empty() {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.total as f64;
+        let mut cum = 0u64;
+        for (idx, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if c > 0 && rank <= cum as f64 {
+                let (lower, upper) = match idx.checked_sub(1) {
+                    None => (0.0, self.bounds[0]),
+                    Some(p) if idx < self.bounds.len() => (self.bounds[p], self.bounds[idx]),
+                    // Overflow bucket: clamp to the last configured bound.
+                    Some(_) => return self.bounds[self.bounds.len() - 1],
+                };
+                let frac = ((rank - prev as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * frac;
+            }
+        }
+        self.bounds[self.bounds.len() - 1]
+    }
+
+    /// Folds `other` into `self` bucket-by-bucket.
+    ///
+    /// Both histograms must have been built over the same bounds slice;
+    /// merging histograms with different bounds would silently misbin, so
+    /// a mismatch panics.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `other.bounds() != self.bounds()`.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "Histogram::merge requires identical bucket bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+        self.total += other.total;
+    }
 }
 
 /// An in-memory metrics store with deterministic, name-ordered export.
@@ -173,7 +230,10 @@ impl Registry {
             obj.field_u64("count", h.count())
                 .field_f64("sum", h.sum())
                 .field_f64_array("bounds", h.bounds().iter().copied())
-                .field_u64_array("buckets", h.bucket_counts().iter().copied());
+                .field_u64_array("buckets", h.bucket_counts().iter().copied())
+                .field_f64("p50", h.quantile(0.50))
+                .field_f64("p90", h.quantile(0.90))
+                .field_f64("p99", h.quantile(0.99));
             histograms.field_raw(name, &obj.finish());
         }
         let mut root = JsonObject::new();
@@ -295,6 +355,94 @@ mod tests {
         let mut sink = ();
         sink.counter("x", 1);
         sink.observe("y", 2.0);
+    }
+
+    #[test]
+    fn quantile_of_empty_histogram_is_zero() {
+        let h = Histogram::new(&[1.0, 10.0]);
+        assert_eq!(h.quantile(0.5), 0.0);
+        assert_eq!(h.quantile(0.99), 0.0);
+    }
+
+    #[test]
+    fn quantile_of_single_observation_interpolates_its_bucket() {
+        let mut h = Histogram::new(&[2.0, 4.0, 8.0]);
+        h.observe(3.0);
+        // The single observation fills the (2, 4] bucket: q=1 lands on the
+        // bucket's upper edge exactly, q=0.5 halfway through it.
+        assert_eq!(h.quantile(1.0), 4.0);
+        assert!((h.quantile(0.5) - 3.0).abs() < 1e-12);
+        // The first bucket's lower edge is 0.
+        let mut first = Histogram::new(&[2.0, 4.0]);
+        first.observe(1.0);
+        assert!((first.quantile(0.5) - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantile_is_exact_at_bucket_edges() {
+        let mut h = Histogram::new(&[1.0, 2.0, 3.0, 4.0]);
+        for v in [1.0, 2.0, 3.0, 4.0] {
+            h.observe(v);
+        }
+        // Each bucket holds exactly a quarter of the mass, so each
+        // quartile rank lands on a cumulative boundary: exact values.
+        assert_eq!(h.quantile(0.25), 1.0);
+        assert_eq!(h.quantile(0.50), 2.0);
+        assert_eq!(h.quantile(0.75), 3.0);
+        assert_eq!(h.quantile(1.0), 4.0);
+    }
+
+    #[test]
+    fn quantile_in_overflow_bucket_clamps_to_last_bound() {
+        let mut h = Histogram::new(&[1.0, 2.0]);
+        h.observe(100.0);
+        assert_eq!(h.quantile(0.5), 2.0);
+    }
+
+    #[test]
+    fn merge_adds_buckets_sums_and_counts() {
+        let mut a = Histogram::new(&DEFAULT_BUCKETS);
+        let mut b = Histogram::new(&DEFAULT_BUCKETS);
+        for v in [1.0, 3.0] {
+            a.observe(v);
+        }
+        for v in [3.0, 7.0, 2000.0] {
+            b.observe(v);
+        }
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let mut direct = Histogram::new(&DEFAULT_BUCKETS);
+        for v in [1.0, 3.0, 3.0, 7.0, 2000.0] {
+            direct.observe(v);
+        }
+        assert_eq!(merged, direct);
+        // Merging an empty histogram is the identity.
+        let mut with_empty = a.clone();
+        with_empty.merge(&Histogram::new(&DEFAULT_BUCKETS));
+        assert_eq!(with_empty, a);
+        // Quantiles of the merged histogram see the union of the data.
+        assert_eq!(merged.count(), 5);
+        assert!(merged.quantile(0.9) > a.quantile(0.9));
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bucket bounds")]
+    fn merge_panics_on_bound_mismatch() {
+        static OTHER: [f64; 2] = [1.0, 2.0];
+        let mut a = Histogram::new(&DEFAULT_BUCKETS);
+        a.merge(&Histogram::new(&OTHER));
+    }
+
+    #[test]
+    fn registry_json_includes_derived_percentiles() {
+        let mut reg = Registry::new();
+        for _ in 0..10 {
+            reg.observe("h", 3.0);
+        }
+        let json = reg.to_json();
+        assert!(json.contains(r#""p50":"#), "{json}");
+        assert!(json.contains(r#""p90":"#), "{json}");
+        assert!(json.contains(r#""p99":"#), "{json}");
     }
 
     #[test]
