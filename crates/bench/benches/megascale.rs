@@ -1,0 +1,77 @@
+//! Microbenchmarks of one megascale contact cycle at `n = 10⁴`: the
+//! legacy eager path (every site materialized up front, whole-roster
+//! scan per cycle) against the fast path (active-set scan, counter RNG,
+//! lazy materialization).
+//!
+//! Each sample runs `max_cycles(1)` from a cold start, so it prices
+//! exactly what the fast path optimizes: site materialization plus one
+//! cycle's contact loop. At cycle 1 only the origin site is hot, which
+//! makes the asymmetry stark — the legacy path still pays O(n) to build
+//! replicas and scan the roster, while the fast path pays three bitsets
+//! and a single contact. Legacy runs on both storage backends; the fast
+//! path has no backend axis (its only storage is the lazy table).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use epidemic_db::Backend;
+use epidemic_net::DegreeGraph;
+use epidemic_sim::MegascaleSim;
+
+const N: usize = 10_000;
+
+fn bench_one_cycle(c: &mut Criterion) {
+    let sim = MegascaleSim::new().max_cycles(1).workers(1);
+    let graph = DegreeGraph::scale_free(N, 2, 1987);
+
+    let mut group = c.benchmark_group("megascale_one_cycle_n10k/uniform");
+    for (label, backend) in [
+        ("legacy_btree", Backend::BTree),
+        ("legacy_flat", Backend::Flat),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(sim.run_uniform(N, seed, backend))
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("fast"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(sim.run_uniform_fast(N, seed))
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("megascale_one_cycle_n10k/scale_free_m2");
+    for (label, backend) in [
+        ("legacy_btree", Backend::BTree),
+        ("legacy_flat", Backend::Flat),
+    ] {
+        group.bench_function(BenchmarkId::from_parameter(label), |b| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed = seed.wrapping_add(1);
+                black_box(sim.run_scale_free(&graph, seed, backend))
+            })
+        });
+    }
+    group.bench_function(BenchmarkId::from_parameter("fast"), |b| {
+        let mut seed = 0u64;
+        b.iter(|| {
+            seed = seed.wrapping_add(1);
+            black_box(sim.run_scale_free_fast(&graph, seed))
+        })
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = megascale;
+    config = Criterion::default().sample_size(10);
+    targets = bench_one_cycle
+}
+criterion_main!(megascale);

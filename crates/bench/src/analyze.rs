@@ -27,21 +27,31 @@ pub struct DiffThresholds {
     pub max_seconds_ratio: f64,
     /// Maximum allowed `candidate.allocations / baseline.allocations`.
     pub max_alloc_ratio: f64,
-    /// Maximum allowed `candidate.peak_rss_kb / baseline.peak_rss_kb`.
+    /// Maximum allowed candidate/baseline memory ratio. Memory per row is
+    /// `rss_delta_kb` (the experiment's own push on the process peak)
+    /// when both records carry it, else the legacy process-wide
+    /// `peak_rss_kb`.
     pub max_rss_ratio: f64,
     /// Seconds gate noise floor: experiments where both sides run faster
     /// than this are never flagged on wall-clock (timer jitter dominates).
     pub min_seconds: f64,
+    /// Memory gate noise floor in kB: experiments where both sides'
+    /// attributable RSS is below this are never flagged on memory — an
+    /// experiment that fits inside an earlier experiment's peak reports
+    /// a delta of 0, and ratios of small deltas are allocator jitter.
+    pub min_rss_kb: f64,
 }
 
 impl Default for DiffThresholds {
-    /// Gate only on 3x blowups, ignoring sub-quarter-second wall-clocks.
+    /// Gate only on 3x blowups, ignoring sub-quarter-second wall-clocks
+    /// and sub-10MB memory deltas.
     fn default() -> Self {
         DiffThresholds {
             max_seconds_ratio: 3.0,
             max_alloc_ratio: 3.0,
             max_rss_ratio: 3.0,
             min_seconds: 0.25,
+            min_rss_kb: 10_000.0,
         }
     }
 }
@@ -76,6 +86,11 @@ struct BenchRow {
     name: String,
     seconds: f64,
     allocations: Option<f64>,
+    /// Attributable memory: how far this experiment pushed the process
+    /// peak (new format).
+    rss_delta_kb: Option<f64>,
+    /// Process-wide high-water mark after the experiment (legacy format
+    /// and context column).
     peak_rss_kb: Option<f64>,
 }
 
@@ -96,6 +111,7 @@ fn parse_bench(text: &str, ctx: &str) -> Result<(f64, Vec<BenchRow>), String> {
         rows.push(BenchRow {
             seconds: require_num(e, "seconds", &format!("{ctx}: {name}"))?,
             allocations: num(e, "allocations"),
+            rss_delta_kb: num(e, "rss_delta_kb"),
             peak_rss_kb: num(e, "peak_rss_kb"),
             name,
         });
@@ -145,7 +161,13 @@ pub fn bench_diff(
             (Some(b), Some(c)) => Some(ratio(b, c)),
             _ => None,
         };
-        let rss_ratio = match (base.peak_rss_kb, cand.peak_rss_kb) {
+        // Prefer the per-experiment delta when both records carry it; fall
+        // back to the monotone process peak for legacy baselines.
+        let (rss_field, base_rss, cand_rss) = match (base.rss_delta_kb, cand.rss_delta_kb) {
+            (Some(b), Some(c)) => ("rss_delta_kb", Some(b), Some(c)),
+            _ => ("peak_rss_kb", base.peak_rss_kb, cand.peak_rss_kb),
+        };
+        let rss_ratio = match (base_rss, cand_rss) {
             (Some(b), Some(c)) => Some(ratio(b, c)),
             _ => None,
         };
@@ -179,12 +201,14 @@ pub fn bench_diff(
             }
         }
         if let Some(r) = rss_ratio {
-            if r > thresholds.max_rss_ratio {
+            let rss_above_floor = base_rss.unwrap_or(0.0) >= thresholds.min_rss_kb
+                || cand_rss.unwrap_or(0.0) >= thresholds.min_rss_kb;
+            if rss_above_floor && r > thresholds.max_rss_ratio {
                 regressions.push(format!(
-                    "{}: peak_rss_kb {:.0} -> {:.0} ({r:.2}x > {:.2}x)",
+                    "{}: {rss_field} {:.0} -> {:.0} ({r:.2}x > {:.2}x)",
                     cand.name,
-                    base.peak_rss_kb.unwrap_or(0.0),
-                    cand.peak_rss_kb.unwrap_or(0.0),
+                    base_rss.unwrap_or(0.0),
+                    cand_rss.unwrap_or(0.0),
                     thresholds.max_rss_ratio
                 ));
             }
@@ -430,6 +454,59 @@ mod tests {
         assert_eq!(diff.regressions.len(), 2, "{:?}", diff.regressions);
         assert!(diff.regressions[0].contains("allocations"));
         assert!(diff.regressions[1].contains("peak_rss_kb"));
+    }
+
+    /// New-format rows: peak_rss_kb plus the attributable rss_delta_kb.
+    fn bench_with_delta(total: f64, rows: &[(&str, f64, f64, f64, f64)]) -> String {
+        let rows: Vec<String> = rows
+            .iter()
+            .map(|(name, s, a, d, r)| {
+                format!(
+                    r#"{{"name": "{name}", "seconds": {s}, "allocations": {a}, "rss_delta_kb": {d}, "peak_rss_kb": {r}}}"#
+                )
+            })
+            .collect();
+        format!(
+            r#"{{"threads": 1, "total_seconds": {total}, "experiments": [{}], "phases": []}}"#,
+            rows.join(", ")
+        )
+    }
+
+    #[test]
+    fn rss_delta_is_preferred_over_the_monotone_peak() {
+        // The candidate's process peak is inherited from an earlier
+        // experiment (monotone VmHWM), but its own delta is unchanged —
+        // gating on the delta must not flag it.
+        let base = bench_with_delta(10.0, &[("table1", 1.0, 1000.0, 20000.0, 25000.0)]);
+        let inherited = bench_with_delta(10.0, &[("table1", 1.0, 1000.0, 20000.0, 300000.0)]);
+        let diff = bench_diff(&base, &inherited, &DiffThresholds::default()).unwrap();
+        assert!(diff.passed(), "{}", diff.rendered);
+
+        // A genuine delta blowup is flagged under the new field name.
+        let blowup = bench_with_delta(10.0, &[("table1", 1.0, 1000.0, 90000.0, 300000.0)]);
+        let diff = bench_diff(&base, &blowup, &DiffThresholds::default()).unwrap();
+        assert_eq!(diff.regressions.len(), 1, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("rss_delta_kb"), "{diff:?}");
+    }
+
+    #[test]
+    fn legacy_baselines_without_deltas_gate_on_the_peak() {
+        let base = bench(10.0, &[("table1", 1.0, 1000.0, 25000.0)]);
+        let cand = bench_with_delta(10.0, &[("table1", 1.0, 1000.0, 1000.0, 90000.0)]);
+        let diff = bench_diff(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert_eq!(diff.regressions.len(), 1, "{:?}", diff.regressions);
+        assert!(diff.regressions[0].contains("peak_rss_kb"), "{diff:?}");
+    }
+
+    #[test]
+    fn sub_floor_rss_delta_jitter_is_not_flagged() {
+        // 0 -> 3MB is an infinite ratio, but both sides are below the
+        // memory noise floor: an experiment that fits inside an earlier
+        // peak reports a delta of 0.
+        let base = bench_with_delta(10.0, &[("table2", 1.0, 1000.0, 0.0, 25000.0)]);
+        let cand = bench_with_delta(10.0, &[("table2", 1.0, 1000.0, 3000.0, 25000.0)]);
+        let diff = bench_diff(&base, &cand, &DiffThresholds::default()).unwrap();
+        assert!(diff.passed(), "{}", diff.rendered);
     }
 
     #[test]

@@ -32,11 +32,14 @@
 //! `EPIDEMIC_THREADS`. `epidemic-analyze` consumes these artifacts.
 //!
 //! `--timings [PATH]` additionally records per-experiment wall-clock
-//! seconds, a per-phase breakdown (engine setup / contact loop /
-//! end-of-cycle, trial fan-out / aggregation) and the worker-thread
-//! count to a JSON file (`BENCH_repro.json` by default). Thread count is
-//! controlled by the `EPIDEMIC_THREADS` environment variable (see
-//! `epidemic_sim::runner`).
+//! seconds, per-experiment memory (`rss_delta_kb`, the experiment's own
+//! push on the process high-water mark, plus the raw monotone
+//! `peak_rss_kb` — see `epidemic_bench::rss`), a per-phase breakdown
+//! (legacy engine setup / contact loop / end-of-cycle, fast-path
+//! active_setup / active_contact_loop / active_apply, trial fan-out /
+//! aggregation) and the worker-thread count to a JSON file
+//! (`BENCH_repro.json` by default). Thread count is controlled by the
+//! `EPIDEMIC_THREADS` environment variable (see `epidemic_sim::runner`).
 
 use epidemic_bench::alloc_counter;
 use epidemic_bench::figures;
@@ -189,33 +192,50 @@ fn manifest_json(experiments: &[&str]) -> String {
     o.finish()
 }
 
+/// One experiment's row in the `--timings` report.
+struct ExperimentTiming {
+    name: String,
+    seconds: f64,
+    allocations: u64,
+    /// How far this experiment pushed the process peak RSS (`VmHWM`
+    /// delta across the experiment, kB). 0 when the experiment fit
+    /// inside an earlier experiment's peak — per-experiment, unlike the
+    /// monotone process-wide mark.
+    rss_delta_kb: u64,
+    /// The process high-water mark right after the experiment (kB) —
+    /// monotone across rows, kept for context.
+    peak_rss_kb: u64,
+}
+
 /// Writes the timing report as JSON (hand-rolled: experiment and phase
 /// names come from fixed in-tree lists and need no escaping). When the
 /// `count-allocs` feature is active each experiment row additionally
-/// carries its heap-allocation count. `peak_rss_kb` is the process
-/// high-water mark sampled right after the experiment finished — monotone
-/// across rows, 0 on platforms without `/proc` (see `epidemic_bench::rss`).
+/// carries its heap-allocation count. Memory per row is `rss_delta_kb`
+/// (attributable to the experiment) plus the monotone `peak_rss_kb`
+/// context reading — both 0 on platforms without `/proc` (see
+/// `epidemic_bench::rss`).
 fn write_timings(
     path: &str,
     threads: usize,
-    timings: &[(String, f64, u64, u64)],
+    timings: &[ExperimentTiming],
     phases: &[epidemic_trace::PhaseStat],
 ) {
-    let total: f64 = timings.iter().map(|(_, s, _, _)| s).sum();
+    let total: f64 = timings.iter().map(|t| t.seconds).sum();
     let mut json = String::from("{\n");
     json.push_str(&format!("  \"threads\": {threads},\n"));
     json.push_str(&format!("  \"total_seconds\": {total:.3},\n"));
     json.push_str("  \"experiments\": [\n");
-    for (i, (name, seconds, allocations, peak_rss_kb)) in timings.iter().enumerate() {
+    for (i, t) in timings.iter().enumerate() {
         let comma = if i + 1 < timings.len() { "," } else { "" };
         let allocs = if alloc_counter::enabled() {
-            format!(", \"allocations\": {allocations}")
+            format!(", \"allocations\": {}", t.allocations)
         } else {
             String::new()
         };
         json.push_str(&format!(
-            "    {{\"name\": \"{name}\", \"seconds\": {seconds:.3}{allocs}, \
-             \"peak_rss_kb\": {peak_rss_kb}}}{comma}\n"
+            "    {{\"name\": \"{}\", \"seconds\": {:.3}{allocs}, \
+             \"rss_delta_kb\": {}, \"peak_rss_kb\": {}}}{comma}\n",
+            t.name, t.seconds, t.rss_delta_kb, t.peak_rss_kb
         ));
     }
     json.push_str("  ],\n");
@@ -335,10 +355,11 @@ fn main() {
     if timings_path.is_some() {
         profile::enable();
     }
-    let mut timings: Vec<(String, f64, u64, u64)> = Vec::new();
+    let mut timings: Vec<ExperimentTiming> = Vec::new();
     let mut ran: Vec<&str> = Vec::new();
     for experiment in list {
         let allocs_before = alloc_counter::allocations();
+        let rss_before = epidemic_bench::rss::peak_rss_kb();
         let start = std::time::Instant::now();
         let handled = if trace_dir.is_some() || json_dir.is_some() {
             // Every experiment kind has an artifact writer: traced tables,
@@ -390,12 +411,19 @@ fn main() {
         let seconds = start.elapsed().as_secs_f64();
         let allocations = alloc_counter::allocations() - allocs_before;
         let peak_rss_kb = epidemic_bench::rss::peak_rss_kb();
+        let rss_delta_kb = peak_rss_kb.saturating_sub(rss_before);
         if alloc_counter::enabled() {
             eprintln!("[{experiment}: {seconds:.1}s, {allocations} allocations]");
         } else {
             eprintln!("[{experiment}: {seconds:.1}s]");
         }
-        timings.push((experiment.to_string(), seconds, allocations, peak_rss_kb));
+        timings.push(ExperimentTiming {
+            name: experiment.to_string(),
+            seconds,
+            allocations,
+            rss_delta_kb,
+            peak_rss_kb,
+        });
     }
     if trace_dir.is_some() || json_dir.is_some() {
         let manifest = manifest_json(&ran);

@@ -1339,10 +1339,11 @@ pub fn pull_vs_push_rate_table(trials: u64) -> FigTable {
 
 /// Environment variable capping the largest `n` in the megascale sweep.
 ///
-/// The full sweep runs to 10⁶ sites, which is minutes of wall clock and
-/// hundreds of MB of RSS — right for `repro`, wrong for a test or a CI
-/// smoke job. Setting e.g. `EPIDEMIC_MEGASCALE_MAX_N=10000` keeps only
-/// the points with `n ≤ 10⁴`.
+/// The default sweep runs to 10⁶ sites, which is minutes of wall clock
+/// and hundreds of MB of RSS — right for `repro`, wrong for a test or a
+/// CI smoke job. Setting e.g. `EPIDEMIC_MEGASCALE_MAX_N=10000` keeps
+/// only the points with `n ≤ 10⁴`; raising it to `10000000` unlocks the
+/// fast-path-only 10⁷ point.
 pub const MEGASCALE_MAX_N_ENV: &str = "EPIDEMIC_MEGASCALE_MAX_N";
 
 fn megascale_max_n() -> usize {
@@ -1355,30 +1356,88 @@ fn megascale_max_n() -> usize {
 }
 
 /// Fig-megascale: the paper's workhorse rumor variant (push, feedback,
-/// coin `k=4`) at 10⁴–10⁶ sites, on uniform complete mixing and on a
+/// coin `k=4`) at 10⁴–10⁷ sites, on uniform complete mixing and on a
 /// Barabási–Albert scale-free contact graph (`m = 2`), crossed with the
-/// storage backend.
+/// execution path.
 ///
-/// The backends are observationally equivalent, so at each `(n,
-/// topology)` point the protocol columns (residue, `t_last`, traffic,
-/// cycles) are identical across backends and only the cost columns —
-/// seconds, allocations, peak RSS — differ. `n = 10⁴` runs on **both**
-/// backends to make that comparison explicit; the larger points run flat
-/// only (the BTree backend at 10⁶ is exactly the slow case the flat
-/// backend exists to replace). The allocations column needs the
-/// `count-allocs` build (it reads "n/a" otherwise) and peak RSS is the
-/// *process* high-water mark, monotone across rows — see
-/// [`crate::rss`].
+/// The **fast** path (active-set contact loop, counter RNG, lazy site
+/// materialization — [`epidemic_sim::FastRumorProtocol`]) runs at every
+/// point; it is what makes 10⁶ cheap and 10⁷ feasible at all. The
+/// **legacy** eager path runs at `n = 10⁴` only, on both storage
+/// backends, to keep the before/after cost comparison in the table
+/// without paying eager materialization at 10⁵+. The two paths draw from
+/// different RNG contracts, so their protocol columns (residue,
+/// `t_last`, traffic, cycles) agree statistically, not bit-for-bit; the
+/// legacy backends are observationally equivalent to each other, so
+/// their protocol columns are identical and only the cost columns
+/// differ. The allocations column needs the `count-allocs` build (it
+/// reads "n/a" otherwise), and the RSS column is the per-point delta of
+/// the process high-water mark — how far this row pushed the peak, 0 if
+/// it fit inside an earlier row's footprint (see [`crate::rss`]).
 pub fn megascale(max_n: usize) -> Vec<Vec<String>> {
     megascale_data(max_n).0
 }
 
+/// Measures one sweep point: wall clock, allocations, and high-water-mark
+/// delta around `run`, pushing one rendered row and one [`AggEntry`].
+fn megascale_point(
+    n: usize,
+    topology: &str,
+    path: &str,
+    backend_name: &str,
+    rows: &mut Vec<Vec<String>>,
+    aggregates: &mut Vec<AggEntry>,
+    run: impl FnOnce(&mut AggregateObserver) -> epidemic_sim::EpidemicResult,
+) {
+    let allocs_before = crate::alloc_counter::allocations();
+    let rss_before = crate::rss::peak_rss_kb();
+    let start = std::time::Instant::now();
+    let mut sink = AggregateObserver::new();
+    let r = run(&mut sink);
+    let seconds = start.elapsed().as_secs_f64();
+    let allocations = crate::alloc_counter::allocations() - allocs_before;
+    let rss_delta_kb = crate::rss::peak_rss_kb().saturating_sub(rss_before);
+    rows.push(vec![
+        n.to_string(),
+        topology.to_string(),
+        path.to_string(),
+        backend_name.to_string(),
+        fmt(r.residue),
+        fmt(r.t_last),
+        fmt(r.traffic),
+        r.cycles.to_string(),
+        format!("{seconds:.2}"),
+        if crate::alloc_counter::enabled() {
+            allocations.to_string()
+        } else {
+            "n/a".to_string()
+        },
+        (rss_delta_kb / 1024).to_string(),
+    ]);
+    aggregates.push(AggEntry {
+        label: format!("n={n} {topology} {path} {backend_name}"),
+        params: vec![
+            ("n".to_string(), n.to_string()),
+            ("topology".to_string(), topology.to_string()),
+            ("path".to_string(), path.to_string()),
+            ("backend".to_string(), backend_name.to_string()),
+        ],
+        observed: vec![
+            ("residue".to_string(), r.residue),
+            ("t_last".to_string(), r.t_last),
+            ("traffic".to_string(), r.traffic),
+            ("cycles".to_string(), f64::from(r.cycles)),
+        ],
+        agg: sink.finish(),
+    });
+}
+
 /// As [`megascale`], streaming every run through an
-/// [`AggregateObserver`] — bounded memory even at n = 10⁶ — and
-/// returning one entry per `(n, topology, backend)` point. The aggregate
-/// carries no wall-clock fields; the cost columns (seconds, allocations,
-/// peak RSS) live only in the rendered rows and are marked volatile in
-/// [`megascale_fig`]'s JSON export.
+/// [`AggregateObserver`] — bounded memory even at n = 10⁷ — and
+/// returning one entry per `(n, topology, path, backend)` point. The
+/// aggregate carries no wall-clock fields; the cost columns (seconds,
+/// allocations, RSS delta) live only in the rendered rows and are marked
+/// volatile in [`megascale_fig`]'s JSON export.
 pub fn megascale_data(max_n: usize) -> (Vec<Vec<String>>, Vec<AggEntry>) {
     use epidemic_db::Backend;
     use epidemic_net::DegreeGraph;
@@ -1387,18 +1446,13 @@ pub fn megascale_data(max_n: usize) -> (Vec<Vec<String>>, Vec<AggEntry>) {
     let sim = MegascaleSim::new();
     let mut rows = Vec::new();
     let mut aggregates = Vec::new();
-    for n in [10_000usize, 100_000, 1_000_000] {
+    for n in [10_000usize, 100_000, 1_000_000, 10_000_000] {
         if n > max_n {
             continue;
         }
-        let backends: &[Backend] = if n == 10_000 {
-            &[Backend::BTree, Backend::Flat]
-        } else {
-            &[Backend::Flat]
-        };
         for scale_free in [false, true] {
-            // One graph per (n, topology) point, shared across backends so
-            // the runs are literally the same epidemic.
+            // One graph per (n, topology) point, shared across paths and
+            // backends so the runs contact the same neighborhoods.
             let graph = scale_free.then(|| DegreeGraph::scale_free(n, 2, 1987));
             let seed = 1987 ^ n as u64;
             let topology = if scale_free {
@@ -1406,52 +1460,38 @@ pub fn megascale_data(max_n: usize) -> (Vec<Vec<String>>, Vec<AggEntry>) {
             } else {
                 "uniform"
             };
-            for &backend in backends {
-                let backend_name = match backend {
-                    Backend::BTree => "btree",
-                    Backend::Flat => "flat",
-                };
-                let allocs_before = crate::alloc_counter::allocations();
-                let start = std::time::Instant::now();
-                let mut sink = AggregateObserver::new();
-                let r = match &graph {
-                    Some(g) => sim.run_scale_free_observed(g, seed, backend, &mut sink),
-                    None => sim.run_uniform_observed(n, seed, backend, &mut sink),
-                };
-                let seconds = start.elapsed().as_secs_f64();
-                let allocations = crate::alloc_counter::allocations() - allocs_before;
-                rows.push(vec![
-                    n.to_string(),
-                    topology.to_string(),
-                    backend_name.to_string(),
-                    fmt(r.residue),
-                    fmt(r.t_last),
-                    fmt(r.traffic),
-                    r.cycles.to_string(),
-                    format!("{seconds:.2}"),
-                    if crate::alloc_counter::enabled() {
-                        allocations.to_string()
-                    } else {
-                        "n/a".to_string()
-                    },
-                    (crate::rss::peak_rss_kb() / 1024).to_string(),
-                ]);
-                aggregates.push(AggEntry {
-                    label: format!("n={n} {topology} {backend_name}"),
-                    params: vec![
-                        ("n".to_string(), n.to_string()),
-                        ("topology".to_string(), topology.to_string()),
-                        ("backend".to_string(), backend_name.to_string()),
-                    ],
-                    observed: vec![
-                        ("residue".to_string(), r.residue),
-                        ("t_last".to_string(), r.t_last),
-                        ("traffic".to_string(), r.traffic),
-                        ("cycles".to_string(), f64::from(r.cycles)),
-                    ],
-                    agg: sink.finish(),
-                });
+            if n == 10_000 {
+                for backend in [Backend::BTree, Backend::Flat] {
+                    let backend_name = match backend {
+                        Backend::BTree => "btree",
+                        Backend::Flat => "flat",
+                    };
+                    megascale_point(
+                        n,
+                        topology,
+                        "legacy",
+                        backend_name,
+                        &mut rows,
+                        &mut aggregates,
+                        |sink| match &graph {
+                            Some(g) => sim.run_scale_free_observed(g, seed, backend, sink),
+                            None => sim.run_uniform_observed(n, seed, backend, sink),
+                        },
+                    );
+                }
             }
+            megascale_point(
+                n,
+                topology,
+                "fast",
+                "lazy",
+                &mut rows,
+                &mut aggregates,
+                |sink| match &graph {
+                    Some(g) => sim.run_scale_free_fast_observed(g, seed, sink),
+                    None => sim.run_uniform_fast_observed(n, seed, sink),
+                },
+            );
         }
     }
     (rows, aggregates)
@@ -1459,16 +1499,18 @@ pub fn megascale_data(max_n: usize) -> (Vec<Vec<String>>, Vec<AggEntry>) {
 
 /// [`megascale_data`] as a [`FigTable`] plus aggregates, honoring
 /// [`MEGASCALE_MAX_N_ENV`]. The wall-clock columns (seconds, allocations,
-/// peak RSS) are volatile: present in the rendered text, dropped from the
-/// JSON artifact so `--trace`/`--json` output stays byte-reproducible.
+/// RSS delta) are volatile: present in the rendered text, dropped from
+/// the JSON artifact so `--trace`/`--json` output stays
+/// byte-reproducible.
 pub fn megascale_fig() -> (FigTable, Vec<AggEntry>) {
     let (rows, aggregates) = megascale_data(megascale_max_n());
     let table = FigTable::new(
         "Fig: megascale rumor epidemics (push, feedback, coin k=4) — \
-         n x topology x storage backend",
+         n x topology x path x storage backend",
         &[
             "n",
             "topology",
+            "path",
             "backend",
             "residue",
             "t_last",
@@ -1476,11 +1518,11 @@ pub fn megascale_fig() -> (FigTable, Vec<AggEntry>) {
             "cycles",
             "seconds",
             "allocations",
-            "peak RSS MB",
+            "RSS delta MB",
         ],
         rows,
     )
-    .volatile(&[7, 8, 9]);
+    .volatile(&[8, 9, 10]);
     (table, aggregates)
 }
 

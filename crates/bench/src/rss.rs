@@ -1,46 +1,59 @@
-//! Peak resident-set-size sampling for the benchmark reports.
+//! Resident-set-size sampling for the benchmark reports.
 //!
 //! Wall-clock and allocation counts say how hard an experiment worked;
 //! they say nothing about whether it *fits*. The megascale sweep exists
 //! precisely to show a million-site fleet fitting in memory, so the
-//! `repro --timings` report records the process peak RSS alongside each
+//! `repro --timings` report records memory readings alongside each
 //! experiment's seconds and allocations.
 //!
 //! The only portable-enough source for this is the kernel's own
-//! accounting: `VmHWM` ("high water mark") in `/proc/self/status`, the
-//! peak resident set over the process lifetime, in kB. Two consequences
-//! callers must keep in mind:
+//! accounting in `/proc/self/status`, in kB:
 //!
-//! * the value is **process-wide and monotone** — sampling after each
-//!   experiment yields a non-decreasing sequence, and an experiment's own
-//!   footprint is visible only when it pushes the high-water mark past
-//!   everything that ran before it (the repro binary therefore reports
-//!   the *peak so far*, not a per-experiment delta);
-//! * on non-Linux hosts there is no `/proc`, and the helper returns 0 —
-//!   "unknown", never a guess.
+//! * `VmHWM` ("high water mark", [`peak_rss_kb`]) — the peak resident
+//!   set over the **whole process lifetime**. It is monotone: sampling
+//!   after each experiment yields a non-decreasing sequence, and an
+//!   experiment's own footprint is visible only when it pushes the mark
+//!   past everything that ran before it. Reported raw, one experiment's
+//!   large footprint is silently inherited by every row after it — which
+//!   is why the repro binary attributes memory per experiment as the
+//!   *delta* of `VmHWM` across the experiment instead (`rss_delta_kb`:
+//!   how far this experiment pushed the process peak, 0 for experiments
+//!   that fit inside an earlier peak);
+//! * `VmRSS` ([`current_rss_kb`]) — the resident set *right now*. Not
+//!   monotone; useful as a floor reading between experiments.
+//!
+//! On non-Linux hosts there is no `/proc`, and the helpers return 0 —
+//! "unknown", never a guess.
 
 /// The process's peak resident set size in kB (`VmHWM`), or 0 when the
 /// platform does not expose it.
 pub fn peak_rss_kb() -> u64 {
-    read_vm_hwm().unwrap_or(0)
+    read_vm_field("VmHWM:").unwrap_or(0)
+}
+
+/// The process's current resident set size in kB (`VmRSS`), or 0 when
+/// the platform does not expose it.
+pub fn current_rss_kb() -> u64 {
+    read_vm_field("VmRSS:").unwrap_or(0)
 }
 
 #[cfg(target_os = "linux")]
-fn read_vm_hwm() -> Option<u64> {
+fn read_vm_field(field: &str) -> Option<u64> {
     let status = std::fs::read_to_string("/proc/self/status").ok()?;
-    parse_vm_hwm(&status)
+    parse_vm_field(&status, field)
 }
 
 #[cfg(not(target_os = "linux"))]
-fn read_vm_hwm() -> Option<u64> {
+fn read_vm_field(_field: &str) -> Option<u64> {
     None
 }
 
-/// Parses the `VmHWM:   1234 kB` line out of a `/proc/<pid>/status` body.
+/// Parses a `<field>   1234 kB` line out of a `/proc/<pid>/status` body.
+/// `field` includes the trailing colon (`"VmHWM:"`).
 #[cfg_attr(not(target_os = "linux"), allow(dead_code))]
-fn parse_vm_hwm(status: &str) -> Option<u64> {
-    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
-    line["VmHWM:".len()..]
+fn parse_vm_field(status: &str, field: &str) -> Option<u64> {
+    let line = status.lines().find(|l| l.starts_with(field))?;
+    line[field.len()..]
         .trim()
         .trim_end_matches("kB")
         .trim()
@@ -52,15 +65,22 @@ fn parse_vm_hwm(status: &str) -> Option<u64> {
 mod tests {
     use super::*;
 
+    const STATUS: &str =
+        "Name:\trepro\nVmPeak:\t  200 kB\nVmHWM:\t   86172 kB\nVmRSS:\t   52148 kB\nThreads:\t1\n";
+
     #[test]
     fn parses_the_kernel_format() {
-        let status = "Name:\trepro\nVmPeak:\t  200 kB\nVmHWM:\t   86172 kB\nThreads:\t1\n";
-        assert_eq!(parse_vm_hwm(status), Some(86172));
+        assert_eq!(parse_vm_field(STATUS, "VmHWM:"), Some(86172));
+        assert_eq!(parse_vm_field(STATUS, "VmRSS:"), Some(52148));
     }
 
     #[test]
     fn missing_field_is_none() {
-        assert_eq!(parse_vm_hwm("Name:\trepro\nThreads:\t1\n"), None);
+        assert_eq!(
+            parse_vm_field("Name:\trepro\nThreads:\t1\n", "VmHWM:"),
+            None
+        );
+        assert_eq!(parse_vm_field(STATUS, "VmSwap:"), None);
     }
 
     #[test]
@@ -72,6 +92,7 @@ mod tests {
         let after = peak_rss_kb();
         if cfg!(target_os = "linux") {
             assert!(before > 0, "VmHWM readable");
+            assert!(current_rss_kb() > 0, "VmRSS readable");
         }
         assert!(after >= before, "high-water mark never shrinks");
     }

@@ -1,17 +1,19 @@
 //! CI smoke for the megascale sweep: the `n = 10⁴` point of
 //! fig-megascale, under the counting allocator, with a wall-clock budget.
 //!
-//! This pins the tentpole's two load-bearing claims at a size CI can
+//! This pins the tentpole's load-bearing claims at a size CI can
 //! afford:
 //!
 //! * the flat backend runs the *same epidemic* as the BTree backend
-//!   (identical `EpidemicResult` on the same seed), and
-//! * it asks the allocator for strictly less while doing so.
+//!   (identical `EpidemicResult` on the same seed),
+//! * it asks the allocator for strictly less while doing so, and
+//! * the fast path plus streaming aggregation allocates *sublinearly* in
+//!   `n` — lazy materialization means no replica-per-site, and the
+//!   [`AggregateObserver`] folds the whole run into bounded memory.
 //!
 //! Like `zero_alloc.rs`, this file owns its test binary: it registers
-//! [`CountingAlloc`] as the global allocator, so it holds exactly one
-//! test and is compiled out without the `count-allocs` feature. Run it
-//! with
+//! [`CountingAlloc`] as the global allocator, so it is compiled out
+//! without the `count-allocs` feature. Run it with
 //!
 //! ```text
 //! cargo test -p epidemic-bench --features count-allocs --test megascale_smoke --release
@@ -24,6 +26,7 @@ use std::time::{Duration, Instant};
 use epidemic_bench::alloc_counter::{allocations, CountingAlloc};
 use epidemic_db::Backend;
 use epidemic_net::DegreeGraph;
+use epidemic_sim::engine::AggregateObserver;
 use epidemic_sim::MegascaleSim;
 
 #[global_allocator]
@@ -71,5 +74,39 @@ fn flat_backend_matches_btree_and_allocates_strictly_less() {
     assert!(
         elapsed < BUDGET,
         "megascale smoke took {elapsed:?}, budget {BUDGET:?}"
+    );
+}
+
+/// The fast path's memory claim, in allocator terms: a full fast-path
+/// epidemic at `n = 10⁴`, streamed through an [`AggregateObserver`],
+/// allocates strictly fewer than one heap allocation per site. The
+/// legacy path cannot do this — it materializes a replica per site
+/// before the first contact — so this bound is what "lazy site
+/// materialization" buys, and it holds for the observer too (the
+/// aggregate is bounded, not per-event).
+#[test]
+fn fast_path_with_streaming_aggregation_allocates_sublinearly() {
+    let start = Instant::now();
+    let sim = MegascaleSim::new().workers(1);
+    let seed = 1987 ^ N as u64;
+
+    let before = allocations();
+    let mut sink = AggregateObserver::new();
+    let r = sim.run_uniform_fast_observed(N, seed, &mut sink);
+    let agg = sink.finish();
+    let fast_allocs = allocations() - before;
+
+    assert!(r.residue < 0.05, "epidemic failed to spread: {r:?}");
+    assert_eq!(agg.runs(), 1, "aggregate folded exactly one run");
+    assert!(
+        fast_allocs < N as u64,
+        "fast path + aggregation allocated {fast_allocs} times for n = {N} — \
+         lazy materialization must stay strictly below one allocation per site"
+    );
+
+    let elapsed = start.elapsed();
+    assert!(
+        elapsed < BUDGET,
+        "fast-path smoke took {elapsed:?}, budget {BUDGET:?}"
     );
 }

@@ -17,7 +17,10 @@
 //! * incremental database [`checksum`]s (§1.3),
 //! * recent-update lists with a window `τ` ([`recent`], §1.3),
 //! * a *peel-back* inverted index by timestamp ([`peelback`], §1.3, §1.5),
-//! * dormant death certificates with activation timestamps ([`death`], §2).
+//! * dormant death certificates with activation timestamps ([`death`], §2),
+//! * lazily materialized site rows — no storage until a site's first
+//!   receipt — for fleet sizes where eager construction dominates
+//!   ([`lazy`]).
 //!
 //! # Example
 //!
@@ -44,6 +47,7 @@ pub mod death;
 pub mod flat;
 pub mod interner;
 pub mod item;
+pub mod lazy;
 pub mod peelback;
 pub mod recent;
 pub mod storage;
@@ -55,6 +59,7 @@ pub use death::{DeathCertificate, GcPolicy, GcStats};
 pub use flat::FlatStore;
 pub use interner::KeyInterner;
 pub use item::{ApplyOutcome, Entry};
+pub use lazy::LazyTable;
 pub use peelback::PeelBackIndex;
 pub use recent::RecentUpdates;
 pub use storage::{Aux, BTreeBackend, Backend, Storage, BACKEND_ENV_VAR};

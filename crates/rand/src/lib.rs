@@ -192,6 +192,69 @@ pub mod rngs {
 
     use super::{Rng, SeedableRng};
 
+    /// The SplitMix64 increment (the odd fractional part of the golden
+    /// ratio), shared by the [`StdRng`] seed expansion and [`ContactRng`].
+    const GOLDEN_GAMMA: u64 = 0x9E37_79B9_7F4A_7C15;
+
+    /// The SplitMix64 finalizer: a bijective avalanche mix of one word.
+    #[inline]
+    fn splitmix_mix(mut z: u64) -> u64 {
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A counter-based per-contact generator: the stream is a pure
+    /// function of `(seed, cycle, site)`.
+    ///
+    /// Sequential generators like [`StdRng`] make every draw depend on
+    /// every draw before it, so a simulation's outcome depends on the
+    /// *iteration order* of its contact loop — the property that forces
+    /// full-roster traversal and serializes parallel sweeps. `ContactRng`
+    /// removes that coupling: each `(seed, cycle, site)` triple names an
+    /// independent SplitMix64 stream, so a contact's draws are identical
+    /// whether its initiator is visited first, last, or on another
+    /// thread. Two consequences the megascale fast path builds on:
+    ///
+    /// * a contact loop may iterate **only the active sites, in any
+    ///   order**, and still replay bit-identically;
+    /// * shard-parallel execution is byte-identical to sequential
+    ///   execution by construction — there is no per-shard stream to
+    ///   keep in sync.
+    ///
+    /// The stream origin hashes the triple through three finalizer
+    /// rounds (one per coordinate); successive draws then walk the
+    /// standard SplitMix64 sequence (add the golden-ratio gamma,
+    /// finalize).
+    /// Streams are full-period within themselves; distinct triples
+    /// collide on an origin with probability ~`streams²/2⁶⁴` —
+    /// negligible at simulation scales, and harmless (a shared origin
+    /// only means two contacts draw the same numbers once).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct ContactRng {
+        x: u64,
+    }
+
+    impl ContactRng {
+        /// The stream for one contact: `site`'s draws in `cycle` under
+        /// `seed`. A pure function — no global state, no ordering.
+        #[must_use]
+        pub fn new(seed: u64, cycle: u64, site: u64) -> Self {
+            let a = splitmix_mix(seed.wrapping_add(GOLDEN_GAMMA));
+            let b = splitmix_mix(a ^ cycle.wrapping_add(GOLDEN_GAMMA));
+            ContactRng {
+                x: splitmix_mix(b ^ site.wrapping_add(GOLDEN_GAMMA)),
+            }
+        }
+    }
+
+    impl Rng for ContactRng {
+        fn next_u64(&mut self) -> u64 {
+            self.x = self.x.wrapping_add(GOLDEN_GAMMA);
+            splitmix_mix(self.x)
+        }
+    }
+
     /// The workspace's standard generator: xoshiro256++ with SplitMix64
     /// seed expansion.
     ///
@@ -209,11 +272,8 @@ pub mod rngs {
             // as recommended by the xoshiro authors.
             let mut x = seed;
             let mut next = move || {
-                x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
-                let mut z = x;
-                z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
-                z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
-                z ^ (z >> 31)
+                x = x.wrapping_add(GOLDEN_GAMMA);
+                splitmix_mix(x)
             };
             let s = [next(), next(), next(), next()];
             StdRng { s }
@@ -282,9 +342,70 @@ pub mod seq {
 
 #[cfg(test)]
 mod tests {
-    use super::rngs::StdRng;
+    use super::rngs::{ContactRng, StdRng};
     use super::seq::{IndexedRandom, SliceRandom};
     use super::{Rng, RngExt, SeedableRng};
+
+    #[test]
+    fn contact_rng_is_a_pure_function_of_its_triple() {
+        let draws = |seed, cycle, site| {
+            let mut rng = ContactRng::new(seed, cycle, site);
+            [rng.next_u64(), rng.next_u64(), rng.next_u64()]
+        };
+        assert_eq!(draws(7, 3, 41), draws(7, 3, 41));
+        // Any single coordinate change moves the whole stream.
+        let reference = draws(7, 3, 41);
+        for other in [draws(8, 3, 41), draws(7, 4, 41), draws(7, 3, 42)] {
+            assert_ne!(reference, other);
+        }
+    }
+
+    #[test]
+    fn contact_rng_streams_do_not_depend_on_each_other() {
+        // Drawing from site 5's stream must not perturb site 6's — the
+        // property sequential RNGs lack and the active-set loop needs.
+        let mut alone = ContactRng::new(1, 2, 6);
+        let expected = [alone.next_u64(), alone.next_u64()];
+        let mut noisy_neighbor = ContactRng::new(1, 2, 5);
+        for _ in 0..17 {
+            noisy_neighbor.next_u64();
+        }
+        let mut after = ContactRng::new(1, 2, 6);
+        assert_eq!(expected, [after.next_u64(), after.next_u64()]);
+    }
+
+    #[test]
+    fn contact_rng_nearby_triples_decorrelate() {
+        // Adjacent sites and adjacent cycles — the dense case the
+        // megascale sweep hits — must not produce correlated low bits.
+        let mut all: Vec<u64> = Vec::new();
+        for cycle in 0..8u64 {
+            for site in 0..64u64 {
+                all.push(ContactRng::new(0, cycle, site).next_u64());
+            }
+        }
+        let ones: u32 = all.iter().map(|w| w.count_ones()).sum();
+        let total = (all.len() * 64) as f64;
+        let frac = f64::from(ones) / total;
+        assert!((0.47..0.53).contains(&frac), "bit bias: {frac}");
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "first draws collide");
+    }
+
+    #[test]
+    fn contact_rng_supports_the_generic_draw_api() {
+        let mut rng = ContactRng::new(3, 1, 0);
+        let in_range = rng.random_range(0usize..9);
+        assert!(in_range < 9);
+        let f: f64 = rng.random();
+        assert!((0.0..1.0).contains(&f));
+        let hits = (0..10_000)
+            .filter(|&i| ContactRng::new(3, 2, i).random_bool(0.25))
+            .count();
+        assert!((2_300..2_700).contains(&hits), "got {hits}");
+    }
 
     #[test]
     fn same_seed_same_stream() {

@@ -80,9 +80,42 @@ impl BitSet {
         }
     }
 
+    /// Copies `other` into this set word-at-a-time without reallocating —
+    /// the bitset-to-bitset start-of-cycle snapshot operation (a derived
+    /// `clone` would allocate a fresh word vector every cycle).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn copy_from(&mut self, other: &BitSet) {
+        assert_eq!(other.len, self.len, "snapshot length mismatch");
+        self.words.copy_from_slice(&other.words);
+    }
+
     /// Number of set bits.
     pub fn count_ones(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Indices of the set bits, ascending.
+    ///
+    /// Cost is proportional to `words + ones`, not to `len` — a word of
+    /// 64 clear bits is skipped in one comparison. This is what lets the
+    /// active-set contact loop pay for the infective sites it visits
+    /// rather than for the million susceptible ones it does not.
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(w, &word)| {
+            let mut bits = word;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let b = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(w * 64 + b)
+                }
+            })
+        })
     }
 }
 
@@ -118,6 +151,32 @@ mod tests {
         }
         assert_eq!(packed, reference);
         assert_eq!(packed.count_ones(), bools.iter().filter(|&&b| b).count());
+    }
+
+    #[test]
+    fn iter_ones_matches_a_linear_scan() {
+        let n = 300;
+        let mut bits = BitSet::new(n);
+        let expected: Vec<usize> = (0..n).filter(|i| i % 5 == 0 || i % 63 == 0).collect();
+        for &i in &expected {
+            bits.set(i, true);
+        }
+        assert_eq!(bits.iter_ones().collect::<Vec<_>>(), expected);
+        assert_eq!(bits.iter_ones().count(), bits.count_ones());
+        bits.clear();
+        assert_eq!(bits.iter_ones().next(), None);
+    }
+
+    #[test]
+    fn copy_from_mirrors_another_set() {
+        let mut src = BitSet::new(100);
+        for i in [0, 17, 63, 64, 99] {
+            src.set(i, true);
+        }
+        let mut dst = BitSet::new(100);
+        dst.set(5, true); // stale bit must be overwritten
+        dst.copy_from(&src);
+        assert_eq!(dst, src);
     }
 
     #[test]

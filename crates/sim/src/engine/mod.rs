@@ -26,12 +26,14 @@
 //! draw — so porting a driver onto the engine is output-preserving, which
 //! the golden-table and fixture tests pin down to the byte.
 
+pub mod active;
 pub mod observer;
 pub mod partner;
 pub mod protocols;
 pub mod sharded;
 pub mod trace;
 
+pub use active::{ActiveCycleEngine, ActiveSetProtocol};
 pub use observer::{Observer, SirCounts, SirObserver, SirView};
 pub use partner::{NeighborPartners, PartnerPolicy, SpatialPartners, UniformPartners};
 pub use protocols::{DirectMailProtocol, ReceiveLog, RouteRecorder, UpdateInjector};

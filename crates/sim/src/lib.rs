@@ -13,9 +13,11 @@
 //! * [`spatial_rumor`] — rumor mongering on a topology (§3.2), including
 //!   the minimal-`k` search used to match Table 4 and the Figure 1/2
 //!   pathology demonstrations;
-//! * [`megascale`] — the single-update rumor epidemic at 10⁴–10⁶ sites on
-//!   uniform and scale-free topologies, parameterised by storage backend
-//!   (the fig-megascale sweep);
+//! * [`megascale`] — the single-update rumor epidemic at 10⁴–10⁷ sites on
+//!   uniform and scale-free topologies: the active-set fast path
+//!   ([`FastRumorProtocol`] on [`engine::ActiveCycleEngine`]) plus the
+//!   legacy eager path parameterised by storage backend (the
+//!   fig-megascale sweep);
 //! * [`scenario`] — the declarative scenario subsystem: a parsed
 //!   [`scenario::Scenario`] spec (site count, protocol, weighted workload
 //!   mix, fault-event timeline) lowered onto the cycle engine by
@@ -84,7 +86,7 @@ pub use engine::{
 };
 pub use event::{AsyncAntiEntropySim, AsyncRumorEpidemic, AsyncRumorResult, AsyncRunResult};
 pub use failures::{Churn, ChurnRunResult, ChurnedAntiEntropySim};
-pub use megascale::MegascaleSim;
+pub use megascale::{FastDraw, FastRumorProtocol, MegascaleSim};
 pub use mixing::{EpidemicResult, RumorEpidemic};
 pub use rumor_steady::{RumorSteadyConfig, RumorSteadyReport, RumorSteadySim};
 pub use runner::TrialRunner;

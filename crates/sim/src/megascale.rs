@@ -21,17 +21,52 @@
 //! flat-storage claims, and the backends' observational equivalence means
 //! the two runs produce identical results (only speed and footprint
 //! differ).
+//!
+//! # The fast path
+//!
+//! The legacy runner above pays two costs proportional to `n` every run:
+//! it materializes a full [`Replica`] per site before the first contact,
+//! and the [`CycleEngine`]'s sequential RNG forces a full-roster walk
+//! every cycle. Both are pure overhead for a single-update epidemic,
+//! where a susceptible site holds no data and an idle site draws nothing.
+//!
+//! [`FastRumorProtocol`] + [`ActiveCycleEngine`] replace them:
+//!
+//! * per-site state is three bits (`has_entry`, `hot`, and their
+//!   start-of-cycle snapshots) plus a [`LazyTable`] row materialized at
+//!   first receipt — footprint follows *receipts*, not fleet size;
+//! * contacts draw from the counter-based
+//!   [`rand::rngs::ContactRng`], a pure function of
+//!   `(seed, cycle, site)`, so the engine visits only the hot sites and
+//!   shards the cycle across worker threads with byte-identical output
+//!   at any worker count;
+//! * contacts keep the legacy loop's *asynchronous* judgment — a push is
+//!   useful iff the partner lacks the entry at execution time, so two
+//!   pushes reaching the same susceptible site in one cycle score one
+//!   useful and one fruitless-plus-coin-toss, exactly as before. The
+//!   engine's draw/apply split makes that compatible with parallelism:
+//!   random choices (partner, coin) are sampled in parallel from each
+//!   contact's private stream, then executed sequentially in ascending
+//!   initiator order. The one semantic deviation from the legacy runner
+//!   is that order — ascending instead of shuffled — plus the RNG
+//!   contract itself; the fast path is pinned exactly against
+//!   [`mod@reference`] (same contract, naive eager loop) by the differential
+//!   suites, and statistically (5σ) against the legacy runner where the
+//!   contract legitimately differs.
 
 use epidemic_core::rumor::{RumorConfig, RumorScratch};
 use epidemic_core::{Direction, Feedback, Removal, Replica};
-use epidemic_db::{Backend, SiteId};
+use epidemic_db::{Backend, LazyTable, SiteId};
 use epidemic_net::DegreeGraph;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::rngs::{ContactRng, StdRng};
+use rand::{RngExt, SeedableRng};
 
 use crate::bitset::BitSet;
 use crate::engine::protocols::{MixingProtocol, ReceiveLog};
-use crate::engine::{CycleEngine, NeighborPartners, Observer, PartnerPolicy, UniformPartners};
+use crate::engine::{
+    ActiveCycleEngine, ActiveSetProtocol, ContactStats, CycleEngine, EngineReport,
+    NeighborPartners, Observer, PartnerPolicy, SirCounts, SirView, UniformPartners,
+};
 use crate::mixing::EpidemicResult;
 
 /// The single key the megascale update spreads under.
@@ -42,6 +77,7 @@ const KEY: u32 = 0;
 pub struct MegascaleSim {
     cfg: RumorConfig,
     max_cycles: u32,
+    workers: Option<usize>,
 }
 
 impl Default for MegascaleSim {
@@ -58,6 +94,7 @@ impl MegascaleSim {
         MegascaleSim {
             cfg: RumorConfig::new(Direction::Push, Feedback::Feedback, Removal::Coin { k: 4 }),
             max_cycles: 100_000,
+            workers: None,
         }
     }
 
@@ -66,6 +103,24 @@ impl MegascaleSim {
     pub fn max_cycles(mut self, max: u32) -> Self {
         self.max_cycles = max;
         self
+    }
+
+    /// Worker threads for the fast path's contact loop (default: the
+    /// [`EPIDEMIC_THREADS`](crate::runner::THREADS_ENV_VAR) setting). Any
+    /// value produces byte-identical results; the legacy runner ignores
+    /// this.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// The coin-removal loss rate `k` of the fixed sweep protocol.
+    fn coin_k(&self) -> u32 {
+        match self.cfg.removal {
+            Removal::Coin { k } => k,
+            Removal::Counter { .. } => unreachable!("megascale protocol is coin removal"),
+        }
     }
 
     /// One epidemic over `n` uniformly mixing sites on `backend` storage.
@@ -172,6 +227,383 @@ impl MegascaleSim {
             complete: received.complete(),
         }
     }
+
+    /// One epidemic over `n` uniformly mixing sites on the fast path —
+    /// active-set iteration, counter-based RNG, lazy site rows; see the
+    /// module docs. No storage backend is involved: per-site state is
+    /// bits until a site's first receipt.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run_uniform_fast(&self, n: usize, seed: u64) -> EpidemicResult {
+        self.run_uniform_fast_observed(n, seed, &mut ())
+    }
+
+    /// As [`MegascaleSim::run_uniform_fast`], streaming the run through
+    /// `observer`. Observers never touch the RNG, so the result is
+    /// identical to the unobserved run's.
+    pub fn run_uniform_fast_observed<O: Observer<FastRumorProtocol<'static>>>(
+        &self,
+        n: usize,
+        seed: u64,
+        observer: &mut O,
+    ) -> EpidemicResult {
+        let mut protocol = FastRumorProtocol::uniform(n, self.coin_k());
+        let report = self.active_engine().run(&mut protocol, seed, observer);
+        protocol.result(&report)
+    }
+
+    /// One epidemic over the sites of `graph` on the fast path, each
+    /// initiator gossiping with a uniform random neighbor (see
+    /// [`MegascaleSim::run_scale_free`] for the topology conventions).
+    pub fn run_scale_free_fast(&self, graph: &DegreeGraph, seed: u64) -> EpidemicResult {
+        self.run_scale_free_fast_observed(graph, seed, &mut ())
+    }
+
+    /// As [`MegascaleSim::run_scale_free_fast`], streaming the run
+    /// through `observer`.
+    pub fn run_scale_free_fast_observed<'g, O: Observer<FastRumorProtocol<'g>>>(
+        &self,
+        graph: &'g DegreeGraph,
+        seed: u64,
+        observer: &mut O,
+    ) -> EpidemicResult {
+        let mut protocol = FastRumorProtocol::scale_free(graph, self.coin_k());
+        let report = self.active_engine().run(&mut protocol, seed, observer);
+        protocol.result(&report)
+    }
+
+    fn active_engine(&self) -> ActiveCycleEngine {
+        let engine = ActiveCycleEngine::new().max_cycles(self.max_cycles);
+        match self.workers {
+            Some(w) => engine.workers(w),
+            None => engine,
+        }
+    }
+}
+
+/// Where the fast path's partners come from. Draw-for-draw identical to
+/// [`UniformPartners`] / [`NeighborPartners`], but fed from a
+/// [`ContactRng`] instead of the engine's sequential stream.
+#[derive(Debug, Clone, Copy)]
+enum Partners<'a> {
+    Uniform { n: usize },
+    Neighbors(&'a DegreeGraph),
+}
+
+impl Partners<'_> {
+    fn draw(&self, i: usize, rng: &mut ContactRng) -> usize {
+        match *self {
+            Partners::Uniform { n } => {
+                let mut j = rng.random_range(0..n - 1);
+                if j >= i {
+                    j += 1;
+                }
+                j
+            }
+            Partners::Neighbors(graph) => {
+                let neighbors = graph.neighbors(i);
+                neighbors[rng.random_range(0..neighbors.len())] as usize
+            }
+        }
+    }
+}
+
+/// The pure record of one fast-path contact's random choices (the
+/// [`ActiveSetProtocol::Draw`] of [`FastRumorProtocol`]): where the push
+/// goes, and how the feedback coin landed.
+///
+/// The coin is sampled *unconditionally* — each contact owns its private
+/// stream, so over-drawing is free — and consulted at apply time only if
+/// the push turns out fruitless. This is what lets usefulness be judged
+/// sequentially against current state while the sampling runs in
+/// parallel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FastDraw {
+    /// The drawn partner.
+    to: u32,
+    /// Whether the feedback coin toss came up "lose interest".
+    coin: bool,
+}
+
+/// The single-update push/feedback/coin rumor epidemic, restated over
+/// bitsets and a [`LazyTable`] for the [`ActiveCycleEngine`]; see the
+/// module docs for the contract and its semantic deviations from the
+/// legacy runner.
+///
+/// S/I/R is encoded exactly as in the paper's protocols: susceptible =
+/// no entry, infective = entry and hot, removed = entry but not hot.
+#[derive(Debug, Clone)]
+pub struct FastRumorProtocol<'a> {
+    partners: Partners<'a>,
+    k: u32,
+    /// Sites that hold the update (I ∪ R).
+    has_entry: BitSet,
+    /// Sites actively spreading the update (I).
+    hot: BitSet,
+    /// Start-of-cycle snapshot of `hot`: the cycle's roster.
+    hot0: BitSet,
+    /// Materialized rows: `(site, value, receipt cycle)`, write order.
+    table: LazyTable<u32>,
+}
+
+impl<'a> FastRumorProtocol<'a> {
+    /// An epidemic over `n` uniformly mixing sites with coin loss rate
+    /// `k`, seeded with the update at site 0 (cycle 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn uniform(n: usize, k: u32) -> FastRumorProtocol<'static> {
+        assert!(n >= 2, "uniform mixing needs at least two sites");
+        FastRumorProtocol::with_partners(Partners::Uniform { n }, n, k)
+    }
+
+    /// An epidemic over the sites of `graph` with coin loss rate `k`,
+    /// partners drawn uniformly from the initiator's neighbors, seeded
+    /// with the update at site 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any site of `graph` has no neighbors (same contract as
+    /// [`NeighborPartners::new`]).
+    pub fn scale_free(graph: &'a DegreeGraph, k: u32) -> FastRumorProtocol<'a> {
+        let n = graph.site_count();
+        for i in 0..n {
+            assert!(
+                !graph.neighbors(i).is_empty(),
+                "site {i} has no neighbors to gossip with"
+            );
+        }
+        FastRumorProtocol::with_partners(Partners::Neighbors(graph), n, k)
+    }
+
+    fn with_partners(partners: Partners<'_>, n: usize, k: u32) -> FastRumorProtocol<'_> {
+        let mut protocol = FastRumorProtocol {
+            partners,
+            k,
+            has_entry: BitSet::new(n),
+            hot: BitSet::new(n),
+            hot0: BitSet::new(n),
+            table: LazyTable::new(n),
+        };
+        protocol.has_entry.set(0, true);
+        protocol.hot.set(0, true);
+        protocol.table.push(0, 1, 0);
+        protocol
+    }
+
+    /// The materialized site rows: who received the update, what they
+    /// hold, and when — one row per infected site, in receipt order.
+    pub fn table(&self) -> &LazyTable<u32> {
+        &self.table
+    }
+
+    /// Summarizes a finished run, mirroring the legacy runner's
+    /// [`EpidemicResult`] conventions field for field (residue and
+    /// `t_ave`/`t_last` come from the table, traffic from the engine
+    /// totals).
+    pub fn result(&self, report: &EngineReport) -> EpidemicResult {
+        let n = self.table.site_count();
+        let received = self.table.len();
+        let t_ave = if received == 0 {
+            0.0
+        } else {
+            let total: u64 = self.table.cycles().iter().map(|&c| u64::from(c)).sum();
+            total as f64 / received as f64
+        };
+        EpidemicResult {
+            n,
+            residue: (n - received) as f64 / n as f64,
+            traffic: report.totals.sent as f64 / n as f64,
+            t_ave,
+            t_last: f64::from(self.table.cycles().iter().copied().max().unwrap_or(0)),
+            cycles: report.cycles,
+            complete: received == n,
+        }
+    }
+}
+
+impl SirView for FastRumorProtocol<'_> {
+    fn sir_counts(&self) -> SirCounts {
+        let holders = self.has_entry.count_ones();
+        let infective = self.hot.count_ones();
+        SirCounts {
+            susceptible: self.has_entry.len() - holders,
+            infective,
+            removed: holders - infective,
+        }
+    }
+}
+
+impl ActiveSetProtocol for FastRumorProtocol<'_> {
+    type Draw = FastDraw;
+
+    fn site_count(&self) -> usize {
+        self.has_entry.len()
+    }
+
+    fn begin_cycle(&mut self, _cycle: u32) {
+        self.hot0.copy_from(&self.hot);
+    }
+
+    fn active(&self) -> &BitSet {
+        &self.hot0
+    }
+
+    fn contact(&self, _cycle: u32, i: usize, rng: &mut ContactRng) -> FastDraw {
+        let to = self.partners.draw(i, rng) as u32;
+        // Same draw as `rumor::record_feedback` under `Coin { k }`;
+        // sampled whether or not the push turns out fruitless.
+        let coin = rng.random_bool(1.0 / f64::from(self.k.max(1)));
+        FastDraw { to, coin }
+    }
+
+    fn apply(&mut self, cycle: u32, i: usize, draw: &FastDraw) -> (usize, ContactStats) {
+        let j = draw.to as usize;
+        let useful = !self.has_entry.get(j);
+        if useful {
+            self.has_entry.set(j, true);
+            self.hot.set(j, true);
+            self.table.push(draw.to, 1, cycle);
+        } else if draw.coin {
+            // Feedback: a fruitless push costs the initiator its coin.
+            self.hot.set(i, false);
+        }
+        (
+            j,
+            ContactStats {
+                sent: 1,
+                useful: u64::from(useful),
+            },
+        )
+    }
+}
+
+pub mod reference {
+    //! The executable specification of the fast path: the same
+    //! counter-RNG, ascending-order asynchronous protocol, run as a
+    //! naive eager loop over real [`Replica`]s with none of the fast
+    //! path's machinery — no active-set iteration, no lazy rows, no
+    //! draw/apply split, no threads. The differential suites pin
+    //! [`FastRumorProtocol`](super::FastRumorProtocol) against this
+    //! module exactly: equal [`EpidemicResult`]s, and a materialized
+    //! [`LazyTable`](epidemic_db::LazyTable) row exactly where this loop
+    //! records a receipt.
+
+    use super::{Backend, ContactRng, DegreeGraph, EpidemicResult, Replica, RngExt, SiteId, KEY};
+    use crate::engine::protocols::ReceiveLog;
+
+    /// A finished reference run: the summary plus the per-site receipt
+    /// log the differential suites compare against the fast path's
+    /// materialized table.
+    #[derive(Debug, Clone)]
+    pub struct ReferenceRun {
+        /// Result under the legacy runner's conventions.
+        pub result: EpidemicResult,
+        /// First-receipt cycle per site (site 0 at cycle 0).
+        pub received: ReceiveLog<u32>,
+    }
+
+    /// Reference run over `n` uniformly mixing sites; see the module
+    /// docs.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    pub fn run_uniform(n: usize, k: u32, seed: u64, backend: Backend) -> ReferenceRun {
+        run(n, k, seed, backend, |i, rng| {
+            let mut j = rng.random_range(0..n - 1);
+            if j >= i {
+                j += 1;
+            }
+            j
+        })
+    }
+
+    /// Reference run over the sites of `graph`; see the module docs.
+    pub fn run_scale_free(
+        graph: &DegreeGraph,
+        k: u32,
+        seed: u64,
+        backend: Backend,
+    ) -> ReferenceRun {
+        run(graph.site_count(), k, seed, backend, |i, rng| {
+            let neighbors = graph.neighbors(i);
+            neighbors[rng.random_range(0..neighbors.len())] as usize
+        })
+    }
+
+    fn run<F: Fn(usize, &mut ContactRng) -> usize>(
+        n: usize,
+        k: u32,
+        seed: u64,
+        backend: Backend,
+        partner: F,
+    ) -> ReferenceRun {
+        let mut sites: Vec<Replica<u32, u32>> = (0..n)
+            .map(|i| {
+                Replica::with_backend(
+                    SiteId::new(u32::try_from(i).expect("site count fits u32")),
+                    backend,
+                )
+            })
+            .collect();
+        sites[0].client_update(KEY, 1);
+        let mut received = ReceiveLog::new(n);
+        received.mark(0, 0);
+
+        let mut hot0 = vec![false; n];
+        let mut cycle = 0u32;
+        let mut sent = 0u64;
+        loop {
+            for (flag, site) in hot0.iter_mut().zip(sites.iter()) {
+                *flag = site.is_infective(&KEY);
+            }
+            if !hot0.contains(&true) || cycle >= 100_000 {
+                break;
+            }
+            cycle += 1;
+            for i in 0..n {
+                if !hot0[i] {
+                    continue;
+                }
+                // The counter-RNG contract: partner first, then the
+                // feedback coin, both drawn unconditionally from the
+                // contact's private (seed, cycle, i) stream.
+                let mut rng = ContactRng::new(seed, u64::from(cycle), i as u64);
+                let j = partner(i, &mut rng);
+                let coin = rng.random_bool(1.0 / f64::from(k.max(1)));
+                sent += 1;
+                let entry = sites[i]
+                    .db()
+                    .entry(&KEY)
+                    .cloned()
+                    .expect("hot implies entry");
+                // Asynchronous judgment: useful iff the partner lacks the
+                // entry right now, mid-cycle receipts included.
+                let useful = sites[j].db().entry(&KEY).is_none();
+                sites[j].receive_rumor(KEY, entry);
+                if useful {
+                    received.mark(j, cycle);
+                } else if coin {
+                    sites[i].hot_mut().remove(&KEY);
+                }
+            }
+        }
+
+        let result = EpidemicResult {
+            n,
+            residue: received.residue(),
+            traffic: sent as f64 / n as f64,
+            t_ave: received.t_ave_received(),
+            t_last: f64::from(received.t_last().unwrap_or(0)),
+            cycles: cycle,
+            complete: received.complete(),
+        };
+        ReferenceRun { result, received }
+    }
 }
 
 #[cfg(test)]
@@ -231,5 +663,106 @@ mod tests {
         assert_eq!(a, b);
         let c = sim.run_uniform(200, 6, Backend::Flat);
         assert_ne!(a, c, "different seeds explore different streams");
+    }
+
+    #[test]
+    fn fast_path_matches_the_reference_spec_exactly() {
+        let sim = MegascaleSim::new().workers(1);
+        for seed in [1, 2, 3] {
+            let fast = sim.run_uniform_fast(400, seed);
+            let spec = reference::run_uniform(400, 4, seed, Backend::Flat);
+            assert_eq!(fast, spec.result, "uniform seed={seed}");
+        }
+        let graph = DegreeGraph::scale_free(400, 2, 7);
+        let fast = sim.run_scale_free_fast(&graph, 5);
+        let spec = reference::run_scale_free(&graph, 4, 5, Backend::Flat);
+        assert_eq!(fast, spec.result, "scale-free");
+    }
+
+    #[test]
+    fn fast_path_is_worker_count_invariant() {
+        let sim = MegascaleSim::new();
+        let sequential = sim.workers(1).run_uniform_fast(500, 11);
+        for workers in [2, 8] {
+            let parallel = sim.workers(workers).run_uniform_fast(500, 11);
+            assert_eq!(sequential, parallel, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn fast_epidemic_reaches_nearly_everyone() {
+        let sim = MegascaleSim::new().workers(1);
+        let uniform = sim.run_uniform_fast(500, 11);
+        assert!(uniform.residue < 0.05, "residue {}", uniform.residue);
+        assert!(uniform.cycles > 0 && uniform.t_last > 0.0);
+        let graph = DegreeGraph::scale_free(500, 2, 11);
+        let sf = sim.run_scale_free_fast(&graph, 11);
+        assert!(sf.residue < 0.20, "residue {}", sf.residue);
+    }
+
+    #[test]
+    fn observed_fast_run_matches_unobserved_and_aggregates() {
+        use crate::engine::AggregateObserver;
+        let sim = MegascaleSim::new().workers(1);
+        let plain = sim.run_uniform_fast(300, 9);
+        let mut obs = AggregateObserver::new();
+        let observed = sim.run_uniform_fast_observed(300, 9, &mut obs);
+        assert_eq!(plain, observed, "observers must not perturb the run");
+        let agg = obs.finish();
+        assert_eq!(agg.sites(), 300);
+        assert_eq!(agg.runs(), 1);
+        assert!(
+            agg.delay().count() >= 250,
+            "nearly every site records a delay: {}",
+            agg.delay().count()
+        );
+        assert!((agg.totals().sent as f64 / 300.0 - plain.traffic).abs() < 1e-12);
+        assert_eq!(agg.max_cycle(), u64::from(plain.cycles));
+    }
+
+    /// The fast path's synchronous judgment is a semantic deviation from
+    /// the legacy asynchronous runner, so the two are compared
+    /// statistically: over many seeds, mean residue/traffic/t_ave must
+    /// agree within 5σ (the house methodology from the sharded-engine
+    /// equivalence suite).
+    #[test]
+    fn fast_path_statistically_matches_the_legacy_runner() {
+        fn mean_and_var(samples: &[f64]) -> (f64, f64) {
+            let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+            let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>()
+                / (samples.len() - 1) as f64;
+            (mean, var)
+        }
+        fn assert_means_agree(name: &str, a: &[f64], b: &[f64]) {
+            let (mean_a, var_a) = mean_and_var(a);
+            let (mean_b, var_b) = mean_and_var(b);
+            let stderr = (var_a / a.len() as f64 + var_b / b.len() as f64).sqrt();
+            let diff = (mean_a - mean_b).abs();
+            assert!(
+                diff <= 5.0 * stderr + 1e-9,
+                "{name}: |{mean_a} - {mean_b}| = {diff} > 5σ = {}",
+                5.0 * stderr
+            );
+        }
+
+        let sim = MegascaleSim::new().workers(1);
+        let n = 256;
+        let trials = 60;
+        let legacy: Vec<EpidemicResult> = (0..trials)
+            .map(|s| sim.run_uniform(n, 1000 + s, Backend::Flat))
+            .collect();
+        let fast: Vec<EpidemicResult> = (0..trials)
+            .map(|s| sim.run_uniform_fast(n, 1000 + s))
+            .collect();
+        for (name, get) in [
+            ("residue", (|r| r.residue) as fn(&EpidemicResult) -> f64),
+            ("traffic", |r| r.traffic),
+            ("t_ave", |r| r.t_ave),
+            ("t_last", |r| r.t_last),
+        ] {
+            let a: Vec<f64> = legacy.iter().map(get).collect();
+            let b: Vec<f64> = fast.iter().map(get).collect();
+            assert_means_agree(name, &a, &b);
+        }
     }
 }

@@ -1,0 +1,200 @@
+//! Differential property tests pinning the megascale fast path to its
+//! executable specification, in the style of
+//! `crates/sim/tests/shard_merge_differential.rs`.
+//!
+//! The fast path ([`FastRumorProtocol`] on the [`ActiveCycleEngine`]) and
+//! the naive reference loop ([`megascale::reference`]) implement the same
+//! counter-RNG contract — partner then feedback coin from a private
+//! `(seed, cycle, site)` stream, asynchronous usefulness judgment in
+//! ascending roster order — so they must agree *exactly*, not just
+//! statistically:
+//!
+//! * equal [`EpidemicResult`]s for every `(n, k, seed)` tried, uniform
+//!   and scale-free, on both storage backends of the reference;
+//! * a materialized [`LazyTable`] row exactly where the reference's
+//!   eager replicas record a first receipt, with the same cycle stamp;
+//! * engine totals equal to the contact-by-contact accumulation over the
+//!   observer event stream;
+//! * byte-identical output — result, table, and event stream — at worker
+//!   counts {1, 2, 8}, for every random configuration tried.
+
+use epidemic_db::{Backend, LazyTable};
+use epidemic_net::DegreeGraph;
+use epidemic_sim::engine::{ActiveCycleEngine, AggregateObserver, ContactStats, Observer};
+use epidemic_sim::megascale::{reference, FastRumorProtocol};
+use epidemic_sim::EpidemicResult;
+use proptest::prelude::*;
+
+#[derive(Default, PartialEq, Eq, Debug)]
+struct EventLog {
+    events: Vec<(u32, usize, usize, u64, u64)>,
+}
+
+impl<P: ?Sized> Observer<P> for EventLog {
+    fn on_contact(&mut self, cycle: u32, i: usize, j: usize, stats: &ContactStats) {
+        self.events.push((cycle, i, j, stats.sent, stats.useful));
+    }
+}
+
+struct FastRun {
+    result: EpidemicResult,
+    table: LazyTable<u32>,
+    log: EventLog,
+    totals_match_events: bool,
+}
+
+fn run_fast(mut protocol: FastRumorProtocol<'_>, seed: u64, workers: usize) -> FastRun {
+    let mut log = EventLog::default();
+    let report = ActiveCycleEngine::new()
+        .workers(workers)
+        .max_cycles(100_000)
+        .run(&mut protocol, seed, &mut log);
+    let contacts = log.events.len() as u64;
+    let sent: u64 = log.events.iter().map(|e| e.3).sum();
+    let useful: u64 = log.events.iter().map(|e| e.4).sum();
+    let fruitless = log.events.iter().filter(|e| e.4 == 0).count() as u64;
+    let totals_match_events = report.totals.contacts == contacts
+        && report.totals.sent == sent
+        && report.totals.useful == useful
+        && report.totals.fruitless == fruitless;
+    FastRun {
+        result: protocol.result(&report),
+        table: protocol.table().clone(),
+        log,
+        totals_match_events,
+    }
+}
+
+/// Receipt cycles by site, `None` for sites that never received — the
+/// common denominator between the fast path's table and the reference's
+/// receive log.
+fn receipts_of_table(table: &LazyTable<u32>) -> Vec<Option<u32>> {
+    let mut receipts = vec![None; table.site_count()];
+    for (site, _value, cycle) in table.rows() {
+        assert!(
+            receipts[site as usize].is_none(),
+            "site {site} materialized twice"
+        );
+        receipts[site as usize] = Some(cycle);
+    }
+    receipts
+}
+
+fn assert_fast_matches_reference(
+    fast: &FastRun,
+    spec: &reference::ReferenceRun,
+) -> Result<(), TestCaseError> {
+    prop_assert_eq!(fast.result, spec.result, "summary results differ");
+    let receipts = receipts_of_table(&fast.table);
+    prop_assert_eq!(
+        receipts.as_slice(),
+        spec.received.times(),
+        "per-site receipt cycles differ"
+    );
+    prop_assert!(
+        fast.table.values().iter().all(|&v| v == 1),
+        "every materialized row holds the injected value"
+    );
+    prop_assert!(
+        fast.totals_match_events,
+        "engine totals drifted from the event stream"
+    );
+    Ok(())
+}
+
+fn assert_worker_invariant(
+    protocol: &FastRumorProtocol<'_>,
+    seed: u64,
+) -> Result<(), TestCaseError> {
+    let baseline = run_fast(protocol.clone(), seed, 1);
+    for workers in [2usize, 8] {
+        let candidate = run_fast(protocol.clone(), seed, workers);
+        prop_assert_eq!(
+            baseline.result,
+            candidate.result,
+            "result differs at {} workers",
+            workers
+        );
+        prop_assert_eq!(
+            &baseline.table,
+            &candidate.table,
+            "table differs at {} workers",
+            workers
+        );
+        prop_assert_eq!(
+            &baseline.log,
+            &candidate.log,
+            "event stream differs at {} workers",
+            workers
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn fast_uniform_equals_the_reference_exactly(
+        n in 2usize..400,
+        k in 1u32..8,
+        seed in any::<u64>(),
+        flat in any::<bool>(),
+    ) {
+        let backend = if flat { Backend::Flat } else { Backend::BTree };
+        let spec = reference::run_uniform(n, k, seed, backend);
+        let fast = run_fast(FastRumorProtocol::uniform(n, k), seed, 1);
+        assert_fast_matches_reference(&fast, &spec)?;
+        assert_worker_invariant(&FastRumorProtocol::uniform(n, k), seed)?;
+    }
+
+    #[test]
+    fn fast_scale_free_equals_the_reference_exactly(
+        n in 10usize..300,
+        m in 1usize..3,
+        graph_seed in 0u64..1000,
+        k in 1u32..8,
+        seed in any::<u64>(),
+        flat in any::<bool>(),
+    ) {
+        let backend = if flat { Backend::Flat } else { Backend::BTree };
+        let graph = DegreeGraph::scale_free(n, m, graph_seed);
+        let spec = reference::run_scale_free(&graph, k, seed, backend);
+        let fast = run_fast(FastRumorProtocol::scale_free(&graph, k), seed, 1);
+        assert_fast_matches_reference(&fast, &spec)?;
+        assert_worker_invariant(&FastRumorProtocol::scale_free(&graph, k), seed)?;
+    }
+}
+
+/// Streaming aggregation composes with the fast path identically at any
+/// worker count: the whole [`RunAggregate`](epidemic_trace::RunAggregate)
+/// — delay histogram, SIR trajectory, totals — is a pure function of the
+/// seed.
+#[test]
+fn aggregates_are_worker_count_invariant() {
+    let n = 2000;
+    let graph = DegreeGraph::scale_free(n, 2, 1987);
+    let run = |workers: usize, scale_free: bool| {
+        let mut protocol = if scale_free {
+            FastRumorProtocol::scale_free(&graph, 4)
+        } else {
+            FastRumorProtocol::uniform(n, 4)
+        };
+        let mut obs = AggregateObserver::new();
+        ActiveCycleEngine::new()
+            .workers(workers)
+            .max_cycles(100_000)
+            .run(&mut protocol, 42, &mut obs);
+        obs.finish()
+    };
+    for scale_free in [false, true] {
+        let sequential = run(1, scale_free);
+        for workers in [2usize, 8] {
+            assert_eq!(
+                sequential,
+                run(workers, scale_free),
+                "aggregate differs at {workers} workers (scale_free={scale_free})"
+            );
+        }
+    }
+}
